@@ -1,0 +1,244 @@
+// Package-level benchmarks: one testing.B target per table/figure of the
+// paper's evaluation, plus ablations for the design choices DESIGN.md
+// calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Reported custom metrics are virtual-time results from the simulation;
+// wall-clock ns/op measures the simulator itself.
+package main
+
+import (
+	"testing"
+
+	"cntr/internal/cntr"
+	"cntr/internal/container"
+	"cntr/internal/fuse"
+	"cntr/internal/hubdata"
+	"cntr/internal/phoronix"
+	"cntr/internal/slim"
+	"cntr/internal/stack"
+	"cntr/internal/vfs"
+	"cntr/internal/xfstests"
+)
+
+// BenchmarkXfstests regenerates the §5.1 result (90/94 over CntrFS).
+func BenchmarkXfstests(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := stack.NewCntr(stack.Config{})
+		sum, _ := xfstests.Run(c.Top)
+		c.Close()
+		if sum.Passed != 90 || sum.Failed != 4 {
+			b.Fatalf("cntr stack: %d/%d", sum.Passed, sum.Total)
+		}
+	}
+	b.ReportMetric(90, "tests-passed")
+	b.ReportMetric(4, "tests-failed")
+}
+
+// benchFig2 runs one Figure 2 row and reports the measured overhead.
+func benchFig2(b *testing.B, name string) {
+	b.Helper()
+	var bench *phoronix.Benchmark
+	for i := range phoronix.Suite {
+		if phoronix.Suite[i].Name == name {
+			bench = &phoronix.Suite[i]
+		}
+	}
+	if bench == nil {
+		b.Fatalf("unknown benchmark %q", name)
+	}
+	var overhead float64
+	for i := 0; i < b.N; i++ {
+		r, err := phoronix.RunBenchmark(bench)
+		if err != nil {
+			b.Fatal(err)
+		}
+		overhead = r.Overhead
+	}
+	b.ReportMetric(overhead, "overhead-x")
+	b.ReportMetric(bench.PaperOverhead, "paper-x")
+}
+
+// Figure 2 rows (one bench target per suite entry).
+func BenchmarkFigure2AIOStress(b *testing.B)           { benchFig2(b, "AIO-Stress") }
+func BenchmarkFigure2Apachebench(b *testing.B)         { benchFig2(b, "Apachebench") }
+func BenchmarkFigure2CompilebenchCompile(b *testing.B) { benchFig2(b, "Compilebench: Compile") }
+func BenchmarkFigure2CompilebenchCreate(b *testing.B)  { benchFig2(b, "Compilebench: Create") }
+func BenchmarkFigure2CompilebenchRead(b *testing.B)    { benchFig2(b, "Compilebench: Read") }
+func BenchmarkFigure2Dbench1(b *testing.B)             { benchFig2(b, "Dbench: 1 Clients") }
+func BenchmarkFigure2Dbench12(b *testing.B)            { benchFig2(b, "Dbench: 12 Clients") }
+func BenchmarkFigure2Dbench48(b *testing.B)            { benchFig2(b, "Dbench: 48 Clients") }
+func BenchmarkFigure2Dbench128(b *testing.B)           { benchFig2(b, "Dbench: 128 Clients") }
+func BenchmarkFigure2FSMark(b *testing.B)              { benchFig2(b, "FS-Mark") }
+func BenchmarkFigure2FIO(b *testing.B)                 { benchFig2(b, "FIO") }
+func BenchmarkFigure2Gzip(b *testing.B)                { benchFig2(b, "Gzip") }
+func BenchmarkFigure2IOzoneRead(b *testing.B)          { benchFig2(b, "IOzone: Read") }
+func BenchmarkFigure2IOzoneWrite(b *testing.B)         { benchFig2(b, "IOzone: Write") }
+func BenchmarkFigure2PostMark(b *testing.B)            { benchFig2(b, "PostMark") }
+func BenchmarkFigure2PGBench(b *testing.B)             { benchFig2(b, "PGBench") }
+func BenchmarkFigure2SQLite(b *testing.B)              { benchFig2(b, "SQLite") }
+func BenchmarkFigure2ThreadedRead(b *testing.B)        { benchFig2(b, "Threaded I/O: Read") }
+func BenchmarkFigure2ThreadedWrite(b *testing.B)       { benchFig2(b, "Threaded I/O: Write") }
+func BenchmarkFigure2UnpackTarball(b *testing.B)       { benchFig2(b, "Unpack Tarball") }
+
+func benchFig3(b *testing.B, fn func() (phoronix.OptResult, error)) {
+	b.Helper()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		r, err := fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = r.Speedup
+	}
+	b.ReportMetric(speedup, "speedup-x")
+}
+
+// Figure 3 panels.
+func BenchmarkFigure3ReadCache(b *testing.B) { benchFig3(b, phoronix.Figure3ReadCache) }
+func BenchmarkFigure3Writeback(b *testing.B) { benchFig3(b, phoronix.Figure3Writeback) }
+func BenchmarkFigure3Batching(b *testing.B)  { benchFig3(b, phoronix.Figure3Batching) }
+func BenchmarkFigure3Splice(b *testing.B)    { benchFig3(b, phoronix.Figure3Splice) }
+
+// BenchmarkFigure4Threads reports the 16-thread throughput loss.
+func BenchmarkFigure4Threads(b *testing.B) {
+	var loss float64
+	for i := 0; i < b.N; i++ {
+		m, err := phoronix.Figure4Threads()
+		if err != nil {
+			b.Fatal(err)
+		}
+		loss = 100 * float64(m[16]-m[1]) / float64(m[1])
+	}
+	b.ReportMetric(loss, "loss-pct-16thr")
+}
+
+// BenchmarkFigure5 reports the mean Top-50 reduction.
+func BenchmarkFigure5(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		var reports []slim.Report
+		for _, spec := range hubdata.Top50() {
+			img, err := hubdata.Build(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			paths := hubdata.AppPaths(spec)
+			_, rep, err := slim.Slim(img, func(cli *vfs.Client) error {
+				for _, p := range paths {
+					if _, err := cli.ReadFile(p); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			reports = append(reports, rep)
+		}
+		mean = slim.Mean(reports)
+	}
+	b.ReportMetric(mean, "mean-reduction-pct")
+}
+
+// BenchmarkAblationHardlinkDedup measures the cost of CntrFS's
+// open+stat lookup path (DESIGN.md ablation: correctness vs lookup cost).
+func BenchmarkAblationHardlinkDedup(b *testing.B) {
+	run := func(noDedup bool) float64 {
+		cfg := stack.Config{NoDedupHardlinks: noDedup}
+		c := stack.NewCntr(cfg)
+		defer c.Close()
+		cli := vfs.NewClient(c.Top, vfs.Root())
+		hostCli := vfs.NewClient(c.Host, vfs.Root())
+		for i := 0; i < 200; i++ {
+			hostCli.WriteFile(vfs.SplitPath("f")[0]+string(rune('a'+i%26))+string(rune('0'+i/26)), nil, 0o644)
+		}
+		start := c.Clock.Now()
+		ents, _ := cli.ReadDir("/")
+		for _, e := range ents {
+			cli.Stat("/" + e.Name)
+		}
+		return float64(c.Clock.Now() - start)
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		with := run(false)
+		without := run(true)
+		ratio = with / without
+	}
+	b.ReportMetric(ratio, "dedup-cost-x")
+}
+
+// BenchmarkAblationSpliceWrite shows why splice write ships disabled
+// (§3.3: it taxes every request).
+func BenchmarkAblationSpliceWrite(b *testing.B) {
+	run := func(spliceWrite bool) float64 {
+		mount := fuse.DefaultMountOptions()
+		mount.SpliceWrite = spliceWrite
+		c := stack.NewCntr(stack.Config{Mount: mount})
+		defer c.Close()
+		cli := vfs.NewClient(c.Top, vfs.Root())
+		start := c.Clock.Now()
+		for i := 0; i < 100; i++ {
+			cli.WriteFile("/f", make([]byte, 64<<10), 0o644)
+			cli.Stat("/f")
+		}
+		return float64(c.Clock.Now() - start)
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ratio = run(true) / run(false)
+	}
+	b.ReportMetric(ratio, "splice-write-tax-x")
+}
+
+// BenchmarkAttach measures the end-to-end attach workflow (§3.2 steps
+// 1-4) — the operation Cntr adds to a container's lifecycle.
+func BenchmarkAttach(b *testing.B) {
+	h := cntr.NewHost()
+	img, err := container.BuildImage("app", "v1", container.ImageConfig{
+		Cmd: []string{"/bin/app"},
+	}, container.LayerSpec{ID: "l", Files: []container.FileSpec{
+		{Path: "/bin/app", Size: 1024, Executable: true},
+		{Path: "/etc/passwd", Content: []byte("root:x:0:0\n")},
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := h.Runtime.Create("bench", img, container.CreateOpts{Engine: "docker"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := h.Runtime.Start(c); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := cntr.Attach(h, cntr.Options{Container: "bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess.Close()
+	}
+}
+
+// BenchmarkRegistryPull exercises the deployment-time model behind the
+// §1 motivation (downloads dominate deployment).
+func BenchmarkRegistryPull(b *testing.B) {
+	spec := hubdata.Top50()[0]
+	img, err := hubdata.Build(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := container.NewRegistry()
+	reg.Push(img)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock := stack.NewNative(stack.Config{}).Clock
+		if _, _, err := reg.Pull(clock, container.NewNode(), img.Ref()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

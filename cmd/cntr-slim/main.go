@@ -1,0 +1,46 @@
+// Command cntr-slim runs the §5.3 docker-slim analysis over the
+// synthetic Top-50 Docker Hub data set and prints the Figure 5 histogram.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"cntr/internal/hubdata"
+	"cntr/internal/slim"
+	"cntr/internal/vfs"
+)
+
+func main() {
+	var reports []slim.Report
+	for _, spec := range hubdata.Top50() {
+		img, err := hubdata.Build(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		paths := hubdata.AppPaths(spec)
+		_, rep, err := slim.Slim(img, func(cli *vfs.Client) error {
+			for _, p := range paths {
+				if _, err := cli.ReadFile(p); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		reports = append(reports, rep)
+		fmt.Printf("%-16s %8.1f%% reduction (%d -> %d files)\n",
+			rep.Name, rep.ReductionPct, rep.OriginalFiles, rep.SlimFiles)
+	}
+	fmt.Printf("\nmean reduction: %.1f%% (paper: 66.6%%)\n", slim.Mean(reports))
+	fmt.Println("\nFigure 5 histogram (reduction % -> #images):")
+	bins := slim.Histogram(reports)
+	for i, n := range bins {
+		fmt.Printf("%3d-%3d%% | %s (%d)\n", i*10, i*10+9, strings.Repeat("#", n), n)
+	}
+}

@@ -1,0 +1,39 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation in one run: §5.1 (xfstests), §5.2 (Figures 2-4) and §5.3
+// (Figure 5). Pass -fig5 / -fig2 / -xfstests to run a subset.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+)
+
+func main() {
+	fig2 := flag.Bool("fig2", false, "only the Phoronix suite")
+	fig5 := flag.Bool("fig5", false, "only the slimming study")
+	xfs := flag.Bool("xfstests", false, "only the regression suite")
+	flag.Parse()
+	all := !*fig2 && !*fig5 && !*xfs
+	run := func(name string) {
+		cmd := exec.Command("go", "run", "./cmd/"+name)
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	if all || *xfs {
+		fmt.Println("===== §5.1 completeness/correctness (xfstests) =====")
+		run("xfstests")
+	}
+	if all || *fig2 {
+		fmt.Println("\n===== §5.2 performance (Figures 2-4) =====")
+		run("phoronix")
+	}
+	if all || *fig5 {
+		fmt.Println("\n===== §5.3 effectiveness (Figure 5) =====")
+		run("cntr-slim")
+	}
+}

@@ -1,0 +1,45 @@
+// Command phoronix runs the §5.2 disk suite on both stacks and prints
+// the Figure 2 table, the Figure 3 optimization panels and the Figure 4
+// thread sweep.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cntr/internal/phoronix"
+)
+
+func main() {
+	results, err := phoronix.RunAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("== Figure 2: relative overhead of CntrFS ==")
+	fmt.Print(phoronix.FormatTable(results))
+
+	fmt.Println("\n== Figure 3: optimization effectiveness ==")
+	for _, fn := range []func() (phoronix.OptResult, error){
+		phoronix.Figure3ReadCache, phoronix.Figure3Writeback,
+		phoronix.Figure3Batching, phoronix.Figure3Splice,
+	} {
+		r, err := fn()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-32s before=%-14v after=%-14v speedup=%.2fx\n",
+			r.Name, r.Before, r.After, r.Speedup)
+	}
+
+	fmt.Println("\n== Figure 4: server threads vs sequential read ==")
+	m, err := phoronix.Figure4Threads()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		fmt.Printf("threads=%-3d time=%v\n", n, m[n])
+	}
+}

@@ -1,0 +1,26 @@
+// Command xfstests runs the generic regression group against the native
+// stack and the CntrFS stack and prints the §5.1 summary.
+package main
+
+import (
+	"fmt"
+
+	"cntr/internal/stack"
+	"cntr/internal/xfstests"
+)
+
+func main() {
+	native := stack.NewNative(stack.Config{})
+	nsum, _ := xfstests.Run(native.Top)
+	fmt.Printf("native (ext4 model):  %d/%d passed, %d failed\n",
+		nsum.Passed, nsum.Total, nsum.Failed)
+
+	c := stack.NewCntr(stack.Config{})
+	defer c.Close()
+	csum, _ := xfstests.Run(c.Top)
+	fmt.Printf("cntrfs over tmpfs:    %d/%d passed, %d failed (paper: 90/94)\n",
+		csum.Passed, csum.Total, csum.Failed)
+	for _, f := range csum.Failures {
+		fmt.Printf("  generic/%03d  %-55s %s\n", f.Num, f.Name, f.Reason)
+	}
+}

@@ -1,0 +1,81 @@
+// Debug-container example — the paper's first use case: one debugging
+// container serving many application containers in production. The
+// session inherits the application's sandbox (cgroup, capabilities, MAC
+// profile), edits a config in place and validates it, without the app
+// image containing a single tool.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cntr/internal/cntr"
+	"cntr/internal/container"
+)
+
+func main() {
+	h := cntr.NewHost()
+	tools, err := container.BuildImage("debugger", "v1", container.ImageConfig{
+		Env: []string{"PATH=/usr/bin:/bin", "EDITOR=vim"},
+	}, container.LayerSpec{ID: "dbg", Files: []container.FileSpec{
+		{Path: "/usr/bin/vim", Size: 3000, Executable: true},
+		{Path: "/usr/bin/tcpdump", Size: 4000, Executable: true},
+		{Path: "/bin/sh", Size: 900, Executable: true},
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dbg, err := h.Runtime.Create("debugger", tools, container.CreateOpts{Engine: "docker"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := h.Runtime.Start(dbg); err != nil {
+		log.Fatal(err)
+	}
+
+	// A fleet of slim app containers, all served by the one debugger.
+	for i := 1; i <= 3; i++ {
+		name := fmt.Sprintf("svc-%d", i)
+		img, err := container.BuildImage(name, "v1", container.ImageConfig{
+			Cmd: []string{"/srv/app"},
+			Env: []string{"PATH=/srv"},
+		}, container.LayerSpec{ID: name, Files: []container.FileSpec{
+			{Path: "/srv/app", Size: 2048, Executable: true},
+			{Path: "/srv/app.conf", Content: []byte("threads=4\n")},
+		}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := h.Runtime.Create(name, img, container.CreateOpts{Engine: "docker"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := h.Runtime.Start(c); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	for i := 1; i <= 3; i++ {
+		name := fmt.Sprintf("svc-%d", i)
+		sess, err := cntr.Attach(h, cntr.Options{Container: name, Fat: "debugger"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Workflow from §7: edit configuration in place, reload, verify.
+		if _, err := sess.Run("echo threads=8 > /var/lib/cntr/srv/app.conf"); err != nil {
+			log.Fatal(err)
+		}
+		out, err := sess.Run("cat /var/lib/cntr/srv/app.conf")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%s] new config: %s", name, out)
+		out, err = sess.Run("tcpdump -i eth0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%s] %s", name, out)
+		sess.Close()
+	}
+	fmt.Println("one debug image served three production containers")
+}

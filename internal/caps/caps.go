@@ -1,0 +1,142 @@
+// Package caps models the Linux security facilities Cntr must inherit
+// when attaching to a container: capability sets (bounding/effective) and
+// mandatory-access-control profiles in the style of AppArmor and SELinux.
+//
+// When Cntr attaches to a container it reads these properties from the
+// target process and applies them to the process it injects, so that the
+// injected shell has exactly the sandbox of the application (§3.2.3).
+package caps
+
+import (
+	"strings"
+	"sync"
+
+	"cntr/internal/vfs"
+)
+
+// LSMKind distinguishes the modelled MAC systems.
+type LSMKind uint8
+
+// Supported MAC flavors.
+const (
+	LSMNone LSMKind = iota
+	LSMAppArmor
+	LSMSELinux
+)
+
+// String returns the conventional name.
+func (k LSMKind) String() string {
+	switch k {
+	case LSMAppArmor:
+		return "apparmor"
+	case LSMSELinux:
+		return "selinux"
+	default:
+		return "none"
+	}
+}
+
+// Profile is a MAC profile: a named set of path denials and a capability
+// bounding set. Real AppArmor policies are richer; the fields here are
+// the ones a container runtime derives from its default profile.
+type Profile struct {
+	Name string
+	Kind LSMKind
+	// Enforce selects enforce mode; false means complain (log only).
+	Enforce bool
+	// DeniedPathPrefixes lists path prefixes the profile forbids
+	// writing to (e.g. /proc/sys, /sys/firmware).
+	DeniedPathPrefixes []string
+	// BoundingSet is the capability bounding set the profile leaves
+	// available.
+	BoundingSet vfs.CapSet
+}
+
+// DefaultDockerProfile mirrors docker-default: a pruned bounding set and
+// the usual proc/sys write denials.
+func DefaultDockerProfile() *Profile {
+	return &Profile{
+		Name:    "docker-default",
+		Kind:    LSMAppArmor,
+		Enforce: true,
+		DeniedPathPrefixes: []string{
+			"/proc/sys", "/proc/sysrq-trigger", "/proc/mem", "/sys/firmware",
+		},
+		BoundingSet: vfs.NewCapSet(
+			vfs.CapChown, vfs.CapDacOverride, vfs.CapFowner, vfs.CapFsetid,
+			vfs.CapMknod, vfs.CapSetUID, vfs.CapSetGID, vfs.CapKill,
+			vfs.CapAuditWrite, vfs.CapNetBindService,
+		),
+	}
+}
+
+// UnconfinedProfile is the absence of MAC confinement.
+func UnconfinedProfile() *Profile {
+	return &Profile{Name: "unconfined", Kind: LSMNone, BoundingSet: vfs.FullCapSet()}
+}
+
+// WriteDenied reports whether the profile forbids writing to path.
+func (p *Profile) WriteDenied(path string) bool {
+	if p == nil || !p.Enforce {
+		return false
+	}
+	for _, prefix := range p.DeniedPathPrefixes {
+		if path == prefix || strings.HasPrefix(path, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply confines a credential to the profile: capabilities outside the
+// bounding set are dropped. This is the "drop the capabilities by
+// applying the AppArmor/SELinux profile" step of §3.2.3.
+func (p *Profile) Apply(c *vfs.Cred) {
+	if p == nil {
+		return
+	}
+	c.Caps = c.Caps.Intersect(p.BoundingSet)
+}
+
+// Registry stores profiles by name, like the kernel's loaded-policy set.
+type Registry struct {
+	mu       sync.RWMutex
+	profiles map[string]*Profile
+}
+
+// NewRegistry returns a registry preloaded with the unconfined and
+// docker-default profiles.
+func NewRegistry() *Registry {
+	r := &Registry{profiles: make(map[string]*Profile)}
+	r.Register(UnconfinedProfile())
+	r.Register(DefaultDockerProfile())
+	return r
+}
+
+// Register adds or replaces a profile.
+func (r *Registry) Register(p *Profile) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.profiles[p.Name] = p
+}
+
+// Get returns the named profile, falling back to unconfined.
+func (r *Registry) Get(name string) *Profile {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if p, ok := r.profiles[name]; ok {
+		return p
+	}
+	return r.profiles["unconfined"]
+}
+
+// Names lists registered profile names.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.profiles))
+	for name := range r.profiles {
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package caps
+
+import (
+	"testing"
+
+	"cntr/internal/vfs"
+)
+
+func TestDefaultDockerProfileDrops(t *testing.T) {
+	p := DefaultDockerProfile()
+	cred := vfs.Root()
+	p.Apply(cred)
+	if cred.Caps.Has(vfs.CapSysAdmin) {
+		t.Fatal("docker-default must drop CAP_SYS_ADMIN")
+	}
+	if cred.Caps.Has(vfs.CapSysPtrace) {
+		t.Fatal("docker-default must drop CAP_SYS_PTRACE")
+	}
+	if !cred.Caps.Has(vfs.CapChown) || !cred.Caps.Has(vfs.CapKill) {
+		t.Fatal("docker-default keeps standard caps")
+	}
+}
+
+func TestUnconfinedKeepsAll(t *testing.T) {
+	p := UnconfinedProfile()
+	cred := vfs.Root()
+	p.Apply(cred)
+	if cred.Caps != vfs.FullCapSet() {
+		t.Fatal("unconfined must keep everything")
+	}
+}
+
+func TestWriteDenied(t *testing.T) {
+	p := DefaultDockerProfile()
+	cases := map[string]bool{
+		"/proc/sys":            true,
+		"/proc/sys/kernel/foo": true,
+		"/proc/cpuinfo":        false,
+		"/sys/firmware/efi":    true,
+		"/etc/passwd":          false,
+		"/proc/sysfoo":         false, // prefix must match a component
+	}
+	for path, want := range cases {
+		if got := p.WriteDenied(path); got != want {
+			t.Errorf("WriteDenied(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestComplainModeAllows(t *testing.T) {
+	p := DefaultDockerProfile()
+	p.Enforce = false
+	if p.WriteDenied("/proc/sys") {
+		t.Fatal("complain mode must not deny")
+	}
+}
+
+func TestNilProfileSafe(t *testing.T) {
+	var p *Profile
+	if p.WriteDenied("/anything") {
+		t.Fatal("nil profile denies nothing")
+	}
+	cred := vfs.Root()
+	p.Apply(cred)
+	if cred.Caps != vfs.FullCapSet() {
+		t.Fatal("nil profile must not modify caps")
+	}
+}
+
+func TestRegistryFallback(t *testing.T) {
+	r := NewRegistry()
+	if r.Get("docker-default").Name != "docker-default" {
+		t.Fatal("preloaded profile missing")
+	}
+	if r.Get("no-such-profile").Name != "unconfined" {
+		t.Fatal("unknown profile must fall back to unconfined")
+	}
+	custom := &Profile{Name: "strict", Kind: LSMSELinux, Enforce: true}
+	r.Register(custom)
+	if r.Get("strict") != custom {
+		t.Fatal("registered profile not returned")
+	}
+	names := r.Names()
+	if len(names) != 3 {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestLSMKindString(t *testing.T) {
+	if LSMAppArmor.String() != "apparmor" || LSMSELinux.String() != "selinux" || LSMNone.String() != "none" {
+		t.Fatal("kind names")
+	}
+}

@@ -1,0 +1,191 @@
+// Package cgroup models the cgroup hierarchy a container runtime uses to
+// bound resource usage. Cntr's attach step assigns its injected process
+// to the target container's cgroup "by appropriately setting the /sys/
+// option" (§3.2.3); this package provides the hierarchy, the per-group
+// limits, and the process membership that step manipulates.
+package cgroup
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"cntr/internal/vfs"
+)
+
+// Limits are the resource bounds a group enforces. Zero values mean
+// unlimited.
+type Limits struct {
+	CPUShares   int64
+	MemoryBytes int64
+	PidsMax     int64
+}
+
+// Group is one node in the hierarchy.
+type Group struct {
+	path   string
+	limits Limits
+	procs  map[int]bool
+}
+
+// Path returns the group's hierarchy path (e.g. "/docker/<id>").
+func (g *Group) Path() string { return g.path }
+
+// Hierarchy is the cgroup tree. The zero value is not usable; call New.
+type Hierarchy struct {
+	mu     sync.RWMutex
+	groups map[string]*Group
+}
+
+// New returns a hierarchy containing only the root group "/".
+func New() *Hierarchy {
+	h := &Hierarchy{groups: make(map[string]*Group)}
+	h.groups["/"] = &Group{path: "/", procs: make(map[int]bool)}
+	return h
+}
+
+func normalize(path string) string {
+	parts := vfs.SplitPath(path)
+	if len(parts) == 0 {
+		return "/"
+	}
+	return "/" + strings.Join(parts, "/")
+}
+
+// Create adds a group at path, creating intermediate groups as needed.
+func (h *Hierarchy) Create(path string, limits Limits) (*Group, error) {
+	path = normalize(path)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if g, ok := h.groups[path]; ok {
+		g.limits = limits
+		return g, nil
+	}
+	// Ensure ancestors.
+	parts := vfs.SplitPath(path)
+	cur := ""
+	for _, p := range parts[:len(parts)-1] {
+		cur += "/" + p
+		if _, ok := h.groups[cur]; !ok {
+			h.groups[cur] = &Group{path: cur, procs: make(map[int]bool)}
+		}
+	}
+	g := &Group{path: path, limits: limits, procs: make(map[int]bool)}
+	h.groups[path] = g
+	return g, nil
+}
+
+// Delete removes an empty leaf group.
+func (h *Hierarchy) Delete(path string) error {
+	path = normalize(path)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	g, ok := h.groups[path]
+	if !ok {
+		return vfs.ENOENT
+	}
+	if path == "/" {
+		return vfs.EPERM
+	}
+	if len(g.procs) > 0 {
+		return vfs.EBUSY
+	}
+	for p := range h.groups {
+		if strings.HasPrefix(p, path+"/") {
+			return vfs.EBUSY
+		}
+	}
+	delete(h.groups, path)
+	return nil
+}
+
+// Get returns the group at path.
+func (h *Hierarchy) Get(path string) (*Group, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	g, ok := h.groups[normalize(path)]
+	if !ok {
+		return nil, vfs.ENOENT
+	}
+	return g, nil
+}
+
+// Attach moves pid into the group at path, removing it from any other
+// group (a pid belongs to exactly one group per hierarchy).
+func (h *Hierarchy) Attach(pid int, path string) error {
+	path = normalize(path)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	g, ok := h.groups[path]
+	if !ok {
+		return vfs.ENOENT
+	}
+	if g.limits.PidsMax > 0 && int64(len(g.procs)) >= g.limits.PidsMax {
+		return vfs.EAGAIN
+	}
+	for _, other := range h.groups {
+		delete(other.procs, pid)
+	}
+	g.procs[pid] = true
+	return nil
+}
+
+// Remove drops pid from whatever group holds it (process exit).
+func (h *Hierarchy) Remove(pid int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, g := range h.groups {
+		delete(g.procs, pid)
+	}
+}
+
+// Of returns the path of the group containing pid, defaulting to "/".
+func (h *Hierarchy) Of(pid int) string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	for path, g := range h.groups {
+		if g.procs[pid] {
+			return path
+		}
+	}
+	return "/"
+}
+
+// Procs lists the pids in the group at path, sorted.
+func (h *Hierarchy) Procs(path string) ([]int, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	g, ok := h.groups[normalize(path)]
+	if !ok {
+		return nil, vfs.ENOENT
+	}
+	out := make([]int, 0, len(g.procs))
+	for pid := range g.procs {
+		out = append(out, pid)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Limits returns the group's limits.
+func (h *Hierarchy) Limits(path string) (Limits, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	g, ok := h.groups[normalize(path)]
+	if !ok {
+		return Limits{}, vfs.ENOENT
+	}
+	return g.limits, nil
+}
+
+// Paths lists all group paths, sorted.
+func (h *Hierarchy) Paths() []string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]string, 0, len(h.groups))
+	for p := range h.groups {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

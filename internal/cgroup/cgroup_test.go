@@ -1,0 +1,114 @@
+package cgroup
+
+import (
+	"testing"
+
+	"cntr/internal/vfs"
+)
+
+func TestCreateAndGet(t *testing.T) {
+	h := New()
+	g, err := h.Create("/docker/abc", Limits{MemoryBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Path() != "/docker/abc" {
+		t.Fatalf("path = %s", g.Path())
+	}
+	// Intermediate group auto-created.
+	if _, err := h.Get("/docker"); err != nil {
+		t.Fatal("ancestor missing")
+	}
+	l, err := h.Limits("/docker/abc")
+	if err != nil || l.MemoryBytes != 1<<30 {
+		t.Fatalf("limits = %+v, %v", l, err)
+	}
+}
+
+func TestAttachMovesBetweenGroups(t *testing.T) {
+	h := New()
+	h.Create("/a", Limits{})
+	h.Create("/b", Limits{})
+	if err := h.Attach(42, "/a"); err != nil {
+		t.Fatal(err)
+	}
+	if h.Of(42) != "/a" {
+		t.Fatalf("Of = %s", h.Of(42))
+	}
+	if err := h.Attach(42, "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if h.Of(42) != "/b" {
+		t.Fatal("pid must move, not duplicate")
+	}
+	procs, _ := h.Procs("/a")
+	if len(procs) != 0 {
+		t.Fatal("pid left behind in old group")
+	}
+}
+
+func TestPidsMaxEnforced(t *testing.T) {
+	h := New()
+	h.Create("/limited", Limits{PidsMax: 2})
+	h.Attach(1, "/limited")
+	h.Attach(2, "/limited")
+	if err := h.Attach(3, "/limited"); vfs.ToErrno(err) != vfs.EAGAIN {
+		t.Fatalf("over PidsMax: %v, want EAGAIN", err)
+	}
+}
+
+func TestDeleteRules(t *testing.T) {
+	h := New()
+	h.Create("/x/y", Limits{})
+	if err := h.Delete("/x"); vfs.ToErrno(err) != vfs.EBUSY {
+		t.Fatalf("delete with child: %v", err)
+	}
+	h.Attach(7, "/x/y")
+	if err := h.Delete("/x/y"); vfs.ToErrno(err) != vfs.EBUSY {
+		t.Fatalf("delete with procs: %v", err)
+	}
+	h.Remove(7)
+	if err := h.Delete("/x/y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Delete("/x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Delete("/"); vfs.ToErrno(err) != vfs.EPERM {
+		t.Fatalf("delete root: %v", err)
+	}
+	if err := h.Delete("/ghost"); vfs.ToErrno(err) != vfs.ENOENT {
+		t.Fatalf("delete missing: %v", err)
+	}
+}
+
+func TestOfDefaultsToRoot(t *testing.T) {
+	h := New()
+	if h.Of(999) != "/" {
+		t.Fatal("unknown pid should report root group")
+	}
+}
+
+func TestProcsSorted(t *testing.T) {
+	h := New()
+	h.Create("/g", Limits{})
+	for _, pid := range []int{30, 10, 20} {
+		h.Attach(pid, "/g")
+	}
+	procs, err := h.Procs("/g")
+	if err != nil || len(procs) != 3 || procs[0] != 10 || procs[2] != 30 {
+		t.Fatalf("procs = %v, %v", procs, err)
+	}
+}
+
+func TestPathsNormalized(t *testing.T) {
+	h := New()
+	h.Create("docker//x/", Limits{})
+	if _, err := h.Get("/docker/x"); err != nil {
+		t.Fatal("path normalization failed")
+	}
+	paths := h.Paths()
+	if paths[0] != "/" {
+		t.Fatalf("paths = %v", paths)
+	}
+}

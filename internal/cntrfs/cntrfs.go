@@ -1,0 +1,477 @@
+// Package cntrfs implements CntrFS, the FUSE passthrough filesystem at
+// the heart of the paper: it serves the file tree of the "fat" container
+// (or the host) to processes inside the "slim" container's nested mount
+// namespace.
+//
+// CntrFS maintains an inode table translating its own inode numbers to
+// inodes of the backing filesystem. Inodes are created on demand by
+// LOOKUP and destroyed by FORGET — they are *not* persistent, which is
+// why name_to_handle_at cannot be supported (xfstests #426). Each cold
+// lookup performs an open()+stat() pair against the backing filesystem to
+// detect hard links that reach the same backing inode through different
+// paths; the paper identifies this as the dominant cost of
+// metadata-heavy workloads (compilebench-read's 13.3x, §5.2.2).
+//
+// Credential handling mirrors the Rust implementation: the server is
+// privileged and impersonates callers via setfsuid/setfsgid, keeping its
+// own capability set. POSIX ACL enforcement is therefore delegated to
+// the backing filesystem (xfstests #375), and the caller's RLIMIT_FSIZE
+// never propagates (#228).
+package cntrfs
+
+import (
+	"sync"
+
+	"cntr/internal/vfs"
+)
+
+// Options configures a CntrFS instance.
+type Options struct {
+	// Root is the inode of the backing filesystem's directory to expose
+	// as the CntrFS root. Zero means the backing root.
+	Root vfs.Ino
+	// DedupHardlinks enables the open+stat lookup path that maps every
+	// backing inode to exactly one CntrFS inode. Disabling it (ablation)
+	// makes lookups cheaper but breaks hard-link identity.
+	DedupHardlinks bool
+}
+
+// FS is the passthrough filesystem. It implements vfs.FS and is served
+// by a fuse.Server.
+type FS struct {
+	backing vfs.FS
+	opts    Options
+
+	mu        sync.Mutex
+	nodes     map[vfs.Ino]*node   // CntrFS ino -> node
+	byBacking map[vfs.Ino]vfs.Ino // backing ino -> CntrFS ino
+	nextIno   vfs.Ino
+	stats     vfs.OpStats
+}
+
+type node struct {
+	backIno vfs.Ino
+	nlookup uint64
+}
+
+// New builds a CntrFS over backing. The root inode is registered
+// permanently (the kernel never forgets the root).
+func New(backing vfs.FS, opts Options) *FS {
+	if opts.Root == 0 {
+		opts.Root = vfs.RootIno
+	}
+	fs := &FS{
+		backing:   backing,
+		opts:      opts,
+		nodes:     make(map[vfs.Ino]*node),
+		byBacking: make(map[vfs.Ino]vfs.Ino),
+		nextIno:   vfs.RootIno + 1,
+	}
+	fs.nodes[vfs.RootIno] = &node{backIno: opts.Root, nlookup: 1}
+	fs.byBacking[opts.Root] = vfs.RootIno
+	return fs
+}
+
+// Backing exposes the wrapped filesystem.
+func (fs *FS) Backing() vfs.FS { return fs.backing }
+
+// NodeCount reports the live inode-table size (used by tests and the
+// forget-pressure benchmarks).
+func (fs *FS) NodeCount() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.nodes)
+}
+
+// resolve translates a CntrFS inode to the backing inode.
+func (fs *FS) resolve(ino vfs.Ino) (vfs.Ino, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, ok := fs.nodes[ino]
+	if !ok {
+		return 0, vfs.ESTALE
+	}
+	return n.backIno, nil
+}
+
+// register maps a backing inode to a CntrFS inode, allocating one if the
+// backing inode has not been seen (or if deduplication is disabled).
+// It increments the lookup count, which FORGET later decrements.
+func (fs *FS) register(backIno vfs.Ino) vfs.Ino {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.opts.DedupHardlinks {
+		if ino, ok := fs.byBacking[backIno]; ok {
+			fs.nodes[ino].nlookup++
+			return ino
+		}
+	}
+	ino := fs.nextIno
+	fs.nextIno++
+	fs.nodes[ino] = &node{backIno: backIno, nlookup: 1}
+	if fs.opts.DedupHardlinks {
+		fs.byBacking[backIno] = ino
+	}
+	return ino
+}
+
+// Lookup implements vfs.FS. The cold path is deliberately expensive: one
+// lookup on the backing filesystem, then an open+stat pair to obtain a
+// stable identity for hard-link deduplication.
+func (fs *FS) Lookup(c *vfs.Cred, parent vfs.Ino, name string) (vfs.Attr, error) {
+	fs.mu.Lock()
+	fs.stats.Lookups++
+	fs.mu.Unlock()
+	backParent, err := fs.resolve(parent)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	attr, err := fs.backing.Lookup(c, backParent, name)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	if fs.opts.DedupHardlinks {
+		// open(O_PATH)-equivalent: revalidate access, then stat to learn
+		// whether this backing inode is already in the table under a
+		// different name (hard link).
+		if aerr := fs.backing.Access(c, attr.Ino, 0); aerr != nil {
+			return vfs.Attr{}, aerr
+		}
+		st, serr := fs.backing.Getattr(c, attr.Ino)
+		if serr != nil {
+			return vfs.Attr{}, serr
+		}
+		attr = st
+	}
+	ino := fs.register(attr.Ino)
+	attr.Ino = ino
+	return attr, nil
+}
+
+// Forget implements vfs.FS: drop nlookup references; at zero the inode
+// vanishes from the table (hence #426: handles cannot outlive lookups).
+func (fs *FS) Forget(ino vfs.Ino, nlookup uint64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.stats.Forgets++
+	n, ok := fs.nodes[ino]
+	if !ok || ino == vfs.RootIno {
+		return
+	}
+	if n.nlookup <= nlookup {
+		delete(fs.nodes, ino)
+		if fs.opts.DedupHardlinks {
+			if cur, ok := fs.byBacking[n.backIno]; ok && cur == ino {
+				delete(fs.byBacking, n.backIno)
+			}
+		}
+		fs.backing.Forget(n.backIno, 1)
+		return
+	}
+	n.nlookup -= nlookup
+}
+
+// Getattr implements vfs.FS.
+func (fs *FS) Getattr(c *vfs.Cred, ino vfs.Ino) (vfs.Attr, error) {
+	fs.mu.Lock()
+	fs.stats.Getattrs++
+	fs.mu.Unlock()
+	back, err := fs.resolve(ino)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	attr, err := fs.backing.Getattr(c, back)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	attr.Ino = ino
+	return attr, nil
+}
+
+// Setattr implements vfs.FS. Note the caller's credential arrives with
+// the server's capability set (setfsuid semantics), so mode-bit side
+// effects that depend on missing capabilities do not fire — this is the
+// xfstests #375 behaviour.
+func (fs *FS) Setattr(c *vfs.Cred, ino vfs.Ino, mask vfs.SetattrMask, attr vfs.Attr) (vfs.Attr, error) {
+	fs.mu.Lock()
+	fs.stats.Setattrs++
+	fs.mu.Unlock()
+	back, err := fs.resolve(ino)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	out, err := fs.backing.Setattr(c, back, mask, attr)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	out.Ino = ino
+	return out, nil
+}
+
+// Mknod implements vfs.FS.
+func (fs *FS) Mknod(c *vfs.Cred, parent vfs.Ino, name string, typ vfs.FileType, mode vfs.Mode, rdev uint32) (vfs.Attr, error) {
+	back, err := fs.resolve(parent)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	attr, err := fs.backing.Mknod(c, back, name, typ, mode, rdev)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	attr.Ino = fs.register(attr.Ino)
+	return attr, nil
+}
+
+// Mkdir implements vfs.FS.
+func (fs *FS) Mkdir(c *vfs.Cred, parent vfs.Ino, name string, mode vfs.Mode) (vfs.Attr, error) {
+	back, err := fs.resolve(parent)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	attr, err := fs.backing.Mkdir(c, back, name, mode)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	attr.Ino = fs.register(attr.Ino)
+	return attr, nil
+}
+
+// Symlink implements vfs.FS.
+func (fs *FS) Symlink(c *vfs.Cred, parent vfs.Ino, name, target string) (vfs.Attr, error) {
+	back, err := fs.resolve(parent)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	attr, err := fs.backing.Symlink(c, back, name, target)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	attr.Ino = fs.register(attr.Ino)
+	return attr, nil
+}
+
+// Readlink implements vfs.FS.
+func (fs *FS) Readlink(c *vfs.Cred, ino vfs.Ino) (string, error) {
+	back, err := fs.resolve(ino)
+	if err != nil {
+		return "", err
+	}
+	return fs.backing.Readlink(c, back)
+}
+
+// Unlink implements vfs.FS.
+func (fs *FS) Unlink(c *vfs.Cred, parent vfs.Ino, name string) error {
+	fs.mu.Lock()
+	fs.stats.Unlinks++
+	fs.mu.Unlock()
+	back, err := fs.resolve(parent)
+	if err != nil {
+		return err
+	}
+	return fs.backing.Unlink(c, back, name)
+}
+
+// Rmdir implements vfs.FS.
+func (fs *FS) Rmdir(c *vfs.Cred, parent vfs.Ino, name string) error {
+	back, err := fs.resolve(parent)
+	if err != nil {
+		return err
+	}
+	return fs.backing.Rmdir(c, back, name)
+}
+
+// Rename implements vfs.FS.
+func (fs *FS) Rename(c *vfs.Cred, oldParent vfs.Ino, oldName string, newParent vfs.Ino, newName string, flags vfs.RenameFlags) error {
+	fs.mu.Lock()
+	fs.stats.Renames++
+	fs.mu.Unlock()
+	backOld, err := fs.resolve(oldParent)
+	if err != nil {
+		return err
+	}
+	backNew, err := fs.resolve(newParent)
+	if err != nil {
+		return err
+	}
+	return fs.backing.Rename(c, backOld, oldName, backNew, newName, flags)
+}
+
+// Link implements vfs.FS.
+func (fs *FS) Link(c *vfs.Cred, ino vfs.Ino, parent vfs.Ino, name string) (vfs.Attr, error) {
+	backIno, err := fs.resolve(ino)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	backParent, err := fs.resolve(parent)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	attr, err := fs.backing.Link(c, backIno, backParent, name)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	attr.Ino = fs.register(attr.Ino)
+	return attr, nil
+}
+
+// Create implements vfs.FS.
+func (fs *FS) Create(c *vfs.Cred, parent vfs.Ino, name string, mode vfs.Mode, flags vfs.OpenFlags) (vfs.Attr, vfs.Handle, error) {
+	fs.mu.Lock()
+	fs.stats.Creates++
+	fs.mu.Unlock()
+	back, err := fs.resolve(parent)
+	if err != nil {
+		return vfs.Attr{}, 0, err
+	}
+	attr, h, err := fs.backing.Create(c, back, name, mode, flags)
+	if err != nil {
+		return vfs.Attr{}, 0, err
+	}
+	attr.Ino = fs.register(attr.Ino)
+	return attr, h, nil
+}
+
+// Open implements vfs.FS. Handles are backing handles passed through.
+func (fs *FS) Open(c *vfs.Cred, ino vfs.Ino, flags vfs.OpenFlags) (vfs.Handle, error) {
+	fs.mu.Lock()
+	fs.stats.Opens++
+	fs.mu.Unlock()
+	back, err := fs.resolve(ino)
+	if err != nil {
+		return 0, err
+	}
+	return fs.backing.Open(c, back, flags)
+}
+
+// Read implements vfs.FS. The caller's RLIMIT_FSIZE does not apply here;
+// reads are unaffected anyway, but see Write.
+func (fs *FS) Read(c *vfs.Cred, h vfs.Handle, off int64, dest []byte) (int, error) {
+	fs.mu.Lock()
+	fs.stats.Reads++
+	fs.stats.BytesRead += int64(len(dest))
+	fs.mu.Unlock()
+	return fs.backing.Read(c, h, off, dest)
+}
+
+// Write implements vfs.FS. The replayed operation runs with the server's
+// credential, whose RLIMIT_FSIZE is unset — the caller's limit is neither
+// known nor enforced (xfstests #228).
+func (fs *FS) Write(c *vfs.Cred, h vfs.Handle, off int64, data []byte) (int, error) {
+	fs.mu.Lock()
+	fs.stats.Writes++
+	fs.stats.BytesWrit += int64(len(data))
+	fs.mu.Unlock()
+	replay := c.Clone()
+	replay.FSizeLimit = 0
+	return fs.backing.Write(replay, h, off, data)
+}
+
+// Flush implements vfs.FS.
+func (fs *FS) Flush(c *vfs.Cred, h vfs.Handle) error {
+	return fs.backing.Flush(c, h)
+}
+
+// Fsync implements vfs.FS.
+func (fs *FS) Fsync(c *vfs.Cred, h vfs.Handle, datasync bool) error {
+	fs.mu.Lock()
+	fs.stats.Fsyncs++
+	fs.mu.Unlock()
+	return fs.backing.Fsync(c, h, datasync)
+}
+
+// Release implements vfs.FS.
+func (fs *FS) Release(h vfs.Handle) error { return fs.backing.Release(h) }
+
+// Opendir implements vfs.FS.
+func (fs *FS) Opendir(c *vfs.Cred, ino vfs.Ino) (vfs.Handle, error) {
+	back, err := fs.resolve(ino)
+	if err != nil {
+		return 0, err
+	}
+	return fs.backing.Opendir(c, back)
+}
+
+// Readdir implements vfs.FS. Entry inode numbers are advisory (as in
+// FUSE readdir without readdirplus) and are not registered in the table.
+func (fs *FS) Readdir(c *vfs.Cred, h vfs.Handle, off int64) ([]vfs.Dirent, error) {
+	fs.mu.Lock()
+	fs.stats.Readdirs++
+	fs.mu.Unlock()
+	return fs.backing.Readdir(c, h, off)
+}
+
+// Releasedir implements vfs.FS.
+func (fs *FS) Releasedir(h vfs.Handle) error { return fs.backing.Releasedir(h) }
+
+// Statfs implements vfs.FS.
+func (fs *FS) Statfs(ino vfs.Ino) (vfs.StatfsOut, error) {
+	back, err := fs.resolve(ino)
+	if err != nil {
+		return vfs.StatfsOut{}, err
+	}
+	return fs.backing.Statfs(back)
+}
+
+// Setxattr implements vfs.FS. ACL xattrs are forwarded opaquely; CntrFS
+// never parses them (§5.1 failure #375 explains why).
+func (fs *FS) Setxattr(c *vfs.Cred, ino vfs.Ino, name string, value []byte, flags vfs.XattrFlags) error {
+	fs.mu.Lock()
+	fs.stats.Xattrs++
+	fs.mu.Unlock()
+	back, err := fs.resolve(ino)
+	if err != nil {
+		return err
+	}
+	return fs.backing.Setxattr(c, back, name, value, flags)
+}
+
+// Getxattr implements vfs.FS.
+func (fs *FS) Getxattr(c *vfs.Cred, ino vfs.Ino, name string) ([]byte, error) {
+	fs.mu.Lock()
+	fs.stats.Xattrs++
+	fs.mu.Unlock()
+	back, err := fs.resolve(ino)
+	if err != nil {
+		return nil, err
+	}
+	return fs.backing.Getxattr(c, back, name)
+}
+
+// Listxattr implements vfs.FS.
+func (fs *FS) Listxattr(c *vfs.Cred, ino vfs.Ino) ([]string, error) {
+	back, err := fs.resolve(ino)
+	if err != nil {
+		return nil, err
+	}
+	return fs.backing.Listxattr(c, back)
+}
+
+// Removexattr implements vfs.FS.
+func (fs *FS) Removexattr(c *vfs.Cred, ino vfs.Ino, name string) error {
+	back, err := fs.resolve(ino)
+	if err != nil {
+		return err
+	}
+	return fs.backing.Removexattr(c, back, name)
+}
+
+// Access implements vfs.FS.
+func (fs *FS) Access(c *vfs.Cred, ino vfs.Ino, mask uint32) error {
+	back, err := fs.resolve(ino)
+	if err != nil {
+		return err
+	}
+	return fs.backing.Access(c, back, mask)
+}
+
+// Fallocate implements vfs.FS.
+func (fs *FS) Fallocate(c *vfs.Cred, h vfs.Handle, mode uint32, off, length int64) error {
+	return fs.backing.Fallocate(c, h, mode, off, length)
+}
+
+// StatsSnapshot implements vfs.FS.
+func (fs *FS) StatsSnapshot() vfs.OpStats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}

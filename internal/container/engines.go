@@ -1,0 +1,136 @@
+package container
+
+import (
+	"strings"
+
+	"cntr/internal/vfs"
+)
+
+// Engine is a container-manager frontend. Cntr deliberately depends only
+// on this narrow surface — resolving a user-visible container name to the
+// process id of the container's main process — because management APIs
+// churn while the kernel interface is stable (§4: ~70 LoC per engine).
+type Engine interface {
+	// Name is the engine identifier ("docker", "lxc", ...).
+	Name() string
+	// ResolvePID maps an engine-specific container reference to the
+	// host pid of the container's main process.
+	ResolvePID(ref string) (int, error)
+	// List returns the engine's containers by their primary reference.
+	List() []string
+}
+
+// DockerEngine resolves Docker names and (truncated) hex container ids.
+type DockerEngine struct {
+	rt *Runtime
+}
+
+// Name implements Engine.
+func (e *DockerEngine) Name() string { return "docker" }
+
+// ResolvePID implements Engine: docker accepts names or id prefixes.
+func (e *DockerEngine) ResolvePID(ref string) (int, error) {
+	if c, err := e.rt.Get(ref); err == nil && c.Engine == "docker" {
+		return runningPID(c)
+	}
+	if isHex(ref) {
+		if c, err := e.rt.ByID(ref); err == nil && c.Engine == "docker" {
+			return runningPID(c)
+		}
+	}
+	return 0, vfs.ENOENT
+}
+
+// List implements Engine.
+func (e *DockerEngine) List() []string { return e.rt.List("docker") }
+
+// LXCEngine resolves LXC container names (lxc-info -n NAME -p).
+type LXCEngine struct {
+	rt *Runtime
+}
+
+// Name implements Engine.
+func (e *LXCEngine) Name() string { return "lxc" }
+
+// ResolvePID implements Engine.
+func (e *LXCEngine) ResolvePID(ref string) (int, error) {
+	c, err := e.rt.Get(ref)
+	if err != nil || c.Engine != "lxc" {
+		return 0, vfs.ENOENT
+	}
+	return runningPID(c)
+}
+
+// List implements Engine.
+func (e *LXCEngine) List() []string { return e.rt.List("lxc") }
+
+// RktEngine resolves rkt pod UUIDs, including the unambiguous-prefix
+// shorthand rkt accepts.
+type RktEngine struct {
+	rt *Runtime
+}
+
+// Name implements Engine.
+func (e *RktEngine) Name() string { return "rkt" }
+
+// ResolvePID implements Engine.
+func (e *RktEngine) ResolvePID(ref string) (int, error) {
+	if c, err := e.rt.ByID(ref); err == nil && c.Engine == "rkt" {
+		return runningPID(c)
+	}
+	if c, err := e.rt.Get(ref); err == nil && c.Engine == "rkt" {
+		return runningPID(c)
+	}
+	return 0, vfs.ENOENT
+}
+
+// List implements Engine.
+func (e *RktEngine) List() []string { return e.rt.List("rkt") }
+
+// NspawnEngine resolves systemd-nspawn machine names (machinectl).
+type NspawnEngine struct {
+	rt *Runtime
+}
+
+// Name implements Engine.
+func (e *NspawnEngine) Name() string { return "systemd-nspawn" }
+
+// ResolvePID implements Engine: machinectl show MACHINE -p Leader.
+func (e *NspawnEngine) ResolvePID(ref string) (int, error) {
+	c, err := e.rt.Get(ref)
+	if err != nil || c.Engine != "systemd-nspawn" {
+		return 0, vfs.ENOENT
+	}
+	return runningPID(c)
+}
+
+// List implements Engine.
+func (e *NspawnEngine) List() []string { return e.rt.List("systemd-nspawn") }
+
+func runningPID(c *Container) (int, error) {
+	if c.State != StateRunning || c.MainPID == 0 {
+		return 0, vfs.ESRCH
+	}
+	return c.MainPID, nil
+}
+
+func isHex(s string) bool {
+	if s == "" {
+		return false
+	}
+	return strings.IndexFunc(s, func(r rune) bool {
+		return !(r >= '0' && r <= '9' || r >= 'a' && r <= 'f')
+	}) == -1
+}
+
+// ResolveAnyEngine tries every engine in order, returning the first
+// match — what `cntr attach NAME` does when the engine is unspecified.
+func ResolveAnyEngine(rt *Runtime, ref string) (int, string, error) {
+	for _, name := range rt.Engines() {
+		e := rt.engines[name]
+		if pid, err := e.ResolvePID(ref); err == nil {
+			return pid, e.Name(), nil
+		}
+	}
+	return 0, "", vfs.ENOENT
+}

@@ -1,0 +1,124 @@
+package container
+
+import (
+	"sync"
+	"time"
+
+	"cntr/internal/sim"
+	"cntr/internal/vfs"
+)
+
+// Registry models an image registry plus the network between it and a
+// node: pulls transfer layer bytes at a fixed bandwidth, and layers the
+// node already holds are skipped — Docker's base-image diff transfer
+// (§2.2). Previous work found downloads account for 92% of container
+// deployment time, which is the motivation for slim images (§1).
+type Registry struct {
+	mu     sync.Mutex
+	images map[string]*Image
+	// BandwidthBytesPerSec is the simulated network bandwidth
+	// (default 125 MB/s — a 1 Gbit link).
+	BandwidthBytesPerSec int64
+	// PerLayerLatency is the request latency per layer fetch.
+	PerLayerLatency time.Duration
+}
+
+// NewRegistry returns an empty registry with a 1 Gbit network.
+func NewRegistry() *Registry {
+	return &Registry{
+		images:               make(map[string]*Image),
+		BandwidthBytesPerSec: 125 << 20,
+		PerLayerLatency:      20 * time.Millisecond,
+	}
+}
+
+// Push stores an image.
+func (r *Registry) Push(img *Image) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.images[img.Ref()] = img
+}
+
+// Images lists stored references.
+func (r *Registry) Images() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.images))
+	for ref := range r.images {
+		out = append(out, ref)
+	}
+	return out
+}
+
+// PullStats reports what a pull transferred.
+type PullStats struct {
+	LayersFetched int
+	LayersCached  int
+	BytesFetched  int64
+	Elapsed       time.Duration
+}
+
+// Pull fetches ref onto a node, advancing the clock by the simulated
+// transfer time. Layers present in the node's cache are skipped.
+func (r *Registry) Pull(clock *sim.Clock, node *Node, ref string) (*Image, PullStats, error) {
+	r.mu.Lock()
+	img, ok := r.images[ref]
+	r.mu.Unlock()
+	if !ok {
+		return nil, PullStats{}, vfs.ENOENT
+	}
+	var st PullStats
+	start := clock.Now()
+	for _, layer := range img.Layers {
+		if node.hasLayer(layer.ID) {
+			st.LayersCached++
+			continue
+		}
+		st.LayersFetched++
+		st.BytesFetched += layer.Size
+		clock.Advance(r.PerLayerLatency)
+		clock.Advance(time.Duration(layer.Size * int64(time.Second) / r.BandwidthBytesPerSec))
+		node.addLayer(layer.ID)
+	}
+	node.addImage(img)
+	st.Elapsed = clock.Now() - start
+	return img, st, nil
+}
+
+// Node is a machine's local image/layer cache.
+type Node struct {
+	mu     sync.Mutex
+	layers map[string]bool
+	images map[string]*Image
+}
+
+// NewNode returns an empty node cache.
+func NewNode() *Node {
+	return &Node{layers: make(map[string]bool), images: make(map[string]*Image)}
+}
+
+func (n *Node) hasLayer(id string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.layers[id]
+}
+
+func (n *Node) addLayer(id string) {
+	n.mu.Lock()
+	n.layers[id] = true
+	n.mu.Unlock()
+}
+
+func (n *Node) addImage(img *Image) {
+	n.mu.Lock()
+	n.images[img.Ref()] = img
+	n.mu.Unlock()
+}
+
+// Image returns a locally available image.
+func (n *Node) Image(ref string) (*Image, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	img, ok := n.images[ref]
+	return img, ok
+}

@@ -1,0 +1,366 @@
+package fuse
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cntr/internal/sim"
+	"cntr/internal/vfs"
+)
+
+// MountOptions selects the protocol features negotiated at INIT time.
+// Each field corresponds to one of the paper's §3.3 optimizations.
+type MountOptions struct {
+	// KeepCache sets FOPEN_KEEP_CACHE on every open, letting the page
+	// cache above survive re-opens (read-cache optimization, Fig. 3a).
+	KeepCache bool
+	// WritebackCache enables FUSE_WRITEBACK_CACHE (Fig. 3b). The flag is
+	// consumed by the page cache stacked above the connection; it is
+	// carried here because it is negotiated at mount time.
+	WritebackCache bool
+	// ParallelDirops enables FUSE_PARALLEL_DIROPS: concurrent directory
+	// lookups are batched to the server instead of serialized, which
+	// amortizes round trips during tree scans (Fig. 3c).
+	ParallelDirops bool
+	// AsyncRead enables FUSE_ASYNC_READ, letting the kernel issue large
+	// batched read requests (readahead) instead of page-sized ones.
+	AsyncRead bool
+	// SpliceRead moves read payloads through a kernel pipe instead of
+	// copying them to userspace (Fig. 3d).
+	SpliceRead bool
+	// SpliceWrite moves write payloads by reference, but forces an extra
+	// context switch on *every* request because the header cannot be read
+	// without the data; the paper leaves it off by default (§3.3).
+	SpliceWrite bool
+	// BatchForget coalesces forget messages into FUSE_BATCH_FORGET
+	// frames of up to ForgetBatchSize.
+	BatchForget bool
+	// MaxWrite caps the payload of one WRITE request (default 128KB).
+	MaxWrite int
+	// EntryTimeout is how long (virtual time) the kernel may cache a
+	// dentry from LOOKUP before revalidating. Zero disables caching.
+	EntryTimeout time.Duration
+	// AttrTimeout is the analogous attribute-cache lifetime.
+	AttrTimeout time.Duration
+	// ServerThreads is the number of userspace server threads reading
+	// the request queue (Fig. 4).
+	ServerThreads int
+}
+
+// DefaultMountOptions returns the fully optimized configuration the
+// paper's CNTR ships with.
+func DefaultMountOptions() MountOptions {
+	return MountOptions{
+		KeepCache:      true,
+		WritebackCache: true,
+		ParallelDirops: true,
+		AsyncRead:      true,
+		SpliceRead:     true,
+		SpliceWrite:    false,
+		BatchForget:    true,
+		MaxWrite:       128 << 10,
+		EntryTimeout:   time.Second,
+		AttrTimeout:    time.Second,
+		ServerThreads:  4,
+	}
+}
+
+// ForgetBatchSize is how many forgets a FUSE_BATCH_FORGET frame carries.
+const ForgetBatchSize = 64
+
+// ConnStats counts protocol activity on the kernel side.
+type ConnStats struct {
+	Requests    int64
+	BytesOut    int64 // request frame bytes (kernel -> server)
+	BytesIn     int64 // reply frame bytes (server -> kernel)
+	EntryHits   int64
+	EntryMisses int64
+	AttrHits    int64
+	ForgetsSent int64
+	BatchFrames int64
+}
+
+// message is one frame in flight on the simulated /dev/fuse queue.
+type message struct {
+	frame   []byte
+	reply   chan []byte // nil for one-way messages (FORGET)
+	created time.Duration
+}
+
+// Conn is the kernel side of the FUSE transport. It implements vfs.FS;
+// stacking a pagecache.Cache on top of a Conn reproduces the full kernel
+// I/O path of the paper's CntrFS mounts.
+type Conn struct {
+	clock *sim.Clock
+	model *sim.CostModel
+	opts  MountOptions
+	queue chan *message
+
+	unique   atomic.Uint64
+	inflight atomic.Int64
+
+	mu        sync.Mutex
+	entries   map[entryKey]entryVal
+	attrs     map[vfs.Ino]attrVal
+	handleIno map[vfs.Handle]vfs.Ino
+	// held withholds forget counts for inodes the attribute/dentry
+	// caches still reference: the kernel only sends FORGET once its own
+	// caches have dropped the inode, and so do we. Withheld counts are
+	// flushed when the cache entry is invalidated or expires.
+	held      map[vfs.Ino]uint64
+	forgets   []forgetItem
+	lastOp    Opcode
+	streak    int
+	stats     ConnStats
+	unmounted bool
+}
+
+type entryKey struct {
+	parent vfs.Ino
+	name   string
+}
+
+// entryVal is a cached dentry: name → inode. Attributes live in the
+// separate attribute cache, as in the kernel (dcache vs. inode cache),
+// so that attribute mutations cannot leave stale copies behind dentries.
+type entryVal struct {
+	ino    vfs.Ino
+	expiry time.Duration
+}
+
+type attrVal struct {
+	attr   vfs.Attr
+	expiry time.Duration
+}
+
+type forgetItem struct {
+	ino     vfs.Ino
+	nlookup uint64
+}
+
+// Mount connects a new kernel-side Conn to a Server running fs. It
+// returns the connection; the caller stacks a page cache above it with
+// the options implied by opts.
+func Mount(fs vfs.FS, clock *sim.Clock, model *sim.CostModel, opts MountOptions) (*Conn, *Server) {
+	if opts.MaxWrite == 0 {
+		opts.MaxWrite = 128 << 10
+	}
+	if opts.ServerThreads <= 0 {
+		opts.ServerThreads = 1
+	}
+	queue := make(chan *message, 256)
+	conn := &Conn{
+		clock:     clock,
+		model:     model,
+		opts:      opts,
+		queue:     queue,
+		entries:   make(map[entryKey]entryVal),
+		attrs:     make(map[vfs.Ino]attrVal),
+		handleIno: make(map[vfs.Handle]vfs.Ino),
+		held:      make(map[vfs.Ino]uint64),
+	}
+	srv := newServer(fs, clock, model, opts, queue)
+	return conn, srv
+}
+
+// Unmount flushes pending forgets and closes the request queue, stopping
+// the server's workers once drained.
+func (c *Conn) Unmount() {
+	c.mu.Lock()
+	if c.unmounted {
+		c.mu.Unlock()
+		return
+	}
+	c.unmounted = true
+	forgets := c.forgets
+	c.forgets = nil
+	c.mu.Unlock()
+	if len(forgets) > 0 {
+		c.sendForgetBatch(forgets)
+	}
+	close(c.queue)
+}
+
+// Stats returns a snapshot of connection counters.
+func (c *Conn) Stats() ConnStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// call performs one round trip: encode, charge transport costs, enqueue,
+// wait for the reply, decode the errno.
+//
+// dataOut/dataIn are payload byte counts used for copy-cost accounting
+// (write data flowing out of the kernel, read data flowing back in).
+func (c *Conn) call(op Opcode, nodeid vfs.Ino, cred *vfs.Cred, payload func(w *buf), dataOut, dataIn int) (*rdr, error) {
+	unique := c.unique.Add(1)
+	w := &buf{b: make([]byte, 0, 128+dataOut)}
+	encodeReqHeader(w, op, unique, uint64(nodeid), cred)
+	if payload != nil {
+		payload(w)
+	}
+	frame := finishFrame(w)
+
+	cost := c.model.FuseRoundTrip()
+	if c.opts.SpliceWrite {
+		// The header must be spliced to a pipe and re-read before the
+		// opcode is known, penalizing every request (§3.3).
+		cost += c.model.ContextSwitch
+	}
+	c.mu.Lock()
+	if op == OpLookup && c.opts.ParallelDirops {
+		// With FUSE_PARALLEL_DIROPS, pending directory lookups are not
+		// serialized on the parent's mutex and share round trips; after
+		// the first lookup of a scan, subsequent ones ride along. The
+		// streak survives interleaved data ops (a tree walk mixes
+		// lookups with opens and reads) and resets once the scan moves
+		// on for good.
+		if c.streak > 0 {
+			cost = cost / 4
+		}
+		c.streak = 16
+	} else if c.streak > 0 {
+		c.streak--
+	}
+	c.lastOp = op
+	c.stats.Requests++
+	c.stats.BytesOut += int64(len(frame))
+	c.mu.Unlock()
+
+	if dataOut > 0 {
+		if c.opts.SpliceWrite {
+			cost += c.model.SpliceCost(dataOut)
+		} else {
+			cost += c.model.CopyCost(dataOut)
+		}
+	}
+
+	// Queueing: more outstanding requests than server threads means the
+	// request waits for a worker wakeup.
+	in := c.inflight.Add(1)
+	if over := in - int64(c.opts.ServerThreads); over > 0 {
+		cost += time.Duration(over) * c.model.WakeupLatency
+	}
+	c.clock.Advance(cost)
+
+	msg := &message{frame: frame, reply: make(chan []byte, 1), created: c.clock.Now()}
+	c.queue <- msg
+	replyFrame := <-msg.reply
+	c.inflight.Add(-1)
+
+	if dataIn > 0 {
+		if c.opts.SpliceRead {
+			c.clock.Advance(c.model.SpliceCost(dataIn))
+		} else {
+			c.clock.Advance(c.model.CopyCost(dataIn))
+		}
+	}
+
+	_, errno, body, err := decodeReply(replyFrame)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.stats.BytesIn += int64(len(replyFrame))
+	c.mu.Unlock()
+	if errno != vfs.OK {
+		return nil, errno
+	}
+	return &rdr{b: body}, nil
+}
+
+// --- entry/attr cache helpers ---
+
+func (c *Conn) cacheEntry(parent vfs.Ino, name string, ino vfs.Ino) {
+	if c.opts.EntryTimeout <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.entries[entryKey{parent, name}] = entryVal{ino, c.clock.Now() + c.opts.EntryTimeout}
+	c.mu.Unlock()
+}
+
+func (c *Conn) lookupCached(parent vfs.Ino, name string) (vfs.Ino, bool) {
+	if c.opts.EntryTimeout <= 0 {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.entries[entryKey{parent, name}]
+	if !ok || v.expiry < c.clock.Now() {
+		if ok {
+			delete(c.entries, entryKey{parent, name})
+		}
+		c.stats.EntryMisses++
+		return 0, false
+	}
+	c.stats.EntryHits++
+	return v.ino, true
+}
+
+// trackHandle remembers which inode an open handle refers to, so data
+// operations on the handle can invalidate the right attribute entry.
+func (c *Conn) trackHandle(h vfs.Handle, ino vfs.Ino) {
+	c.mu.Lock()
+	c.handleIno[h] = ino
+	c.mu.Unlock()
+}
+
+func (c *Conn) handleInode(h vfs.Handle) (vfs.Ino, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ino, ok := c.handleIno[h]
+	return ino, ok
+}
+
+func (c *Conn) dropHandle(h vfs.Handle) {
+	c.mu.Lock()
+	delete(c.handleIno, h)
+	c.mu.Unlock()
+}
+
+func (c *Conn) invalidateEntry(parent vfs.Ino, name string) {
+	c.mu.Lock()
+	delete(c.entries, entryKey{parent, name})
+	c.mu.Unlock()
+}
+
+func (c *Conn) cacheAttr(attr vfs.Attr) {
+	if c.opts.AttrTimeout <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.attrs[attr.Ino] = attrVal{attr, c.clock.Now() + c.opts.AttrTimeout}
+	c.mu.Unlock()
+}
+
+func (c *Conn) attrCached(ino vfs.Ino) (vfs.Attr, bool) {
+	if c.opts.AttrTimeout <= 0 {
+		return vfs.Attr{}, false
+	}
+	c.mu.Lock()
+	v, ok := c.attrs[ino]
+	if !ok || v.expiry < c.clock.Now() {
+		if ok {
+			delete(c.attrs, ino)
+		}
+		c.mu.Unlock()
+		return vfs.Attr{}, false
+	}
+	c.stats.AttrHits++
+	c.mu.Unlock()
+	return v.attr, true
+}
+
+func (c *Conn) invalidateAttr(ino vfs.Ino) {
+	c.mu.Lock()
+	delete(c.attrs, ino)
+	held := c.held[ino]
+	delete(c.held, ino)
+	c.mu.Unlock()
+	if held > 0 {
+		c.Forget(ino, held)
+	}
+}

@@ -1,0 +1,333 @@
+package fuse
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cntr/internal/sim"
+	"cntr/internal/vfs"
+)
+
+// Server is the userspace side of the FUSE transport: a pool of worker
+// threads reading the request queue and dispatching to a filesystem
+// implementation. In the paper this is the CNTRFS server process running
+// in the fat container or on the host.
+type Server struct {
+	fs      vfs.FS
+	clock   *sim.Clock
+	model   *sim.CostModel
+	opts    MountOptions
+	queue   chan *message
+	wg      sync.WaitGroup
+	served  atomic.Int64
+	errors  atomic.Int64
+	stopped atomic.Bool
+}
+
+// newServer starts the worker pool. Workers exit when the queue closes.
+func newServer(fs vfs.FS, clock *sim.Clock, model *sim.CostModel, opts MountOptions, queue chan *message) *Server {
+	s := &Server{fs: fs, clock: clock, model: model, opts: opts, queue: queue}
+	for i := 0; i < opts.ServerThreads; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Wait blocks until all workers have drained the queue and exited.
+func (s *Server) Wait() {
+	s.wg.Wait()
+	s.stopped.Store(true)
+}
+
+// Served reports the number of requests processed.
+func (s *Server) Served() int64 { return s.served.Load() }
+
+// FS exposes the filesystem the server dispatches to.
+func (s *Server) FS() vfs.FS { return s.fs }
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for msg := range s.queue {
+		s.served.Add(1)
+		// Per-request server cost: the worker wakeup plus cacheline
+		// contention on the shared device queue, growing with the
+		// number of sibling threads (Figure 4).
+		cost := s.model.WakeupLatency
+		if n := s.opts.ServerThreads; n > 1 {
+			cost += time.Duration(n-1) * s.model.LockContention
+		}
+		s.clock.Advance(cost)
+		reply := s.dispatch(msg.frame)
+		if msg.reply != nil {
+			msg.reply <- reply
+		}
+	}
+}
+
+// serverCred reconstructs the credential the server impersonates for a
+// request. The CNTRFS server runs privileged and switches its filesystem
+// uid/gid to the caller's via setfsuid/setfsgid (§5.1); for non-root
+// callers the DAC-override capabilities therefore stop applying and the
+// underlying filesystem performs ordinary permission checks. Crucially
+// the server *keeps* CAP_FSETID — which is why delegated chmod does not
+// clear SGID bits and xfstests #375 fails. The caller's RLIMIT_FSIZE is
+// not part of the protocol at all (xfstests #228).
+func serverCred(h ReqHeader) *vfs.Cred {
+	c := vfs.Root()
+	c.FSUID = h.UID
+	c.FSGID = h.GID
+	c.Groups = h.Groups
+	if h.UID != 0 {
+		c.Caps = vfs.NewCapSet(vfs.CapFsetid)
+	}
+	return c
+}
+
+// dispatch decodes one request frame, invokes the filesystem, and
+// encodes the reply frame.
+func (s *Server) dispatch(frame []byte) []byte {
+	h, r, err := decodeReqHeader(frame)
+	if err != nil {
+		s.errors.Add(1)
+		return encodeReply(h.Unique, vfs.EINVAL, nil)
+	}
+	cred := serverCred(h)
+	ino := vfs.Ino(h.NodeID)
+	w := &buf{}
+	var opErr error
+
+	switch h.Opcode {
+	case OpLookup:
+		name := r.str()
+		attr, err := s.fs.Lookup(cred, ino, name)
+		if err == nil {
+			encodeAttr(w, &attr)
+		}
+		opErr = err
+
+	case OpForget:
+		s.fs.Forget(ino, r.u64())
+		return nil // one-way
+
+	case OpBatchForget:
+		n := int(r.u32())
+		for i := 0; i < n; i++ {
+			target := vfs.Ino(r.u64())
+			nlookup := r.u64()
+			s.fs.Forget(target, nlookup)
+		}
+		return nil // one-way
+
+	case OpGetattr:
+		attr, err := s.fs.Getattr(cred, ino)
+		if err == nil {
+			encodeAttr(w, &attr)
+		}
+		opErr = err
+
+	case OpSetattr:
+		mask := vfs.SetattrMask(r.u32())
+		in := decodeAttr(r)
+		attr, err := s.fs.Setattr(cred, ino, mask, in)
+		if err == nil {
+			encodeAttr(w, &attr)
+		}
+		opErr = err
+
+	case OpMknod:
+		name := r.str()
+		typ := vfs.FileType(r.u8())
+		mode := vfs.Mode(r.u32())
+		rdev := r.u32()
+		attr, err := s.fs.Mknod(cred, ino, name, typ, mode, rdev)
+		if err == nil {
+			encodeAttr(w, &attr)
+		}
+		opErr = err
+
+	case OpMkdir:
+		name := r.str()
+		mode := vfs.Mode(r.u32())
+		attr, err := s.fs.Mkdir(cred, ino, name, mode)
+		if err == nil {
+			encodeAttr(w, &attr)
+		}
+		opErr = err
+
+	case OpSymlink:
+		name := r.str()
+		target := r.str()
+		attr, err := s.fs.Symlink(cred, ino, name, target)
+		if err == nil {
+			encodeAttr(w, &attr)
+		}
+		opErr = err
+
+	case OpReadlink:
+		target, err := s.fs.Readlink(cred, ino)
+		if err == nil {
+			w.str(target)
+		}
+		opErr = err
+
+	case OpUnlink:
+		opErr = s.fs.Unlink(cred, ino, r.str())
+
+	case OpRmdir:
+		opErr = s.fs.Rmdir(cred, ino, r.str())
+
+	case OpRename2:
+		oldName := r.str()
+		newParent := vfs.Ino(r.u64())
+		newName := r.str()
+		flags := vfs.RenameFlags(r.u32())
+		opErr = s.fs.Rename(cred, ino, oldName, newParent, newName, flags)
+
+	case OpLink:
+		parent := vfs.Ino(r.u64())
+		name := r.str()
+		attr, err := s.fs.Link(cred, ino, parent, name)
+		if err == nil {
+			encodeAttr(w, &attr)
+		}
+		opErr = err
+
+	case OpCreate:
+		name := r.str()
+		mode := vfs.Mode(r.u32())
+		flags := vfs.OpenFlags(r.u32())
+		attr, handle, err := s.fs.Create(cred, ino, name, mode, flags)
+		if err == nil {
+			encodeAttr(w, &attr)
+			w.u64(uint64(handle))
+		}
+		opErr = err
+
+	case OpOpen:
+		flags := vfs.OpenFlags(r.u32())
+		handle, err := s.fs.Open(cred, ino, flags)
+		if err == nil {
+			w.u64(uint64(handle))
+		}
+		opErr = err
+
+	case OpRead:
+		handle := vfs.Handle(r.u64())
+		off := r.i64()
+		size := int(r.u32())
+		dest := make([]byte, size)
+		n, err := s.fs.Read(cred, handle, off, dest)
+		if err == nil {
+			w.bytes(dest[:n])
+		}
+		opErr = err
+
+	case OpWrite:
+		handle := vfs.Handle(r.u64())
+		off := r.i64()
+		data := r.rawBytes()
+		n, err := s.fs.Write(cred, handle, off, data)
+		if err == nil {
+			w.u32(uint32(n))
+		}
+		opErr = err
+
+	case OpFlush:
+		opErr = s.fs.Flush(cred, vfs.Handle(r.u64()))
+
+	case OpFsync:
+		handle := vfs.Handle(r.u64())
+		datasync := r.u8() == 1
+		opErr = s.fs.Fsync(cred, handle, datasync)
+
+	case OpRelease:
+		opErr = s.fs.Release(vfs.Handle(r.u64()))
+
+	case OpOpendir:
+		handle, err := s.fs.Opendir(cred, ino)
+		if err == nil {
+			w.u64(uint64(handle))
+		}
+		opErr = err
+
+	case OpReaddir:
+		handle := vfs.Handle(r.u64())
+		off := r.i64()
+		ents, err := s.fs.Readdir(cred, handle, off)
+		if err == nil {
+			w.u32(uint32(len(ents)))
+			for _, d := range ents {
+				w.str(d.Name)
+				w.u64(uint64(d.Ino))
+				w.u8(uint8(d.Type))
+				w.i64(d.Off)
+			}
+		}
+		opErr = err
+
+	case OpReleasedir:
+		opErr = s.fs.Releasedir(vfs.Handle(r.u64()))
+
+	case OpStatfs:
+		st, err := s.fs.Statfs(ino)
+		if err == nil {
+			w.u32(st.BlockSize)
+			w.u64(st.Blocks)
+			w.u64(st.BlocksFree)
+			w.u64(st.Files)
+			w.u64(st.FilesFree)
+			w.u32(st.NameMax)
+		}
+		opErr = err
+
+	case OpSetxattr:
+		name := r.str()
+		value := r.rawBytes()
+		flags := vfs.XattrFlags(r.u32())
+		opErr = s.fs.Setxattr(cred, ino, name, value, flags)
+
+	case OpGetxattr:
+		value, err := s.fs.Getxattr(cred, ino, r.str())
+		if err == nil {
+			w.bytes(value)
+		}
+		opErr = err
+
+	case OpListxattr:
+		names, err := s.fs.Listxattr(cred, ino)
+		if err == nil {
+			w.u32(uint32(len(names)))
+			for _, n := range names {
+				w.str(n)
+			}
+		}
+		opErr = err
+
+	case OpRemovexattr:
+		opErr = s.fs.Removexattr(cred, ino, r.str())
+
+	case OpAccess:
+		opErr = s.fs.Access(cred, ino, r.u32())
+
+	case OpFallocate:
+		handle := vfs.Handle(r.u64())
+		mode := r.u32()
+		off := r.i64()
+		length := r.i64()
+		opErr = s.fs.Fallocate(cred, handle, mode, off, length)
+
+	default:
+		opErr = vfs.ENOSYS
+	}
+
+	if r.bad {
+		opErr = vfs.EINVAL
+	}
+	if opErr != nil {
+		s.errors.Add(1)
+		return encodeReply(h.Unique, vfs.ToErrno(opErr), nil)
+	}
+	return encodeReply(h.Unique, vfs.OK, w.b)
+}

@@ -1,0 +1,11 @@
+package fuse
+
+import "time"
+
+// nanoTime converts UnixNano back to time.Time, preserving the zero value.
+func nanoTime(ns int64) time.Time {
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}

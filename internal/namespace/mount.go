@@ -1,0 +1,400 @@
+package namespace
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"cntr/internal/vfs"
+)
+
+// Propagation controls whether mount events under a mount point flow to
+// peer namespaces (mount(8) shared subtrees).
+type Propagation uint8
+
+// Propagation modes.
+const (
+	PropPrivate Propagation = iota
+	PropShared
+)
+
+// Mount is one entry in a mount table: the filesystem serving everything
+// under Point (until a deeper mount shadows it).
+type Mount struct {
+	// Point is the normalized absolute mount point ("/", "/proc", ...).
+	Point string
+	// FS serves the subtree.
+	FS vfs.FS
+	// Root is the inode within FS that appears at Point; bind mounts
+	// point it at an arbitrary directory.
+	Root vfs.Ino
+	// Propagation marks the mount private or shared.
+	Propagation Propagation
+	// ReadOnly rejects mutating operations at the namespace layer.
+	ReadOnly bool
+	// peers is the shared-subtree peer group; nil for private mounts.
+	peers *peerGroup
+}
+
+// peerGroup links mounts that propagate events to each other.
+type peerGroup struct {
+	mu      sync.Mutex
+	members []*MountNS
+}
+
+// MountNS is a mount namespace: an identity plus a mount table.
+type MountNS struct {
+	ID uint64
+
+	mu     sync.RWMutex
+	mounts map[string]*Mount
+}
+
+// NewMountNS creates a namespace with a single mount: rootFS at "/".
+func NewMountNS(rootFS vfs.FS) *MountNS {
+	ns := &MountNS{ID: nextID(), mounts: make(map[string]*Mount)}
+	ns.mounts["/"] = &Mount{Point: "/", FS: rootFS, Root: vfs.RootIno}
+	return ns
+}
+
+// normalizePoint canonicalizes a mount point path.
+func normalizePoint(p string) string {
+	parts := vfs.SplitPath(p)
+	if len(parts) == 0 {
+		return "/"
+	}
+	return "/" + strings.Join(parts, "/")
+}
+
+// Clone copies the namespace (unshare(CLONE_NEWNS)): the mount table is
+// duplicated; shared mounts remain in their peer groups, private mounts
+// become independent copies.
+func (ns *MountNS) Clone() *MountNS {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	cp := &MountNS{ID: nextID(), mounts: make(map[string]*Mount, len(ns.mounts))}
+	for point, m := range ns.mounts {
+		mc := *m
+		cp.mounts[point] = &mc
+		if m.Propagation == PropShared && m.peers != nil {
+			m.peers.mu.Lock()
+			m.peers.members = append(m.peers.members, cp)
+			m.peers.mu.Unlock()
+		}
+	}
+	return cp
+}
+
+// Mount attaches fs (rooted at root) at point.
+func (ns *MountNS) Mount(point string, fs vfs.FS, root vfs.Ino, prop Propagation, readOnly bool) error {
+	point = normalizePoint(point)
+	m := &Mount{Point: point, FS: fs, Root: root, Propagation: prop, ReadOnly: readOnly}
+	if prop == PropShared {
+		m.peers = &peerGroup{members: []*MountNS{ns}}
+	}
+	ns.mu.Lock()
+	ns.mounts[point] = m
+	ns.mu.Unlock()
+	ns.propagate(point, m)
+	return nil
+}
+
+// propagate pushes a new mount to peer namespaces when the covering
+// mount in this namespace is shared.
+func (ns *MountNS) propagate(point string, m *Mount) {
+	covering := ns.coveringMount(point)
+	if covering == nil || covering.Propagation != PropShared || covering.peers == nil {
+		return
+	}
+	covering.peers.mu.Lock()
+	peers := append([]*MountNS(nil), covering.peers.members...)
+	covering.peers.mu.Unlock()
+	for _, peer := range peers {
+		if peer == ns {
+			continue
+		}
+		peer.mu.Lock()
+		if _, exists := peer.mounts[point]; !exists {
+			mc := *m
+			peer.mounts[point] = &mc
+		}
+		peer.mu.Unlock()
+	}
+}
+
+// coveringMount finds the mount whose subtree contains point (excluding
+// an exact mount at point itself).
+func (ns *MountNS) coveringMount(point string) *Mount {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	best := ""
+	var found *Mount
+	for p, m := range ns.mounts {
+		if p == point {
+			continue
+		}
+		if p == "/" || strings.HasPrefix(point, p+"/") {
+			if len(p) > len(best) {
+				best, found = p, m
+			}
+		}
+	}
+	return found
+}
+
+// Unmount detaches the mount at point. The root mount cannot be removed.
+func (ns *MountNS) Unmount(point string) error {
+	point = normalizePoint(point)
+	if point == "/" {
+		return vfs.EBUSY
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if _, ok := ns.mounts[point]; !ok {
+		return vfs.EINVAL
+	}
+	// A mount with children mounted beneath it is busy.
+	for p := range ns.mounts {
+		if strings.HasPrefix(p, point+"/") {
+			return vfs.EBUSY
+		}
+	}
+	delete(ns.mounts, point)
+	return nil
+}
+
+// MakeAllPrivate marks every mount private, detaching it from its peer
+// group — the first thing Cntr does inside the nested namespace so mount
+// events do not leak back to the container (§3.2.3).
+func (ns *MountNS) MakeAllPrivate() {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	for _, m := range ns.mounts {
+		if m.peers != nil {
+			m.peers.mu.Lock()
+			members := m.peers.members[:0]
+			for _, member := range m.peers.members {
+				if member != ns {
+					members = append(members, member)
+				}
+			}
+			m.peers.members = members
+			m.peers.mu.Unlock()
+		}
+		m.Propagation = PropPrivate
+		m.peers = nil
+	}
+}
+
+// MoveMount relocates the mount at oldPoint (and every mount beneath it)
+// to newPoint, as mount --move does. Cntr uses this to shift the
+// container's tree from / to /var/lib/cntr inside the nested namespace.
+func (ns *MountNS) MoveMount(oldPoint, newPoint string) error {
+	oldPoint = normalizePoint(oldPoint)
+	newPoint = normalizePoint(newPoint)
+	if oldPoint == "/" {
+		return vfs.EINVAL
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	m, ok := ns.mounts[oldPoint]
+	if !ok {
+		return vfs.EINVAL
+	}
+	moved := map[string]*Mount{newPoint: m}
+	m.Point = newPoint
+	delete(ns.mounts, oldPoint)
+	for p, sub := range ns.mounts {
+		if strings.HasPrefix(p, oldPoint+"/") {
+			np := newPoint + strings.TrimPrefix(p, oldPoint)
+			sub.Point = np
+			moved[np] = sub
+			delete(ns.mounts, p)
+		}
+	}
+	for p, sub := range moved {
+		ns.mounts[p] = sub
+	}
+	return nil
+}
+
+// Bind resolves srcPath in this namespace and mounts the resolved
+// directory (or file) at dstPoint — a bind mount.
+func (ns *MountNS) Bind(cred *vfs.Cred, srcPath, dstPoint string, readOnly bool) error {
+	fs, ino, _, err := ns.Resolve(cred, srcPath)
+	if err != nil {
+		return err
+	}
+	return ns.Mount(dstPoint, fs, ino, PropPrivate, readOnly)
+}
+
+// MountAt returns the mount exactly at point, if any.
+func (ns *MountNS) MountAt(point string) (*Mount, bool) {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	m, ok := ns.mounts[normalizePoint(point)]
+	return m, ok
+}
+
+// Mounts lists the table sorted by mount point, like /proc/self/mounts.
+func (ns *MountNS) Mounts() []*Mount {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	out := make([]*Mount, 0, len(ns.mounts))
+	for _, m := range ns.mounts {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Point < out[j].Point })
+	return out
+}
+
+// lookupMount finds the longest-prefix mount for path and returns it
+// with the residual path inside that mount.
+func (ns *MountNS) lookupMount(path string) (*Mount, string) {
+	path = normalizePoint(path)
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	best := ""
+	var found *Mount
+	for p, m := range ns.mounts {
+		if p == "/" || path == p || strings.HasPrefix(path, p+"/") {
+			if len(p) > len(best) || found == nil {
+				best, found = p, m
+			}
+		}
+	}
+	rest := strings.TrimPrefix(path, best)
+	return found, rest
+}
+
+// Resolve walks path across mounts and symlinks, returning the serving
+// filesystem, the inode, and its attributes.
+func (ns *MountNS) Resolve(cred *vfs.Cred, path string) (vfs.FS, vfs.Ino, vfs.Attr, error) {
+	return ns.resolve(cred, path, true, 0)
+}
+
+// Lresolve is Resolve without following a final symlink.
+func (ns *MountNS) Lresolve(cred *vfs.Cred, path string) (vfs.FS, vfs.Ino, vfs.Attr, error) {
+	return ns.resolve(cred, path, false, 0)
+}
+
+// hasMountUnder reports whether any mount point lies strictly below path.
+func (ns *MountNS) hasMountUnder(path string) bool {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	for p := range ns.mounts {
+		if strings.HasPrefix(p, path+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func (ns *MountNS) resolve(cred *vfs.Cred, path string, followLeaf bool, depth int) (vfs.FS, vfs.Ino, vfs.Attr, error) {
+	if depth > vfs.MaxSymlinkDepth {
+		return nil, 0, vfs.Attr{}, vfs.ELOOP
+	}
+	components := vfs.SplitPath(path)
+	// Current position: a path string (for mount matching) plus the
+	// filesystem location backing it. synthetic means the position
+	// exists only as a prefix of deeper mount points, with no backing
+	// directory (mounts do not require underlying dirs here).
+	cur := "/"
+	m, _ := ns.lookupMount("/")
+	fs, ino := m.FS, m.Root
+	attr, err := fs.Getattr(cred, ino)
+	if err != nil {
+		return nil, 0, vfs.Attr{}, err
+	}
+	synthetic := false
+	syntheticAttr := vfs.Attr{Type: vfs.TypeDirectory, Mode: 0o755, Nlink: 2}
+	for i := 0; i < len(components); i++ {
+		name := components[i]
+		last := i == len(components)-1
+		if name == ".." {
+			// Lexically pop; symlinks already resolved as encountered.
+			if cur != "/" {
+				cur = cur[:strings.LastIndex(cur, "/")]
+				if cur == "" {
+					cur = "/"
+				}
+			}
+			m, rest := ns.lookupMount(cur)
+			fs, ino, attr, err = walkWithin(m, rest, cred)
+			if err != nil {
+				return nil, 0, vfs.Attr{}, err
+			}
+			synthetic = false
+			continue
+		}
+		next := cur
+		if next == "/" {
+			next += name
+		} else {
+			next += "/" + name
+		}
+		// A mount exactly at next shadows the underlying directory.
+		if nm, ok := ns.MountAt(next); ok {
+			fs, ino = nm.FS, nm.Root
+			attr, err = fs.Getattr(cred, ino)
+			if err != nil {
+				return nil, 0, vfs.Attr{}, err
+			}
+			cur = next
+			synthetic = false
+			continue
+		}
+		if synthetic {
+			if ns.hasMountUnder(next) && !last {
+				cur = next
+				continue
+			}
+			return nil, 0, vfs.Attr{}, vfs.ENOENT
+		}
+		if attr.Type != vfs.TypeDirectory {
+			return nil, 0, vfs.Attr{}, vfs.ENOTDIR
+		}
+		childAttr, err := fs.Lookup(cred, ino, name)
+		if err != nil {
+			if vfs.ToErrno(err) == vfs.ENOENT && !last && ns.hasMountUnder(next) {
+				synthetic = true
+				attr = syntheticAttr
+				cur = next
+				continue
+			}
+			return nil, 0, vfs.Attr{}, err
+		}
+		if childAttr.Type == vfs.TypeSymlink && (!last || followLeaf) {
+			target, rerr := fs.Readlink(cred, childAttr.Ino)
+			if rerr != nil {
+				return nil, 0, vfs.Attr{}, rerr
+			}
+			rest := strings.Join(components[i+1:], "/")
+			var joined string
+			if strings.HasPrefix(target, "/") {
+				joined = target
+			} else {
+				joined = cur + "/" + target
+			}
+			if rest != "" {
+				joined += "/" + rest
+			}
+			return ns.resolve(cred, joined, followLeaf, depth+1)
+		}
+		ino, attr = childAttr.Ino, childAttr
+		cur = next
+	}
+	if synthetic {
+		return nil, 0, vfs.Attr{}, vfs.ENOENT
+	}
+	return fs, ino, attr, nil
+}
+
+// walkWithin re-resolves a residual path inside a single mount.
+func walkWithin(m *Mount, rest string, cred *vfs.Cred) (vfs.FS, vfs.Ino, vfs.Attr, error) {
+	res, err := vfs.Walk(m.FS, cred, m.Root, rest, true)
+	if err != nil {
+		return nil, 0, vfs.Attr{}, err
+	}
+	return m.FS, res.Ino, res.Attr, nil
+}

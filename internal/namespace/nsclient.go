@@ -1,0 +1,441 @@
+package namespace
+
+import (
+	"io"
+	"strings"
+
+	"cntr/internal/vfs"
+)
+
+// Client is a path-level, mount-aware filesystem client: the analogue of
+// vfs.Client for a process living inside a mount namespace, including a
+// chroot. Processes created by internal/proc hold one of these.
+type Client struct {
+	NS   *MountNS
+	Cred *vfs.Cred
+	// Root is the chroot directory as an absolute path in NS ("/" when
+	// not chrooted). All paths the client resolves are interpreted
+	// beneath it.
+	Root string
+}
+
+// NewClient returns a client at the namespace root.
+func NewClient(ns *MountNS, cred *vfs.Cred) *Client {
+	return &Client{NS: ns, Cred: cred, Root: "/"}
+}
+
+// Chroot returns a copy of the client whose root is dir (resolved
+// against the current root).
+func (c *Client) Chroot(dir string) (*Client, error) {
+	abs := c.abs(dir)
+	_, _, attr, err := c.NS.Resolve(c.Cred, abs)
+	if err != nil {
+		return nil, err
+	}
+	if attr.Type != vfs.TypeDirectory {
+		return nil, vfs.ENOTDIR
+	}
+	cp := *c
+	cp.Root = abs
+	return &cp, nil
+}
+
+// abs joins the chroot with a client-visible path.
+func (c *Client) abs(path string) string {
+	parts := vfs.SplitPath(path)
+	if c.Root == "/" || c.Root == "" {
+		return "/" + strings.Join(parts, "/")
+	}
+	if len(parts) == 0 {
+		return c.Root
+	}
+	return c.Root + "/" + strings.Join(parts, "/")
+}
+
+// resolveParent resolves the directory containing path's leaf, returning
+// the serving mount, the parent inode, and the leaf name.
+func (c *Client) resolveParent(path string) (*Mount, vfs.Ino, string, error) {
+	abs := c.abs(path)
+	parts := vfs.SplitPath(abs)
+	if len(parts) == 0 {
+		return nil, 0, "", vfs.EINVAL
+	}
+	leaf := parts[len(parts)-1]
+	dir := "/" + strings.Join(parts[:len(parts)-1], "/")
+	fs, ino, attr, err := c.NS.Resolve(c.Cred, dir)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	if attr.Type != vfs.TypeDirectory {
+		return nil, 0, "", vfs.ENOTDIR
+	}
+	m, _ := c.NS.lookupMount(dir)
+	if m.FS != fs {
+		// The parent directory belongs to a mount deeper than dir's
+		// longest-prefix match (possible via symlinks); find it by
+		// re-matching the resolved path.
+		m = &Mount{FS: fs, Root: ino}
+	}
+	return m, ino, leaf, nil
+}
+
+func (c *Client) roCheck(m *Mount) error {
+	if m != nil && m.ReadOnly {
+		return vfs.EROFS
+	}
+	return nil
+}
+
+// File is an open file bound to the filesystem instance that served it.
+type File struct {
+	fs     vfs.FS
+	cred   *vfs.Cred
+	h      vfs.Handle
+	ino    vfs.Ino
+	flags  vfs.OpenFlags
+	offset int64
+	closed bool
+}
+
+// Stat returns the attributes of path (following symlinks).
+func (c *Client) Stat(path string) (vfs.Attr, error) {
+	_, _, attr, err := c.NS.Resolve(c.Cred, c.abs(path))
+	return attr, err
+}
+
+// Lstat returns the attributes without following a leaf symlink.
+func (c *Client) Lstat(path string) (vfs.Attr, error) {
+	_, _, attr, err := c.NS.Lresolve(c.Cred, c.abs(path))
+	return attr, err
+}
+
+// Open opens path. O_CREAT creates the leaf in its parent directory.
+func (c *Client) Open(path string, flags vfs.OpenFlags, mode vfs.Mode) (*File, error) {
+	fs, ino, _, err := c.NS.Resolve(c.Cred, c.abs(path))
+	if err != nil {
+		if vfs.ToErrno(err) == vfs.ENOENT && flags&vfs.OCreat != 0 {
+			m, parent, leaf, perr := c.resolveParent(path)
+			if perr != nil {
+				return nil, perr
+			}
+			if rerr := c.roCheck(m); rerr != nil {
+				return nil, rerr
+			}
+			cattr, h, cerr := m.FS.Create(c.Cred, parent, leaf, mode, flags)
+			if cerr != nil {
+				return nil, cerr
+			}
+			return &File{fs: m.FS, cred: c.Cred, h: h, ino: cattr.Ino, flags: flags}, nil
+		}
+		return nil, err
+	}
+	if flags&vfs.OCreat != 0 && flags&vfs.OExcl != 0 {
+		return nil, vfs.EEXIST
+	}
+	if flags.Writable() {
+		m, _ := c.NS.lookupMount(c.abs(path))
+		if err := c.roCheck(m); err != nil {
+			return nil, err
+		}
+	}
+	h, err := fs.Open(c.Cred, ino, flags)
+	if err != nil {
+		return nil, err
+	}
+	return &File{fs: fs, cred: c.Cred, h: h, ino: ino, flags: flags, offset: 0}, nil
+}
+
+// Create creates or truncates path for writing.
+func (c *Client) Create(path string, mode vfs.Mode) (*File, error) {
+	return c.Open(path, vfs.OWronly|vfs.OCreat|vfs.OTrunc, mode)
+}
+
+// ReadFile reads the whole file at path.
+func (c *Client) ReadFile(path string) ([]byte, error) {
+	f, err := c.Open(path, vfs.ORdonly, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []byte
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := f.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+	}
+}
+
+// WriteFile writes data to path, creating it if needed.
+func (c *Client) WriteFile(path string, data []byte, mode vfs.Mode) error {
+	f, err := c.Create(path, mode)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Mkdir creates one directory.
+func (c *Client) Mkdir(path string, mode vfs.Mode) error {
+	if _, err := c.Lstat(path); err == nil {
+		return vfs.EEXIST
+	}
+	m, parent, leaf, err := c.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	if err := c.roCheck(m); err != nil {
+		return err
+	}
+	_, err = m.FS.Mkdir(c.Cred, parent, leaf, mode)
+	return err
+}
+
+// MkdirAll creates path and missing ancestors.
+func (c *Client) MkdirAll(path string, mode vfs.Mode) error {
+	parts := vfs.SplitPath(path)
+	cur := ""
+	for _, p := range parts {
+		cur += "/" + p
+		if err := c.Mkdir(cur, mode); err != nil && vfs.ToErrno(err) != vfs.EEXIST {
+			return err
+		}
+	}
+	return nil
+}
+
+// Remove unlinks a file or removes an empty directory. Removing a mount
+// point fails with EBUSY.
+func (c *Client) Remove(path string) error {
+	abs := c.abs(path)
+	if _, mounted := c.NS.MountAt(abs); mounted {
+		return vfs.EBUSY
+	}
+	m, parent, leaf, err := c.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	if err := c.roCheck(m); err != nil {
+		return err
+	}
+	attr, err := m.FS.Lookup(c.Cred, parent, leaf)
+	if err != nil {
+		return err
+	}
+	defer m.FS.Forget(attr.Ino, 1)
+	if attr.Type == vfs.TypeDirectory {
+		return m.FS.Rmdir(c.Cred, parent, leaf)
+	}
+	return m.FS.Unlink(c.Cred, parent, leaf)
+}
+
+// RemoveAll removes path recursively, ignoring ENOENT.
+func (c *Client) RemoveAll(path string) error {
+	attr, err := c.Lstat(path)
+	if err != nil {
+		if vfs.ToErrno(err) == vfs.ENOENT {
+			return nil
+		}
+		return err
+	}
+	if attr.Type == vfs.TypeDirectory {
+		ents, err := c.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if err := c.RemoveAll(path + "/" + e.Name); err != nil {
+				return err
+			}
+		}
+	}
+	return c.Remove(path)
+}
+
+// ReadDir lists the entries of the directory at path (no "."/"..").
+func (c *Client) ReadDir(path string) ([]vfs.Dirent, error) {
+	fs, ino, attr, err := c.NS.Resolve(c.Cred, c.abs(path))
+	if err != nil {
+		return nil, err
+	}
+	if attr.Type != vfs.TypeDirectory {
+		return nil, vfs.ENOTDIR
+	}
+	h, err := fs.Opendir(c.Cred, ino)
+	if err != nil {
+		return nil, err
+	}
+	defer fs.Releasedir(h)
+	var out []vfs.Dirent
+	off := int64(0)
+	for {
+		ents, err := fs.Readdir(c.Cred, h, off)
+		if err != nil {
+			return nil, err
+		}
+		if len(ents) == 0 {
+			return out, nil
+		}
+		for _, e := range ents {
+			off = e.Off
+			if e.Name == "." || e.Name == ".." {
+				continue
+			}
+			out = append(out, e)
+		}
+	}
+}
+
+// Symlink creates a symlink at linkPath pointing to target.
+func (c *Client) Symlink(target, linkPath string) error {
+	if _, err := c.Lstat(linkPath); err == nil {
+		return vfs.EEXIST
+	}
+	m, parent, leaf, err := c.resolveParent(linkPath)
+	if err != nil {
+		return err
+	}
+	if err := c.roCheck(m); err != nil {
+		return err
+	}
+	_, err = m.FS.Symlink(c.Cred, parent, leaf, target)
+	return err
+}
+
+// Readlink returns the target of the symlink at path.
+func (c *Client) Readlink(path string) (string, error) {
+	fs, ino, attr, err := c.NS.Lresolve(c.Cred, c.abs(path))
+	if err != nil {
+		return "", err
+	}
+	if attr.Type != vfs.TypeSymlink {
+		return "", vfs.EINVAL
+	}
+	return fs.Readlink(c.Cred, ino)
+}
+
+// Rename moves oldPath to newPath; crossing mounts yields EXDEV as
+// rename(2) does.
+func (c *Client) Rename(oldPath, newPath string) error {
+	om, oldParent, oldLeaf, err := c.resolveParent(oldPath)
+	if err != nil {
+		return err
+	}
+	nm, newParent, newLeaf, err := c.resolveParent(newPath)
+	if err != nil {
+		return err
+	}
+	if om.FS != nm.FS {
+		return vfs.EXDEV
+	}
+	if err := c.roCheck(om); err != nil {
+		return err
+	}
+	return om.FS.Rename(c.Cred, oldParent, oldLeaf, newParent, newLeaf, 0)
+}
+
+// Link creates a hard link; crossing mounts yields EXDEV.
+func (c *Client) Link(oldPath, newPath string) error {
+	sfs, sino, _, err := c.NS.Lresolve(c.Cred, c.abs(oldPath))
+	if err != nil {
+		return err
+	}
+	nm, newParent, newLeaf, err := c.resolveParent(newPath)
+	if err != nil {
+		return err
+	}
+	if nm.FS != sfs {
+		return vfs.EXDEV
+	}
+	if err := c.roCheck(nm); err != nil {
+		return err
+	}
+	_, err = nm.FS.Link(c.Cred, sino, newParent, newLeaf)
+	return err
+}
+
+// Chmod updates mode bits.
+func (c *Client) Chmod(path string, mode vfs.Mode) error {
+	fs, ino, _, err := c.NS.Resolve(c.Cred, c.abs(path))
+	if err != nil {
+		return err
+	}
+	_, err = fs.Setattr(c.Cred, ino, vfs.SetMode, vfs.Attr{Mode: mode})
+	return err
+}
+
+// Truncate resizes the file at path.
+func (c *Client) Truncate(path string, size int64) error {
+	fs, ino, _, err := c.NS.Resolve(c.Cred, c.abs(path))
+	if err != nil {
+		return err
+	}
+	_, err = fs.Setattr(c.Cred, ino, vfs.SetSize, vfs.Attr{Size: size})
+	return err
+}
+
+// Read implements sequential reads.
+func (f *File) Read(p []byte) (int, error) {
+	n, err := f.fs.Read(f.cred, f.h, f.offset, p)
+	f.offset += int64(n)
+	if err != nil {
+		return n, err
+	}
+	if n == 0 && len(p) > 0 {
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+// ReadAt reads at an absolute offset.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	n, err := f.fs.Read(f.cred, f.h, off, p)
+	if err != nil {
+		return n, err
+	}
+	if n == 0 && len(p) > 0 {
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+// Write implements sequential writes.
+func (f *File) Write(p []byte) (int, error) {
+	n, err := f.fs.Write(f.cred, f.h, f.offset, p)
+	f.offset += int64(n)
+	return n, err
+}
+
+// WriteAt writes at an absolute offset.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	return f.fs.Write(f.cred, f.h, off, p)
+}
+
+// Sync fsyncs the file.
+func (f *File) Sync() error { return f.fs.Fsync(f.cred, f.h, false) }
+
+// Stat returns current attributes.
+func (f *File) Stat() (vfs.Attr, error) { return f.fs.Getattr(f.cred, f.ino) }
+
+// Close flushes and releases the file.
+func (f *File) Close() error {
+	if f.closed {
+		return vfs.EBADF
+	}
+	f.closed = true
+	ferr := f.fs.Flush(f.cred, f.h)
+	rerr := f.fs.Release(f.h)
+	if ferr != nil {
+		return ferr
+	}
+	return rerr
+}

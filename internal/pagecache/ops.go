@@ -1,0 +1,790 @@
+package pagecache
+
+import (
+	"sort"
+	"time"
+
+	"cntr/internal/vfs"
+)
+
+// ensureSize makes f.size valid, fetching attributes from the backing
+// filesystem if needed. Caller holds c.mu.
+func (c *Cache) ensureSize(cred *vfs.Cred, ino vfs.Ino, f *fileCache) error {
+	if f.valid {
+		return nil
+	}
+	attr, err := c.backing.Getattr(cred, ino)
+	if err != nil {
+		return err
+	}
+	f.size = attr.Size
+	f.valid = true
+	f.mode = attr.Mode
+	f.modeKnown = true
+	return nil
+}
+
+// Read implements vfs.FS with page-granular caching.
+func (c *Cache) Read(cred *vfs.Cred, h vfs.Handle, off int64, dest []byte) (int, error) {
+	c.charge()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.opens[h]
+	if !ok {
+		return 0, vfs.EBADF
+	}
+	if !st.flags.Readable() {
+		return 0, vfs.EBADF
+	}
+	if st.direct {
+		// Direct I/O bypasses the cache, so coherency requires writing
+		// dirty pages back first (as the kernel does for O_DIRECT).
+		if f, ok := c.files[st.ino]; ok && f.dirtyBytes > 0 {
+			c.flushFileLocked(st.ino, f)
+		}
+		n, err := c.backing.Read(cred, h, off, dest)
+		if err == nil && c.opts.ChargeDisk != nil {
+			c.opts.ChargeDisk.Read(n)
+		}
+		return n, err
+	}
+	f := c.file(st.ino)
+	if err := c.ensureSize(cred, st.ino, f); err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, vfs.EINVAL
+	}
+	if off >= f.size {
+		return 0, nil
+	}
+	want := int64(len(dest))
+	if off+want > f.size {
+		want = f.size - off
+	}
+	read := int64(0)
+	for read < want {
+		idx := (off + read) / PageSize
+		po := (off + read) % PageSize
+		chunk := int64(PageSize) - po
+		if chunk > want-read {
+			chunk = want - read
+		}
+		p := f.pages[idx]
+		if p != nil {
+			c.stats.Hits++
+			c.clock.Advance(c.model.PageCacheHit)
+			c.touch(st.ino, idx)
+		} else {
+			c.stats.Misses++
+			// Readahead: a miss continuing a sequential pattern fetches
+			// a whole window in one backing request.
+			fetch := int64(PageSize)
+			pos := off + read
+			if c.opts.ReadAhead > PageSize && pos >= f.lastReadEnd-PageSize && pos <= f.lastReadEnd+PageSize {
+				fetch = c.opts.ReadAhead
+			}
+			if rem := f.size - idx*PageSize; fetch > rem {
+				fetch = rem
+			}
+			if fetch < PageSize {
+				fetch = PageSize
+			}
+			buf := make([]byte, fetch)
+			n, err := c.backing.Read(cred, h, idx*PageSize, buf)
+			if err != nil {
+				return int(read), err
+			}
+			if c.opts.ChargeDisk != nil {
+				c.opts.ChargeDisk.Read(n)
+			}
+			for pi := int64(0); pi*PageSize < int64(n); pi++ {
+				pageBuf := make([]byte, PageSize)
+				copy(pageBuf, buf[pi*PageSize:min64(int64(n), (pi+1)*PageSize)])
+				inserted := c.insertPage(st.ino, idx+pi, pageBuf)
+				if pi == 0 {
+					p = inserted
+				}
+			}
+			// Keep the sequential detector current within this call so
+			// the next miss in a long read continues the readahead.
+			f.lastReadEnd = idx*PageSize + int64(n)
+			if p == nil {
+				// Budget exhausted: serve without caching.
+				copy(dest[read:read+chunk], buf[po:po+chunk])
+				read += chunk
+				continue
+			}
+		}
+		copy(dest[read:read+chunk], p.data[po:po+chunk])
+		read += chunk
+	}
+	f.lastReadEnd = off + read
+	return int(read), nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Write implements vfs.FS. In writeback mode dirty data accumulates in
+// cache pages and is flushed in batched extents; otherwise writes pass
+// through. Either way the security.capability xattr is consulted first,
+// mirroring the kernel's file-capability check on every write(2) — the
+// lookup the paper identifies as the Apache/IOZone write overhead when the
+// backing filesystem is FUSE.
+func (c *Cache) Write(cred *vfs.Cred, h vfs.Handle, off int64, data []byte) (int, error) {
+	c.charge()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.opens[h]
+	if !ok {
+		return 0, vfs.EBADF
+	}
+	if !st.flags.Writable() {
+		return 0, vfs.EBADF
+	}
+	if _, err := c.backing.Getxattr(cred, st.ino, vfs.XattrSecurityCapability); err != nil {
+		if e := vfs.ToErrno(err); e != vfs.ENODATA && e != vfs.EOPNOTSUPP {
+			return 0, err
+		}
+	}
+	c.killPrivsLocked(cred, st)
+	if st.direct || !c.opts.Writeback {
+		n, err := c.backing.Write(cred, h, off, data)
+		if err != nil {
+			return n, err
+		}
+		if c.opts.ChargeDisk != nil {
+			c.opts.ChargeDisk.Write(n)
+		}
+		// Keep any cached pages coherent.
+		f := c.file(st.ino)
+		if st.flags&vfs.OAppend != 0 {
+			f.valid = false
+		} else {
+			c.updateCachedPages(f, off, data[:n])
+			if f.valid && off+int64(n) > f.size {
+				f.size = off + int64(n)
+			}
+		}
+		return n, err
+	}
+	f := c.file(st.ino)
+	if err := c.ensureSize(cred, st.ino, f); err != nil {
+		return 0, err
+	}
+	if st.flags&vfs.OAppend != 0 {
+		off = f.size
+	}
+	if off < 0 {
+		return 0, vfs.EINVAL
+	}
+	if cred.FSizeLimit > 0 {
+		if off >= cred.FSizeLimit {
+			return 0, vfs.EFBIG
+		}
+		if off+int64(len(data)) > cred.FSizeLimit {
+			data = data[:cred.FSizeLimit-off]
+		}
+	}
+	written := int64(0)
+	for written < int64(len(data)) {
+		idx := (off + written) / PageSize
+		po := (off + written) % PageSize
+		chunk := int64(PageSize) - po
+		if rem := int64(len(data)) - written; chunk > rem {
+			chunk = rem
+		}
+		p := f.pages[idx]
+		if p == nil {
+			// Partial page overlapping existing data must be fetched
+			// first (read-modify-write); fully covered or beyond-EOF
+			// pages can be created blank.
+			partial := (po != 0 || chunk != PageSize) && idx*PageSize < f.size
+			buf := make([]byte, PageSize)
+			if partial {
+				n, err := c.backing.Read(cred, h, idx*PageSize, buf)
+				if err != nil {
+					return int(written), err
+				}
+				if c.opts.ChargeDisk != nil {
+					c.opts.ChargeDisk.Read(n)
+				}
+				c.stats.Misses++
+			}
+			p = c.insertPage(st.ino, idx, buf)
+			if p == nil {
+				// No cache space: write through.
+				n, err := c.backing.Write(cred, h, off+written, data[written:written+chunk])
+				if err != nil {
+					return int(written), err
+				}
+				if c.opts.ChargeDisk != nil {
+					c.opts.ChargeDisk.Write(n)
+				}
+				written += int64(n)
+				continue
+			}
+		}
+		copy(p.data[po:po+chunk], data[written:written+chunk])
+		if !p.dirty {
+			p.dirty = true
+			p.dirtyLo, p.dirtyHi = po, po+chunk
+		} else {
+			if po < p.dirtyLo {
+				p.dirtyLo = po
+			}
+			if po+chunk > p.dirtyHi {
+				p.dirtyHi = po + chunk
+			}
+		}
+		f.dirtyBytes += chunk
+		c.touch(st.ino, idx)
+		written += chunk
+		// Grow the cached size as data lands: an eviction triggered by
+		// the next page's insert must not clamp this page's flush to a
+		// stale length.
+		if off+written > f.size {
+			f.size = off + written
+		}
+	}
+	f.wbHandle, f.wbValid = h, true
+	f.mtimeBump++
+	if f.dirtyBytes >= c.opts.DirtyWindow || st.flags&vfs.OSync == vfs.OSync {
+		// Window overflow or O_SYNC: write back now (O_SYNC semantics
+		// require the data on stable storage before write(2) returns).
+		c.flushFileLocked(st.ino, f)
+		if st.flags&vfs.OSync == vfs.OSync {
+			c.backing.Fsync(cred, h, true)
+			if c.opts.ChargeDisk != nil {
+				c.opts.ChargeDisk.Write(0) // device barrier
+			}
+		}
+	}
+	c.clock.Advance(c.model.CopyCost(int(written)))
+	return int(written), nil
+}
+
+// updateCachedPages keeps read-cache pages coherent on write-through.
+func (c *Cache) updateCachedPages(f *fileCache, off int64, data []byte) {
+	written := int64(0)
+	for written < int64(len(data)) {
+		idx := (off + written) / PageSize
+		po := (off + written) % PageSize
+		chunk := int64(PageSize) - po
+		if rem := int64(len(data)) - written; chunk > rem {
+			chunk = rem
+		}
+		if p, ok := f.pages[idx]; ok {
+			copy(p.data[po:po+chunk], data[written:written+chunk])
+		}
+		written += chunk
+	}
+}
+
+// killPrivsLocked emulates the kernel's file_remove_privs on write(2):
+// when an unprivileged caller writes a setuid/setgid file, the kernel —
+// not the filesystem — clears the bits, folding a SETATTR into the write
+// path. Caller holds c.mu.
+func (c *Cache) killPrivsLocked(cred *vfs.Cred, st *openState) {
+	f := c.file(st.ino)
+	if !f.modeKnown {
+		if err := c.ensureSize(cred, st.ino, f); err != nil {
+			return
+		}
+	}
+	if cred.Caps.Has(vfs.CapFsetid) {
+		return
+	}
+	kill := f.mode&vfs.ModeSetUID != 0 || (f.mode&vfs.ModeSetGID != 0 && f.mode&0o010 != 0)
+	if !kill {
+		return
+	}
+	mode := f.mode &^ vfs.ModeSetUID
+	if mode&0o010 != 0 {
+		mode &^= vfs.ModeSetGID
+	}
+	if _, err := c.backing.Setattr(cred, st.ino, vfs.SetMode, vfs.Attr{Mode: mode}); err == nil {
+		f.mode = mode
+	}
+}
+
+// flushFileLocked writes out every dirty page of ino in coalesced extents
+// capped at MaxWriteSize. Caller holds c.mu.
+func (c *Cache) flushFileLocked(ino vfs.Ino, f *fileCache) {
+	if f.dirtyBytes == 0 || !f.wbValid {
+		return
+	}
+	idxs := make([]int64, 0, len(f.pages))
+	for idx, p := range f.pages {
+		if p.dirty {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	i := 0
+	for i < len(idxs) {
+		j := i
+		for j+1 < len(idxs) && idxs[j+1] == idxs[j]+1 &&
+			int64(j+1-i+1)*PageSize <= c.opts.MaxWriteSize {
+			j++
+		}
+		start := idxs[i]*PageSize + f.pages[idxs[i]].dirtyLo
+		endPage := idxs[j]
+		end := endPage*PageSize + f.pages[endPage].dirtyHi
+		if end > f.size {
+			end = f.size
+		}
+		buf := make([]byte, 0, end-start)
+		for k := idxs[i]; k <= endPage; k++ {
+			p := f.pages[k]
+			lo, hi := int64(0), int64(PageSize)
+			if k == idxs[i] {
+				lo = p.dirtyLo
+			}
+			if pe := k*PageSize + hi; pe > end {
+				hi = end - k*PageSize
+			}
+			if hi > lo {
+				buf = append(buf, p.data[lo:hi]...)
+			}
+			p.dirty = false
+			p.dirtyLo, p.dirtyHi = 0, 0
+		}
+		if len(buf) > 0 {
+			n, err := c.backing.Write(vfs.Root(), f.wbHandle, start, buf)
+			if err == nil && c.opts.ChargeDisk != nil {
+				c.opts.ChargeDisk.Write(n)
+			}
+			c.stats.FlushedExt++
+			c.stats.FlushedB += int64(len(buf))
+		}
+		i = j + 1
+	}
+	f.dirtyBytes = 0
+	// Dirty data is gone: zombie handles kept for writeback can go too.
+	for _, zh := range f.zombies {
+		if f.wbValid && f.wbHandle == zh {
+			f.wbValid = false
+		}
+		c.backing.Release(zh)
+	}
+	f.zombies = nil
+}
+
+// flushPageLocked writes out one dirty page (used by eviction).
+func (c *Cache) flushPageLocked(ino vfs.Ino, f *fileCache, idx int64, p *page) {
+	if !p.dirty || !f.wbValid {
+		p.dirty = false
+		return
+	}
+	start := idx*PageSize + p.dirtyLo
+	end := idx*PageSize + p.dirtyHi
+	if end > f.size {
+		end = f.size
+	}
+	if end > start {
+		n, err := c.backing.Write(vfs.Root(), f.wbHandle, start, p.data[p.dirtyLo:p.dirtyLo+(end-start)])
+		if err == nil && c.opts.ChargeDisk != nil {
+			c.opts.ChargeDisk.Write(n)
+		}
+		c.stats.FlushedExt++
+		c.stats.FlushedB += end - start
+	}
+	if f.dirtyBytes >= p.dirtyHi-p.dirtyLo {
+		f.dirtyBytes -= p.dirtyHi - p.dirtyLo
+	} else {
+		f.dirtyBytes = 0
+	}
+	p.dirty = false
+}
+
+// Open implements vfs.FS. Without KeepCache the file's pages are
+// invalidated, which is what makes the cache unshareable across processes
+// in stock FUSE (Figure 3a).
+func (c *Cache) Open(cred *vfs.Cred, ino vfs.Ino, flags vfs.OpenFlags) (vfs.Handle, error) {
+	c.charge()
+	h, err := c.backing.Open(cred, ino, flags)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.opts.KeepCache {
+		c.invalidate(ino)
+	}
+	if flags&vfs.OTrunc != 0 && flags.Writable() {
+		c.invalidateNoFlush(ino)
+		f := c.file(ino)
+		f.size, f.valid = 0, true
+	}
+	c.opens[h] = &openState{ino: ino, flags: flags, direct: flags&vfs.ODirect != 0}
+	fc := c.file(ino)
+	fc.openHandles++
+	if flags.Writable() && c.opts.Writeback {
+		fc.wbHandle, fc.wbValid = h, true
+	}
+	return h, nil
+}
+
+// Create implements vfs.FS.
+func (c *Cache) Create(cred *vfs.Cred, parent vfs.Ino, name string, mode vfs.Mode, flags vfs.OpenFlags) (vfs.Attr, vfs.Handle, error) {
+	c.charge()
+	c.clock.Advance(c.model.InodeOp)
+	attr, h, err := c.backing.Create(cred, parent, name, mode, flags)
+	if err != nil {
+		return attr, h, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.opens[h] = &openState{ino: attr.Ino, flags: flags, direct: flags&vfs.ODirect != 0}
+	f := c.file(attr.Ino)
+	f.size, f.valid = 0, true
+	f.mode, f.modeKnown = attr.Mode, true
+	f.openHandles++
+	if flags.Writable() && c.opts.Writeback {
+		f.wbHandle, f.wbValid = h, true
+	}
+	return attr, h, nil
+}
+
+// Flush implements vfs.FS: called on close(2). With FlushOnClose (the
+// FUSE behaviour) dirty data is written back now; otherwise (native
+// behaviour) it stays dirty for background writeback.
+func (c *Cache) Flush(cred *vfs.Cred, h vfs.Handle) error {
+	c.charge()
+	if c.opts.FlushOnClose {
+		c.mu.Lock()
+		if st, ok := c.opens[h]; ok {
+			f := c.file(st.ino)
+			c.flushFileLocked(st.ino, f)
+		}
+		c.mu.Unlock()
+	}
+	return c.backing.Flush(cred, h)
+}
+
+// Fsync implements vfs.FS: flush dirty pages then issue a barrier.
+func (c *Cache) Fsync(cred *vfs.Cred, h vfs.Handle, datasync bool) error {
+	c.charge()
+	c.mu.Lock()
+	if st, ok := c.opens[h]; ok {
+		f := c.file(st.ino)
+		c.flushFileLocked(st.ino, f)
+	}
+	c.mu.Unlock()
+	if c.opts.ChargeDisk != nil {
+		// Journal commit / cache barrier: one small device round trip.
+		c.opts.ChargeDisk.Write(0)
+	}
+	return c.backing.Fsync(cred, h, datasync)
+}
+
+// Release implements vfs.FS.
+func (c *Cache) Release(h vfs.Handle) error {
+	c.mu.Lock()
+	keepBacking := false
+	if st, ok := c.opens[h]; ok {
+		f := c.file(st.ino)
+		if f.wbValid && f.wbHandle == h {
+			if c.opts.FlushOnClose {
+				c.flushFileLocked(st.ino, f)
+				f.wbValid = false
+			} else if f.dirtyBytes > 0 {
+				// Keep the backing handle alive for background
+				// writeback of the remaining dirty data.
+				f.zombies = append(f.zombies, h)
+				keepBacking = true
+			} else {
+				f.wbValid = false
+			}
+		}
+		if f.openHandles > 0 {
+			f.openHandles--
+		}
+		delete(c.opens, h)
+	}
+	c.mu.Unlock()
+	if keepBacking {
+		return nil
+	}
+	return c.backing.Release(h)
+}
+
+// Setattr implements vfs.FS; truncation invalidates pages beyond the new
+// size and updates the cached length.
+func (c *Cache) Setattr(cred *vfs.Cred, ino vfs.Ino, mask vfs.SetattrMask, attr vfs.Attr) (vfs.Attr, error) {
+	c.charge()
+	c.clock.Advance(c.model.InodeOp)
+	c.mu.Lock()
+	if mask.Has(vfs.SetMode) {
+		if f, ok := c.files[ino]; ok {
+			f.mode, f.modeKnown = attr.Mode, true
+		}
+	}
+	if mask.Has(vfs.SetSize) {
+		if f, ok := c.files[ino]; ok {
+			c.flushFileLocked(ino, f)
+			for idx := range f.pages {
+				if idx*PageSize >= attr.Size {
+					delete(f.pages, idx)
+					if c.opts.Budget != nil {
+						c.opts.Budget.release(PageSize)
+					}
+				}
+			}
+			// Zero the cached tail of the boundary page, as the kernel
+			// does, so a later size extension reads zeros rather than
+			// stale bytes.
+			if attr.Size%PageSize != 0 {
+				if p, ok := f.pages[attr.Size/PageSize]; ok {
+					for i := attr.Size % PageSize; i < PageSize; i++ {
+						p.data[i] = 0
+					}
+				}
+			}
+			f.size, f.valid = attr.Size, true
+		}
+	}
+	c.mu.Unlock()
+	return c.backing.Setattr(cred, ino, mask, attr)
+}
+
+// overlayDirtyState folds writeback state the backing filesystem has not
+// seen yet (size growth, timestamp advances) into attributes.
+func (c *Cache) overlayDirtyState(attr *vfs.Attr) {
+	c.mu.Lock()
+	if f, ok := c.files[attr.Ino]; ok {
+		if f.valid && f.size > attr.Size {
+			attr.Size = f.size
+		}
+		if f.mtimeBump > 0 {
+			// Dirty data in the writeback cache: the kernel owns the
+			// timestamps until flush.
+			bump := time.Duration(f.mtimeBump) * time.Microsecond
+			attr.Mtime = attr.Mtime.Add(bump)
+			attr.Ctime = attr.Ctime.Add(bump)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Getattr implements vfs.FS, overlaying the cached (possibly dirty) size.
+func (c *Cache) Getattr(cred *vfs.Cred, ino vfs.Ino) (vfs.Attr, error) {
+	c.charge()
+	attr, err := c.backing.Getattr(cred, ino)
+	if err != nil {
+		return attr, err
+	}
+	c.overlayDirtyState(&attr)
+	return attr, nil
+}
+
+// Lookup implements vfs.FS, with the same dirty-state overlay as Getattr.
+func (c *Cache) Lookup(cred *vfs.Cred, parent vfs.Ino, name string) (vfs.Attr, error) {
+	c.charge()
+	c.clock.Advance(c.model.InodeOp)
+	attr, err := c.backing.Lookup(cred, parent, name)
+	if err != nil {
+		return attr, err
+	}
+	c.overlayDirtyState(&attr)
+	return attr, nil
+}
+
+// Forget implements vfs.FS.
+func (c *Cache) Forget(ino vfs.Ino, nlookup uint64) { c.backing.Forget(ino, nlookup) }
+
+// Mknod implements vfs.FS.
+func (c *Cache) Mknod(cred *vfs.Cred, parent vfs.Ino, name string, typ vfs.FileType, mode vfs.Mode, rdev uint32) (vfs.Attr, error) {
+	c.charge()
+	c.clock.Advance(c.model.InodeOp)
+	return c.backing.Mknod(cred, parent, name, typ, mode, rdev)
+}
+
+// Mkdir implements vfs.FS.
+func (c *Cache) Mkdir(cred *vfs.Cred, parent vfs.Ino, name string, mode vfs.Mode) (vfs.Attr, error) {
+	c.charge()
+	c.clock.Advance(c.model.InodeOp)
+	return c.backing.Mkdir(cred, parent, name, mode)
+}
+
+// Symlink implements vfs.FS.
+func (c *Cache) Symlink(cred *vfs.Cred, parent vfs.Ino, name, target string) (vfs.Attr, error) {
+	c.charge()
+	c.clock.Advance(c.model.InodeOp)
+	return c.backing.Symlink(cred, parent, name, target)
+}
+
+// Readlink implements vfs.FS.
+func (c *Cache) Readlink(cred *vfs.Cred, ino vfs.Ino) (string, error) {
+	c.charge()
+	return c.backing.Readlink(cred, ino)
+}
+
+// Unlink implements vfs.FS. Dirty pages of removed files are discarded —
+// Postmark's files often die before ever reaching the disk.
+func (c *Cache) Unlink(cred *vfs.Cred, parent vfs.Ino, name string) error {
+	c.charge()
+	c.clock.Advance(c.model.InodeOp)
+	attr, err := c.backing.Lookup(cred, parent, name)
+	if err == nil {
+		c.mu.Lock()
+		if f, ok := c.files[attr.Ino]; ok && attr.Nlink <= 1 && f.openHandles == 0 {
+			// Last link and nobody has it open: drop the pages, dirty
+			// or not — Postmark's files die before reaching the disk.
+			if c.opts.Budget != nil {
+				c.opts.Budget.release(int64(len(f.pages)) * PageSize)
+			}
+			delete(c.files, attr.Ino)
+		}
+		c.mu.Unlock()
+		c.backing.Forget(attr.Ino, 1)
+	}
+	return c.backing.Unlink(cred, parent, name)
+}
+
+// Rmdir implements vfs.FS.
+func (c *Cache) Rmdir(cred *vfs.Cred, parent vfs.Ino, name string) error {
+	c.charge()
+	c.clock.Advance(c.model.InodeOp)
+	return c.backing.Rmdir(cred, parent, name)
+}
+
+// Rename implements vfs.FS.
+func (c *Cache) Rename(cred *vfs.Cred, oldParent vfs.Ino, oldName string, newParent vfs.Ino, newName string, flags vfs.RenameFlags) error {
+	c.charge()
+	c.clock.Advance(c.model.InodeOp)
+	return c.backing.Rename(cred, oldParent, oldName, newParent, newName, flags)
+}
+
+// Link implements vfs.FS.
+func (c *Cache) Link(cred *vfs.Cred, ino vfs.Ino, parent vfs.Ino, name string) (vfs.Attr, error) {
+	c.charge()
+	c.clock.Advance(c.model.InodeOp)
+	return c.backing.Link(cred, ino, parent, name)
+}
+
+// Opendir implements vfs.FS.
+func (c *Cache) Opendir(cred *vfs.Cred, ino vfs.Ino) (vfs.Handle, error) {
+	c.charge()
+	h, err := c.backing.Opendir(cred, ino)
+	if err == nil {
+		c.mu.Lock()
+		c.opens[h] = &openState{ino: ino, flags: vfs.ORdonly}
+		c.mu.Unlock()
+	}
+	return h, err
+}
+
+// Readdir implements vfs.FS.
+func (c *Cache) Readdir(cred *vfs.Cred, h vfs.Handle, off int64) ([]vfs.Dirent, error) {
+	c.charge()
+	c.clock.Advance(c.model.InodeOp)
+	return c.backing.Readdir(cred, h, off)
+}
+
+// Releasedir implements vfs.FS.
+func (c *Cache) Releasedir(h vfs.Handle) error {
+	c.mu.Lock()
+	delete(c.opens, h)
+	c.mu.Unlock()
+	return c.backing.Releasedir(h)
+}
+
+// Statfs implements vfs.FS.
+func (c *Cache) Statfs(ino vfs.Ino) (vfs.StatfsOut, error) {
+	c.charge()
+	return c.backing.Statfs(ino)
+}
+
+// Setxattr implements vfs.FS.
+func (c *Cache) Setxattr(cred *vfs.Cred, ino vfs.Ino, name string, value []byte, flags vfs.XattrFlags) error {
+	c.charge()
+	return c.backing.Setxattr(cred, ino, name, value, flags)
+}
+
+// Getxattr implements vfs.FS.
+func (c *Cache) Getxattr(cred *vfs.Cred, ino vfs.Ino, name string) ([]byte, error) {
+	c.charge()
+	return c.backing.Getxattr(cred, ino, name)
+}
+
+// Listxattr implements vfs.FS.
+func (c *Cache) Listxattr(cred *vfs.Cred, ino vfs.Ino) ([]string, error) {
+	c.charge()
+	return c.backing.Listxattr(cred, ino)
+}
+
+// Removexattr implements vfs.FS.
+func (c *Cache) Removexattr(cred *vfs.Cred, ino vfs.Ino, name string) error {
+	c.charge()
+	return c.backing.Removexattr(cred, ino, name)
+}
+
+// Access implements vfs.FS.
+func (c *Cache) Access(cred *vfs.Cred, ino vfs.Ino, mask uint32) error {
+	c.charge()
+	return c.backing.Access(cred, ino, mask)
+}
+
+// Fallocate implements vfs.FS.
+func (c *Cache) Fallocate(cred *vfs.Cred, h vfs.Handle, mode uint32, off, length int64) error {
+	c.charge()
+	c.mu.Lock()
+	if st, ok := c.opens[h]; ok {
+		if f, ok := c.files[st.ino]; ok {
+			c.flushFileLocked(st.ino, f)
+		}
+	}
+	c.mu.Unlock()
+	err := c.backing.Fallocate(cred, h, mode, off, length)
+	if err == nil {
+		c.mu.Lock()
+		if st, ok := c.opens[h]; ok {
+			if f, ok := c.files[st.ino]; ok {
+				f.valid = false
+			}
+		}
+		c.mu.Unlock()
+	}
+	return err
+}
+
+// StatsSnapshot implements vfs.FS.
+func (c *Cache) StatsSnapshot() vfs.OpStats { return c.backing.StatsSnapshot() }
+
+// NameToHandle implements vfs.HandleExporter by delegation: the kernel
+// exports handles whenever the underlying filesystem can (ext4 can; a
+// FUSE connection cannot, which is xfstests #426).
+func (c *Cache) NameToHandle(ino vfs.Ino) ([]byte, error) {
+	if ex, ok := c.backing.(vfs.HandleExporter); ok {
+		return ex.NameToHandle(ino)
+	}
+	return nil, vfs.EOPNOTSUPP
+}
+
+// OpenByHandle implements vfs.HandleExporter by delegation.
+func (c *Cache) OpenByHandle(handle []byte) (vfs.Ino, error) {
+	if ex, ok := c.backing.(vfs.HandleExporter); ok {
+		return ex.OpenByHandle(handle)
+	}
+	return 0, vfs.EOPNOTSUPP
+}
+
+// SyncFS flushes every dirty page (sync(2)).
+func (c *Cache) SyncFS() error {
+	c.mu.Lock()
+	for ino, f := range c.files {
+		c.flushFileLocked(ino, f)
+	}
+	c.mu.Unlock()
+	if s, ok := c.backing.(vfs.SyncerFS); ok {
+		return s.SyncFS()
+	}
+	return nil
+}

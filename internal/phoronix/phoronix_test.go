@@ -1,0 +1,146 @@
+package phoronix
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFigure2Shape verifies the Figure 2 reproduction: who wins, where
+// the extremes are, and rough magnitudes. Exact ratios depend on the
+// calibrated cost model; the assertions bound the shape.
+func TestFigure2Shape(t *testing.T) {
+	results, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 20 {
+		t.Fatalf("suite has %d rows, want 20", len(results))
+	}
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	slower := func(name string, min, max float64) {
+		r := byName[name]
+		if r.Overhead < min || r.Overhead > max {
+			t.Errorf("%s overhead %.2fx outside [%v, %v] (paper %.1fx)",
+				name, r.Overhead, min, max, r.PaperOverhead)
+		}
+	}
+	// Metadata-heavy workloads: CntrFS clearly slower.
+	slower("Compilebench: Create", 4, 15)
+	slower("Compilebench: Read", 2.5, 20)
+	slower("PostMark", 4, 12)
+	slower("AIO-Stress", 1.8, 5)
+	// Moderate overheads.
+	slower("Apachebench", 1.1, 2.2)
+	slower("Compilebench: Compile", 1.3, 3.5)
+	slower("IOzone: Write", 1.1, 2.5)
+	slower("SQLite", 1.1, 2.8)
+	slower("FS-Mark", 0.9, 1.6)
+	// Cache-served workloads: near parity.
+	slower("Gzip", 0.9, 1.2)
+	slower("Threaded I/O: Read", 0.9, 1.4)
+	for _, d := range []string{"Dbench: 1 Clients", "Dbench: 12 Clients", "Dbench: 48 Clients", "Dbench: 128 Clients"} {
+		slower(d, 0.8, 1.8)
+	}
+	// Double buffering degrades the big re-read.
+	slower("IOzone: Read", 1.5, 8)
+	// Writeback depth makes CntrFS *faster* (the paper's crossovers).
+	for _, f := range []string{"FIO", "PGBench", "Threaded I/O: Write"} {
+		if r := byName[f]; r.Overhead >= 0.9 {
+			t.Errorf("%s overhead %.2fx, want < 0.9 (cntr faster; paper %.1fx)",
+				f, r.Overhead, r.PaperOverhead)
+		}
+	}
+	// The worst case must be a metadata workload, as in the paper.
+	worst := results[0]
+	for _, r := range results {
+		if r.Overhead > worst.Overhead {
+			worst = r
+		}
+	}
+	switch worst.Name {
+	case "Compilebench: Create", "Compilebench: Read", "PostMark":
+	default:
+		t.Errorf("worst case is %s (%.1fx); paper's worst cases are metadata-bound", worst.Name, worst.Overhead)
+	}
+}
+
+func TestFigure3ReadCacheEffect(t *testing.T) {
+	r, err := Figure3ReadCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Speedup < 1.5 {
+		t.Fatalf("FOPEN_KEEP_CACHE speedup %.2fx, want >= 1.5x (paper ~10x)", r.Speedup)
+	}
+}
+
+func TestFigure3WritebackEffect(t *testing.T) {
+	r, err := Figure3Writeback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Speedup < 1.15 {
+		t.Fatalf("writeback speedup %.2fx, want >= 1.15x (paper ~1.65x)", r.Speedup)
+	}
+}
+
+func TestFigure3BatchingEffect(t *testing.T) {
+	r, err := Figure3Batching()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Speedup < 1.05 {
+		t.Fatalf("PARALLEL_DIROPS speedup %.2fx, want >= 1.05x (paper ~2.5x)", r.Speedup)
+	}
+}
+
+func TestFigure3SpliceEffect(t *testing.T) {
+	r, err := Figure3Splice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper saw only ~5%; require non-negative and bounded.
+	if r.Speedup < 0.98 {
+		t.Fatalf("splice read made things worse: %.2fx", r.Speedup)
+	}
+}
+
+func TestFigure4ThreadScaling(t *testing.T) {
+	m, err := Figure4Threads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, t16 := m[1], m[16]
+	if t16 < t1 {
+		t.Fatalf("16 threads (%v) should not beat 1 thread (%v) for seq read", t16, t1)
+	}
+	loss := float64(t16-t1) / float64(t1)
+	if loss > 0.20 {
+		t.Fatalf("throughput loss at 16 threads = %.1f%%, paper reports up to ~8%%", loss*100)
+	}
+	if loss <= 0 {
+		t.Fatalf("thread contention should cost something: loss = %.3f%%", loss*100)
+	}
+}
+
+func TestWallTimeConversion(t *testing.T) {
+	if wall(4*time.Second, 4) != time.Second {
+		t.Fatal("4 workers on 4 hw threads")
+	}
+	if wall(4*time.Second, 128) != time.Second {
+		t.Fatal("capped at hardware threads")
+	}
+	if wall(4*time.Second, 0) != 4*time.Second {
+		t.Fatal("min 1 worker")
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable([]Result{{Name: "X", NativeTime: time.Second, CntrTime: 2 * time.Second, Overhead: 2, PaperOverhead: 2.1}})
+	if len(out) == 0 {
+		t.Fatal("empty table")
+	}
+}

@@ -1,0 +1,220 @@
+// Package proc models the process table and the /proc filesystem views
+// Cntr's attach workflow depends on: container runtimes report a main
+// pid, and Cntr reads /proc/<pid>/ to gather the process's namespaces,
+// environment, capabilities, cgroup and MAC profile before injecting
+// itself (§3.2.1).
+package proc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"cntr/internal/caps"
+	"cntr/internal/cgroup"
+	"cntr/internal/memfs"
+	"cntr/internal/namespace"
+	"cntr/internal/vfs"
+)
+
+// Process is one simulated task.
+type Process struct {
+	PID     int
+	PPID    int
+	UID     uint32
+	GID     uint32
+	Comm    string
+	Cmdline []string
+	Env     []string // KEY=VALUE pairs
+	Cwd     string
+
+	// Namespaces is the process's nsproxy.
+	Namespaces *namespace.Set
+	// Caps is the effective capability set.
+	Caps vfs.CapSet
+	// Profile is the MAC profile name confining the process.
+	Profile string
+	// FSizeLimit is RLIMIT_FSIZE (0 = unlimited).
+	FSizeLimit int64
+
+	exited bool
+}
+
+// Cred derives the filesystem credential the process operates with.
+func (p *Process) Cred() *vfs.Cred {
+	return &vfs.Cred{
+		UID: p.UID, GID: p.GID, FSUID: p.UID, FSGID: p.GID,
+		Caps: p.Caps, FSizeLimit: p.FSizeLimit,
+	}
+}
+
+// Client returns a mount-aware filesystem client for the process.
+func (p *Process) Client() *namespace.Client {
+	c := namespace.NewClient(p.Namespaces.Mount, p.Cred())
+	return c
+}
+
+// Getenv fetches one environment variable.
+func (p *Process) Getenv(key string) (string, bool) {
+	for _, kv := range p.Env {
+		if strings.HasPrefix(kv, key+"=") {
+			return kv[len(key)+1:], true
+		}
+	}
+	return "", false
+}
+
+// Table is the system process table.
+type Table struct {
+	mu      sync.RWMutex
+	procs   map[int]*Process
+	nextPID int
+	// Cgroups is the cgroup hierarchy pids are attached to.
+	Cgroups *cgroup.Hierarchy
+	// Profiles is the loaded MAC policy set.
+	Profiles *caps.Registry
+}
+
+// NewTable returns a table containing pid 1 (init) in the given host
+// namespaces.
+func NewTable(host *namespace.Set) *Table {
+	t := &Table{
+		procs:    make(map[int]*Process),
+		nextPID:  2,
+		Cgroups:  cgroup.New(),
+		Profiles: caps.NewRegistry(),
+	}
+	init := &Process{
+		PID: 1, PPID: 0, Comm: "init", Cmdline: []string{"/sbin/init"},
+		Namespaces: host, Caps: vfs.FullCapSet(), Profile: "unconfined",
+		Cwd: "/",
+	}
+	host.PID.Register(1)
+	t.procs[1] = init
+	t.Cgroups.Attach(1, "/")
+	return t
+}
+
+// Spawn forks a child of parent with the given command. The child
+// inherits the parent's namespaces, credentials, capability set, profile
+// and environment unless the caller mutates the returned process (before
+// it is observed by others, as exec would).
+func (t *Table) Spawn(parentPID int, comm string, cmdline []string) (*Process, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	parent, ok := t.procs[parentPID]
+	if !ok || parent.exited {
+		return nil, vfs.ESRCH
+	}
+	pid := t.nextPID
+	t.nextPID++
+	child := &Process{
+		PID: pid, PPID: parentPID, UID: parent.UID, GID: parent.GID,
+		Comm: comm, Cmdline: cmdline,
+		Env:        append([]string(nil), parent.Env...),
+		Cwd:        parent.Cwd,
+		Namespaces: parent.Namespaces.Clone(),
+		Caps:       parent.Caps,
+		Profile:    parent.Profile,
+		FSizeLimit: parent.FSizeLimit,
+	}
+	child.Namespaces.PID.Register(pid)
+	t.procs[pid] = child
+	t.Cgroups.Attach(pid, t.Cgroups.Of(parentPID))
+	return child, nil
+}
+
+// Exit removes the process from the table, its pid namespace and cgroup.
+func (t *Table) Exit(pid int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.procs[pid]
+	if !ok {
+		return vfs.ESRCH
+	}
+	p.exited = true
+	p.Namespaces.PID.Unregister(pid)
+	delete(t.procs, pid)
+	t.Cgroups.Remove(pid)
+	return nil
+}
+
+// Get returns the process with the given pid.
+func (t *Table) Get(pid int) (*Process, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	p, ok := t.procs[pid]
+	if !ok {
+		return nil, vfs.ESRCH
+	}
+	return p, nil
+}
+
+// Pids lists live pids, sorted.
+func (t *Table) Pids() []int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]int, 0, len(t.procs))
+	for pid := range t.procs {
+		out = append(out, pid)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// InSameNamespace reports whether two pids share the namespace of kind k.
+func (t *Table) InSameNamespace(a, b int, k namespace.Kind) bool {
+	pa, errA := t.Get(a)
+	pb, errB := t.Get(b)
+	if errA != nil || errB != nil {
+		return false
+	}
+	return pa.Namespaces.ID(k) == pb.Namespaces.ID(k)
+}
+
+// Snapshot materializes a /proc view of the table into a fresh in-memory
+// filesystem: /proc/<pid>/{status,cmdline,environ,cgroup,mounts} and
+// /proc/<pid>/ns/<kind>. Cntr bind-mounts such a snapshot into the nested
+// namespace so tools can observe the container's processes.
+func (t *Table) Snapshot() *memfs.FS {
+	fs := memfs.New(memfs.Options{})
+	cli := vfs.NewClient(fs, vfs.Root())
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for pid, p := range t.procs {
+		dir := fmt.Sprintf("/%d", pid)
+		cli.MkdirAll(dir, 0o555)
+		cli.WriteFile(dir+"/status", []byte(renderStatus(t, p)), 0o444)
+		cli.WriteFile(dir+"/cmdline", []byte(strings.Join(p.Cmdline, "\x00")), 0o444)
+		cli.WriteFile(dir+"/environ", []byte(strings.Join(p.Env, "\x00")), 0o444)
+		cli.WriteFile(dir+"/cgroup", []byte("0::"+t.Cgroups.Of(pid)+"\n"), 0o444)
+		cli.WriteFile(dir+"/attr_current", []byte(p.Profile+"\n"), 0o444)
+		var mounts strings.Builder
+		for _, m := range p.Namespaces.Mount.Mounts() {
+			opt := "rw"
+			if m.ReadOnly {
+				opt = "ro"
+			}
+			fmt.Fprintf(&mounts, "none %s vfs %s 0 0\n", m.Point, opt)
+		}
+		cli.WriteFile(dir+"/mounts", []byte(mounts.String()), 0o444)
+		cli.MkdirAll(dir+"/ns", 0o555)
+		for k := namespace.Kind(0); int(k) < namespace.NumKinds; k++ {
+			cli.WriteFile(fmt.Sprintf("%s/ns/%s", dir, k),
+				[]byte(fmt.Sprintf("%s:[%d]", k, p.Namespaces.ID(k))), 0o444)
+		}
+	}
+	return fs
+}
+
+func renderStatus(t *Table, p *Process) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Name:\t%s\n", p.Comm)
+	fmt.Fprintf(&b, "Pid:\t%d\n", p.PID)
+	fmt.Fprintf(&b, "PPid:\t%d\n", p.PPID)
+	fmt.Fprintf(&b, "Uid:\t%d\t%d\t%d\t%d\n", p.UID, p.UID, p.UID, p.UID)
+	fmt.Fprintf(&b, "Gid:\t%d\t%d\t%d\t%d\n", p.GID, p.GID, p.GID, p.GID)
+	fmt.Fprintf(&b, "CapEff:\t%016x\n", uint32(p.Caps))
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample accumulates observations and reports summary statistics. It is
+// used by the benchmark harnesses to aggregate repeated trials the same
+// way the Phoronix suite does (re-running until variance is acceptable).
+type Sample struct {
+	values []float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	s.values = append(s.values, v)
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Sample) Stddev() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, v := range s.values {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// CV returns the coefficient of variation (stddev/mean), or 0 when the
+// mean is zero.
+func (s *Sample) CV() float64 {
+	m := s.Mean()
+	if m == 0 {
+		return 0
+	}
+	return s.Stddev() / m
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using nearest-rank
+// interpolation. It returns 0 for an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Throughput converts an amount of work done in a span of virtual time to
+// megabytes per second.
+func Throughput(bytes int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) / (1 << 20) / elapsed.Seconds()
+}
+
+// Ratio formats a relative-overhead ratio the way Figure 2 does ("2.6x").
+func Ratio(v float64) string {
+	return fmt.Sprintf("%.1fx", v)
+}

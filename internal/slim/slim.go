@@ -1,0 +1,200 @@
+// Package slim reimplements the Docker Slim analysis the paper uses for
+// its §5.3 effectiveness study: record which files a containerized
+// application actually accesses (fanotify-style dynamic analysis), then
+// rebuild the image with only those files. The reduction across the
+// Top-50 images (internal/hubdata) reproduces Figure 5: on average two
+// thirds of a conventional image is tooling the application never reads —
+// exactly the content Cntr serves on demand from a fat image instead.
+package slim
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"cntr/internal/container"
+	"cntr/internal/vfs"
+)
+
+// Recorder is the fanotify-equivalent: a vfs.FS wrapper that records
+// every path whose content or metadata the application touches.
+type Recorder struct {
+	vfs.FS
+	mu       sync.Mutex
+	accessed map[string]bool
+	paths    map[vfs.Ino]string
+	handles  map[vfs.Handle]vfs.Ino
+}
+
+// NewRecorder wraps fs, tracking accesses by inode and resolving them
+// back to paths via lookups.
+func NewRecorder(fs vfs.FS) *Recorder {
+	r := &Recorder{
+		FS:       fs,
+		accessed: make(map[string]bool),
+		paths:    make(map[vfs.Ino]string),
+		handles:  make(map[vfs.Handle]vfs.Ino),
+	}
+	r.paths[vfs.RootIno] = ""
+	return r
+}
+
+// Lookup implements vfs.FS, maintaining the ino→path map.
+func (r *Recorder) Lookup(c *vfs.Cred, parent vfs.Ino, name string) (vfs.Attr, error) {
+	attr, err := r.FS.Lookup(c, parent, name)
+	if err != nil {
+		return attr, err
+	}
+	r.mu.Lock()
+	if base, ok := r.paths[parent]; ok && name != "." && name != ".." {
+		r.paths[attr.Ino] = base + "/" + name
+	}
+	r.mu.Unlock()
+	return attr, nil
+}
+
+// Open implements vfs.FS, recording the access.
+func (r *Recorder) Open(c *vfs.Cred, ino vfs.Ino, flags vfs.OpenFlags) (vfs.Handle, error) {
+	h, err := r.FS.Open(c, ino, flags)
+	if err != nil {
+		return h, err
+	}
+	r.mu.Lock()
+	if p, ok := r.paths[ino]; ok && p != "" {
+		r.accessed[p] = true
+	}
+	r.handles[h] = ino
+	r.mu.Unlock()
+	return h, nil
+}
+
+// Accessed returns the sorted list of paths the workload touched.
+func (r *Recorder) Accessed() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.accessed))
+	for p := range r.accessed {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Report is the outcome of slimming one image.
+type Report struct {
+	Name          string
+	OriginalBytes int64
+	SlimBytes     int64
+	OriginalFiles int
+	SlimFiles     int
+	// ReductionPct is the Figure 5 metric.
+	ReductionPct float64
+}
+
+// Slim profiles an image by running accessFn against a recorded view of
+// its root filesystem, then builds the reduced image containing only the
+// accessed files (plus their directory chains).
+func Slim(img *container.Image, accessFn func(cli *vfs.Client) error) (*container.Image, Report, error) {
+	root := img.RootFS()
+	rec := NewRecorder(root)
+	cli := vfs.NewClient(rec, vfs.Root())
+	if err := accessFn(cli); err != nil {
+		return nil, Report{}, err
+	}
+	accessed := rec.Accessed()
+
+	files := img.ListFiles()
+	keep := make(map[string]bool, len(accessed))
+	for _, p := range accessed {
+		if _, ok := files[p]; ok {
+			keep[p] = true
+		}
+	}
+	var slimLayer container.LayerSpec
+	slimLayer.ID = img.Name + "-slim"
+	srcCli := vfs.NewClient(img.RootFS(), vfs.Root())
+	var slimBytes int64
+	for p := range keep {
+		data, err := srcCli.ReadFile(p)
+		if err != nil {
+			return nil, Report{}, err
+		}
+		attr, _ := srcCli.Stat(p)
+		slimLayer.Files = append(slimLayer.Files, container.FileSpec{
+			Path: p, Content: data, Mode: attr.Mode & vfs.ModePerm,
+			Executable: attr.Mode&0o111 != 0,
+		})
+		slimBytes += int64(len(data))
+	}
+	slimImg, err := container.BuildImage(img.Name+"-slim", "latest", img.Config, slimLayer)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	var origBytes int64
+	for _, size := range files {
+		origBytes += size
+	}
+	rep := Report{
+		Name:          img.Name,
+		OriginalBytes: origBytes,
+		SlimBytes:     slimBytes,
+		OriginalFiles: len(files),
+		SlimFiles:     len(keep),
+	}
+	if origBytes > 0 {
+		rep.ReductionPct = 100 * float64(origBytes-slimBytes) / float64(origBytes)
+	}
+	return slimImg, rep, nil
+}
+
+// Histogram buckets reductions into 10%-wide bins (Figure 5's x-axis).
+func Histogram(reports []Report) [10]int {
+	var bins [10]int
+	for _, r := range reports {
+		b := int(r.ReductionPct / 10)
+		if b < 0 {
+			b = 0
+		}
+		if b > 9 {
+			b = 9
+		}
+		bins[b]++
+	}
+	return bins
+}
+
+// Mean returns the average reduction percentage.
+func Mean(reports []Report) float64 {
+	if len(reports) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range reports {
+		sum += r.ReductionPct
+	}
+	return sum / float64(len(reports))
+}
+
+// Validate checks that a slimmed image still serves the recorded paths
+// with identical content.
+func Validate(slimImg *container.Image, paths []string, orig *container.Image) error {
+	slimCli := vfs.NewClient(slimImg.RootFS(), vfs.Root())
+	origCli := vfs.NewClient(orig.RootFS(), vfs.Root())
+	for _, p := range paths {
+		want, err := origCli.ReadFile(p)
+		if err != nil {
+			continue // directories etc.
+		}
+		got, err := slimCli.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		if string(got) != string(want) {
+			return vfs.EIO
+		}
+	}
+	return nil
+}
+
+// trimPrefix is a small helper for tests.
+func trimPrefix(p, prefix string) string { return strings.TrimPrefix(p, prefix) }

@@ -1,0 +1,256 @@
+// Package socketproxy implements Cntr's Unix-socket forwarding (§3.2.4):
+// sockets listening in the debug container or on the host (X11, D-Bus)
+// are made reachable from inside the application container. Because
+// CntrFS exposes socket files with inode numbers the kernel cannot
+// associate with open sockets, Cntr runs a userspace proxy built on an
+// epoll-style event loop that splices data between the two sides.
+package socketproxy
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"cntr/internal/sim"
+	"cntr/internal/vfs"
+)
+
+// Conn is one end of a bidirectional in-memory socket connection.
+type Conn struct {
+	r *stream
+	w *stream
+}
+
+// stream is a half-duplex byte queue.
+type stream struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	closed bool
+}
+
+func newStream() *stream {
+	s := &stream{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *stream) write(b []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, io.ErrClosedPipe
+	}
+	s.buf = append(s.buf, b...)
+	s.cond.Broadcast()
+	return len(b), nil
+}
+
+func (s *stream) read(b []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.buf) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if len(s.buf) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(b, s.buf)
+	s.buf = s.buf[n:]
+	return n, nil
+}
+
+func (s *stream) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Read implements io.Reader.
+func (c *Conn) Read(b []byte) (int, error) { return c.r.read(b) }
+
+// Write implements io.Writer.
+func (c *Conn) Write(b []byte) (int, error) { return c.w.write(b) }
+
+// Close shuts down both directions.
+func (c *Conn) Close() error {
+	c.r.close()
+	c.w.close()
+	return nil
+}
+
+// connPair builds two connected endpoints.
+func connPair() (*Conn, *Conn) {
+	a, b := newStream(), newStream()
+	return &Conn{r: a, w: b}, &Conn{r: b, w: a}
+}
+
+// Listener accepts connections on a socket path.
+type Listener struct {
+	path    string
+	backlog chan *Conn
+	closed  atomic.Bool
+	reg     *Registry
+}
+
+// Accept blocks for the next connection.
+func (l *Listener) Accept() (*Conn, error) {
+	c, ok := <-l.backlog
+	if !ok {
+		return nil, vfs.ECONNREFUSED
+	}
+	return c, nil
+}
+
+// Close stops the listener and unbinds the path.
+func (l *Listener) Close() error {
+	if l.closed.Swap(true) {
+		return nil
+	}
+	l.reg.unbind(l.path)
+	close(l.backlog)
+	return nil
+}
+
+// Registry is a namespace's abstract-socket/filesystem-socket table.
+// Each network namespace (or, for path-bound sockets, mount namespace)
+// has its own registry.
+type Registry struct {
+	mu        sync.Mutex
+	listeners map[string]*Listener
+}
+
+// NewRegistry returns an empty socket table.
+func NewRegistry() *Registry {
+	return &Registry{listeners: make(map[string]*Listener)}
+}
+
+// Listen binds path.
+func (r *Registry) Listen(path string) (*Listener, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, busy := r.listeners[path]; busy {
+		return nil, vfs.EADDRINUSE
+	}
+	l := &Listener{path: path, backlog: make(chan *Conn, 16), reg: r}
+	r.listeners[path] = l
+	return l, nil
+}
+
+// Dial connects to the listener at path.
+func (r *Registry) Dial(path string) (*Conn, error) {
+	r.mu.Lock()
+	l, ok := r.listeners[path]
+	r.mu.Unlock()
+	if !ok || l.closed.Load() {
+		return nil, vfs.ECONNREFUSED
+	}
+	client, server := connPair()
+	l.backlog <- server
+	return client, nil
+}
+
+func (r *Registry) unbind(path string) {
+	r.mu.Lock()
+	delete(r.listeners, path)
+	r.mu.Unlock()
+}
+
+// Paths lists bound socket paths.
+func (r *Registry) Paths() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.listeners))
+	for p := range r.listeners {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Proxy forwards connections from a socket path in one namespace to a
+// socket path in another, splicing payload through a kernel pipe (no
+// userspace copies). One Proxy runs one epoll-style loop goroutine.
+type Proxy struct {
+	from     *Registry
+	fromPath string
+	to       *Registry
+	toPath   string
+	clock    *sim.Clock
+	model    *sim.CostModel
+
+	listener *Listener
+	wg       sync.WaitGroup
+	bytes    atomic.Int64
+	conns    atomic.Int64
+}
+
+// NewProxy starts forwarding from(path) -> to(path). clock/model may be
+// nil outside benchmarks.
+func NewProxy(from *Registry, fromPath string, to *Registry, toPath string, clock *sim.Clock, model *sim.CostModel) (*Proxy, error) {
+	l, err := from.Listen(fromPath)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		from: from, fromPath: fromPath, to: to, toPath: toPath,
+		clock: clock, model: model, listener: l,
+	}
+	p.wg.Add(1)
+	go p.loop()
+	return p, nil
+}
+
+// loop is the accept/dispatch event loop.
+func (p *Proxy) loop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.listener.Accept()
+		if err != nil {
+			return
+		}
+		upstream, err := p.to.Dial(p.toPath)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		p.conns.Add(1)
+		p.wg.Add(2)
+		go p.splice(client, upstream)
+		go p.splice(upstream, client)
+	}
+}
+
+// splice moves bytes between endpoints, charging splice costs.
+func (p *Proxy) splice(dst, src *Conn) {
+	defer p.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			p.bytes.Add(int64(n))
+			if p.clock != nil && p.model != nil {
+				// One splice(2) call plus the per-byte remap cost.
+				p.clock.Advance(p.model.Syscall + p.model.SpliceCost(n))
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				break
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	dst.Close()
+}
+
+// Stats reports forwarded connection and byte counts.
+func (p *Proxy) Stats() (conns, bytes int64) {
+	return p.conns.Load(), p.bytes.Load()
+}
+
+// Close stops accepting and waits for in-flight splices.
+func (p *Proxy) Close() {
+	p.listener.Close()
+	p.wg.Wait()
+}

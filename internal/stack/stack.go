@@ -1,0 +1,164 @@
+// Package stack assembles the two filesystem stacks every experiment in
+// this repository compares:
+//
+//   - Native: syscall layer → kernel page cache → ext4-model filesystem
+//     (memfs) → disk model. This is the paper's baseline, an ext4 volume
+//     on EBS GP2.
+//   - Cntr: syscall layer → kernel page cache (FUSE side) → FUSE kernel
+//     connection → CntrFS server threads → CntrFS passthrough → the
+//     *host* page cache → ext4-model filesystem → the same disk model.
+//
+// Both kernel-side caches draw pages from one shared memory budget, which
+// reproduces the double-buffering behaviour the paper reports (§5.2.1):
+// data travelling through CntrFS is cached twice and the effective cache
+// halves.
+package stack
+
+import (
+	"cntr/internal/cntrfs"
+	"cntr/internal/fuse"
+	"cntr/internal/memfs"
+	"cntr/internal/pagecache"
+	"cntr/internal/sim"
+	"cntr/internal/vfs"
+)
+
+// Config tunes a stack build.
+type Config struct {
+	// RAM is the machine memory available for page caches; defaults to
+	// 16 GiB (the paper's m4.xlarge).
+	RAM int64
+	// Mount selects the FUSE mount options for the Cntr stack.
+	Mount fuse.MountOptions
+	// DirtyWindowNative is the native filesystem's writeback window
+	// (how much dirty data accumulates before flushing); defaults to
+	// 256 KiB, modelling ext4's comparatively eager flushing.
+	DirtyWindowNative int64
+	// DirtyWindowFuse is the FUSE writeback cache window; defaults to
+	// 4 MiB ("our writeback buffer in the kernel holds the data longer
+	// than the underlying filesystem", §5.2.2).
+	DirtyWindowFuse int64
+	// ReadAhead is the sequential readahead window (default 128 KiB).
+	ReadAhead int64
+	// DedupHardlinks controls CntrFS's open+stat lookup path (default
+	// true; disabling it is an ablation).
+	NoDedupHardlinks bool
+}
+
+// Native is the baseline stack.
+type Native struct {
+	Clock *sim.Clock
+	Model *sim.CostModel
+	Disk  *sim.Disk
+	Mem   *memfs.FS
+	Cache *pagecache.Cache
+	// Top is the filesystem workloads should use.
+	Top vfs.FS
+}
+
+// NewNative builds the baseline stack.
+func NewNative(cfg Config) *Native {
+	applyDefaults(&cfg)
+	clock := sim.NewClock()
+	model := sim.DefaultCostModel()
+	disk := sim.NewDisk(clock, model)
+	mem := memfs.New(memfs.Options{})
+	budget := pagecache.NewMemBudget(cfg.RAM)
+	cache := pagecache.New(mem, clock, model, pagecache.Options{
+		KeepCache:    true, // native page caches always survive re-opens
+		Writeback:    true,
+		DirtyWindow:  cfg.DirtyWindowNative,
+		MaxWriteSize: 1 << 20, // ext4 can submit large bios
+		ReadAhead:    cfg.ReadAhead,
+		ChargeDisk:   disk,
+		Budget:       budget,
+	})
+	return &Native{Clock: clock, Model: model, Disk: disk, Mem: mem, Cache: cache, Top: cache}
+}
+
+// Cntr is the full CntrFS stack.
+type Cntr struct {
+	Clock  *sim.Clock
+	Model  *sim.CostModel
+	Disk   *sim.Disk
+	Host   *memfs.FS
+	HostPC *pagecache.Cache
+	FS     *cntrfs.FS
+	Conn   *fuse.Conn
+	Server *fuse.Server
+	Kernel *pagecache.Cache
+	Budget *pagecache.MemBudget
+	// Top is the filesystem workloads should use (the kernel-side cache
+	// above the FUSE mount).
+	Top vfs.FS
+}
+
+// NewCntr builds the CntrFS stack over a fresh host filesystem.
+func NewCntr(cfg Config) *Cntr {
+	applyDefaults(&cfg)
+	clock := sim.NewClock()
+	model := sim.DefaultCostModel()
+	disk := sim.NewDisk(clock, model)
+	host := memfs.New(memfs.Options{})
+	budget := pagecache.NewMemBudget(cfg.RAM)
+
+	// Host-side cache: what the CntrFS server process sees when it does
+	// regular syscalls against the host filesystem.
+	hostPC := pagecache.New(host, clock, model, pagecache.Options{
+		KeepCache:    true,
+		Writeback:    true,
+		DirtyWindow:  cfg.DirtyWindowNative,
+		MaxWriteSize: 1 << 20,
+		ReadAhead:    cfg.ReadAhead,
+		ChargeDisk:   disk,
+		Budget:       budget,
+	})
+
+	cfs := cntrfs.New(hostPC, cntrfs.Options{DedupHardlinks: !cfg.NoDedupHardlinks})
+	conn, srv := fuse.Mount(cfs, clock, model, cfg.Mount)
+
+	// Kernel-side cache above the FUSE mount. Its caching behaviour is
+	// governed by the mount options CntrFS negotiated.
+	ra := cfg.ReadAhead
+	if !cfg.Mount.AsyncRead {
+		ra = 0 // without ASYNC_READ the kernel reads page by page
+	}
+	kernel := pagecache.New(conn, clock, model, pagecache.Options{
+		KeepCache:    cfg.Mount.KeepCache,
+		Writeback:    cfg.Mount.WritebackCache,
+		DirtyWindow:  cfg.DirtyWindowFuse,
+		MaxWriteSize: int64(cfg.Mount.MaxWrite),
+		ReadAhead:    ra,
+		FlushOnClose: true, // fuse_flush writes dirty pages on close
+		Budget:       budget,
+	})
+	return &Cntr{
+		Clock: clock, Model: model, Disk: disk, Host: host, HostPC: hostPC,
+		FS: cfs, Conn: conn, Server: srv, Kernel: kernel, Budget: budget,
+		Top: kernel,
+	}
+}
+
+// Close unmounts the FUSE connection and waits for the server.
+func (c *Cntr) Close() {
+	c.Conn.Unmount()
+	c.Server.Wait()
+}
+
+func applyDefaults(cfg *Config) {
+	if cfg.RAM == 0 {
+		cfg.RAM = 16 << 30
+	}
+	if cfg.DirtyWindowNative == 0 {
+		cfg.DirtyWindowNative = 256 << 10
+	}
+	if cfg.DirtyWindowFuse == 0 {
+		cfg.DirtyWindowFuse = 4 << 20
+	}
+	if cfg.ReadAhead == 0 {
+		cfg.ReadAhead = 128 << 10
+	}
+	if cfg.Mount.MaxWrite == 0 {
+		cfg.Mount = fuse.DefaultMountOptions()
+	}
+}

@@ -1,0 +1,148 @@
+package stack
+
+import (
+	"bytes"
+	"testing"
+
+	"cntr/internal/fuse"
+	"cntr/internal/vfs"
+)
+
+func TestNativeStackEndToEnd(t *testing.T) {
+	n := NewNative(Config{})
+	cli := vfs.NewClient(n.Top, vfs.Root())
+	data := bytes.Repeat([]byte("native"), 10000)
+	if err := cli.WriteFile("/f", data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.ReadFile("/f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("native stack: %d bytes, %v", len(got), err)
+	}
+	if n.Clock.Now() == 0 {
+		t.Fatal("virtual time must advance")
+	}
+}
+
+func TestCntrStackEndToEnd(t *testing.T) {
+	c := NewCntr(Config{})
+	defer c.Close()
+	cli := vfs.NewClient(c.Top, vfs.Root())
+	data := bytes.Repeat([]byte("cntr"), 10000)
+	if err := cli.WriteFile("/f", data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.ReadFile("/f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("cntr stack: %d bytes, %v", len(got), err)
+	}
+	// The data must ultimately live in the host filesystem.
+	hostCli := vfs.NewClient(c.HostPC, vfs.Root())
+	got, err = hostCli.ReadFile("/f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("host view: %d bytes, %v", len(got), err)
+	}
+	if c.Server.Served() == 0 {
+		t.Fatal("requests should have crossed the FUSE boundary")
+	}
+}
+
+func TestCntrSlowerThanNativeForColdLookups(t *testing.T) {
+	// Metadata scans with cold caches are the paper's worst case for
+	// CntrFS (compilebench read: 13.3x). The stack must show a clear gap.
+	prepare := func(top vfs.FS) {
+		cli := vfs.NewClient(top, vfs.Root())
+		for i := 0; i < 50; i++ {
+			name := "/dir" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+			cli.Mkdir(name, 0o755)
+			cli.WriteFile(name+"/file", []byte("x"), 0o644)
+		}
+	}
+	scan := func(top vfs.FS) {
+		cli := vfs.NewClient(top, vfs.Root())
+		ents, _ := cli.ReadDir("/")
+		for _, e := range ents {
+			cli.Stat("/" + e.Name)
+			cli.ReadFile("/" + e.Name + "/file")
+		}
+	}
+
+	n := NewNative(Config{})
+	prepare(n.Top)
+	start := n.Clock.Now()
+	scan(n.Top)
+	nativeTime := n.Clock.Now() - start
+
+	mount := fuse.DefaultMountOptions()
+	mount.EntryTimeout = 0 // cold dentry cache, like a fresh tree scan
+	mount.AttrTimeout = 0
+	c := NewCntr(Config{Mount: mount})
+	defer c.Close()
+	prepare(c.Top)
+	start = c.Clock.Now()
+	scan(c.Top)
+	cntrTime := c.Clock.Now() - start
+
+	ratio := float64(cntrTime) / float64(nativeTime)
+	if ratio < 2 {
+		t.Fatalf("cold metadata scan ratio = %.2f, want >= 2 (paper: up to 13.3x)", ratio)
+	}
+}
+
+func TestCntrWritebackCanBeatNativeForUnsyncedWrites(t *testing.T) {
+	// FIO-like pattern: many medium random writes, no fsync. The deeper
+	// FUSE writeback window batches disk traffic better (paper: 0.2x).
+	workload := func(top vfs.FS) {
+		cli := vfs.NewClient(top, vfs.Root())
+		f, err := cli.Open("/data", vfs.ORdwr|vfs.OCreat, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		buf := make([]byte, 140<<10)
+		for i := 0; i < 60; i++ {
+			off := int64(i%7) * (1 << 20)
+			if _, err := f.WriteAt(buf, off); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	n := NewNative(Config{})
+	start := n.Clock.Now()
+	workload(n.Top)
+	nativeTime := n.Clock.Now() - start
+
+	c := NewCntr(Config{})
+	defer c.Close()
+	start = c.Clock.Now()
+	workload(c.Top)
+	cntrTime := c.Clock.Now() - start
+
+	if float64(cntrTime) > 0.9*float64(nativeTime) {
+		t.Fatalf("unsynced write-heavy load: cntr %v should beat native %v", cntrTime, nativeTime)
+	}
+}
+
+func TestSharedBudgetDoubleBuffers(t *testing.T) {
+	c := NewCntr(Config{RAM: 1 << 20})
+	defer c.Close()
+	cli := vfs.NewClient(c.Top, vfs.Root())
+	if err := cli.WriteFile("/f", make([]byte, 1<<20), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cli.ReadFile("/f")
+	if c.Budget.Used() > 1<<20 {
+		t.Fatalf("budget exceeded: %d", c.Budget.Used())
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	cfg := Config{}
+	applyDefaults(&cfg)
+	if cfg.RAM != 16<<30 || cfg.DirtyWindowFuse <= cfg.DirtyWindowNative {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if cfg.Mount.MaxWrite == 0 || !cfg.Mount.KeepCache {
+		t.Fatalf("mount defaults = %+v", cfg.Mount)
+	}
+}

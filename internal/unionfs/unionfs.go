@@ -1,0 +1,314 @@
+// Package unionfs implements a layered copy-on-write filesystem in the
+// style of overlayfs: a stack of read-only lower layers (container image
+// layers) under one writable upper layer. Lookups fall through the stack
+// top-down; writes copy the file up into the writable layer; deletions
+// leave whiteout markers so lower entries disappear from the union view.
+//
+// Container images in internal/container are stacks of such layers —
+// Docker's base-image sharing (§2.2) is exactly this mechanism.
+package unionfs
+
+import (
+	"strings"
+	"sync"
+
+	"cntr/internal/memfs"
+	"cntr/internal/vfs"
+)
+
+// whiteoutPrefix marks deletions in the upper layer (AUFS-style).
+const whiteoutPrefix = ".wh."
+
+// opaqueMarker inside an upper directory hides all lower content of that
+// directory (overlayfs "opaque" directories).
+const opaqueMarker = ".wh..wh..opq"
+
+// FS is the union filesystem. It implements vfs.FS by path: every union
+// inode remembers the path it was looked up under, and operations
+// re-resolve against the layer stack. This mirrors overlayfs, which is
+// also path-based underneath.
+type FS struct {
+	upper  *memfs.FS // writable layer
+	lowers []vfs.FS  // read-only layers, top-most first
+
+	mu      sync.Mutex
+	nodes   map[vfs.Ino]*unode
+	byPath  map[string]vfs.Ino
+	nextIno vfs.Ino
+	handles map[vfs.Handle]handleRef
+	nextH   vfs.Handle
+	stats   vfs.OpStats
+}
+
+type unode struct {
+	path    string
+	nlookup uint64
+}
+
+type handleRef struct {
+	fs  vfs.FS
+	h   vfs.Handle
+	dir bool
+	// upath is the union path for directory handles (merged readdir).
+	upath string
+	// ents caches the merged directory listing for stable offsets.
+	ents []vfs.Dirent
+}
+
+// New builds a union of the given read-only lower layers (top-most
+// first) with a fresh writable upper layer.
+func New(lowers ...vfs.FS) *FS {
+	fs := &FS{
+		upper:   memfs.New(memfs.Options{}),
+		lowers:  lowers,
+		nodes:   make(map[vfs.Ino]*unode),
+		byPath:  make(map[string]vfs.Ino),
+		nextIno: vfs.RootIno + 1,
+		handles: make(map[vfs.Handle]handleRef),
+		nextH:   1,
+	}
+	fs.nodes[vfs.RootIno] = &unode{path: "/", nlookup: 1}
+	fs.byPath["/"] = vfs.RootIno
+	return fs
+}
+
+// Upper exposes the writable layer (for image commit).
+func (fs *FS) Upper() *memfs.FS { return fs.upper }
+
+func joinPath(dir, name string) string {
+	if dir == "/" {
+		return "/" + name
+	}
+	return dir + "/" + name
+}
+
+func splitParent(path string) (string, string) {
+	i := strings.LastIndex(path, "/")
+	if i <= 0 {
+		return "/", path[i+1:]
+	}
+	return path[:i], path[i+1:]
+}
+
+// pathOf returns the union path of a union inode.
+func (fs *FS) pathOf(ino vfs.Ino) (string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, ok := fs.nodes[ino]
+	if !ok {
+		return "", vfs.ESTALE
+	}
+	return n.path, nil
+}
+
+// register maps a union path to a stable union inode.
+func (fs *FS) register(path string) vfs.Ino {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if ino, ok := fs.byPath[path]; ok {
+		fs.nodes[ino].nlookup++
+		return ino
+	}
+	ino := fs.nextIno
+	fs.nextIno++
+	fs.nodes[ino] = &unode{path: path, nlookup: 1}
+	fs.byPath[path] = ino
+	return ino
+}
+
+// root credential used for internal layer access: union-level permission
+// checks already happened against the looked-up attributes.
+var internalCred = vfs.Root()
+
+// whiteoutExists reports whether the upper layer hides path.
+func (fs *FS) whiteoutExists(cred *vfs.Cred, path string) bool {
+	dir, name := splitParent(path)
+	res, err := vfs.Walk(fs.upper, internalCred, vfs.RootIno, joinPath(dir, whiteoutPrefix+name), false)
+	_ = cred
+	if err == nil {
+		_ = res
+		return true
+	}
+	return false
+}
+
+// dirOpaque reports whether the upper copy of dir is opaque.
+func (fs *FS) dirOpaque(path string) bool {
+	_, err := vfs.Walk(fs.upper, internalCred, vfs.RootIno, joinPath(path, opaqueMarker), false)
+	return err == nil
+}
+
+// findLayer locates path in the layer stack: the upper layer first, then
+// lower layers unless a whiteout or opaque directory hides them.
+// It returns the serving filesystem, the layer-local walk result, and
+// whether it came from the upper (writable) layer.
+func (fs *FS) findLayer(path string) (vfs.FS, vfs.WalkResult, bool, error) {
+	if fs.whiteoutExists(internalCred, path) {
+		return nil, vfs.WalkResult{}, false, vfs.ENOENT
+	}
+	// Opaque/whiteout checks apply along every ancestor.
+	if hidden := fs.ancestorsHidden(path); hidden {
+		return nil, vfs.WalkResult{}, false, vfs.ENOENT
+	}
+	if res, err := vfs.Walk(fs.upper, internalCred, vfs.RootIno, path, false); err == nil {
+		return fs.upper, res, true, nil
+	}
+	for i, lower := range fs.lowers {
+		if fs.pathOpaquedAbove(path) {
+			break
+		}
+		res, err := vfs.Walk(lower, internalCred, vfs.RootIno, path, false)
+		if err == nil {
+			_ = i
+			return lower, res, false, nil
+		}
+	}
+	return nil, vfs.WalkResult{}, false, vfs.ENOENT
+}
+
+// ancestorsHidden checks whiteouts on each ancestor of path.
+func (fs *FS) ancestorsHidden(path string) bool {
+	parts := vfs.SplitPath(path)
+	cur := ""
+	for i := 0; i < len(parts)-1; i++ {
+		cur += "/" + parts[i]
+		if fs.whiteoutExists(internalCred, cur) {
+			return true
+		}
+	}
+	return false
+}
+
+// pathOpaquedAbove reports whether some ancestor directory is opaque in
+// the upper layer, hiding lower content beneath it.
+func (fs *FS) pathOpaquedAbove(path string) bool {
+	parts := vfs.SplitPath(path)
+	cur := ""
+	for i := 0; i < len(parts); i++ {
+		if fs.dirOpaque(cur + "/") {
+			return true
+		}
+		cur += "/" + parts[i]
+		if fs.dirOpaque(cur) {
+			return true
+		}
+	}
+	return false
+}
+
+// ensureUpperDir replicates the directory chain of path (exclusive) into
+// the upper layer so a copy-up target has parents.
+func (fs *FS) ensureUpperDir(dir string) error {
+	parts := vfs.SplitPath(dir)
+	cur := ""
+	cli := vfs.NewClient(fs.upper, internalCred)
+	for _, p := range parts {
+		parent := cur
+		cur += "/" + p
+		if _, err := cli.Lstat(cur); err == nil {
+			continue
+		}
+		// Mirror the lower directory's attributes if it exists.
+		mode := vfs.Mode(0o755)
+		var uid, gid uint32
+		if lfs, res, _, err := fs.findLayer(cur); err == nil && lfs != nil {
+			mode = res.Attr.Mode
+			uid, gid = res.Attr.UID, res.Attr.GID
+		}
+		if err := cli.Mkdir(cur, mode); err != nil {
+			return err
+		}
+		if uid != 0 || gid != 0 {
+			cli.Chown(cur, uid, gid)
+		}
+		_ = parent
+	}
+	return nil
+}
+
+// copyUp copies path from a lower layer into the upper layer, preserving
+// data, mode, ownership and xattrs. No-op if already in the upper layer.
+func (fs *FS) copyUp(path string) error {
+	if _, err := vfs.Walk(fs.upper, internalCred, vfs.RootIno, path, false); err == nil {
+		return nil
+	}
+	layer, res, isUpper, err := fs.findLayer(path)
+	if err != nil {
+		return err
+	}
+	if isUpper {
+		return nil
+	}
+	dir, _ := splitParent(path)
+	if err := fs.ensureUpperDir(dir); err != nil {
+		return err
+	}
+	upCli := vfs.NewClient(fs.upper, internalCred)
+	switch res.Attr.Type {
+	case vfs.TypeDirectory:
+		if err := upCli.Mkdir(path, res.Attr.Mode); err != nil && vfs.ToErrno(err) != vfs.EEXIST {
+			return err
+		}
+	case vfs.TypeSymlink:
+		target, err := layer.Readlink(internalCred, res.Ino)
+		if err != nil {
+			return err
+		}
+		if err := upCli.Symlink(target, path); err != nil {
+			return err
+		}
+	default:
+		loCli := vfs.NewClient(layer, internalCred)
+		data, err := loCli.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := upCli.WriteFile(path, data, res.Attr.Mode); err != nil {
+			return err
+		}
+	}
+	upCli.Chown(path, res.Attr.UID, res.Attr.GID)
+	// Copy xattrs.
+	if names, err := layer.Listxattr(internalCred, res.Ino); err == nil {
+		upRes, uerr := vfs.Walk(fs.upper, internalCred, vfs.RootIno, path, false)
+		if uerr == nil {
+			for _, name := range names {
+				if v, gerr := layer.Getxattr(internalCred, res.Ino, name); gerr == nil {
+					fs.upper.Setxattr(internalCred, upRes.Ino, name, v, 0)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// removeWhiteout clears a whiteout for path in the upper layer, if any.
+func (fs *FS) removeWhiteout(path string) {
+	dir, name := splitParent(path)
+	cli := vfs.NewClient(fs.upper, internalCred)
+	cli.Remove(joinPath(dir, whiteoutPrefix+name))
+}
+
+// addWhiteout hides path. Needed only when a lower layer still has the
+// entry.
+func (fs *FS) addWhiteout(path string) error {
+	existsBelow := false
+	for _, lower := range fs.lowers {
+		if _, err := vfs.Walk(lower, internalCred, vfs.RootIno, path, false); err == nil {
+			existsBelow = true
+			break
+		}
+	}
+	if !existsBelow {
+		return nil
+	}
+	dir, name := splitParent(path)
+	if err := fs.ensureUpperDir(dir); err != nil {
+		return err
+	}
+	cli := vfs.NewClient(fs.upper, internalCred)
+	return cli.WriteFile(joinPath(dir, whiteoutPrefix+name), nil, 0o000)
+}
+
+// LayerCount reports the number of layers including the upper.
+func (fs *FS) LayerCount() int { return len(fs.lowers) + 1 }

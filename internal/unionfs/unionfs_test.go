@@ -1,0 +1,325 @@
+package unionfs
+
+import (
+	"bytes"
+	"testing"
+
+	"cntr/internal/memfs"
+	"cntr/internal/vfs"
+)
+
+// makeLayer builds a read-only layer from path->content pairs.
+func makeLayer(t *testing.T, files map[string]string) *memfs.FS {
+	t.Helper()
+	fs := memfs.New(memfs.Options{})
+	cli := vfs.NewClient(fs, vfs.Root())
+	for path, content := range files {
+		dir := path[:maxIdx(0, lastSlash(path))]
+		if dir != "" {
+			if err := cli.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := cli.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fs
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}
+
+func maxIdx(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestLowerLayerVisible(t *testing.T) {
+	lower := makeLayer(t, map[string]string{"/bin/sh": "shell", "/etc/os-release": "alpine"})
+	u := New(lower)
+	cli := vfs.NewClient(u, vfs.Root())
+	got, err := cli.ReadFile("/bin/sh")
+	if err != nil || string(got) != "shell" {
+		t.Fatalf("lower read: %q %v", got, err)
+	}
+}
+
+func TestUpperShadowsLower(t *testing.T) {
+	lower := makeLayer(t, map[string]string{"/conf": "old"})
+	u := New(lower)
+	cli := vfs.NewClient(u, vfs.Root())
+	if err := cli.WriteFile("/conf", []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := cli.ReadFile("/conf")
+	if string(got) != "new" {
+		t.Fatalf("got %q", got)
+	}
+	// Lower layer untouched.
+	lcli := vfs.NewClient(lower, vfs.Root())
+	lgot, _ := lcli.ReadFile("/conf")
+	if string(lgot) != "old" {
+		t.Fatal("lower layer modified")
+	}
+}
+
+func TestLayerPrecedence(t *testing.T) {
+	top := makeLayer(t, map[string]string{"/f": "top"})
+	bottom := makeLayer(t, map[string]string{"/f": "bottom", "/only": "b"})
+	u := New(top, bottom)
+	cli := vfs.NewClient(u, vfs.Root())
+	got, _ := cli.ReadFile("/f")
+	if string(got) != "top" {
+		t.Fatalf("precedence: %q", got)
+	}
+	got, err := cli.ReadFile("/only")
+	if err != nil || string(got) != "b" {
+		t.Fatalf("fallthrough: %q %v", got, err)
+	}
+}
+
+func TestCopyUpOnWrite(t *testing.T) {
+	lower := makeLayer(t, map[string]string{"/data/file": "original"})
+	u := New(lower)
+	cli := vfs.NewClient(u, vfs.Root())
+	f, err := cli.Open("/data/file", vfs.ORdwr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("X"), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, _ := cli.ReadFile("/data/file")
+	if string(got) != "Xriginal" {
+		t.Fatalf("after copy-up write: %q", got)
+	}
+	// Original layer unchanged.
+	lgot, _ := vfs.NewClient(lower, vfs.Root()).ReadFile("/data/file")
+	if string(lgot) != "original" {
+		t.Fatal("lower layer modified by copy-up")
+	}
+}
+
+func TestWhiteoutHidesLowerFile(t *testing.T) {
+	lower := makeLayer(t, map[string]string{"/victim": "x", "/keep": "y"})
+	u := New(lower)
+	cli := vfs.NewClient(u, vfs.Root())
+	if err := cli.Remove("/victim"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Stat("/victim"); vfs.ToErrno(err) != vfs.ENOENT {
+		t.Fatalf("removed file visible: %v", err)
+	}
+	ents, _ := cli.ReadDir("/")
+	for _, e := range ents {
+		if e.Name == "victim" || e.Name == ".wh.victim" {
+			t.Fatalf("listing leaks %q", e.Name)
+		}
+	}
+	if _, err := cli.Stat("/keep"); err != nil {
+		t.Fatal("unrelated file disappeared")
+	}
+}
+
+func TestRecreateAfterWhiteout(t *testing.T) {
+	lower := makeLayer(t, map[string]string{"/f": "old"})
+	u := New(lower)
+	cli := vfs.NewClient(u, vfs.Root())
+	cli.Remove("/f")
+	if err := cli.WriteFile("/f", []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.ReadFile("/f")
+	if err != nil || string(got) != "new" {
+		t.Fatalf("recreate: %q %v", got, err)
+	}
+}
+
+func TestMergedReaddir(t *testing.T) {
+	top := makeLayer(t, map[string]string{"/dir/a": "1", "/dir/both": "top"})
+	bottom := makeLayer(t, map[string]string{"/dir/b": "2", "/dir/both": "bottom"})
+	u := New(top, bottom)
+	cli := vfs.NewClient(u, vfs.Root())
+	ents, err := cli.ReadDir("/dir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name
+	}
+	want := []string{"a", "b", "both"}
+	if len(names) != 3 || names[0] != want[0] || names[1] != want[1] || names[2] != want[2] {
+		t.Fatalf("merged listing = %v, want %v", names, want)
+	}
+}
+
+func TestMkdirAndNestedWrites(t *testing.T) {
+	lower := makeLayer(t, map[string]string{"/usr/bin/tool": "t"})
+	u := New(lower)
+	cli := vfs.NewClient(u, vfs.Root())
+	if err := cli.MkdirAll("/usr/local/bin", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.WriteFile("/usr/local/bin/new", []byte("n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ents, _ := cli.ReadDir("/usr")
+	if len(ents) != 2 { // bin (lower) + local (upper)
+		t.Fatalf("merged /usr = %v", ents)
+	}
+}
+
+func TestRenameLowerFile(t *testing.T) {
+	lower := makeLayer(t, map[string]string{"/old": "content"})
+	u := New(lower)
+	cli := vfs.NewClient(u, vfs.Root())
+	if err := cli.Rename("/old", "/new"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Stat("/old"); vfs.ToErrno(err) != vfs.ENOENT {
+		t.Fatalf("source visible after rename: %v", err)
+	}
+	got, err := cli.ReadFile("/new")
+	if err != nil || string(got) != "content" {
+		t.Fatalf("rename dest: %q %v", got, err)
+	}
+}
+
+func TestRenameDirectoryCopiesTree(t *testing.T) {
+	lower := makeLayer(t, map[string]string{"/d/x": "1", "/d/sub/y": "2"})
+	u := New(lower)
+	cli := vfs.NewClient(u, vfs.Root())
+	if err := cli.Rename("/d", "/moved"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.ReadFile("/moved/sub/y")
+	if err != nil || string(got) != "2" {
+		t.Fatalf("moved tree: %q %v", got, err)
+	}
+	if _, err := cli.Stat("/d"); vfs.ToErrno(err) != vfs.ENOENT {
+		t.Fatalf("old tree visible: %v", err)
+	}
+}
+
+func TestRmdirUnionEmpty(t *testing.T) {
+	lower := makeLayer(t, map[string]string{"/dir/f": "x"})
+	u := New(lower)
+	cli := vfs.NewClient(u, vfs.Root())
+	if err := cli.Remove("/dir"); vfs.ToErrno(err) != vfs.ENOTEMPTY {
+		t.Fatalf("rmdir non-empty union: %v", err)
+	}
+	if err := cli.Remove("/dir/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Remove("/dir"); err != nil {
+		t.Fatalf("rmdir emptied dir: %v", err)
+	}
+	if _, err := cli.Stat("/dir"); vfs.ToErrno(err) != vfs.ENOENT {
+		t.Fatal("dir still visible")
+	}
+}
+
+func TestHardLinkWithinUnion(t *testing.T) {
+	lower := makeLayer(t, map[string]string{"/f": "x"})
+	u := New(lower)
+	cli := vfs.NewClient(u, vfs.Root())
+	if err := cli.Link("/f", "/l"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.ReadFile("/l")
+	if err != nil || string(got) != "x" {
+		t.Fatalf("link read: %q %v", got, err)
+	}
+}
+
+func TestSymlinkInUnion(t *testing.T) {
+	lower := makeLayer(t, map[string]string{"/target": "T"})
+	u := New(lower)
+	cli := vfs.NewClient(u, vfs.Root())
+	if err := cli.Symlink("/target", "/ln"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.ReadFile("/ln")
+	if err != nil || string(got) != "T" {
+		t.Fatalf("symlink read: %q %v", got, err)
+	}
+}
+
+func TestXattrCopyUp(t *testing.T) {
+	lower := makeLayer(t, map[string]string{"/f": "x"})
+	lcli := vfs.NewClient(lower, vfs.Root())
+	r, _ := lcli.Resolve("/f")
+	lower.Setxattr(vfs.Root(), r.Ino, "user.origin", []byte("lower"), 0)
+
+	u := New(lower)
+	cli := vfs.NewClient(u, vfs.Root())
+	ur, _ := cli.Resolve("/f")
+	// Setting a new xattr copies up and must preserve existing ones.
+	if err := u.Setxattr(vfs.Root(), ur.Ino, "user.new", []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	v, err := u.Getxattr(vfs.Root(), ur.Ino, "user.origin")
+	if err != nil || !bytes.Equal(v, []byte("lower")) {
+		t.Fatalf("xattr lost in copy-up: %q %v", v, err)
+	}
+}
+
+func TestChmodCopiesUp(t *testing.T) {
+	lower := makeLayer(t, map[string]string{"/f": "x"})
+	u := New(lower)
+	cli := vfs.NewClient(u, vfs.Root())
+	if err := cli.Chmod("/f", 0o700); err != nil {
+		t.Fatal(err)
+	}
+	attr, _ := cli.Stat("/f")
+	if attr.Mode&vfs.ModePerm != 0o700 {
+		t.Fatalf("mode = %o", attr.Mode)
+	}
+	lattr, _ := vfs.NewClient(lower, vfs.Root()).Stat("/f")
+	if lattr.Mode&vfs.ModePerm != 0o644 {
+		t.Fatal("lower layer mode changed")
+	}
+}
+
+func TestDeepLayerStack(t *testing.T) {
+	l1 := makeLayer(t, map[string]string{"/a": "1"})
+	l2 := makeLayer(t, map[string]string{"/b": "2"})
+	l3 := makeLayer(t, map[string]string{"/c": "3", "/a": "shadowed"})
+	u := New(l1, l2, l3)
+	cli := vfs.NewClient(u, vfs.Root())
+	for path, want := range map[string]string{"/a": "1", "/b": "2", "/c": "3"} {
+		got, err := cli.ReadFile(path)
+		if err != nil || string(got) != want {
+			t.Fatalf("%s = %q %v, want %q", path, got, err, want)
+		}
+	}
+	if u.LayerCount() != 4 {
+		t.Fatalf("LayerCount = %d", u.LayerCount())
+	}
+}
+
+func TestWhiteoutsNotListedEver(t *testing.T) {
+	lower := makeLayer(t, map[string]string{"/d/a": "1", "/d/b": "2", "/d/c": "3"})
+	u := New(lower)
+	cli := vfs.NewClient(u, vfs.Root())
+	cli.Remove("/d/a")
+	cli.Remove("/d/b")
+	ents, err := cli.ReadDir("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name != "c" {
+		t.Fatalf("listing = %v", ents)
+	}
+}

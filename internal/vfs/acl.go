@@ -1,0 +1,91 @@
+package vfs
+
+import "encoding/binary"
+
+// POSIX ACL support. ACLs are stored as the raw value of the
+// system.posix_acl_access xattr using the same binary layout as Linux
+// (version 2, little-endian, 8-byte entries), so that a passthrough
+// filesystem like CntrFS can forward them opaquely — which is exactly why
+// the paper's implementation fails xfstests #375: interpreting ACLs would
+// require parsing this format, and CntrFS instead delegates to the
+// underlying filesystem via setfsuid/setfsgid.
+
+// ACLTag identifies the subject of an ACL entry.
+type ACLTag uint16
+
+// ACL entry tags (matching Linux acl_tag_t values).
+const (
+	ACLUserObj  ACLTag = 0x01
+	ACLUser     ACLTag = 0x02
+	ACLGroupObj ACLTag = 0x04
+	ACLGroup    ACLTag = 0x08
+	ACLMask     ACLTag = 0x10
+	ACLOther    ACLTag = 0x20
+)
+
+// ACLEntry is one access-control entry.
+type ACLEntry struct {
+	Tag  ACLTag
+	Perm uint16 // rwx bits: 4=read 2=write 1=execute
+	ID   uint32 // uid or gid for ACLUser/ACLGroup; unused otherwise
+}
+
+// ACL is an ordered list of entries.
+type ACL struct {
+	Entries []ACLEntry
+}
+
+const aclVersion = 2
+
+// EncodeACL serializes an ACL into the Linux xattr wire format.
+func EncodeACL(a ACL) []byte {
+	out := make([]byte, 4+8*len(a.Entries))
+	binary.LittleEndian.PutUint32(out, aclVersion)
+	for i, e := range a.Entries {
+		off := 4 + 8*i
+		binary.LittleEndian.PutUint16(out[off:], uint16(e.Tag))
+		binary.LittleEndian.PutUint16(out[off+2:], e.Perm)
+		binary.LittleEndian.PutUint32(out[off+4:], e.ID)
+	}
+	return out
+}
+
+// DecodeACL parses the Linux xattr wire format.
+func DecodeACL(raw []byte) (ACL, error) {
+	if len(raw) < 4 || (len(raw)-4)%8 != 0 {
+		return ACL{}, EINVAL
+	}
+	if binary.LittleEndian.Uint32(raw) != aclVersion {
+		return ACL{}, EINVAL
+	}
+	n := (len(raw) - 4) / 8
+	a := ACL{Entries: make([]ACLEntry, n)}
+	for i := 0; i < n; i++ {
+		off := 4 + 8*i
+		a.Entries[i] = ACLEntry{
+			Tag:  ACLTag(binary.LittleEndian.Uint16(raw[off:])),
+			Perm: binary.LittleEndian.Uint16(raw[off+2:]),
+			ID:   binary.LittleEndian.Uint32(raw[off+4:]),
+		}
+	}
+	return a, nil
+}
+
+// Find returns the first entry with the given tag, or nil.
+func (a *ACL) Find(tag ACLTag) *ACLEntry {
+	for i := range a.Entries {
+		if a.Entries[i].Tag == tag {
+			return &a.Entries[i]
+		}
+	}
+	return nil
+}
+
+// FromMode builds the minimal three-entry ACL equivalent to mode bits.
+func FromMode(mode Mode) ACL {
+	return ACL{Entries: []ACLEntry{
+		{Tag: ACLUserObj, Perm: uint16(mode >> 6 & 7)},
+		{Tag: ACLGroupObj, Perm: uint16(mode >> 3 & 7)},
+		{Tag: ACLOther, Perm: uint16(mode & 7)},
+	}}
+}

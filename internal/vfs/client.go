@@ -1,0 +1,446 @@
+package vfs
+
+import (
+	"io"
+	"strings"
+)
+
+// Client is a path-level convenience layer over an FS, playing the role
+// of the syscall layer for workloads, tests and examples: open by path,
+// read/write files, walk trees. A Client carries the credential its
+// operations run with, like a process does.
+type Client struct {
+	FS   FS
+	Cred *Cred
+	// Root is the directory all absolute paths resolve from; it
+	// implements chroot for clients running inside a container.
+	Root Ino
+}
+
+// NewClient returns a client rooted at the filesystem root.
+func NewClient(fs FS, cred *Cred) *Client {
+	return &Client{FS: fs, Cred: cred, Root: RootIno}
+}
+
+// File is an open file with a seek position, the shape workloads expect.
+type File struct {
+	c      *Client
+	h      Handle
+	ino    Ino
+	flags  OpenFlags
+	offset int64
+	closed bool
+}
+
+// Resolve walks path and returns its inode and attributes, following
+// symlinks.
+func (c *Client) Resolve(path string) (WalkResult, error) {
+	return Walk(c.FS, c.Cred, c.Root, path, true)
+}
+
+// Lresolve walks path without following a leaf symlink.
+func (c *Client) Lresolve(path string) (WalkResult, error) {
+	return Walk(c.FS, c.Cred, c.Root, path, false)
+}
+
+// Stat returns the attributes of path, following symlinks.
+func (c *Client) Stat(path string) (Attr, error) {
+	r, err := c.Resolve(path)
+	if err != nil {
+		return Attr{}, err
+	}
+	return r.Attr, nil
+}
+
+// Lstat returns the attributes of path without following a leaf symlink.
+func (c *Client) Lstat(path string) (Attr, error) {
+	r, err := c.Lresolve(path)
+	if err != nil {
+		return Attr{}, err
+	}
+	return r.Attr, nil
+}
+
+// Open opens path with flags; mode is used when O_CREAT creates the file.
+func (c *Client) Open(path string, flags OpenFlags, mode Mode) (*File, error) {
+	follow := flags&ONofollow == 0
+	r, err := Walk(c.FS, c.Cred, c.Root, path, follow)
+	if err != nil {
+		if ToErrno(err) == ENOENT && flags&OCreat != 0 && r.Parent != 0 && r.Leaf != "" && r.Leaf != "." {
+			attr, h, cerr := c.FS.Create(c.Cred, r.Parent, r.Leaf, mode, flags)
+			if cerr != nil {
+				return nil, cerr
+			}
+			return &File{c: c, h: h, ino: attr.Ino, flags: flags}, nil
+		}
+		return nil, err
+	}
+	if flags&OCreat != 0 && flags&OExcl != 0 {
+		return nil, EEXIST
+	}
+	if !follow && r.Attr.Type == TypeSymlink {
+		return nil, ELOOP
+	}
+	if flags&ODirectory != 0 && r.Attr.Type != TypeDirectory {
+		return nil, ENOTDIR
+	}
+	if r.Attr.Type == TypeDirectory && flags.Writable() {
+		return nil, EISDIR
+	}
+	h, err := c.FS.Open(c.Cred, r.Ino, flags)
+	if err != nil {
+		return nil, err
+	}
+	return &File{c: c, h: h, ino: r.Ino, flags: flags}, nil
+}
+
+// Create creates (or truncates) path for writing.
+func (c *Client) Create(path string, mode Mode) (*File, error) {
+	return c.Open(path, OWronly|OCreat|OTrunc, mode)
+}
+
+// ReadFile returns the full contents of path.
+func (c *Client) ReadFile(path string) ([]byte, error) {
+	f, err := c.Open(path, ORdonly, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []byte
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := f.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+	}
+}
+
+// WriteFile writes data to path, creating or truncating it.
+func (c *Client) WriteFile(path string, data []byte, mode Mode) error {
+	f, err := c.Create(path, mode)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Mkdir creates a single directory.
+func (c *Client) Mkdir(path string, mode Mode) error {
+	r, err := c.Lresolve(path)
+	if err == nil {
+		_ = r
+		return EEXIST
+	}
+	if ToErrno(err) != ENOENT || r.Leaf == "" || r.Leaf == "." {
+		return err
+	}
+	_, err = c.FS.Mkdir(c.Cred, r.Parent, r.Leaf, mode)
+	return err
+}
+
+// MkdirAll creates path and any missing parents.
+func (c *Client) MkdirAll(path string, mode Mode) error {
+	parts := SplitPath(path)
+	cur := ""
+	for _, p := range parts {
+		cur += "/" + p
+		if err := c.Mkdir(cur, mode); err != nil && ToErrno(err) != EEXIST {
+			return err
+		}
+	}
+	return nil
+}
+
+// Remove unlinks a file or removes an empty directory.
+func (c *Client) Remove(path string) error {
+	r, err := c.Lresolve(path)
+	if err != nil {
+		return err
+	}
+	if r.Attr.Type == TypeDirectory {
+		return c.FS.Rmdir(c.Cred, r.Parent, r.Leaf)
+	}
+	return c.FS.Unlink(c.Cred, r.Parent, r.Leaf)
+}
+
+// RemoveAll removes path and, for directories, everything beneath it.
+// It ignores ENOENT like os.RemoveAll.
+func (c *Client) RemoveAll(path string) error {
+	r, err := c.Lresolve(path)
+	if err != nil {
+		if ToErrno(err) == ENOENT {
+			return nil
+		}
+		return err
+	}
+	if r.Attr.Type == TypeDirectory {
+		ents, err := c.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if err := c.RemoveAll(path + "/" + e.Name); err != nil {
+				return err
+			}
+		}
+		return c.FS.Rmdir(c.Cred, r.Parent, r.Leaf)
+	}
+	return c.FS.Unlink(c.Cred, r.Parent, r.Leaf)
+}
+
+// ReadDir returns the entries of the directory at path, excluding "." and
+// "..".
+func (c *Client) ReadDir(path string) ([]Dirent, error) {
+	r, err := c.Resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	h, err := c.FS.Opendir(c.Cred, r.Ino)
+	if err != nil {
+		return nil, err
+	}
+	defer c.FS.Releasedir(h)
+	var out []Dirent
+	off := int64(0)
+	for {
+		ents, err := c.FS.Readdir(c.Cred, h, off)
+		if err != nil {
+			return nil, err
+		}
+		if len(ents) == 0 {
+			return out, nil
+		}
+		for _, e := range ents {
+			off = e.Off
+			if e.Name == "." || e.Name == ".." {
+				continue
+			}
+			out = append(out, e)
+		}
+	}
+}
+
+// Symlink creates a symbolic link at linkPath pointing to target.
+func (c *Client) Symlink(target, linkPath string) error {
+	r, err := c.Lresolve(linkPath)
+	if err == nil {
+		return EEXIST
+	}
+	if ToErrno(err) != ENOENT || r.Leaf == "" {
+		return err
+	}
+	_, err = c.FS.Symlink(c.Cred, r.Parent, r.Leaf, target)
+	return err
+}
+
+// Readlink returns the target of the symlink at path.
+func (c *Client) Readlink(path string) (string, error) {
+	r, err := c.Lresolve(path)
+	if err != nil {
+		return "", err
+	}
+	if r.Attr.Type != TypeSymlink {
+		return "", EINVAL
+	}
+	return c.FS.Readlink(c.Cred, r.Ino)
+}
+
+// Link creates a hard link at newPath referring to oldPath.
+func (c *Client) Link(oldPath, newPath string) error {
+	src, err := c.Lresolve(oldPath)
+	if err != nil {
+		return err
+	}
+	dst, err := c.Lresolve(newPath)
+	if err == nil {
+		return EEXIST
+	}
+	if ToErrno(err) != ENOENT || dst.Leaf == "" {
+		return err
+	}
+	_, err = c.FS.Link(c.Cred, src.Ino, dst.Parent, dst.Leaf)
+	return err
+}
+
+// Rename moves oldPath to newPath.
+func (c *Client) Rename(oldPath, newPath string) error {
+	src, err := c.Lresolve(oldPath)
+	if err != nil {
+		return err
+	}
+	dst, err := c.Lresolve(newPath)
+	if err != nil && ToErrno(err) != ENOENT {
+		return err
+	}
+	if dst.Leaf == "" || dst.Leaf == "." {
+		return EINVAL
+	}
+	_ = src
+	return c.FS.Rename(c.Cred, src.Parent, src.Leaf, dst.Parent, dst.Leaf, 0)
+}
+
+// Truncate sets the size of the file at path.
+func (c *Client) Truncate(path string, size int64) error {
+	r, err := c.Resolve(path)
+	if err != nil {
+		return err
+	}
+	_, err = c.FS.Setattr(c.Cred, r.Ino, SetSize, Attr{Size: size})
+	return err
+}
+
+// Chmod changes the mode bits of path.
+func (c *Client) Chmod(path string, mode Mode) error {
+	r, err := c.Resolve(path)
+	if err != nil {
+		return err
+	}
+	_, err = c.FS.Setattr(c.Cred, r.Ino, SetMode, Attr{Mode: mode})
+	return err
+}
+
+// Chown changes the ownership of path.
+func (c *Client) Chown(path string, uid, gid uint32) error {
+	r, err := c.Resolve(path)
+	if err != nil {
+		return err
+	}
+	_, err = c.FS.Setattr(c.Cred, r.Ino, SetUID|SetGID, Attr{UID: uid, GID: gid})
+	return err
+}
+
+// WalkTree calls fn for every file and directory under root (inclusive),
+// in depth-first order. fn receives the slash-joined path relative to
+// root and the entry attributes.
+func (c *Client) WalkTree(root string, fn func(path string, attr Attr) error) error {
+	attr, err := c.Lstat(root)
+	if err != nil {
+		return err
+	}
+	if err := fn(strings.TrimSuffix(root, "/"), attr); err != nil {
+		return err
+	}
+	if attr.Type != TypeDirectory {
+		return nil
+	}
+	ents, err := c.ReadDir(root)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if err := c.WalkTree(strings.TrimSuffix(root, "/")+"/"+e.Name, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read reads from the file at its current offset.
+func (f *File) Read(p []byte) (int, error) {
+	n, err := f.c.FS.Read(f.c.Cred, f.h, f.offset, p)
+	f.offset += int64(n)
+	if err != nil {
+		return n, err
+	}
+	if n == 0 && len(p) > 0 {
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+// ReadAt reads at an explicit offset without moving the file position.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	n, err := f.c.FS.Read(f.c.Cred, f.h, off, p)
+	if err != nil {
+		return n, err
+	}
+	if n == 0 && len(p) > 0 {
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+// Write writes at the current offset (or end of file for O_APPEND).
+func (f *File) Write(p []byte) (int, error) {
+	n, err := f.c.FS.Write(f.c.Cred, f.h, f.offset, p)
+	f.offset += int64(n)
+	return n, err
+}
+
+// WriteAt writes at an explicit offset without moving the file position.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	return f.c.FS.Write(f.c.Cred, f.h, off, p)
+}
+
+// Seek repositions the file offset per io.Seeker semantics.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	switch whence {
+	case io.SeekStart:
+		f.offset = offset
+	case io.SeekCurrent:
+		f.offset += offset
+	case io.SeekEnd:
+		attr, err := f.c.FS.Getattr(f.c.Cred, f.ino)
+		if err != nil {
+			return f.offset, err
+		}
+		f.offset = attr.Size + offset
+	default:
+		return f.offset, EINVAL
+	}
+	if f.offset < 0 {
+		f.offset = 0
+		return 0, EINVAL
+	}
+	return f.offset, nil
+}
+
+// Sync flushes the file's data to stable storage (fsync(2)).
+func (f *File) Sync() error {
+	return f.c.FS.Fsync(f.c.Cred, f.h, false)
+}
+
+// Datasync flushes only the file's data (fdatasync(2)).
+func (f *File) Datasync() error {
+	return f.c.FS.Fsync(f.c.Cred, f.h, true)
+}
+
+// Truncate resizes the open file.
+func (f *File) Truncate(size int64) error {
+	_, err := f.c.FS.Setattr(f.c.Cred, f.ino, SetSize, Attr{Size: size})
+	return err
+}
+
+// Stat returns the file's current attributes.
+func (f *File) Stat() (Attr, error) {
+	return f.c.FS.Getattr(f.c.Cred, f.ino)
+}
+
+// Ino returns the inode number of the open file.
+func (f *File) Ino() Ino { return f.ino }
+
+// Handle exposes the underlying FS handle (used by Fallocate callers).
+func (f *File) Handle() Handle { return f.h }
+
+// Close flushes and releases the file.
+func (f *File) Close() error {
+	if f.closed {
+		return EBADF
+	}
+	f.closed = true
+	ferr := f.c.FS.Flush(f.c.Cred, f.h)
+	rerr := f.c.FS.Release(f.h)
+	if ferr != nil {
+		return ferr
+	}
+	return rerr
+}

@@ -1,0 +1,138 @@
+// Package vfs defines the filesystem API used throughout this repository:
+// inode-level operations with POSIX errno semantics, credentials and
+// permission checks, path resolution, and a convenience client layer.
+//
+// The interface mirrors the Linux VFS as seen by a FUSE low-level
+// filesystem: operations address inodes (not paths), directory entries are
+// looked up one component at a time, and open files are referenced by
+// handles. Every filesystem in this repository — the tmpfs/ext4 stand-in
+// (internal/memfs), the layered image filesystem (internal/unionfs), the
+// synthesized /proc (internal/proc), and the paper's CntrFS passthrough
+// (internal/cntrfs) — implements vfs.FS.
+package vfs
+
+import "fmt"
+
+// Errno is a POSIX error number. The zero value means "no error"; all
+// filesystem operations in this repository report failures as Errno values
+// so that the FUSE layer can marshal them over the wire unchanged, exactly
+// as the kernel does.
+type Errno int32
+
+// POSIX error numbers used by the filesystems in this repository. The
+// numeric values match Linux on amd64 so that the wire protocol in
+// internal/fuse is faithful.
+const (
+	OK              Errno = 0
+	EPERM           Errno = 1
+	ENOENT          Errno = 2
+	ESRCH           Errno = 3
+	EINTR           Errno = 4
+	EIO             Errno = 5
+	ENXIO           Errno = 6
+	EBADF           Errno = 9
+	EAGAIN          Errno = 11
+	ENOMEM          Errno = 12
+	EACCES          Errno = 13
+	EFAULT          Errno = 14
+	EBUSY           Errno = 16
+	EEXIST          Errno = 17
+	EXDEV           Errno = 18
+	ENODEV          Errno = 19
+	ENOTDIR         Errno = 20
+	EISDIR          Errno = 21
+	EINVAL          Errno = 22
+	ENFILE          Errno = 23
+	EMFILE          Errno = 24
+	ETXTBSY         Errno = 26
+	EFBIG           Errno = 27
+	ENOSPC          Errno = 28
+	ESPIPE          Errno = 29
+	EROFS           Errno = 30
+	EMLINK          Errno = 31
+	EPIPE           Errno = 32
+	ERANGE          Errno = 34
+	ENAMETOOLONG    Errno = 36
+	ENOSYS          Errno = 38
+	ENOTEMPTY       Errno = 39
+	ELOOP           Errno = 40
+	ENODATA         Errno = 61
+	EOVERFLOW       Errno = 75
+	EOPNOTSUPP      Errno = 95
+	EDQUOT          Errno = 122
+	ESTALE          Errno = 116
+	ENOATTR               = ENODATA // Linux spells ENOATTR as ENODATA
+	ECONNREFUSED    Errno = 111
+	ENOTCONN        Errno = 107
+	EADDRINUSE      Errno = 98
+	EINPROGRESS     Errno = 115
+	EWOULDBLOCK           = EAGAIN
+	ENOTRECOVERABLE Errno = 131
+)
+
+var errnoNames = map[Errno]string{
+	OK:           "success",
+	EPERM:        "operation not permitted",
+	ENOENT:       "no such file or directory",
+	ESRCH:        "no such process",
+	EINTR:        "interrupted system call",
+	EIO:          "input/output error",
+	ENXIO:        "no such device or address",
+	EBADF:        "bad file descriptor",
+	EAGAIN:       "resource temporarily unavailable",
+	ENOMEM:       "cannot allocate memory",
+	EACCES:       "permission denied",
+	EFAULT:       "bad address",
+	EBUSY:        "device or resource busy",
+	EEXIST:       "file exists",
+	EXDEV:        "invalid cross-device link",
+	ENODEV:       "no such device",
+	ENOTDIR:      "not a directory",
+	EISDIR:       "is a directory",
+	EINVAL:       "invalid argument",
+	ENFILE:       "too many open files in system",
+	EMFILE:       "too many open files",
+	ETXTBSY:      "text file busy",
+	EFBIG:        "file too large",
+	ENOSPC:       "no space left on device",
+	ESPIPE:       "illegal seek",
+	EROFS:        "read-only file system",
+	EMLINK:       "too many links",
+	EPIPE:        "broken pipe",
+	ERANGE:       "numerical result out of range",
+	ENAMETOOLONG: "file name too long",
+	ENOSYS:       "function not implemented",
+	ENOTEMPTY:    "directory not empty",
+	ELOOP:        "too many levels of symbolic links",
+	ENODATA:      "no data available",
+	EOVERFLOW:    "value too large for defined data type",
+	EOPNOTSUPP:   "operation not supported",
+	EDQUOT:       "disk quota exceeded",
+	ESTALE:       "stale file handle",
+	ECONNREFUSED: "connection refused",
+	ENOTCONN:     "transport endpoint is not connected",
+	EADDRINUSE:   "address already in use",
+	EINPROGRESS:  "operation now in progress",
+}
+
+// Error implements the error interface.
+func (e Errno) Error() string {
+	if name, ok := errnoNames[e]; ok {
+		return name
+	}
+	return fmt.Sprintf("errno %d", int32(e))
+}
+
+// ToErrno converts an arbitrary error into an Errno. A nil error maps to
+// OK; an error that is already an Errno is returned unchanged; anything
+// else maps to EIO, mirroring how the kernel reports unexpected filesystem
+// failures.
+func ToErrno(err error) Errno {
+	if err == nil {
+		return OK
+	}
+	if e, ok := err.(Errno); ok {
+		return e
+	}
+	return EIO
+}

@@ -1,0 +1,175 @@
+package vfs
+
+// FS is the inode-level filesystem interface. It deliberately mirrors the
+// FUSE low-level API: the kernel (or here, the FUSE connection in
+// internal/fuse and the path walker in this package) resolves paths one
+// component at a time with Lookup, and refers to open files by Handle.
+//
+// All methods return Errno-compatible errors (see ToErrno). Methods that
+// take a *Cred perform permission checks against it; passing Root()
+// bypasses most checks, as for a root process with full capabilities.
+type FS interface {
+	// Lookup finds name within the directory parent.
+	Lookup(c *Cred, parent Ino, name string) (Attr, error)
+
+	// Forget tells the filesystem that the caller (e.g. the FUSE kernel
+	// module) has dropped nlookup references to ino obtained via Lookup,
+	// Create, Mkdir, etc. Filesystems that keep per-lookup state (such as
+	// CntrFS's inode table) use this to free it.
+	Forget(ino Ino, nlookup uint64)
+
+	// Getattr returns the attributes of ino.
+	Getattr(c *Cred, ino Ino) (Attr, error)
+
+	// Setattr updates the attributes selected by mask and returns the
+	// resulting attributes.
+	Setattr(c *Cred, ino Ino, mask SetattrMask, attr Attr) (Attr, error)
+
+	// Mknod creates a non-directory node (regular file, device, fifo or
+	// socket) in parent.
+	Mknod(c *Cred, parent Ino, name string, typ FileType, mode Mode, rdev uint32) (Attr, error)
+
+	// Mkdir creates a directory.
+	Mkdir(c *Cred, parent Ino, name string, mode Mode) (Attr, error)
+
+	// Symlink creates a symbolic link containing target.
+	Symlink(c *Cred, parent Ino, name, target string) (Attr, error)
+
+	// Readlink returns the target of a symlink.
+	Readlink(c *Cred, ino Ino) (string, error)
+
+	// Unlink removes a non-directory entry.
+	Unlink(c *Cred, parent Ino, name string) error
+
+	// Rmdir removes an empty directory.
+	Rmdir(c *Cred, parent Ino, name string) error
+
+	// Rename moves oldName in oldParent to newName in newParent.
+	Rename(c *Cred, oldParent Ino, oldName string, newParent Ino, newName string, flags RenameFlags) error
+
+	// Link creates a hard link to ino under parent/name.
+	Link(c *Cred, ino Ino, parent Ino, name string) (Attr, error)
+
+	// Create atomically creates and opens a regular file.
+	Create(c *Cred, parent Ino, name string, mode Mode, flags OpenFlags) (Attr, Handle, error)
+
+	// Open opens an existing file.
+	Open(c *Cred, ino Ino, flags OpenFlags) (Handle, error)
+
+	// Read reads up to len(dest) bytes at off, returning the count read.
+	// A short count with a nil error indicates end of file.
+	Read(c *Cred, h Handle, off int64, dest []byte) (int, error)
+
+	// Write writes data at off (or at end-of-file for O_APPEND handles)
+	// and returns the count written.
+	Write(c *Cred, h Handle, off int64, data []byte) (int, error)
+
+	// Flush is called on close(2) of each file descriptor referring to h.
+	Flush(c *Cred, h Handle) error
+
+	// Fsync persists the file's data (and metadata, unless datasync).
+	Fsync(c *Cred, h Handle, datasync bool) error
+
+	// Release drops the last reference to an open file handle.
+	Release(h Handle) error
+
+	// Opendir opens a directory for reading.
+	Opendir(c *Cred, ino Ino) (Handle, error)
+
+	// Readdir returns directory entries starting at offset off. An empty
+	// slice indicates end of directory.
+	Readdir(c *Cred, h Handle, off int64) ([]Dirent, error)
+
+	// Releasedir drops a directory handle.
+	Releasedir(h Handle) error
+
+	// Statfs reports filesystem statistics.
+	Statfs(ino Ino) (StatfsOut, error)
+
+	// Setxattr sets an extended attribute. flags follows setxattr(2):
+	// 0 = create or replace, XattrCreate, XattrReplace.
+	Setxattr(c *Cred, ino Ino, name string, value []byte, flags XattrFlags) error
+
+	// Getxattr reads an extended attribute.
+	Getxattr(c *Cred, ino Ino, name string) ([]byte, error)
+
+	// Listxattr lists extended attribute names.
+	Listxattr(c *Cred, ino Ino) ([]string, error)
+
+	// Removexattr deletes an extended attribute.
+	Removexattr(c *Cred, ino Ino, name string) error
+
+	// Access checks accessibility per access(2) semantics.
+	Access(c *Cred, ino Ino, mask uint32) error
+
+	// Fallocate manipulates file space (preallocate or punch holes).
+	Fallocate(c *Cred, h Handle, mode uint32, off, length int64) error
+
+	// StatsSnapshot returns operation counters for instrumentation.
+	StatsSnapshot() OpStats
+}
+
+// XattrFlags controls Setxattr create/replace behaviour.
+type XattrFlags uint32
+
+// Setxattr flags per setxattr(2).
+const (
+	XattrCreate  XattrFlags = 1
+	XattrReplace XattrFlags = 2
+)
+
+// OpStats counts filesystem operations; every FS implementation exposes
+// these so benchmarks can attribute costs.
+type OpStats struct {
+	Lookups   int64
+	Getattrs  int64
+	Setattrs  int64
+	Creates   int64
+	Opens     int64
+	Reads     int64
+	Writes    int64
+	BytesRead int64
+	BytesWrit int64
+	Fsyncs    int64
+	Unlinks   int64
+	Renames   int64
+	Readdirs  int64
+	Xattrs    int64
+	Forgets   int64
+}
+
+// Add accumulates o into s.
+func (s *OpStats) Add(o OpStats) {
+	s.Lookups += o.Lookups
+	s.Getattrs += o.Getattrs
+	s.Setattrs += o.Setattrs
+	s.Creates += o.Creates
+	s.Opens += o.Opens
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.BytesRead += o.BytesRead
+	s.BytesWrit += o.BytesWrit
+	s.Fsyncs += o.Fsyncs
+	s.Unlinks += o.Unlinks
+	s.Renames += o.Renames
+	s.Readdirs += o.Readdirs
+	s.Xattrs += o.Xattrs
+	s.Forgets += o.Forgets
+}
+
+// HandleExporter is the optional interface behind name_to_handle_at(2) /
+// open_by_handle_at(2). Filesystems with persistent inodes (memfs)
+// implement it; CntrFS does not, because its inodes are created on demand
+// by lookups and invalidated by forgets — this is the cause of the
+// paper's xfstests failure #426.
+type HandleExporter interface {
+	// NameToHandle returns an opaque, persistent handle for ino.
+	NameToHandle(ino Ino) ([]byte, error)
+	// OpenByHandle resolves a handle back to an inode.
+	OpenByHandle(handle []byte) (Ino, error)
+}
+
+// SyncerFS is the optional interface for filesystem-wide sync (sync(2)).
+type SyncerFS interface {
+	SyncFS() error
+}

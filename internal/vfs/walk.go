@@ -1,0 +1,98 @@
+package vfs
+
+import "strings"
+
+// WalkResult is the outcome of resolving a path: the inode and attributes
+// of the final component, and its parent directory plus leaf name (useful
+// for create/unlink-style operations).
+type WalkResult struct {
+	Ino    Ino
+	Attr   Attr
+	Parent Ino
+	Leaf   string
+}
+
+// SplitPath normalizes a slash-separated path into components, dropping
+// empty components and ".". It does not resolve "..": that is the
+// walker's job, since ".." must be interpreted against the directory
+// being walked.
+func SplitPath(path string) []string {
+	parts := strings.Split(path, "/")
+	out := parts[:0]
+	for _, p := range parts {
+		if p == "" || p == "." {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Walk resolves path relative to dir (use RootIno with a leading-slash
+// path for absolute resolution), following symlinks in intermediate
+// components and, if followLeaf is set, in the final component too.
+// It enforces the MaxSymlinkDepth limit with ELOOP and checks search
+// permission on every traversed directory.
+func Walk(fs FS, c *Cred, dir Ino, path string, followLeaf bool) (WalkResult, error) {
+	return walk(fs, c, dir, path, followLeaf, 0)
+}
+
+func walk(fs FS, c *Cred, dir Ino, path string, followLeaf bool, depth int) (WalkResult, error) {
+	if depth > MaxSymlinkDepth {
+		return WalkResult{}, ELOOP
+	}
+	cur := dir
+	curAttr, err := fs.Getattr(c, cur)
+	if err != nil {
+		return WalkResult{}, err
+	}
+	res := WalkResult{Ino: cur, Attr: curAttr, Parent: cur, Leaf: "."}
+	components := SplitPath(path)
+	for i, name := range components {
+		if len(name) > MaxNameLen {
+			return WalkResult{}, ENAMETOOLONG
+		}
+		if curAttr.Type != TypeDirectory {
+			return WalkResult{}, ENOTDIR
+		}
+		if !c.MayExec(&curAttr) {
+			return WalkResult{}, EACCES
+		}
+		if name == ".." {
+			// Parent resolution is delegated to the filesystem via the
+			// ".." entry every directory carries.
+			name = ".."
+		}
+		attr, err := fs.Lookup(c, cur, name)
+		last := i == len(components)-1
+		if err != nil {
+			if last {
+				// Report the parent so callers can create the leaf.
+				return WalkResult{Parent: cur, Leaf: name}, err
+			}
+			return WalkResult{}, err
+		}
+		if attr.Type == TypeSymlink && (!last || followLeaf) {
+			target, rerr := fs.Readlink(c, attr.Ino)
+			fs.Forget(attr.Ino, 1)
+			if rerr != nil {
+				return WalkResult{}, rerr
+			}
+			base := cur
+			if strings.HasPrefix(target, "/") {
+				base = RootIno
+			}
+			rest := strings.Join(components[i+1:], "/")
+			joined := target
+			if rest != "" {
+				joined = target + "/" + rest
+			}
+			// Release the chain reference for cur before re-walking.
+			sub, serr := walk(fs, c, base, joined, followLeaf, depth+1)
+			return sub, serr
+		}
+		res = WalkResult{Ino: attr.Ino, Attr: attr, Parent: cur, Leaf: name}
+		cur, curAttr = attr.Ino, attr
+	}
+	return res, nil
+}

@@ -1,0 +1,146 @@
+// Package xfstests reimplements the generic group of the xfstests
+// filesystem regression suite (§5.1) against the vfs.FS interface. The
+// paper runs 94 generic tests over CntrFS mounted on tmpfs and passes 90;
+// the four failures are specific, documented implementation choices:
+//
+//	#375  SETGID clearing under POSIX ACLs (delegated via setfsuid)
+//	#228  RLIMIT_FSIZE not propagated to replayed operations
+//	#391  O_DIRECT unsupported (mmap chosen instead; mutually exclusive)
+//	#426  inodes not exportable (created by lookup, destroyed by forget)
+//
+// Running this package's suite against the native stack passes 94/94;
+// against the Cntr stack it reproduces the paper's 90/94 with exactly
+// those four failures.
+package xfstests
+
+import (
+	"fmt"
+	"sort"
+
+	"cntr/internal/vfs"
+)
+
+// Env is the filesystem under test plus credential factories.
+type Env struct {
+	// Top is the filesystem stack under test.
+	Top vfs.FS
+	// Root is a client with full privileges.
+	Root *vfs.Client
+	// Scratch is a fresh directory for the current test.
+	Scratch string
+}
+
+// User returns a client with an unprivileged credential.
+func (e *Env) User(uid, gid uint32, groups ...uint32) *vfs.Client {
+	return vfs.NewClient(e.Top, vfs.User(uid, gid, groups...))
+}
+
+// WithLimit returns a root client whose RLIMIT_FSIZE is set.
+func (e *Env) WithLimit(limit int64) *vfs.Client {
+	cred := vfs.Root()
+	cred.FSizeLimit = limit
+	return vfs.NewClient(e.Top, cred)
+}
+
+// P joins a name to the test's scratch directory.
+func (e *Env) P(name string) string { return e.Scratch + "/" + name }
+
+// TC is one test case.
+type TC struct {
+	// Num is the test's number in the generic group; the four paper
+	// failures keep their upstream numbers.
+	Num int
+	// Name describes the behaviour under test.
+	Name string
+	// Group is the xfstests group ("auto", "quick", "aio", "prealloc",
+	// "ioctl", "dangerous").
+	Group string
+	// Run returns nil on pass; errSkip for an environment-skip.
+	Run func(e *Env) error
+}
+
+// errSkip marks a test skipped by environment detection (xfstests
+// "notrun"), counted as neither pass nor fail.
+var errSkip = fmt.Errorf("skipped")
+
+// Result is one test outcome.
+type Result struct {
+	Num    int
+	Name   string
+	Group  string
+	Pass   bool
+	Skip   bool
+	Reason string
+}
+
+// Summary aggregates a run.
+type Summary struct {
+	Total, Passed, Failed, Skipped int
+	Failures                       []Result
+}
+
+// All returns the full generic suite sorted by number.
+func All() []TC {
+	out := append([]TC(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Num < out[j].Num })
+	return out
+}
+
+var registry []TC
+
+func reg(num int, group, name string, run func(e *Env) error) {
+	registry = append(registry, TC{Num: num, Name: name, Group: group, Run: run})
+}
+
+// Run executes the whole suite against a stack. newEnv must return a
+// fresh Env; the harness creates a scratch directory per test.
+func Run(top vfs.FS) (Summary, []Result) {
+	root := vfs.NewClient(top, vfs.Root())
+	var results []Result
+	var sum Summary
+	for _, tc := range All() {
+		scratch := fmt.Sprintf("/scratch-%03d", tc.Num)
+		root.RemoveAll(scratch)
+		if err := root.MkdirAll(scratch, 0o777); err != nil {
+			results = append(results, Result{Num: tc.Num, Name: tc.Name, Group: tc.Group, Reason: "scratch: " + err.Error()})
+			sum.Total++
+			sum.Failed++
+			continue
+		}
+		env := &Env{Top: top, Root: root, Scratch: scratch}
+		err := tc.Run(env)
+		r := Result{Num: tc.Num, Name: tc.Name, Group: tc.Group}
+		switch {
+		case err == nil:
+			r.Pass = true
+			sum.Passed++
+		case err == errSkip:
+			r.Skip = true
+			sum.Skipped++
+		default:
+			r.Reason = err.Error()
+			sum.Failed++
+			sum.Failures = append(sum.Failures, r)
+		}
+		sum.Total++
+		results = append(results, r)
+		root.RemoveAll(scratch)
+	}
+	return sum, results
+}
+
+// helpers shared by test cases
+
+func expectErrno(err error, want vfs.Errno) error {
+	if vfs.ToErrno(err) != want {
+		return fmt.Errorf("got %v, want %v", err, want)
+	}
+	return nil
+}
+
+func check(cond bool, format string, args ...interface{}) error {
+	if !cond {
+		return fmt.Errorf(format, args...)
+	}
+	return nil
+}

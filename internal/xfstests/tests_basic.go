@@ -1,0 +1,325 @@
+package xfstests
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"cntr/internal/vfs"
+)
+
+// Basic data-path tests (generic/001..024): write/read integrity,
+// offsets, holes, truncation, append, O_flags.
+func init() {
+	reg(1, "quick", "write-read round trip", func(e *Env) error {
+		data := []byte("xfstests generic/001")
+		if err := e.Root.WriteFile(e.P("f"), data, 0o644); err != nil {
+			return err
+		}
+		got, err := e.Root.ReadFile(e.P("f"))
+		if err != nil {
+			return err
+		}
+		return check(bytes.Equal(got, data), "data mismatch")
+	})
+
+	reg(2, "quick", "read at EOF returns zero bytes", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), []byte("abc"), 0o644)
+		f, err := e.Root.Open(e.P("f"), vfs.ORdonly, 0)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		buf := make([]byte, 8)
+		_, err = f.ReadAt(buf, 3)
+		return check(err == io.EOF, "read at EOF: %v", err)
+	})
+
+	reg(3, "quick", "sparse write reads zeros in hole", func(e *Env) error {
+		f, err := e.Root.Open(e.P("sparse"), vfs.ORdwr|vfs.OCreat, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := f.WriteAt([]byte("tail"), 1<<20); err != nil {
+			return err
+		}
+		buf := make([]byte, 512)
+		if _, err := f.ReadAt(buf, 4096); err != nil {
+			return err
+		}
+		for _, b := range buf {
+			if b != 0 {
+				return fmt.Errorf("hole not zero")
+			}
+		}
+		return nil
+	})
+
+	reg(4, "quick", "file size tracks farthest write", func(e *Env) error {
+		f, err := e.Root.Open(e.P("f"), vfs.ORdwr|vfs.OCreat, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		f.WriteAt([]byte("x"), 9999)
+		attr, err := f.Stat()
+		if err != nil {
+			return err
+		}
+		return check(attr.Size == 10000, "size = %d", attr.Size)
+	})
+
+	reg(5, "quick", "truncate extend exposes zeros", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), []byte("abc"), 0o644)
+		if err := e.Root.Truncate(e.P("f"), 100); err != nil {
+			return err
+		}
+		got, err := e.Root.ReadFile(e.P("f"))
+		if err != nil {
+			return err
+		}
+		if len(got) != 100 || string(got[:3]) != "abc" {
+			return fmt.Errorf("extended content wrong")
+		}
+		for _, b := range got[3:] {
+			if b != 0 {
+				return fmt.Errorf("extension not zeroed")
+			}
+		}
+		return nil
+	})
+
+	reg(6, "quick", "truncate shrink discards stale data", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), bytes.Repeat([]byte("A"), 8192), 0o644)
+		if err := e.Root.Truncate(e.P("f"), 10); err != nil {
+			return err
+		}
+		if err := e.Root.Truncate(e.P("f"), 8192); err != nil {
+			return err
+		}
+		got, _ := e.Root.ReadFile(e.P("f"))
+		for _, b := range got[10:] {
+			if b != 0 {
+				return fmt.Errorf("stale data after shrink+grow")
+			}
+		}
+		return nil
+	})
+
+	reg(7, "quick", "O_APPEND ignores offset", func(e *Env) error {
+		e.Root.WriteFile(e.P("log"), []byte("one"), 0o644)
+		f, err := e.Root.Open(e.P("log"), vfs.OWronly|vfs.OAppend, 0)
+		if err != nil {
+			return err
+		}
+		f.WriteAt([]byte("two"), 0)
+		f.Close()
+		got, _ := e.Root.ReadFile(e.P("log"))
+		return check(string(got) == "onetwo", "append result %q", got)
+	})
+
+	reg(8, "quick", "O_TRUNC empties file", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), []byte("data"), 0o644)
+		f, err := e.Root.Open(e.P("f"), vfs.OWronly|vfs.OTrunc, 0)
+		if err != nil {
+			return err
+		}
+		f.Close()
+		attr, _ := e.Root.Stat(e.P("f"))
+		return check(attr.Size == 0, "size after O_TRUNC = %d", attr.Size)
+	})
+
+	reg(9, "quick", "O_EXCL fails on existing", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), nil, 0o644)
+		_, err := e.Root.Open(e.P("f"), vfs.OWronly|vfs.OCreat|vfs.OExcl, 0o644)
+		return expectErrno(err, vfs.EEXIST)
+	})
+
+	reg(10, "quick", "O_CREAT creates with mode", func(e *Env) error {
+		f, err := e.Root.Open(e.P("f"), vfs.OWronly|vfs.OCreat, 0o640)
+		if err != nil {
+			return err
+		}
+		f.Close()
+		attr, _ := e.Root.Stat(e.P("f"))
+		return check(attr.Mode&vfs.ModePerm == 0o640, "mode = %o", attr.Mode)
+	})
+
+	reg(11, "auto", "large file multi-block integrity", func(e *Env) error {
+		data := make([]byte, 1<<20)
+		for i := range data {
+			data[i] = byte(i * 7)
+		}
+		if err := e.Root.WriteFile(e.P("big"), data, 0o644); err != nil {
+			return err
+		}
+		got, err := e.Root.ReadFile(e.P("big"))
+		if err != nil {
+			return err
+		}
+		return check(bytes.Equal(got, data), "1MB round trip corrupt")
+	})
+
+	reg(12, "auto", "interleaved writers same file", func(e *Env) error {
+		f1, err := e.Root.Open(e.P("f"), vfs.ORdwr|vfs.OCreat, 0o644)
+		if err != nil {
+			return err
+		}
+		f2, err := e.Root.Open(e.P("f"), vfs.ORdwr, 0)
+		if err != nil {
+			f1.Close()
+			return err
+		}
+		f1.WriteAt([]byte("AAAA"), 0)
+		f2.WriteAt([]byte("BB"), 2)
+		f1.Close()
+		f2.Close()
+		got, _ := e.Root.ReadFile(e.P("f"))
+		return check(string(got) == "AABB", "interleave = %q", got)
+	})
+
+	reg(13, "quick", "unlinked file readable until close", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), []byte("ghost"), 0o644)
+		f, err := e.Root.Open(e.P("f"), vfs.ORdonly, 0)
+		if err != nil {
+			return err
+		}
+		if err := e.Root.Remove(e.P("f")); err != nil {
+			f.Close()
+			return err
+		}
+		buf := make([]byte, 5)
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			f.Close()
+			return fmt.Errorf("read after unlink: %v", err)
+		}
+		f.Close()
+		return check(string(buf) == "ghost", "data = %q", buf)
+	})
+
+	reg(14, "quick", "write to read-only fd fails", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), nil, 0o644)
+		f, err := e.Root.Open(e.P("f"), vfs.ORdonly, 0)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		_, err = f.Write([]byte("x"))
+		return expectErrno(err, vfs.EBADF)
+	})
+
+	reg(15, "quick", "read from write-only fd fails", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), []byte("x"), 0o644)
+		f, err := e.Root.Open(e.P("f"), vfs.OWronly, 0)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		buf := make([]byte, 1)
+		_, err = f.ReadAt(buf, 0)
+		return expectErrno(err, vfs.EBADF)
+	})
+
+	reg(16, "quick", "negative offset rejected", func(e *Env) error {
+		f, err := e.Root.Open(e.P("f"), vfs.ORdwr|vfs.OCreat, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		_, err = f.WriteAt([]byte("x"), -1)
+		return expectErrno(err, vfs.EINVAL)
+	})
+
+	reg(17, "auto", "fsync persists without error", func(e *Env) error {
+		f, err := e.Root.Open(e.P("f"), vfs.ORdwr|vfs.OCreat, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		f.Write(make([]byte, 64<<10))
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		return f.Datasync()
+	})
+
+	reg(18, "quick", "stat reports regular file type", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), nil, 0o644)
+		attr, err := e.Root.Stat(e.P("f"))
+		if err != nil {
+			return err
+		}
+		return check(attr.Type == vfs.TypeRegular && attr.Nlink == 1,
+			"attr = %+v", attr)
+	})
+
+	reg(19, "quick", "mtime advances on write", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), []byte("1"), 0o644)
+		a1, _ := e.Root.Stat(e.P("f"))
+		f, _ := e.Root.Open(e.P("f"), vfs.OWronly, 0)
+		f.Write([]byte("2"))
+		f.Close()
+		a2, _ := e.Root.Stat(e.P("f"))
+		return check(a2.Mtime.After(a1.Mtime), "mtime did not advance")
+	})
+
+	reg(20, "quick", "ctime advances on chmod", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), nil, 0o644)
+		a1, _ := e.Root.Stat(e.P("f"))
+		e.Root.Chmod(e.P("f"), 0o600)
+		a2, _ := e.Root.Stat(e.P("f"))
+		return check(a2.Ctime.After(a1.Ctime), "ctime did not advance")
+	})
+
+	reg(21, "auto", "many small files in one directory", func(e *Env) error {
+		for i := 0; i < 200; i++ {
+			if err := e.Root.WriteFile(fmt.Sprintf("%s/f%03d", e.Scratch, i), []byte{byte(i)}, 0o644); err != nil {
+				return err
+			}
+		}
+		ents, err := e.Root.ReadDir(e.Scratch)
+		if err != nil {
+			return err
+		}
+		return check(len(ents) == 200, "entries = %d", len(ents))
+	})
+
+	reg(22, "quick", "zero-length write is a no-op", func(e *Env) error {
+		f, err := e.Root.Open(e.P("f"), vfs.ORdwr|vfs.OCreat, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := f.Write(nil)
+		if err != nil || n != 0 {
+			return fmt.Errorf("zero write: %d %v", n, err)
+		}
+		attr, _ := f.Stat()
+		return check(attr.Size == 0, "size = %d", attr.Size)
+	})
+
+	reg(23, "quick", "statfs reports sane numbers", func(e *Env) error {
+		st, err := e.Top.Statfs(vfs.RootIno)
+		if err != nil {
+			return err
+		}
+		return check(st.BlockSize > 0 && st.Blocks >= st.BlocksFree,
+			"statfs = %+v", st)
+	})
+
+	reg(24, "auto", "overwrite middle of file", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), bytes.Repeat([]byte("a"), 10000), 0o644)
+		f, err := e.Root.Open(e.P("f"), vfs.ORdwr, 0)
+		if err != nil {
+			return err
+		}
+		f.WriteAt(bytes.Repeat([]byte("b"), 100), 5000)
+		f.Close()
+		got, _ := e.Root.ReadFile(e.P("f"))
+		if got[4999] != 'a' || got[5000] != 'b' || got[5099] != 'b' || got[5100] != 'a' {
+			return fmt.Errorf("overwrite boundaries wrong")
+		}
+		return check(len(got) == 10000, "size changed")
+	})
+}

@@ -1,0 +1,248 @@
+package xfstests
+
+import (
+	"fmt"
+
+	"cntr/internal/vfs"
+)
+
+// Limits, prealloc, aio and ioctl-flavoured tests (generic/071..079 plus
+// the paper failures generic/228, generic/391, generic/426).
+func init() {
+	reg(71, "prealloc", "fallocate extends size and blocks", func(e *Env) error {
+		f, err := e.Root.Open(e.P("f"), vfs.ORdwr|vfs.OCreat, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := e.Top.Fallocate(e.Root.Cred, f.Handle(), 0, 0, 64<<10); err != nil {
+			return err
+		}
+		attr, _ := f.Stat()
+		if attr.Size != 64<<10 {
+			return fmt.Errorf("size = %d", attr.Size)
+		}
+		return check(attr.Blocks >= 64<<10/512, "blocks = %d", attr.Blocks)
+	})
+
+	reg(72, "prealloc", "fallocate KEEP_SIZE preserves length", func(e *Env) error {
+		f, err := e.Root.Open(e.P("f"), vfs.ORdwr|vfs.OCreat, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		f.Write([]byte("1234"))
+		if err := e.Top.Fallocate(e.Root.Cred, f.Handle(), vfs.FallocKeepSize, 0, 32<<10); err != nil {
+			return err
+		}
+		attr, _ := f.Stat()
+		return check(attr.Size == 4, "KEEP_SIZE grew file to %d", attr.Size)
+	})
+
+	reg(73, "prealloc", "punch hole zeroes and frees", func(e *Env) error {
+		f, err := e.Root.Open(e.P("f"), vfs.ORdwr|vfs.OCreat, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		f.Write(make([]byte, 32<<10))
+		if err := f.Sync(); err != nil { // block counts need stable storage
+			return err
+		}
+		before, _ := f.Stat()
+		if err := e.Top.Fallocate(e.Root.Cred, f.Handle(),
+			vfs.FallocPunchHole|vfs.FallocKeepSize, 4096, 16384); err != nil {
+			return err
+		}
+		after, _ := f.Stat()
+		if after.Size != before.Size {
+			return fmt.Errorf("punch changed size")
+		}
+		buf := make([]byte, 16384)
+		f.ReadAt(buf, 4096)
+		for _, b := range buf {
+			if b != 0 {
+				return fmt.Errorf("hole not zeroed")
+			}
+		}
+		return check(after.Blocks < before.Blocks, "blocks not freed: %d vs %d", after.Blocks, before.Blocks)
+	})
+
+	reg(74, "prealloc", "punch hole requires KEEP_SIZE", func(e *Env) error {
+		f, err := e.Root.Open(e.P("f"), vfs.ORdwr|vfs.OCreat, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		f.Write(make([]byte, 8192))
+		err = e.Top.Fallocate(e.Root.Cred, f.Handle(), vfs.FallocPunchHole, 0, 4096)
+		return expectErrno(err, vfs.EINVAL)
+	})
+
+	reg(75, "aio", "concurrent readers see consistent data", func(e *Env) error {
+		data := make([]byte, 256<<10)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		if err := e.Root.WriteFile(e.P("f"), data, 0o644); err != nil {
+			return err
+		}
+		errs := make(chan error, 4)
+		for w := 0; w < 4; w++ {
+			go func(w int) {
+				f, err := e.Root.Open(e.P("f"), vfs.ORdonly, 0)
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer f.Close()
+				buf := make([]byte, 4096)
+				for off := int64(w) * 4096; off < int64(len(data)); off += 16384 {
+					n, err := f.ReadAt(buf, off)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for i := 0; i < n; i++ {
+						if buf[i] != byte(off+int64(i)) {
+							errs <- fmt.Errorf("corrupt at %d", off+int64(i))
+							return
+						}
+					}
+				}
+				errs <- nil
+			}(w)
+		}
+		for w := 0; w < 4; w++ {
+			if err := <-errs; err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	reg(76, "aio", "concurrent writers to disjoint ranges", func(e *Env) error {
+		f, err := e.Root.Open(e.P("f"), vfs.ORdwr|vfs.OCreat, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		errs := make(chan error, 4)
+		for w := 0; w < 4; w++ {
+			go func(w int) {
+				chunk := make([]byte, 4096)
+				for i := range chunk {
+					chunk[i] = byte(w + 1)
+				}
+				_, err := f.WriteAt(chunk, int64(w)*4096)
+				errs <- err
+			}(w)
+		}
+		for w := 0; w < 4; w++ {
+			if err := <-errs; err != nil {
+				return err
+			}
+		}
+		got, _ := e.Root.ReadFile(e.P("f"))
+		if len(got) != 16384 {
+			return fmt.Errorf("size = %d", len(got))
+		}
+		for w := 0; w < 4; w++ {
+			if got[w*4096] != byte(w+1) || got[w*4096+4095] != byte(w+1) {
+				return fmt.Errorf("region %d corrupt", w)
+			}
+		}
+		return nil
+	})
+
+	reg(77, "ioctl", "statfs free space decreases on write", func(e *Env) error {
+		before, err := e.Top.Statfs(vfs.RootIno)
+		if err != nil {
+			return err
+		}
+		if err := e.Root.WriteFile(e.P("blob"), make([]byte, 1<<20), 0o644); err != nil {
+			return err
+		}
+		after, err := e.Top.Statfs(vfs.RootIno)
+		if err != nil {
+			return err
+		}
+		return check(after.BlocksFree < before.BlocksFree, "free did not shrink")
+	})
+
+	reg(78, "auto", "utimes set explicit times", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), nil, 0o644)
+		r, _ := e.Root.Resolve(e.P("f"))
+		want := e.Root.Cred
+		_ = want
+		attr, err := e.Top.Setattr(e.Root.Cred, r.Ino, vfs.SetAtime|vfs.SetMtime, vfs.Attr{
+			Atime: fixedTime(1000), Mtime: fixedTime(2000),
+		})
+		if err != nil {
+			return err
+		}
+		return check(attr.Atime.Equal(fixedTime(1000)) && attr.Mtime.Equal(fixedTime(2000)),
+			"times = %v %v", attr.Atime, attr.Mtime)
+	})
+
+	reg(79, "auto", "truncate negative size invalid", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), nil, 0o644)
+		return expectErrno(e.Root.Truncate(e.P("f"), -5), vfs.EINVAL)
+	})
+
+	// generic/228 — RLIMIT_FSIZE enforcement. A truncate growing the
+	// file beyond the caller's limit must fail with EFBIG. CntrFS
+	// replays operations in the server process, whose RLIMIT_FSIZE is
+	// unset, so the limit silently disappears (§5.1, failure 2).
+	reg(228, "auto", "RLIMIT_FSIZE enforced on size-extending operations", func(e *Env) error {
+		limited := e.WithLimit(4096)
+		if err := limited.WriteFile(e.P("f"), make([]byte, 100), 0o644); err != nil {
+			return err
+		}
+		err := limited.Truncate(e.P("f"), 1<<20)
+		return expectErrno(err, vfs.EFBIG)
+	})
+
+	// generic/391 — direct I/O. CntrFS chose mmap support, which FUSE
+	// makes mutually exclusive with O_DIRECT, so opens fail (§5.1,
+	// failure 3). The native filesystem supports both.
+	reg(391, "auto", "O_DIRECT read/write supported", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), make([]byte, 8192), 0o644)
+		f, err := e.Root.Open(e.P("f"), vfs.ORdwr|vfs.ODirect, 0)
+		if err != nil {
+			return fmt.Errorf("O_DIRECT open: %w", err)
+		}
+		defer f.Close()
+		buf := make([]byte, 4096)
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			return err
+		}
+		_, err = f.WriteAt(buf, 4096)
+		return err
+	})
+
+	// generic/426 — exportable file handles. name_to_handle_at must
+	// return a handle that stays valid while the file exists. CntrFS
+	// inodes are created by lookups and destroyed by forgets, so no
+	// persistent handle can exist (§5.1, failure 4).
+	reg(426, "dangerous", "name_to_handle_at round trip", func(e *Env) error {
+		ex, ok := e.Top.(vfs.HandleExporter)
+		if !ok {
+			return fmt.Errorf("filesystem does not support exportable handles")
+		}
+		e.Root.WriteFile(e.P("f"), []byte("h"), 0o644)
+		r, err := e.Root.Resolve(e.P("f"))
+		if err != nil {
+			return err
+		}
+		h, err := ex.NameToHandle(r.Ino)
+		if err != nil {
+			return fmt.Errorf("name_to_handle_at: %w", err)
+		}
+		ino, err := ex.OpenByHandle(h)
+		if err != nil || ino != r.Ino {
+			return fmt.Errorf("open_by_handle_at: %d %v", ino, err)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,219 @@
+package xfstests
+
+import (
+	"fmt"
+
+	"cntr/internal/vfs"
+)
+
+// Metadata tests (generic/025..044): directories, rename, links,
+// symlinks, readdir.
+func init() {
+	reg(25, "quick", "mkdir rmdir basic", func(e *Env) error {
+		if err := e.Root.Mkdir(e.P("d"), 0o755); err != nil {
+			return err
+		}
+		attr, err := e.Root.Stat(e.P("d"))
+		if err != nil || attr.Type != vfs.TypeDirectory {
+			return fmt.Errorf("mkdir result: %v %v", attr.Type, err)
+		}
+		return e.Root.Remove(e.P("d"))
+	})
+
+	reg(26, "quick", "rmdir non-empty fails", func(e *Env) error {
+		e.Root.MkdirAll(e.P("d/sub"), 0o755)
+		return expectErrno(e.Root.Remove(e.P("d")), vfs.ENOTEMPTY)
+	})
+
+	reg(27, "quick", "mkdir existing fails", func(e *Env) error {
+		e.Root.Mkdir(e.P("d"), 0o755)
+		return expectErrno(e.Root.Mkdir(e.P("d"), 0o755), vfs.EEXIST)
+	})
+
+	reg(28, "quick", "unlink directory fails", func(e *Env) error {
+		e.Root.Mkdir(e.P("d"), 0o755)
+		r, err := e.Root.Lresolve(e.P("d"))
+		if err != nil {
+			return err
+		}
+		return expectErrno(e.Top.Unlink(e.Root.Cred, r.Parent, r.Leaf), vfs.EISDIR)
+	})
+
+	reg(29, "quick", "rename file basic", func(e *Env) error {
+		e.Root.WriteFile(e.P("a"), []byte("v"), 0o644)
+		if err := e.Root.Rename(e.P("a"), e.P("b")); err != nil {
+			return err
+		}
+		if _, err := e.Root.Stat(e.P("a")); vfs.ToErrno(err) != vfs.ENOENT {
+			return fmt.Errorf("source survived rename")
+		}
+		got, err := e.Root.ReadFile(e.P("b"))
+		if err != nil || string(got) != "v" {
+			return fmt.Errorf("dest: %q %v", got, err)
+		}
+		return nil
+	})
+
+	reg(30, "quick", "rename replaces existing file", func(e *Env) error {
+		e.Root.WriteFile(e.P("a"), []byte("A"), 0o644)
+		e.Root.WriteFile(e.P("b"), []byte("B"), 0o644)
+		if err := e.Root.Rename(e.P("a"), e.P("b")); err != nil {
+			return err
+		}
+		got, _ := e.Root.ReadFile(e.P("b"))
+		return check(string(got) == "A", "replaced content %q", got)
+	})
+
+	reg(31, "quick", "rename dir onto non-empty dir fails", func(e *Env) error {
+		e.Root.MkdirAll(e.P("src"), 0o755)
+		e.Root.MkdirAll(e.P("dst/child"), 0o755)
+		return expectErrno(e.Root.Rename(e.P("src"), e.P("dst")), vfs.ENOTEMPTY)
+	})
+
+	reg(32, "quick", "rename dir into own subtree fails", func(e *Env) error {
+		e.Root.MkdirAll(e.P("d/sub"), 0o755)
+		return expectErrno(e.Root.Rename(e.P("d"), e.P("d/sub/x")), vfs.EINVAL)
+	})
+
+	reg(33, "quick", "RENAME_NOREPLACE honours existing", func(e *Env) error {
+		e.Root.WriteFile(e.P("a"), nil, 0o644)
+		e.Root.WriteFile(e.P("b"), nil, 0o644)
+		ra, _ := e.Root.Lresolve(e.P("a"))
+		rb, _ := e.Root.Lresolve(e.P("b"))
+		err := e.Top.Rename(e.Root.Cred, ra.Parent, ra.Leaf, rb.Parent, rb.Leaf, vfs.RenameNoReplace)
+		return expectErrno(err, vfs.EEXIST)
+	})
+
+	reg(34, "quick", "RENAME_EXCHANGE swaps", func(e *Env) error {
+		e.Root.WriteFile(e.P("a"), []byte("A"), 0o644)
+		e.Root.WriteFile(e.P("b"), []byte("B"), 0o644)
+		ra, _ := e.Root.Lresolve(e.P("a"))
+		rb, _ := e.Root.Lresolve(e.P("b"))
+		if err := e.Top.Rename(e.Root.Cred, ra.Parent, ra.Leaf, rb.Parent, rb.Leaf, vfs.RenameExchange); err != nil {
+			return err
+		}
+		ga, _ := e.Root.ReadFile(e.P("a"))
+		gb, _ := e.Root.ReadFile(e.P("b"))
+		return check(string(ga) == "B" && string(gb) == "A", "exchange: %q %q", ga, gb)
+	})
+
+	reg(35, "quick", "hard link shares inode and data", func(e *Env) error {
+		e.Root.WriteFile(e.P("a"), []byte("shared"), 0o644)
+		if err := e.Root.Link(e.P("a"), e.P("b")); err != nil {
+			return err
+		}
+		aa, _ := e.Root.Stat(e.P("a"))
+		ab, _ := e.Root.Stat(e.P("b"))
+		if aa.Ino != ab.Ino || aa.Nlink != 2 {
+			return fmt.Errorf("ino %d/%d nlink %d", aa.Ino, ab.Ino, aa.Nlink)
+		}
+		e.Root.Remove(e.P("a"))
+		got, err := e.Root.ReadFile(e.P("b"))
+		if err != nil || string(got) != "shared" {
+			return fmt.Errorf("after unlink: %q %v", got, err)
+		}
+		ab, _ = e.Root.Stat(e.P("b"))
+		return check(ab.Nlink == 1, "nlink = %d", ab.Nlink)
+	})
+
+	reg(36, "quick", "hard link to directory fails", func(e *Env) error {
+		e.Root.Mkdir(e.P("d"), 0o755)
+		return expectErrno(e.Root.Link(e.P("d"), e.P("l")), vfs.EPERM)
+	})
+
+	reg(37, "quick", "link writes visible through all names", func(e *Env) error {
+		e.Root.WriteFile(e.P("a"), []byte("old"), 0o644)
+		e.Root.Link(e.P("a"), e.P("b"))
+		e.Root.WriteFile(e.P("a"), []byte("new"), 0o644)
+		got, _ := e.Root.ReadFile(e.P("b"))
+		return check(string(got) == "new", "through link: %q", got)
+	})
+
+	reg(38, "quick", "symlink create and readlink", func(e *Env) error {
+		if err := e.Root.Symlink("../target", e.P("ln")); err != nil {
+			return err
+		}
+		tgt, err := e.Root.Readlink(e.P("ln"))
+		if err != nil || tgt != "../target" {
+			return fmt.Errorf("readlink: %q %v", tgt, err)
+		}
+		attr, _ := e.Root.Lstat(e.P("ln"))
+		return check(attr.Type == vfs.TypeSymlink && attr.Size == int64(len("../target")),
+			"lstat = %+v", attr)
+	})
+
+	reg(39, "quick", "symlink followed on open", func(e *Env) error {
+		e.Root.WriteFile(e.P("real"), []byte("R"), 0o644)
+		e.Root.Symlink(e.P("real"), e.P("ln"))
+		got, err := e.Root.ReadFile(e.P("ln"))
+		if err != nil || string(got) != "R" {
+			return fmt.Errorf("through symlink: %q %v", got, err)
+		}
+		return nil
+	})
+
+	reg(40, "quick", "dangling symlink ENOENT; O_NOFOLLOW ELOOP", func(e *Env) error {
+		e.Root.Symlink(e.P("nowhere"), e.P("ln"))
+		if _, err := e.Root.ReadFile(e.P("ln")); vfs.ToErrno(err) != vfs.ENOENT {
+			return fmt.Errorf("dangling: %v", err)
+		}
+		_, err := e.Root.Open(e.P("ln"), vfs.ORdonly|vfs.ONofollow, 0)
+		return expectErrno(err, vfs.ELOOP)
+	})
+
+	reg(41, "quick", "symlink loop detected", func(e *Env) error {
+		e.Root.Symlink(e.P("b"), e.P("a"))
+		e.Root.Symlink(e.P("a"), e.P("b"))
+		_, err := e.Root.ReadFile(e.P("a"))
+		return expectErrno(err, vfs.ELOOP)
+	})
+
+	reg(42, "quick", "readdir includes dot entries with offsets", func(e *Env) error {
+		e.Root.WriteFile(e.P("x"), nil, 0o644)
+		r, err := e.Root.Resolve(e.Scratch)
+		if err != nil {
+			return err
+		}
+		h, err := e.Top.Opendir(e.Root.Cred, r.Ino)
+		if err != nil {
+			return err
+		}
+		defer e.Top.Releasedir(h)
+		ents, err := e.Top.Readdir(e.Root.Cred, h, 0)
+		if err != nil {
+			return err
+		}
+		if len(ents) < 3 || ents[0].Name != "." || ents[1].Name != ".." {
+			return fmt.Errorf("entries = %v", ents)
+		}
+		// Resuming from an offset must not repeat entries.
+		rest, err := e.Top.Readdir(e.Root.Cred, h, ents[1].Off)
+		if err != nil {
+			return err
+		}
+		return check(len(rest) == len(ents)-2, "resume len %d vs %d", len(rest), len(ents))
+	})
+
+	reg(43, "quick", "dotdot resolves to parent", func(e *Env) error {
+		e.Root.MkdirAll(e.P("a/b"), 0o755)
+		e.Root.WriteFile(e.P("marker"), []byte("m"), 0o644)
+		got, err := e.Root.ReadFile(e.P("a/b/../../marker"))
+		if err != nil || string(got) != "m" {
+			return fmt.Errorf("dotdot: %q %v", got, err)
+		}
+		return nil
+	})
+
+	reg(44, "quick", "name length limits", func(e *Env) error {
+		long := make([]byte, vfs.MaxNameLen+1)
+		for i := range long {
+			long[i] = 'n'
+		}
+		err := e.Root.WriteFile(e.Scratch+"/"+string(long), nil, 0o644)
+		if verr := expectErrno(err, vfs.ENAMETOOLONG); verr != nil {
+			return verr
+		}
+		ok := string(long[:vfs.MaxNameLen])
+		return e.Root.WriteFile(e.Scratch+"/"+ok, nil, 0o644)
+	})
+}

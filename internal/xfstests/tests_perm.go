@@ -1,0 +1,203 @@
+package xfstests
+
+import (
+	"fmt"
+
+	"cntr/internal/vfs"
+)
+
+// Permission and mode-bit tests (generic/045..059 plus generic/375, the
+// paper's first documented failure).
+func init() {
+	reg(45, "quick", "mode 0600 denies other users", func(e *Env) error {
+		e.Root.WriteFile(e.P("secret"), []byte("s"), 0o600)
+		user := e.User(1000, 1000)
+		_, err := user.ReadFile(e.P("secret"))
+		return expectErrno(err, vfs.EACCES)
+	})
+
+	reg(46, "quick", "group read bit honoured", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), []byte("g"), 0o640)
+		e.Root.Chown(e.P("f"), 0, 500)
+		member := e.User(1000, 500)
+		if _, err := member.ReadFile(e.P("f")); err != nil {
+			return fmt.Errorf("group member read: %v", err)
+		}
+		outsider := e.User(1000, 600)
+		_, err := outsider.ReadFile(e.P("f"))
+		return expectErrno(err, vfs.EACCES)
+	})
+
+	reg(47, "quick", "supplementary groups grant access", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), []byte("x"), 0o060)
+		e.Root.Chown(e.P("f"), 0, 777)
+		u := e.User(1000, 100, 776, 777)
+		_, err := u.ReadFile(e.P("f"))
+		return err
+	})
+
+	reg(48, "quick", "search permission needed to traverse", func(e *Env) error {
+		e.Root.MkdirAll(e.P("locked/inner"), 0o755)
+		e.Root.WriteFile(e.P("locked/inner/f"), nil, 0o644)
+		e.Root.Chmod(e.P("locked"), 0o600) // no x bit
+		u := e.User(1000, 1000)
+		_, err := u.Stat(e.P("locked/inner/f"))
+		return expectErrno(err, vfs.EACCES)
+	})
+
+	reg(49, "quick", "write permission needed to create", func(e *Env) error {
+		e.Root.Mkdir(e.P("ro"), 0o555)
+		u := e.User(1000, 1000)
+		err := u.WriteFile(e.P("ro/new"), nil, 0o644)
+		return expectErrno(err, vfs.EACCES)
+	})
+
+	reg(50, "quick", "chmod requires ownership", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), nil, 0o644)
+		u := e.User(1000, 1000)
+		return expectErrno(u.Chmod(e.P("f"), 0o777), vfs.EPERM)
+	})
+
+	reg(51, "quick", "chown requires CAP_CHOWN", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), nil, 0o644)
+		e.Root.Chown(e.P("f"), 1000, 1000)
+		u := e.User(1000, 1000)
+		return expectErrno(u.Chown(e.P("f"), 2000, 1000), vfs.EPERM)
+	})
+
+	reg(52, "quick", "owner may change group to own group", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), nil, 0o644)
+		e.Root.Chown(e.P("f"), 1000, 1000)
+		u := e.User(1000, 1000, 1005)
+		return u.Chown(e.P("f"), 1000, 1005)
+	})
+
+	reg(53, "quick", "setuid cleared by write", func(e *Env) error {
+		e.Root.WriteFile(e.P("bin"), []byte("#!"), 0o644)
+		e.Root.Chown(e.P("bin"), 1000, 1000)
+		e.Root.Chmod(e.P("bin"), 0o4755)
+		u := e.User(1000, 1000)
+		f, err := u.Open(e.P("bin"), vfs.OWronly, 0)
+		if err != nil {
+			return err
+		}
+		f.Write([]byte("patch"))
+		f.Close()
+		attr, _ := u.Stat(e.P("bin"))
+		return check(attr.Mode&vfs.ModeSetUID == 0, "setuid survived write")
+	})
+
+	reg(54, "quick", "setuid/setgid cleared by chown", func(e *Env) error {
+		e.Root.WriteFile(e.P("bin"), nil, 0o644)
+		e.Root.Chmod(e.P("bin"), 0o6775)
+		limited := vfs.NewClient(e.Top, &vfs.Cred{
+			UID: 0, GID: 0, FSUID: 0, FSGID: 0,
+			Caps: vfs.NewCapSet(vfs.CapChown, vfs.CapDacOverride, vfs.CapFowner),
+		})
+		if err := limited.Chown(e.P("bin"), 1000, 1000); err != nil {
+			return err
+		}
+		attr, _ := e.Root.Stat(e.P("bin"))
+		return check(attr.Mode&vfs.ModeSetUID == 0 && attr.Mode&vfs.ModeSetGID == 0,
+			"suid/sgid survived chown: %o", attr.Mode)
+	})
+
+	reg(55, "quick", "sticky directory restricts deletion", func(e *Env) error {
+		e.Root.Mkdir(e.P("tmp"), 0o1777)
+		alice := e.User(1000, 1000)
+		bob := e.User(2000, 2000)
+		if err := alice.WriteFile(e.P("tmp/af"), nil, 0o644); err != nil {
+			return err
+		}
+		if err := expectErrno(bob.Remove(e.P("tmp/af")), vfs.EPERM); err != nil {
+			return err
+		}
+		return alice.Remove(e.P("tmp/af"))
+	})
+
+	reg(56, "quick", "SGID directory: children inherit group", func(e *Env) error {
+		e.Root.Mkdir(e.P("shared"), 0o777)
+		e.Root.Chown(e.P("shared"), 0, 4242)
+		e.Root.Chmod(e.P("shared"), 0o2777)
+		u := e.User(1000, 1000)
+		if err := u.WriteFile(e.P("shared/f"), nil, 0o644); err != nil {
+			return err
+		}
+		attr, _ := u.Stat(e.P("shared/f"))
+		if attr.GID != 4242 {
+			return fmt.Errorf("gid = %d", attr.GID)
+		}
+		if err := u.Mkdir(e.P("shared/sub"), 0o755); err != nil {
+			return err
+		}
+		dattr, _ := u.Stat(e.P("shared/sub"))
+		return check(dattr.Mode&vfs.ModeSetGID != 0, "SGID not inherited by subdir")
+	})
+
+	reg(57, "quick", "access(2) agrees with open", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), nil, 0o400)
+		u := e.User(1000, 1000)
+		r, err := e.Root.Resolve(e.P("f"))
+		if err != nil {
+			return err
+		}
+		if err := expectErrno(e.Top.Access(u.Cred, r.Ino, vfs.AccessRead), vfs.EACCES); err != nil {
+			return err
+		}
+		return e.Top.Access(e.Root.Cred, r.Ino, vfs.AccessRead)
+	})
+
+	reg(58, "quick", "exec bit checked even for root", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), []byte("data"), 0o644)
+		r, _ := e.Root.Resolve(e.P("f"))
+		return expectErrno(e.Top.Access(e.Root.Cred, r.Ino, vfs.AccessExec), vfs.EACCES)
+	})
+
+	reg(59, "quick", "mknod device requires privilege", func(e *Env) error {
+		u := e.User(1000, 1000)
+		r, err := e.Root.Resolve(e.Scratch)
+		if err != nil {
+			return err
+		}
+		e.Root.Chmod(e.Scratch, 0o777)
+		_, err = e.Top.Mknod(u.Cred, r.Ino, "dev", vfs.TypeCharDev, 0o600, 0x0101)
+		if verr := expectErrno(err, vfs.EPERM); verr != nil {
+			return verr
+		}
+		_, err = e.Top.Mknod(u.Cred, r.Ino, "fifo", vfs.TypeFIFO, 0o644, 0)
+		return err
+	})
+
+	// generic/375 — the paper's ACL/SETGID failure. chmod by a caller
+	// outside the owning group must clear the SGID bit even when a POSIX
+	// ACL is present. CntrFS delegates ACL handling to the underlying
+	// filesystem via setfsuid, so the replayed chmod carries the server's
+	// CAP_FSETID and the bit survives (§5.1, failure 1).
+	reg(375, "auto", "SETGID clearing under POSIX ACLs (chmod by non-group-member)", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), nil, 0o644)
+		e.Root.Chown(e.P("f"), 1000, 5000) // owner 1000, group they are NOT in
+		r, err := e.Root.Resolve(e.P("f"))
+		if err != nil {
+			return err
+		}
+		acl := vfs.ACL{Entries: []vfs.ACLEntry{
+			{Tag: vfs.ACLUserObj, Perm: 7},
+			{Tag: vfs.ACLGroupObj, Perm: 5},
+			{Tag: vfs.ACLMask, Perm: 5},
+			{Tag: vfs.ACLOther, Perm: 5},
+		}}
+		if err := e.Top.Setxattr(e.Root.Cred, r.Ino, vfs.XattrPosixACLAccess, vfs.EncodeACL(acl), 0); err != nil {
+			return err
+		}
+		owner := e.User(1000, 1000)
+		if err := owner.Chmod(e.P("f"), 0o2755); err != nil {
+			return err
+		}
+		attr, err := owner.Stat(e.P("f"))
+		if err != nil {
+			return err
+		}
+		return check(attr.Mode&vfs.ModeSetGID == 0,
+			"SGID bit not cleared by non-member chmod (ACL delegation)")
+	})
+}

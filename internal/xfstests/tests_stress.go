@@ -1,0 +1,246 @@
+package xfstests
+
+import (
+	"bytes"
+	"fmt"
+
+	"cntr/internal/sim"
+	"cntr/internal/vfs"
+)
+
+// Stress and crash-pattern tests (generic/080..091): load, deep trees,
+// rapid create/delete cycles, fsync-under-load — the "stress" and
+// "dangerous" flavoured parts of the generic group.
+func init() {
+	reg(80, "auto", "create-write-delete churn", func(e *Env) error {
+		for round := 0; round < 20; round++ {
+			for i := 0; i < 20; i++ {
+				name := fmt.Sprintf("%s/churn-%d", e.Scratch, i)
+				if err := e.Root.WriteFile(name, bytes.Repeat([]byte{byte(i)}, 1024), 0o644); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < 20; i++ {
+				if err := e.Root.Remove(fmt.Sprintf("%s/churn-%d", e.Scratch, i)); err != nil {
+					return err
+				}
+			}
+		}
+		ents, err := e.Root.ReadDir(e.Scratch)
+		if err != nil {
+			return err
+		}
+		return check(len(ents) == 0, "leftovers: %v", ents)
+	})
+
+	reg(81, "auto", "deep directory tree", func(e *Env) error {
+		path := e.Scratch
+		for i := 0; i < 30; i++ {
+			path += fmt.Sprintf("/d%d", i)
+		}
+		if err := e.Root.MkdirAll(path, 0o755); err != nil {
+			return err
+		}
+		if err := e.Root.WriteFile(path+"/leaf", []byte("deep"), 0o644); err != nil {
+			return err
+		}
+		got, err := e.Root.ReadFile(path + "/leaf")
+		if err != nil || string(got) != "deep" {
+			return fmt.Errorf("deep read: %q %v", got, err)
+		}
+		return nil
+	})
+
+	reg(82, "auto", "rename storm preserves content", func(e *Env) error {
+		e.Root.WriteFile(e.P("ball"), []byte("payload"), 0o644)
+		cur := e.P("ball")
+		for i := 0; i < 50; i++ {
+			next := fmt.Sprintf("%s/ball-%d", e.Scratch, i)
+			if err := e.Root.Rename(cur, next); err != nil {
+				return err
+			}
+			cur = next
+		}
+		got, err := e.Root.ReadFile(cur)
+		if err != nil || string(got) != "payload" {
+			return fmt.Errorf("after storm: %q %v", got, err)
+		}
+		return nil
+	})
+
+	reg(83, "auto", "link storm keeps nlink exact", func(e *Env) error {
+		e.Root.WriteFile(e.P("base"), nil, 0o644)
+		for i := 0; i < 40; i++ {
+			if err := e.Root.Link(e.P("base"), fmt.Sprintf("%s/l%d", e.Scratch, i)); err != nil {
+				return err
+			}
+		}
+		attr, _ := e.Root.Stat(e.P("base"))
+		if attr.Nlink != 41 {
+			return fmt.Errorf("nlink = %d, want 41", attr.Nlink)
+		}
+		for i := 0; i < 40; i++ {
+			e.Root.Remove(fmt.Sprintf("%s/l%d", e.Scratch, i))
+		}
+		attr, _ = e.Root.Stat(e.P("base"))
+		return check(attr.Nlink == 1, "final nlink = %d", attr.Nlink)
+	})
+
+	reg(84, "auto", "append-heavy log under interleaving", func(e *Env) error {
+		f1, err := e.Root.Open(e.P("log"), vfs.OWronly|vfs.OCreat|vfs.OAppend, 0o644)
+		if err != nil {
+			return err
+		}
+		f2, err := e.Root.Open(e.P("log"), vfs.OWronly|vfs.OAppend, 0)
+		if err != nil {
+			f1.Close()
+			return err
+		}
+		for i := 0; i < 100; i++ {
+			f1.Write([]byte("A"))
+			f2.Write([]byte("B"))
+		}
+		f1.Close()
+		f2.Close()
+		got, _ := e.Root.ReadFile(e.P("log"))
+		if len(got) != 200 {
+			return fmt.Errorf("append lost writes: %d", len(got))
+		}
+		a := bytes.Count(got, []byte("A"))
+		return check(a == 100, "A count = %d", a)
+	})
+
+	reg(85, "dangerous", "write after fsync survives reopen", func(e *Env) error {
+		f, err := e.Root.Open(e.P("db"), vfs.ORdwr|vfs.OCreat, 0o644)
+		if err != nil {
+			return err
+		}
+		f.Write([]byte("committed"))
+		f.Sync()
+		f.Write([]byte("+more"))
+		f.Close()
+		got, err := e.Root.ReadFile(e.P("db"))
+		if err != nil || string(got) != "committed+more" {
+			return fmt.Errorf("reopen: %q %v", got, err)
+		}
+		return nil
+	})
+
+	reg(86, "dangerous", "unlink during write keeps data coherent", func(e *Env) error {
+		f, err := e.Root.Open(e.P("tmp"), vfs.ORdwr|vfs.OCreat, 0o644)
+		if err != nil {
+			return err
+		}
+		f.Write(bytes.Repeat([]byte("x"), 4096))
+		if err := e.Root.Remove(e.P("tmp")); err != nil {
+			f.Close()
+			return err
+		}
+		f.Write(bytes.Repeat([]byte("y"), 4096))
+		buf := make([]byte, 8192)
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+		return check(buf[0] == 'x' && buf[8191] == 'y', "orphan data corrupt")
+	})
+
+	reg(87, "auto", "random offset write/read agreement", func(e *Env) error {
+		rng := sim.NewRand(87)
+		f, err := e.Root.Open(e.P("rand"), vfs.ORdwr|vfs.OCreat, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		ref := make([]byte, 128<<10)
+		for i := 0; i < 60; i++ {
+			off := rng.Intn(120 << 10)
+			size := rng.Intn(4096) + 1
+			data := make([]byte, size)
+			rng.Bytes(data)
+			if _, err := f.WriteAt(data, int64(off)); err != nil {
+				return err
+			}
+			copy(ref[off:], data)
+		}
+		// Compare a prefix covered by writes.
+		attr, _ := f.Stat()
+		got := make([]byte, attr.Size)
+		if _, err := f.ReadAt(got, 0); err != nil {
+			return err
+		}
+		return check(bytes.Equal(got, ref[:attr.Size]), "random IO mismatch")
+	})
+
+	reg(88, "auto", "directory with hot create/rename/delete", func(e *Env) error {
+		for i := 0; i < 30; i++ {
+			tmp := fmt.Sprintf("%s/.tmp-%d", e.Scratch, i)
+			final := fmt.Sprintf("%s/obj-%d", e.Scratch, i%5)
+			if err := e.Root.WriteFile(tmp, []byte{byte(i)}, 0o644); err != nil {
+				return err
+			}
+			if err := e.Root.Rename(tmp, final); err != nil {
+				return err
+			}
+		}
+		ents, err := e.Root.ReadDir(e.Scratch)
+		if err != nil {
+			return err
+		}
+		return check(len(ents) == 5, "atomic-replace pattern left %d entries", len(ents))
+	})
+
+	reg(89, "auto", "readdir stable under concurrent mutation", func(e *Env) error {
+		for i := 0; i < 50; i++ {
+			e.Root.WriteFile(fmt.Sprintf("%s/s%02d", e.Scratch, i), nil, 0o644)
+		}
+		ents, err := e.Root.ReadDir(e.Scratch)
+		if err != nil {
+			return err
+		}
+		seen := map[string]bool{}
+		for _, ent := range ents {
+			if seen[ent.Name] {
+				return fmt.Errorf("duplicate entry %q", ent.Name)
+			}
+			seen[ent.Name] = true
+		}
+		return check(len(seen) == 50, "entries = %d", len(seen))
+	})
+
+	reg(90, "dangerous", "ENOSPC-style boundary: huge truncate then shrink", func(e *Env) error {
+		if err := e.Root.WriteFile(e.P("f"), []byte("x"), 0o644); err != nil {
+			return err
+		}
+		// Sparse extension to 1GB must not allocate storage.
+		if err := e.Root.Truncate(e.P("f"), 1<<30); err != nil {
+			return err
+		}
+		attr, _ := e.Root.Stat(e.P("f"))
+		if attr.Size != 1<<30 {
+			return fmt.Errorf("size = %d", attr.Size)
+		}
+		if attr.Blocks > 16 {
+			return fmt.Errorf("sparse truncate allocated %d blocks", attr.Blocks)
+		}
+		return e.Root.Truncate(e.P("f"), 0)
+	})
+
+	reg(91, "auto", "stat cache coherent across clients", func(e *Env) error {
+		other := vfs.NewClient(e.Top, vfs.Root())
+		e.Root.WriteFile(e.P("f"), []byte("12345"), 0o644)
+		if err := other.Truncate(e.P("f"), 2); err != nil {
+			return err
+		}
+		attr, err := e.Root.Stat(e.P("f"))
+		if err != nil || attr.Size != 2 {
+			return fmt.Errorf("stale size: %d %v", attr.Size, err)
+		}
+		got, _ := e.Root.ReadFile(e.P("f"))
+		return check(string(got) == "12", "content %q", got)
+	})
+}
+
+// fixedTime builds a deterministic timestamp for utimes tests.
+func fixedTime(sec int64) (t timeLike) { return timeAt(sec) }

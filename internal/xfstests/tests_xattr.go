@@ -1,0 +1,147 @@
+package xfstests
+
+import (
+	"bytes"
+	"fmt"
+
+	"cntr/internal/vfs"
+)
+
+// Extended-attribute and ACL tests (generic/061..070).
+func init() {
+	reg(61, "quick", "xattr set/get round trip", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), nil, 0o644)
+		r, _ := e.Root.Resolve(e.P("f"))
+		if err := e.Top.Setxattr(e.Root.Cred, r.Ino, "user.comment", []byte("hello"), 0); err != nil {
+			return err
+		}
+		v, err := e.Top.Getxattr(e.Root.Cred, r.Ino, "user.comment")
+		if err != nil || string(v) != "hello" {
+			return fmt.Errorf("getxattr: %q %v", v, err)
+		}
+		return nil
+	})
+
+	reg(62, "quick", "xattr missing yields ENODATA", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), nil, 0o644)
+		r, _ := e.Root.Resolve(e.P("f"))
+		_, err := e.Top.Getxattr(e.Root.Cred, r.Ino, "user.none")
+		return expectErrno(err, vfs.ENODATA)
+	})
+
+	reg(63, "quick", "XATTR_CREATE and XATTR_REPLACE flags", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), nil, 0o644)
+		r, _ := e.Root.Resolve(e.P("f"))
+		if err := expectErrno(
+			e.Top.Setxattr(e.Root.Cred, r.Ino, "user.k", []byte("1"), vfs.XattrReplace),
+			vfs.ENODATA); err != nil {
+			return err
+		}
+		if err := e.Top.Setxattr(e.Root.Cred, r.Ino, "user.k", []byte("1"), vfs.XattrCreate); err != nil {
+			return err
+		}
+		return expectErrno(
+			e.Top.Setxattr(e.Root.Cred, r.Ino, "user.k", []byte("2"), vfs.XattrCreate),
+			vfs.EEXIST)
+	})
+
+	reg(64, "quick", "listxattr enumerates sorted names", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), nil, 0o644)
+		r, _ := e.Root.Resolve(e.P("f"))
+		for _, name := range []string{"user.z", "user.a", "user.m"} {
+			e.Top.Setxattr(e.Root.Cred, r.Ino, name, []byte("v"), 0)
+		}
+		names, err := e.Top.Listxattr(e.Root.Cred, r.Ino)
+		if err != nil || len(names) != 3 {
+			return fmt.Errorf("list: %v %v", names, err)
+		}
+		return check(names[0] == "user.a" && names[2] == "user.z", "order: %v", names)
+	})
+
+	reg(65, "quick", "removexattr removes", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), nil, 0o644)
+		r, _ := e.Root.Resolve(e.P("f"))
+		e.Top.Setxattr(e.Root.Cred, r.Ino, "user.k", []byte("v"), 0)
+		if err := e.Top.Removexattr(e.Root.Cred, r.Ino, "user.k"); err != nil {
+			return err
+		}
+		if err := expectErrno(e.Top.Removexattr(e.Root.Cred, r.Ino, "user.k"), vfs.ENODATA); err != nil {
+			return err
+		}
+		_, err := e.Top.Getxattr(e.Root.Cred, r.Ino, "user.k")
+		return expectErrno(err, vfs.ENODATA)
+	})
+
+	reg(66, "quick", "xattr set requires ownership", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), nil, 0o666)
+		r, _ := e.Root.Resolve(e.P("f"))
+		u := e.User(1000, 1000)
+		err := e.Top.Setxattr(u.Cred, r.Ino, "user.k", []byte("v"), 0)
+		return expectErrno(err, vfs.EPERM)
+	})
+
+	reg(67, "quick", "binary xattr values preserved", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), nil, 0o644)
+		r, _ := e.Root.Resolve(e.P("f"))
+		blob := []byte{0, 1, 2, 255, 254, 0, 7}
+		e.Top.Setxattr(e.Root.Cred, r.Ino, "user.bin", blob, 0)
+		v, err := e.Top.Getxattr(e.Root.Cred, r.Ino, "user.bin")
+		if err != nil || !bytes.Equal(v, blob) {
+			return fmt.Errorf("binary xattr: %v %v", v, err)
+		}
+		return nil
+	})
+
+	reg(68, "auto", "POSIX ACL mask drives group bits", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), nil, 0o644)
+		r, _ := e.Root.Resolve(e.P("f"))
+		acl := vfs.ACL{Entries: []vfs.ACLEntry{
+			{Tag: vfs.ACLUserObj, Perm: 6},
+			{Tag: vfs.ACLUser, Perm: 7, ID: 1000},
+			{Tag: vfs.ACLGroupObj, Perm: 4},
+			{Tag: vfs.ACLMask, Perm: 5},
+			{Tag: vfs.ACLOther, Perm: 4},
+		}}
+		if err := e.Top.Setxattr(e.Root.Cred, r.Ino, vfs.XattrPosixACLAccess, vfs.EncodeACL(acl), 0); err != nil {
+			return err
+		}
+		attr, _ := e.Root.Stat(e.P("f"))
+		return check(attr.Mode>>3&7 == 5, "group bits = %o, want mask 5", attr.Mode>>3&7)
+	})
+
+	reg(69, "auto", "ACL round trips through xattr opaquely", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), nil, 0o644)
+		r, _ := e.Root.Resolve(e.P("f"))
+		in := vfs.EncodeACL(vfs.FromMode(0o751))
+		if err := e.Top.Setxattr(e.Root.Cred, r.Ino, vfs.XattrPosixACLAccess, in, 0); err != nil {
+			return err
+		}
+		out, err := e.Top.Getxattr(e.Root.Cred, r.Ino, vfs.XattrPosixACLAccess)
+		if err != nil || !bytes.Equal(in, out) {
+			return fmt.Errorf("ACL mangled: %v", err)
+		}
+		acl, err := vfs.DecodeACL(out)
+		if err != nil || len(acl.Entries) != 3 {
+			return fmt.Errorf("decode: %v %v", acl, err)
+		}
+		return nil
+	})
+
+	reg(70, "quick", "xattrs survive rename", func(e *Env) error {
+		e.Root.WriteFile(e.P("f"), nil, 0o644)
+		r, _ := e.Root.Resolve(e.P("f"))
+		e.Top.Setxattr(e.Root.Cred, r.Ino, "user.tag", []byte("keep"), 0)
+		if err := e.Root.Rename(e.P("f"), e.P("g")); err != nil {
+			return err
+		}
+		r2, err := e.Root.Resolve(e.P("g"))
+		if err != nil {
+			return err
+		}
+		v, err := e.Top.Getxattr(e.Root.Cred, r2.Ino, "user.tag")
+		if err != nil || string(v) != "keep" {
+			return fmt.Errorf("xattr lost: %q %v", v, err)
+		}
+		return nil
+	})
+}

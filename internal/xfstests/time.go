@@ -1,0 +1,10 @@
+package xfstests
+
+import "time"
+
+// timeLike aliases time.Time so test files can build deterministic
+// timestamps without importing time everywhere.
+type timeLike = time.Time
+
+// timeAt returns a fixed UTC timestamp at the given Unix second.
+func timeAt(sec int64) time.Time { return time.Unix(sec, 0).UTC() }

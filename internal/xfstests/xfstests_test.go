@@ -1,0 +1,73 @@
+package xfstests
+
+import (
+	"testing"
+
+	"cntr/internal/stack"
+)
+
+func TestSuiteHas94GenericTests(t *testing.T) {
+	all := All()
+	if len(all) != 94 {
+		t.Fatalf("suite has %d tests, want 94 (the paper's generic group)", len(all))
+	}
+	seen := map[int]bool{}
+	groups := map[string]bool{}
+	for _, tc := range all {
+		if seen[tc.Num] {
+			t.Fatalf("duplicate test number %d", tc.Num)
+		}
+		seen[tc.Num] = true
+		groups[tc.Group] = true
+	}
+	for _, g := range []string{"auto", "quick", "aio", "prealloc", "ioctl", "dangerous"} {
+		if !groups[g] {
+			t.Fatalf("missing group %q", g)
+		}
+	}
+	for _, num := range []int{375, 228, 391, 426} {
+		if !seen[num] {
+			t.Fatalf("canonical test #%d missing", num)
+		}
+	}
+}
+
+func TestNativeStackPassesEverything(t *testing.T) {
+	n := stack.NewNative(stack.Config{})
+	sum, results := Run(n.Top)
+	if sum.Failed != 0 {
+		for _, r := range sum.Failures {
+			t.Errorf("generic/%03d %s: %s", r.Num, r.Name, r.Reason)
+		}
+		t.Fatalf("native: %d/%d passed", sum.Passed, sum.Total)
+	}
+	if sum.Passed != 94 {
+		t.Fatalf("native passed %d, want 94 (skipped %d)", sum.Passed, sum.Skipped)
+	}
+	_ = results
+}
+
+// TestCntrStackReproducesPaper is the §5.1 headline: 90 of 94 generic
+// tests pass over CntrFS-on-tmpfs, and the four failures are exactly the
+// ones the paper documents, for the documented reasons.
+func TestCntrStackReproducesPaper(t *testing.T) {
+	c := stack.NewCntr(stack.Config{})
+	defer c.Close()
+	sum, _ := Run(c.Top)
+	if sum.Passed != 90 || sum.Failed != 4 {
+		for _, r := range sum.Failures {
+			t.Errorf("generic/%03d %s: %s", r.Num, r.Name, r.Reason)
+		}
+		t.Fatalf("cntr: %d passed / %d failed, want 90/4", sum.Passed, sum.Failed)
+	}
+	wantFail := map[int]bool{375: true, 228: true, 391: true, 426: true}
+	for _, r := range sum.Failures {
+		if !wantFail[r.Num] {
+			t.Errorf("unexpected failure generic/%03d %s: %s", r.Num, r.Name, r.Reason)
+		}
+		delete(wantFail, r.Num)
+	}
+	for num := range wantFail {
+		t.Errorf("expected failure generic/%03d did not fail", num)
+	}
+}
