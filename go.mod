@@ -1,0 +1,3 @@
+module cntr
+
+go 1.24

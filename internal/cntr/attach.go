@@ -160,9 +160,9 @@ func Attach(h *Host, opts Options) (*Session, error) {
 	// /etc/passwd, /etc/hostname.
 	procSnap := h.Procs.Snapshot()
 	nestedMount.Mount(tmpMountPoint+"/proc", procSnap, vfs.RootIno, namespace.PropPrivate, false)
-	appCred := vfs.Root()
+	appOp := vfs.RootOp()
 	for _, special := range []string{"/dev", "/etc/passwd", "/etc/hostname"} {
-		fs, ino, _, rerr := ctx.Namespaces.Mount.Resolve(appCred, special)
+		fs, ino, _, rerr := ctx.Namespaces.Mount.Resolve(appOp, special)
 		if rerr != nil {
 			continue // absent in this container; skip
 		}

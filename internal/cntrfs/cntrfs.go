@@ -46,7 +46,6 @@ type FS struct {
 	nodes     map[vfs.Ino]*node   // CntrFS ino -> node
 	byBacking map[vfs.Ino]vfs.Ino // backing ino -> CntrFS ino
 	nextIno   vfs.Ino
-	stats     vfs.OpStats
 }
 
 type node struct {
@@ -118,15 +117,12 @@ func (fs *FS) register(backIno vfs.Ino) vfs.Ino {
 // Lookup implements vfs.FS. The cold path is deliberately expensive: one
 // lookup on the backing filesystem, then an open+stat pair to obtain a
 // stable identity for hard-link deduplication.
-func (fs *FS) Lookup(c *vfs.Cred, parent vfs.Ino, name string) (vfs.Attr, error) {
-	fs.mu.Lock()
-	fs.stats.Lookups++
-	fs.mu.Unlock()
+func (fs *FS) Lookup(op *vfs.Op, parent vfs.Ino, name string) (vfs.Attr, error) {
 	backParent, err := fs.resolve(parent)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
-	attr, err := fs.backing.Lookup(c, backParent, name)
+	attr, err := fs.backing.Lookup(op, backParent, name)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
@@ -134,10 +130,10 @@ func (fs *FS) Lookup(c *vfs.Cred, parent vfs.Ino, name string) (vfs.Attr, error)
 		// open(O_PATH)-equivalent: revalidate access, then stat to learn
 		// whether this backing inode is already in the table under a
 		// different name (hard link).
-		if aerr := fs.backing.Access(c, attr.Ino, 0); aerr != nil {
+		if aerr := fs.backing.Access(op, attr.Ino, 0); aerr != nil {
 			return vfs.Attr{}, aerr
 		}
-		st, serr := fs.backing.Getattr(c, attr.Ino)
+		st, serr := fs.backing.Getattr(op, attr.Ino)
 		if serr != nil {
 			return vfs.Attr{}, serr
 		}
@@ -150,10 +146,9 @@ func (fs *FS) Lookup(c *vfs.Cred, parent vfs.Ino, name string) (vfs.Attr, error)
 
 // Forget implements vfs.FS: drop nlookup references; at zero the inode
 // vanishes from the table (hence #426: handles cannot outlive lookups).
-func (fs *FS) Forget(ino vfs.Ino, nlookup uint64) {
+func (fs *FS) Forget(op *vfs.Op, ino vfs.Ino, nlookup uint64) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	fs.stats.Forgets++
 	n, ok := fs.nodes[ino]
 	if !ok || ino == vfs.RootIno {
 		return
@@ -165,22 +160,19 @@ func (fs *FS) Forget(ino vfs.Ino, nlookup uint64) {
 				delete(fs.byBacking, n.backIno)
 			}
 		}
-		fs.backing.Forget(n.backIno, 1)
+		fs.backing.Forget(op, n.backIno, 1)
 		return
 	}
 	n.nlookup -= nlookup
 }
 
 // Getattr implements vfs.FS.
-func (fs *FS) Getattr(c *vfs.Cred, ino vfs.Ino) (vfs.Attr, error) {
-	fs.mu.Lock()
-	fs.stats.Getattrs++
-	fs.mu.Unlock()
+func (fs *FS) Getattr(op *vfs.Op, ino vfs.Ino) (vfs.Attr, error) {
 	back, err := fs.resolve(ino)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
-	attr, err := fs.backing.Getattr(c, back)
+	attr, err := fs.backing.Getattr(op, back)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
@@ -192,15 +184,12 @@ func (fs *FS) Getattr(c *vfs.Cred, ino vfs.Ino) (vfs.Attr, error) {
 // the server's capability set (setfsuid semantics), so mode-bit side
 // effects that depend on missing capabilities do not fire — this is the
 // xfstests #375 behaviour.
-func (fs *FS) Setattr(c *vfs.Cred, ino vfs.Ino, mask vfs.SetattrMask, attr vfs.Attr) (vfs.Attr, error) {
-	fs.mu.Lock()
-	fs.stats.Setattrs++
-	fs.mu.Unlock()
+func (fs *FS) Setattr(op *vfs.Op, ino vfs.Ino, mask vfs.SetattrMask, attr vfs.Attr) (vfs.Attr, error) {
 	back, err := fs.resolve(ino)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
-	out, err := fs.backing.Setattr(c, back, mask, attr)
+	out, err := fs.backing.Setattr(op, back, mask, attr)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
@@ -209,12 +198,12 @@ func (fs *FS) Setattr(c *vfs.Cred, ino vfs.Ino, mask vfs.SetattrMask, attr vfs.A
 }
 
 // Mknod implements vfs.FS.
-func (fs *FS) Mknod(c *vfs.Cred, parent vfs.Ino, name string, typ vfs.FileType, mode vfs.Mode, rdev uint32) (vfs.Attr, error) {
+func (fs *FS) Mknod(op *vfs.Op, parent vfs.Ino, name string, typ vfs.FileType, mode vfs.Mode, rdev uint32) (vfs.Attr, error) {
 	back, err := fs.resolve(parent)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
-	attr, err := fs.backing.Mknod(c, back, name, typ, mode, rdev)
+	attr, err := fs.backing.Mknod(op, back, name, typ, mode, rdev)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
@@ -223,12 +212,12 @@ func (fs *FS) Mknod(c *vfs.Cred, parent vfs.Ino, name string, typ vfs.FileType, 
 }
 
 // Mkdir implements vfs.FS.
-func (fs *FS) Mkdir(c *vfs.Cred, parent vfs.Ino, name string, mode vfs.Mode) (vfs.Attr, error) {
+func (fs *FS) Mkdir(op *vfs.Op, parent vfs.Ino, name string, mode vfs.Mode) (vfs.Attr, error) {
 	back, err := fs.resolve(parent)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
-	attr, err := fs.backing.Mkdir(c, back, name, mode)
+	attr, err := fs.backing.Mkdir(op, back, name, mode)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
@@ -237,12 +226,12 @@ func (fs *FS) Mkdir(c *vfs.Cred, parent vfs.Ino, name string, mode vfs.Mode) (vf
 }
 
 // Symlink implements vfs.FS.
-func (fs *FS) Symlink(c *vfs.Cred, parent vfs.Ino, name, target string) (vfs.Attr, error) {
+func (fs *FS) Symlink(op *vfs.Op, parent vfs.Ino, name, target string) (vfs.Attr, error) {
 	back, err := fs.resolve(parent)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
-	attr, err := fs.backing.Symlink(c, back, name, target)
+	attr, err := fs.backing.Symlink(op, back, name, target)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
@@ -251,40 +240,34 @@ func (fs *FS) Symlink(c *vfs.Cred, parent vfs.Ino, name, target string) (vfs.Att
 }
 
 // Readlink implements vfs.FS.
-func (fs *FS) Readlink(c *vfs.Cred, ino vfs.Ino) (string, error) {
+func (fs *FS) Readlink(op *vfs.Op, ino vfs.Ino) (string, error) {
 	back, err := fs.resolve(ino)
 	if err != nil {
 		return "", err
 	}
-	return fs.backing.Readlink(c, back)
+	return fs.backing.Readlink(op, back)
 }
 
 // Unlink implements vfs.FS.
-func (fs *FS) Unlink(c *vfs.Cred, parent vfs.Ino, name string) error {
-	fs.mu.Lock()
-	fs.stats.Unlinks++
-	fs.mu.Unlock()
+func (fs *FS) Unlink(op *vfs.Op, parent vfs.Ino, name string) error {
 	back, err := fs.resolve(parent)
 	if err != nil {
 		return err
 	}
-	return fs.backing.Unlink(c, back, name)
+	return fs.backing.Unlink(op, back, name)
 }
 
 // Rmdir implements vfs.FS.
-func (fs *FS) Rmdir(c *vfs.Cred, parent vfs.Ino, name string) error {
+func (fs *FS) Rmdir(op *vfs.Op, parent vfs.Ino, name string) error {
 	back, err := fs.resolve(parent)
 	if err != nil {
 		return err
 	}
-	return fs.backing.Rmdir(c, back, name)
+	return fs.backing.Rmdir(op, back, name)
 }
 
 // Rename implements vfs.FS.
-func (fs *FS) Rename(c *vfs.Cred, oldParent vfs.Ino, oldName string, newParent vfs.Ino, newName string, flags vfs.RenameFlags) error {
-	fs.mu.Lock()
-	fs.stats.Renames++
-	fs.mu.Unlock()
+func (fs *FS) Rename(op *vfs.Op, oldParent vfs.Ino, oldName string, newParent vfs.Ino, newName string, flags vfs.RenameFlags) error {
 	backOld, err := fs.resolve(oldParent)
 	if err != nil {
 		return err
@@ -293,11 +276,11 @@ func (fs *FS) Rename(c *vfs.Cred, oldParent vfs.Ino, oldName string, newParent v
 	if err != nil {
 		return err
 	}
-	return fs.backing.Rename(c, backOld, oldName, backNew, newName, flags)
+	return fs.backing.Rename(op, backOld, oldName, backNew, newName, flags)
 }
 
 // Link implements vfs.FS.
-func (fs *FS) Link(c *vfs.Cred, ino vfs.Ino, parent vfs.Ino, name string) (vfs.Attr, error) {
+func (fs *FS) Link(op *vfs.Op, ino vfs.Ino, parent vfs.Ino, name string) (vfs.Attr, error) {
 	backIno, err := fs.resolve(ino)
 	if err != nil {
 		return vfs.Attr{}, err
@@ -306,7 +289,7 @@ func (fs *FS) Link(c *vfs.Cred, ino vfs.Ino, parent vfs.Ino, name string) (vfs.A
 	if err != nil {
 		return vfs.Attr{}, err
 	}
-	attr, err := fs.backing.Link(c, backIno, backParent, name)
+	attr, err := fs.backing.Link(op, backIno, backParent, name)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
@@ -315,15 +298,12 @@ func (fs *FS) Link(c *vfs.Cred, ino vfs.Ino, parent vfs.Ino, name string) (vfs.A
 }
 
 // Create implements vfs.FS.
-func (fs *FS) Create(c *vfs.Cred, parent vfs.Ino, name string, mode vfs.Mode, flags vfs.OpenFlags) (vfs.Attr, vfs.Handle, error) {
-	fs.mu.Lock()
-	fs.stats.Creates++
-	fs.mu.Unlock()
+func (fs *FS) Create(op *vfs.Op, parent vfs.Ino, name string, mode vfs.Mode, flags vfs.OpenFlags) (vfs.Attr, vfs.Handle, error) {
 	back, err := fs.resolve(parent)
 	if err != nil {
 		return vfs.Attr{}, 0, err
 	}
-	attr, h, err := fs.backing.Create(c, back, name, mode, flags)
+	attr, h, err := fs.backing.Create(op, back, name, mode, flags)
 	if err != nil {
 		return vfs.Attr{}, 0, err
 	}
@@ -332,146 +312,116 @@ func (fs *FS) Create(c *vfs.Cred, parent vfs.Ino, name string, mode vfs.Mode, fl
 }
 
 // Open implements vfs.FS. Handles are backing handles passed through.
-func (fs *FS) Open(c *vfs.Cred, ino vfs.Ino, flags vfs.OpenFlags) (vfs.Handle, error) {
-	fs.mu.Lock()
-	fs.stats.Opens++
-	fs.mu.Unlock()
+func (fs *FS) Open(op *vfs.Op, ino vfs.Ino, flags vfs.OpenFlags) (vfs.Handle, error) {
 	back, err := fs.resolve(ino)
 	if err != nil {
 		return 0, err
 	}
-	return fs.backing.Open(c, back, flags)
+	return fs.backing.Open(op, back, flags)
 }
 
 // Read implements vfs.FS. The caller's RLIMIT_FSIZE does not apply here;
 // reads are unaffected anyway, but see Write.
-func (fs *FS) Read(c *vfs.Cred, h vfs.Handle, off int64, dest []byte) (int, error) {
-	fs.mu.Lock()
-	fs.stats.Reads++
-	fs.stats.BytesRead += int64(len(dest))
-	fs.mu.Unlock()
-	return fs.backing.Read(c, h, off, dest)
+func (fs *FS) Read(op *vfs.Op, h vfs.Handle, off int64, dest []byte) (int, error) {
+	return fs.backing.Read(op, h, off, dest)
 }
 
 // Write implements vfs.FS. The replayed operation runs with the server's
 // credential, whose RLIMIT_FSIZE is unset — the caller's limit is neither
 // known nor enforced (xfstests #228).
-func (fs *FS) Write(c *vfs.Cred, h vfs.Handle, off int64, data []byte) (int, error) {
-	fs.mu.Lock()
-	fs.stats.Writes++
-	fs.stats.BytesWrit += int64(len(data))
-	fs.mu.Unlock()
-	replay := c.Clone()
+func (fs *FS) Write(op *vfs.Op, h vfs.Handle, off int64, data []byte) (int, error) {
+	replay := op.Cred.Clone()
 	replay.FSizeLimit = 0
-	return fs.backing.Write(replay, h, off, data)
+	return fs.backing.Write(op.WithCred(replay), h, off, data)
 }
 
 // Flush implements vfs.FS.
-func (fs *FS) Flush(c *vfs.Cred, h vfs.Handle) error {
-	return fs.backing.Flush(c, h)
+func (fs *FS) Flush(op *vfs.Op, h vfs.Handle) error {
+	return fs.backing.Flush(op, h)
 }
 
 // Fsync implements vfs.FS.
-func (fs *FS) Fsync(c *vfs.Cred, h vfs.Handle, datasync bool) error {
-	fs.mu.Lock()
-	fs.stats.Fsyncs++
-	fs.mu.Unlock()
-	return fs.backing.Fsync(c, h, datasync)
+func (fs *FS) Fsync(op *vfs.Op, h vfs.Handle, datasync bool) error {
+	return fs.backing.Fsync(op, h, datasync)
 }
 
 // Release implements vfs.FS.
-func (fs *FS) Release(h vfs.Handle) error { return fs.backing.Release(h) }
+func (fs *FS) Release(op *vfs.Op, h vfs.Handle) error { return fs.backing.Release(op, h) }
 
 // Opendir implements vfs.FS.
-func (fs *FS) Opendir(c *vfs.Cred, ino vfs.Ino) (vfs.Handle, error) {
+func (fs *FS) Opendir(op *vfs.Op, ino vfs.Ino) (vfs.Handle, error) {
 	back, err := fs.resolve(ino)
 	if err != nil {
 		return 0, err
 	}
-	return fs.backing.Opendir(c, back)
+	return fs.backing.Opendir(op, back)
 }
 
 // Readdir implements vfs.FS. Entry inode numbers are advisory (as in
 // FUSE readdir without readdirplus) and are not registered in the table.
-func (fs *FS) Readdir(c *vfs.Cred, h vfs.Handle, off int64) ([]vfs.Dirent, error) {
-	fs.mu.Lock()
-	fs.stats.Readdirs++
-	fs.mu.Unlock()
-	return fs.backing.Readdir(c, h, off)
+func (fs *FS) Readdir(op *vfs.Op, h vfs.Handle, off int64) ([]vfs.Dirent, error) {
+	return fs.backing.Readdir(op, h, off)
 }
 
 // Releasedir implements vfs.FS.
-func (fs *FS) Releasedir(h vfs.Handle) error { return fs.backing.Releasedir(h) }
+func (fs *FS) Releasedir(op *vfs.Op, h vfs.Handle) error { return fs.backing.Releasedir(op, h) }
 
 // Statfs implements vfs.FS.
-func (fs *FS) Statfs(ino vfs.Ino) (vfs.StatfsOut, error) {
+func (fs *FS) Statfs(op *vfs.Op, ino vfs.Ino) (vfs.StatfsOut, error) {
 	back, err := fs.resolve(ino)
 	if err != nil {
 		return vfs.StatfsOut{}, err
 	}
-	return fs.backing.Statfs(back)
+	return fs.backing.Statfs(op, back)
 }
 
 // Setxattr implements vfs.FS. ACL xattrs are forwarded opaquely; CntrFS
 // never parses them (§5.1 failure #375 explains why).
-func (fs *FS) Setxattr(c *vfs.Cred, ino vfs.Ino, name string, value []byte, flags vfs.XattrFlags) error {
-	fs.mu.Lock()
-	fs.stats.Xattrs++
-	fs.mu.Unlock()
+func (fs *FS) Setxattr(op *vfs.Op, ino vfs.Ino, name string, value []byte, flags vfs.XattrFlags) error {
 	back, err := fs.resolve(ino)
 	if err != nil {
 		return err
 	}
-	return fs.backing.Setxattr(c, back, name, value, flags)
+	return fs.backing.Setxattr(op, back, name, value, flags)
 }
 
 // Getxattr implements vfs.FS.
-func (fs *FS) Getxattr(c *vfs.Cred, ino vfs.Ino, name string) ([]byte, error) {
-	fs.mu.Lock()
-	fs.stats.Xattrs++
-	fs.mu.Unlock()
+func (fs *FS) Getxattr(op *vfs.Op, ino vfs.Ino, name string) ([]byte, error) {
 	back, err := fs.resolve(ino)
 	if err != nil {
 		return nil, err
 	}
-	return fs.backing.Getxattr(c, back, name)
+	return fs.backing.Getxattr(op, back, name)
 }
 
 // Listxattr implements vfs.FS.
-func (fs *FS) Listxattr(c *vfs.Cred, ino vfs.Ino) ([]string, error) {
+func (fs *FS) Listxattr(op *vfs.Op, ino vfs.Ino) ([]string, error) {
 	back, err := fs.resolve(ino)
 	if err != nil {
 		return nil, err
 	}
-	return fs.backing.Listxattr(c, back)
+	return fs.backing.Listxattr(op, back)
 }
 
 // Removexattr implements vfs.FS.
-func (fs *FS) Removexattr(c *vfs.Cred, ino vfs.Ino, name string) error {
+func (fs *FS) Removexattr(op *vfs.Op, ino vfs.Ino, name string) error {
 	back, err := fs.resolve(ino)
 	if err != nil {
 		return err
 	}
-	return fs.backing.Removexattr(c, back, name)
+	return fs.backing.Removexattr(op, back, name)
 }
 
 // Access implements vfs.FS.
-func (fs *FS) Access(c *vfs.Cred, ino vfs.Ino, mask uint32) error {
+func (fs *FS) Access(op *vfs.Op, ino vfs.Ino, mask uint32) error {
 	back, err := fs.resolve(ino)
 	if err != nil {
 		return err
 	}
-	return fs.backing.Access(c, back, mask)
+	return fs.backing.Access(op, back, mask)
 }
 
 // Fallocate implements vfs.FS.
-func (fs *FS) Fallocate(c *vfs.Cred, h vfs.Handle, mode uint32, off, length int64) error {
-	return fs.backing.Fallocate(c, h, mode, off, length)
-}
-
-// StatsSnapshot implements vfs.FS.
-func (fs *FS) StatsSnapshot() vfs.OpStats {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	return fs.stats
+func (fs *FS) Fallocate(op *vfs.Op, h vfs.Handle, mode uint32, off, length int64) error {
+	return fs.backing.Fallocate(op, h, mode, off, length)
 }

@@ -103,7 +103,7 @@ func TestForgetEvictsInodeTable(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cfs.Forget(r.Ino, 2) // one from stat, one from this resolve
+		cfs.Forget(cli.Op, r.Ino, 2) // one from stat, one from this resolve
 	}
 	if got := cfs.NodeCount(); got != 1 {
 		t.Fatalf("node count after forgets = %d, want 1 (root)", got)
@@ -117,15 +117,15 @@ func TestStaleInodeAfterForget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfs.Forget(r.Ino, 1)
-	if _, err := cfs.Getattr(cli.Cred, r.Ino); vfs.ToErrno(err) != vfs.ESTALE {
+	cfs.Forget(cli.Op, r.Ino, 1)
+	if _, err := cfs.Getattr(cli.Op, r.Ino); vfs.ToErrno(err) != vfs.ESTALE {
 		t.Fatalf("forgotten inode: %v, want ESTALE", err)
 	}
 }
 
 func TestRootNeverForgotten(t *testing.T) {
 	cfs, cli, _ := newFS(t)
-	cfs.Forget(vfs.RootIno, 100)
+	cfs.Forget(cli.Op, vfs.RootIno, 100)
 	if _, err := cli.Stat("/"); err != nil {
 		t.Fatalf("root must survive forgets: %v", err)
 	}
@@ -238,20 +238,23 @@ func TestXattrForwardedOpaquely(t *testing.T) {
 	cli.WriteFile("/f", nil, 0o644)
 	r, _ := cli.Resolve("/f")
 	acl := vfs.EncodeACL(vfs.FromMode(0o640))
-	if err := cfs.Setxattr(cli.Cred, r.Ino, vfs.XattrPosixACLAccess, acl, 0); err != nil {
+	if err := cfs.Setxattr(cli.Op, r.Ino, vfs.XattrPosixACLAccess, acl, 0); err != nil {
 		t.Fatal(err)
 	}
-	v, err := cfs.Getxattr(cli.Cred, r.Ino, vfs.XattrPosixACLAccess)
+	v, err := cfs.Getxattr(cli.Op, r.Ino, vfs.XattrPosixACLAccess)
 	if err != nil || !bytes.Equal(v, acl) {
 		t.Fatalf("ACL xattr: %v %v", v, err)
 	}
 }
 
 func TestStatsAccumulate(t *testing.T) {
-	cfs, cli, _ := newFS(t)
+	cfs, _, hostCli := newFS(t)
+	_ = hostCli
+	stats := vfs.NewStats()
+	cli := vfs.NewClient(vfs.Chain(cfs, stats), vfs.Root())
 	cli.WriteFile("/f", []byte("abc"), 0o644)
 	cli.ReadFile("/f")
-	st := cfs.StatsSnapshot()
+	st := stats.Snapshot()
 	if st.Creates == 0 || st.Reads == 0 || st.Writes == 0 || st.Lookups == 0 {
 		t.Fatalf("stats = %+v", st)
 	}

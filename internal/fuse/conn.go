@@ -44,7 +44,12 @@ type MountOptions struct {
 	// AttrTimeout is the analogous attribute-cache lifetime.
 	AttrTimeout time.Duration
 	// ServerThreads is the number of userspace server threads reading
-	// the request queue (Fig. 4).
+	// the request queue (Fig. 4). Note that FUSE_INTERRUPT frames are
+	// ordinary queue messages: with a single thread blocked inside a
+	// long operation (a FIFO read), nobody is left to process the
+	// interrupt until that operation finishes — just like a real
+	// single-threaded FUSE server. Use >= 2 threads when workloads can
+	// block indefinitely.
 	ServerThreads int
 }
 
@@ -99,6 +104,12 @@ type Conn struct {
 
 	unique   atomic.Uint64
 	inflight atomic.Int64
+
+	// qmu serializes queue sends against Unmount's close: senders hold
+	// the read side and check qclosed, so a teardown concurrent with
+	// in-flight traffic cannot close the channel mid-send.
+	qmu     sync.RWMutex
+	qclosed bool
 
 	mu        sync.Mutex
 	entries   map[entryKey]entryVal
@@ -179,7 +190,10 @@ func (c *Conn) Unmount() {
 	if len(forgets) > 0 {
 		c.sendForgetBatch(forgets)
 	}
+	c.qmu.Lock()
+	c.qclosed = true
 	close(c.queue)
+	c.qmu.Unlock()
 }
 
 // Stats returns a snapshot of connection counters.
@@ -190,14 +204,18 @@ func (c *Conn) Stats() ConnStats {
 }
 
 // call performs one round trip: encode, charge transport costs, enqueue,
-// wait for the reply, decode the errno.
+// wait for the reply, decode the errno. If req's context is canceled
+// while the request is in flight, a FUSE_INTERRUPT frame naming the
+// request's unique id is forwarded to the server, and call keeps waiting
+// for the (typically EINTR) reply — exactly the kernel's behaviour: the
+// reply slot must not be abandoned.
 //
 // dataOut/dataIn are payload byte counts used for copy-cost accounting
 // (write data flowing out of the kernel, read data flowing back in).
-func (c *Conn) call(op Opcode, nodeid vfs.Ino, cred *vfs.Cred, payload func(w *buf), dataOut, dataIn int) (*rdr, error) {
+func (c *Conn) call(op Opcode, nodeid vfs.Ino, req *vfs.Op, payload func(w *buf), dataOut, dataIn int) (*rdr, error) {
 	unique := c.unique.Add(1)
 	w := &buf{b: make([]byte, 0, 128+dataOut)}
-	encodeReqHeader(w, op, unique, uint64(nodeid), cred)
+	encodeReqHeader(w, op, unique, uint64(nodeid), req)
 	if payload != nil {
 		payload(w)
 	}
@@ -246,8 +264,21 @@ func (c *Conn) call(op Opcode, nodeid vfs.Ino, cred *vfs.Cred, payload func(w *b
 	c.clock.Advance(cost)
 
 	msg := &message{frame: frame, reply: make(chan []byte, 1), created: c.clock.Now()}
+	c.qmu.RLock()
+	if c.qclosed {
+		c.qmu.RUnlock()
+		c.inflight.Add(-1)
+		return nil, vfs.EIO // connection torn down
+	}
 	c.queue <- msg
-	replyFrame := <-msg.reply
+	c.qmu.RUnlock()
+	var replyFrame []byte
+	select {
+	case replyFrame = <-msg.reply:
+	case <-req.Context().Done():
+		c.sendInterrupt(unique)
+		replyFrame = <-msg.reply
+	}
 	c.inflight.Add(-1)
 
 	if dataIn > 0 {
@@ -269,6 +300,16 @@ func (c *Conn) call(op Opcode, nodeid vfs.Ino, cred *vfs.Cred, payload func(w *b
 		return nil, errno
 	}
 	return &rdr{b: body}, nil
+}
+
+// sendInterrupt forwards a cancellation to the server as a one-way
+// FUSE_INTERRUPT frame naming the interrupted request.
+func (c *Conn) sendInterrupt(target uint64) {
+	c.clock.Advance(c.model.ContextSwitch)
+	w := &buf{}
+	encodeReqHeader(w, OpInterrupt, c.unique.Add(1), 0, nil)
+	w.u64(target)
+	c.enqueueOneWay(finishFrame(w))
 }
 
 // --- entry/attr cache helpers ---
@@ -361,6 +402,6 @@ func (c *Conn) invalidateAttr(ino vfs.Ino) {
 	delete(c.held, ino)
 	c.mu.Unlock()
 	if held > 0 {
-		c.Forget(ino, held)
+		c.Forget(nil, ino, held)
 	}
 }

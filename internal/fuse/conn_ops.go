@@ -7,13 +7,13 @@ import (
 // Lookup implements vfs.FS over the wire, with dentry caching. A dentry
 // hit resolves the name to an inode without a round trip; attributes are
 // then served from the attribute cache or revalidated with GETATTR.
-func (c *Conn) Lookup(cred *vfs.Cred, parent vfs.Ino, name string) (vfs.Attr, error) {
+func (c *Conn) Lookup(op *vfs.Op, parent vfs.Ino, name string) (vfs.Attr, error) {
 	if ino, ok := c.lookupCached(parent, name); ok {
 		c.clock.Advance(c.model.InodeOp) // dcache hit still does hash work
 		if attr, ok := c.attrCached(ino); ok {
 			return attr, nil
 		}
-		attr, err := c.getattrWire(cred, ino)
+		attr, err := c.getattrWire(op, ino)
 		if vfs.ToErrno(err) != vfs.ESTALE {
 			return attr, err
 		}
@@ -21,7 +21,7 @@ func (c *Conn) Lookup(cred *vfs.Cred, parent vfs.Ino, name string) (vfs.Attr, er
 		// drop the stale dentry and re-lookup over the wire.
 		c.invalidateEntry(parent, name)
 	}
-	r, err := c.call(OpLookup, parent, cred, func(w *buf) { w.str(name) }, 0, 0)
+	r, err := c.call(OpLookup, parent, op, func(w *buf) { w.str(name) }, 0, 0)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
@@ -35,8 +35,8 @@ func (c *Conn) Lookup(cred *vfs.Cred, parent vfs.Ino, name string) (vfs.Attr, er
 }
 
 // getattrWire fetches fresh attributes and refreshes the cache.
-func (c *Conn) getattrWire(cred *vfs.Cred, ino vfs.Ino) (vfs.Attr, error) {
-	r, err := c.call(OpGetattr, ino, cred, nil, 0, 0)
+func (c *Conn) getattrWire(op *vfs.Op, ino vfs.Ino) (vfs.Attr, error) {
+	r, err := c.call(OpGetattr, ino, op, nil, 0, 0)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
@@ -50,7 +50,7 @@ func (c *Conn) getattrWire(cred *vfs.Cred, ino vfs.Ino) (vfs.Attr, error) {
 
 // Forget implements vfs.FS. Forgets are one-way messages; with
 // BatchForget they are coalesced into FUSE_BATCH_FORGET frames.
-func (c *Conn) Forget(ino vfs.Ino, nlookup uint64) {
+func (c *Conn) Forget(op *vfs.Op, ino vfs.Ino, nlookup uint64) {
 	c.mu.Lock()
 	if c.unmounted {
 		c.mu.Unlock()
@@ -106,21 +106,23 @@ func (c *Conn) sendForgetBatch(batch []forgetItem) {
 }
 
 func (c *Conn) enqueueOneWay(frame []byte) {
-	defer func() {
-		// The queue may already be closed during unmount; forgets past
-		// that point are dropped, as the kernel does.
-		recover() //nolint:errcheck
-	}()
+	// One-way messages sent during or after unmount are dropped, as the
+	// kernel drops forgets once the connection is gone.
+	c.qmu.RLock()
+	defer c.qmu.RUnlock()
+	if c.qclosed {
+		return
+	}
 	c.queue <- &message{frame: frame}
 }
 
 // Getattr implements vfs.FS with attribute caching.
-func (c *Conn) Getattr(cred *vfs.Cred, ino vfs.Ino) (vfs.Attr, error) {
+func (c *Conn) Getattr(op *vfs.Op, ino vfs.Ino) (vfs.Attr, error) {
 	if attr, ok := c.attrCached(ino); ok {
 		c.clock.Advance(c.model.InodeOp)
 		return attr, nil
 	}
-	return c.getattrWire(cred, ino)
+	return c.getattrWire(op, ino)
 }
 
 // Setattr implements vfs.FS. chown by a caller without CAP_FSETID must
@@ -128,9 +130,9 @@ func (c *Conn) Getattr(cred *vfs.Cred, ino vfs.Ino) (vfs.Attr, error) {
 // ATTR_KILL_SGID) with the *caller's* credentials and folds the mode
 // change into the request, because the server-side replay runs with the
 // server's capabilities and would not clear the bits itself.
-func (c *Conn) Setattr(cred *vfs.Cred, ino vfs.Ino, mask vfs.SetattrMask, attr vfs.Attr) (vfs.Attr, error) {
-	if (mask.Has(vfs.SetUID) || mask.Has(vfs.SetGID)) && cred != nil && !cred.Caps.Has(vfs.CapFsetid) {
-		if cur, err := c.Getattr(cred, ino); err == nil && cur.Type == vfs.TypeRegular {
+func (c *Conn) Setattr(op *vfs.Op, ino vfs.Ino, mask vfs.SetattrMask, attr vfs.Attr) (vfs.Attr, error) {
+	if (mask.Has(vfs.SetUID) || mask.Has(vfs.SetGID)) && op.Cred != nil && !op.Cred.Caps.Has(vfs.CapFsetid) {
+		if cur, err := c.Getattr(op, ino); err == nil && cur.Type == vfs.TypeRegular {
 			mode := cur.Mode
 			if mask.Has(vfs.SetMode) {
 				mode = attr.Mode
@@ -146,7 +148,7 @@ func (c *Conn) Setattr(cred *vfs.Cred, ino vfs.Ino, mask vfs.SetattrMask, attr v
 			}
 		}
 	}
-	r, err := c.call(OpSetattr, ino, cred, func(w *buf) {
+	r, err := c.call(OpSetattr, ino, op, func(w *buf) {
 		w.u32(uint32(mask))
 		encodeAttr(w, &attr)
 	}, 0, 0)
@@ -162,8 +164,8 @@ func (c *Conn) Setattr(cred *vfs.Cred, ino vfs.Ino, mask vfs.SetattrMask, attr v
 }
 
 // Mknod implements vfs.FS.
-func (c *Conn) Mknod(cred *vfs.Cred, parent vfs.Ino, name string, typ vfs.FileType, mode vfs.Mode, rdev uint32) (vfs.Attr, error) {
-	r, err := c.call(OpMknod, parent, cred, func(w *buf) {
+func (c *Conn) Mknod(op *vfs.Op, parent vfs.Ino, name string, typ vfs.FileType, mode vfs.Mode, rdev uint32) (vfs.Attr, error) {
+	r, err := c.call(OpMknod, parent, op, func(w *buf) {
 		w.str(name)
 		w.u8(uint8(typ))
 		w.u32(uint32(mode))
@@ -179,8 +181,8 @@ func (c *Conn) Mknod(cred *vfs.Cred, parent vfs.Ino, name string, typ vfs.FileTy
 }
 
 // Mkdir implements vfs.FS.
-func (c *Conn) Mkdir(cred *vfs.Cred, parent vfs.Ino, name string, mode vfs.Mode) (vfs.Attr, error) {
-	r, err := c.call(OpMkdir, parent, cred, func(w *buf) {
+func (c *Conn) Mkdir(op *vfs.Op, parent vfs.Ino, name string, mode vfs.Mode) (vfs.Attr, error) {
+	r, err := c.call(OpMkdir, parent, op, func(w *buf) {
 		w.str(name)
 		w.u32(uint32(mode))
 	}, 0, 0)
@@ -194,8 +196,8 @@ func (c *Conn) Mkdir(cred *vfs.Cred, parent vfs.Ino, name string, mode vfs.Mode)
 }
 
 // Symlink implements vfs.FS.
-func (c *Conn) Symlink(cred *vfs.Cred, parent vfs.Ino, name, target string) (vfs.Attr, error) {
-	r, err := c.call(OpSymlink, parent, cred, func(w *buf) {
+func (c *Conn) Symlink(op *vfs.Op, parent vfs.Ino, name, target string) (vfs.Attr, error) {
+	r, err := c.call(OpSymlink, parent, op, func(w *buf) {
 		w.str(name)
 		w.str(target)
 	}, 0, 0)
@@ -209,8 +211,8 @@ func (c *Conn) Symlink(cred *vfs.Cred, parent vfs.Ino, name, target string) (vfs
 }
 
 // Readlink implements vfs.FS.
-func (c *Conn) Readlink(cred *vfs.Cred, ino vfs.Ino) (string, error) {
-	r, err := c.call(OpReadlink, ino, cred, nil, 0, 0)
+func (c *Conn) Readlink(op *vfs.Op, ino vfs.Ino) (string, error) {
+	r, err := c.call(OpReadlink, ino, op, nil, 0, 0)
 	if err != nil {
 		return "", err
 	}
@@ -218,25 +220,25 @@ func (c *Conn) Readlink(cred *vfs.Cred, ino vfs.Ino) (string, error) {
 }
 
 // Unlink implements vfs.FS.
-func (c *Conn) Unlink(cred *vfs.Cred, parent vfs.Ino, name string) error {
+func (c *Conn) Unlink(op *vfs.Op, parent vfs.Ino, name string) error {
 	if ino, ok := c.lookupCached(parent, name); ok {
 		c.invalidateAttr(ino) // nlink drops; other links see it too
 	}
-	_, err := c.call(OpUnlink, parent, cred, func(w *buf) { w.str(name) }, 0, 0)
+	_, err := c.call(OpUnlink, parent, op, func(w *buf) { w.str(name) }, 0, 0)
 	c.invalidateEntry(parent, name)
 	return err
 }
 
 // Rmdir implements vfs.FS.
-func (c *Conn) Rmdir(cred *vfs.Cred, parent vfs.Ino, name string) error {
-	_, err := c.call(OpRmdir, parent, cred, func(w *buf) { w.str(name) }, 0, 0)
+func (c *Conn) Rmdir(op *vfs.Op, parent vfs.Ino, name string) error {
+	_, err := c.call(OpRmdir, parent, op, func(w *buf) { w.str(name) }, 0, 0)
 	c.invalidateEntry(parent, name)
 	return err
 }
 
 // Rename implements vfs.FS.
-func (c *Conn) Rename(cred *vfs.Cred, oldParent vfs.Ino, oldName string, newParent vfs.Ino, newName string, flags vfs.RenameFlags) error {
-	_, err := c.call(OpRename2, oldParent, cred, func(w *buf) {
+func (c *Conn) Rename(op *vfs.Op, oldParent vfs.Ino, oldName string, newParent vfs.Ino, newName string, flags vfs.RenameFlags) error {
+	_, err := c.call(OpRename2, oldParent, op, func(w *buf) {
 		w.str(oldName)
 		w.u64(uint64(newParent))
 		w.str(newName)
@@ -248,8 +250,8 @@ func (c *Conn) Rename(cred *vfs.Cred, oldParent vfs.Ino, oldName string, newPare
 }
 
 // Link implements vfs.FS.
-func (c *Conn) Link(cred *vfs.Cred, ino vfs.Ino, parent vfs.Ino, name string) (vfs.Attr, error) {
-	r, err := c.call(OpLink, ino, cred, func(w *buf) {
+func (c *Conn) Link(op *vfs.Op, ino vfs.Ino, parent vfs.Ino, name string) (vfs.Attr, error) {
+	r, err := c.call(OpLink, ino, op, func(w *buf) {
 		w.u64(uint64(parent))
 		w.str(name)
 	}, 0, 0)
@@ -264,11 +266,11 @@ func (c *Conn) Link(cred *vfs.Cred, ino vfs.Ino, parent vfs.Ino, name string) (v
 }
 
 // Create implements vfs.FS. Like Open, O_DIRECT is refused (§5.1 #391).
-func (c *Conn) Create(cred *vfs.Cred, parent vfs.Ino, name string, mode vfs.Mode, flags vfs.OpenFlags) (vfs.Attr, vfs.Handle, error) {
+func (c *Conn) Create(op *vfs.Op, parent vfs.Ino, name string, mode vfs.Mode, flags vfs.OpenFlags) (vfs.Attr, vfs.Handle, error) {
 	if flags&vfs.ODirect != 0 {
 		return vfs.Attr{}, 0, vfs.EINVAL
 	}
-	r, err := c.call(OpCreate, parent, cred, func(w *buf) {
+	r, err := c.call(OpCreate, parent, op, func(w *buf) {
 		w.str(name)
 		w.u32(uint32(mode))
 		w.u32(uint32(flags))
@@ -290,14 +292,14 @@ func (c *Conn) Create(cred *vfs.Cred, parent vfs.Ino, name string, mode vfs.Mode
 // Open implements vfs.FS. O_DIRECT is rejected: CntrFS chose mmap support
 // over direct I/O, the two being mutually exclusive in FUSE (§5.1, test
 // #391).
-func (c *Conn) Open(cred *vfs.Cred, ino vfs.Ino, flags vfs.OpenFlags) (vfs.Handle, error) {
+func (c *Conn) Open(op *vfs.Op, ino vfs.Ino, flags vfs.OpenFlags) (vfs.Handle, error) {
 	if flags&vfs.ODirect != 0 {
 		return 0, vfs.EINVAL
 	}
 	if flags&vfs.OTrunc != 0 {
 		c.invalidateAttr(ino) // the open truncates server-side
 	}
-	r, err := c.call(OpOpen, ino, cred, func(w *buf) {
+	r, err := c.call(OpOpen, ino, op, func(w *buf) {
 		w.u32(uint32(flags))
 	}, 0, 0)
 	if err != nil {
@@ -312,8 +314,8 @@ func (c *Conn) Open(cred *vfs.Cred, ino vfs.Ino, flags vfs.OpenFlags) (vfs.Handl
 }
 
 // Read implements vfs.FS.
-func (c *Conn) Read(cred *vfs.Cred, h vfs.Handle, off int64, dest []byte) (int, error) {
-	r, err := c.call(OpRead, 0, cred, func(w *buf) {
+func (c *Conn) Read(op *vfs.Op, h vfs.Handle, off int64, dest []byte) (int, error) {
+	r, err := c.call(OpRead, 0, op, func(w *buf) {
 		w.u64(uint64(h))
 		w.i64(off)
 		w.u32(uint32(len(dest)))
@@ -329,14 +331,14 @@ func (c *Conn) Read(cred *vfs.Cred, h vfs.Handle, off int64, dest []byte) (int, 
 }
 
 // Write implements vfs.FS, splitting payloads at the negotiated MaxWrite.
-func (c *Conn) Write(cred *vfs.Cred, h vfs.Handle, off int64, data []byte) (int, error) {
+func (c *Conn) Write(op *vfs.Op, h vfs.Handle, off int64, data []byte) (int, error) {
 	total := 0
 	for len(data) > 0 {
 		chunk := data
 		if len(chunk) > c.opts.MaxWrite {
 			chunk = chunk[:c.opts.MaxWrite]
 		}
-		r, err := c.call(OpWrite, 0, cred, func(w *buf) {
+		r, err := c.call(OpWrite, 0, op, func(w *buf) {
 			w.u64(uint64(h))
 			w.i64(off)
 			w.bytes(chunk)
@@ -365,14 +367,14 @@ func (c *Conn) Write(cred *vfs.Cred, h vfs.Handle, off int64, data []byte) (int,
 }
 
 // Flush implements vfs.FS.
-func (c *Conn) Flush(cred *vfs.Cred, h vfs.Handle) error {
-	_, err := c.call(OpFlush, 0, cred, func(w *buf) { w.u64(uint64(h)) }, 0, 0)
+func (c *Conn) Flush(op *vfs.Op, h vfs.Handle) error {
+	_, err := c.call(OpFlush, 0, op, func(w *buf) { w.u64(uint64(h)) }, 0, 0)
 	return err
 }
 
 // Fsync implements vfs.FS.
-func (c *Conn) Fsync(cred *vfs.Cred, h vfs.Handle, datasync bool) error {
-	_, err := c.call(OpFsync, 0, cred, func(w *buf) {
+func (c *Conn) Fsync(op *vfs.Op, h vfs.Handle, datasync bool) error {
+	_, err := c.call(OpFsync, 0, op, func(w *buf) {
 		w.u64(uint64(h))
 		if datasync {
 			w.u8(1)
@@ -385,7 +387,7 @@ func (c *Conn) Fsync(cred *vfs.Cred, h vfs.Handle, datasync bool) error {
 
 // Release implements vfs.FS. RELEASE is asynchronous in FUSE: the kernel
 // does not wait for the reply, so the caller pays only the enqueue cost.
-func (c *Conn) Release(h vfs.Handle) error {
+func (c *Conn) Release(op *vfs.Op, h vfs.Handle) error {
 	c.dropHandle(h)
 	c.clock.Advance(c.model.ContextSwitch)
 	w := &buf{}
@@ -396,8 +398,8 @@ func (c *Conn) Release(h vfs.Handle) error {
 }
 
 // Opendir implements vfs.FS.
-func (c *Conn) Opendir(cred *vfs.Cred, ino vfs.Ino) (vfs.Handle, error) {
-	r, err := c.call(OpOpendir, ino, cred, nil, 0, 0)
+func (c *Conn) Opendir(op *vfs.Op, ino vfs.Ino) (vfs.Handle, error) {
+	r, err := c.call(OpOpendir, ino, op, nil, 0, 0)
 	if err != nil {
 		return 0, err
 	}
@@ -410,8 +412,8 @@ func (c *Conn) Opendir(cred *vfs.Cred, ino vfs.Ino) (vfs.Handle, error) {
 }
 
 // Readdir implements vfs.FS.
-func (c *Conn) Readdir(cred *vfs.Cred, h vfs.Handle, off int64) ([]vfs.Dirent, error) {
-	r, err := c.call(OpReaddir, 0, cred, func(w *buf) {
+func (c *Conn) Readdir(op *vfs.Op, h vfs.Handle, off int64) ([]vfs.Dirent, error) {
+	r, err := c.call(OpReaddir, 0, op, func(w *buf) {
 		w.u64(uint64(h))
 		w.i64(off)
 	}, 0, 0)
@@ -436,7 +438,7 @@ func (c *Conn) Readdir(cred *vfs.Cred, h vfs.Handle, off int64) ([]vfs.Dirent, e
 }
 
 // Releasedir implements vfs.FS; like Release it is asynchronous.
-func (c *Conn) Releasedir(h vfs.Handle) error {
+func (c *Conn) Releasedir(op *vfs.Op, h vfs.Handle) error {
 	c.dropHandle(h)
 	c.clock.Advance(c.model.ContextSwitch)
 	w := &buf{}
@@ -447,8 +449,8 @@ func (c *Conn) Releasedir(h vfs.Handle) error {
 }
 
 // Statfs implements vfs.FS.
-func (c *Conn) Statfs(ino vfs.Ino) (vfs.StatfsOut, error) {
-	r, err := c.call(OpStatfs, ino, nil, nil, 0, 0)
+func (c *Conn) Statfs(op *vfs.Op, ino vfs.Ino) (vfs.StatfsOut, error) {
+	r, err := c.call(OpStatfs, ino, op, nil, 0, 0)
 	if err != nil {
 		return vfs.StatfsOut{}, err
 	}
@@ -466,8 +468,8 @@ func (c *Conn) Statfs(ino vfs.Ino) (vfs.StatfsOut, error) {
 }
 
 // Setxattr implements vfs.FS.
-func (c *Conn) Setxattr(cred *vfs.Cred, ino vfs.Ino, name string, value []byte, flags vfs.XattrFlags) error {
-	_, err := c.call(OpSetxattr, ino, cred, func(w *buf) {
+func (c *Conn) Setxattr(op *vfs.Op, ino vfs.Ino, name string, value []byte, flags vfs.XattrFlags) error {
+	_, err := c.call(OpSetxattr, ino, op, func(w *buf) {
 		w.str(name)
 		w.bytes(value)
 		w.u32(uint32(flags))
@@ -479,9 +481,9 @@ func (c *Conn) Setxattr(cred *vfs.Cred, ino vfs.Ino, name string, value []byte, 
 // Getxattr implements vfs.FS. The kernel does not cache xattr values for
 // FUSE filesystems, so every call is a round trip — the source of the
 // Apache and IOZone write-path overhead in §5.2.2.
-func (c *Conn) Getxattr(cred *vfs.Cred, ino vfs.Ino, name string) ([]byte, error) {
+func (c *Conn) Getxattr(op *vfs.Op, ino vfs.Ino, name string) ([]byte, error) {
 	c.clock.Advance(c.model.XattrLookup)
-	r, err := c.call(OpGetxattr, ino, cred, func(w *buf) { w.str(name) }, 0, 0)
+	r, err := c.call(OpGetxattr, ino, op, func(w *buf) { w.str(name) }, 0, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -493,8 +495,8 @@ func (c *Conn) Getxattr(cred *vfs.Cred, ino vfs.Ino, name string) ([]byte, error
 }
 
 // Listxattr implements vfs.FS.
-func (c *Conn) Listxattr(cred *vfs.Cred, ino vfs.Ino) ([]string, error) {
-	r, err := c.call(OpListxattr, ino, cred, nil, 0, 0)
+func (c *Conn) Listxattr(op *vfs.Op, ino vfs.Ino) ([]string, error) {
+	r, err := c.call(OpListxattr, ino, op, nil, 0, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -510,21 +512,21 @@ func (c *Conn) Listxattr(cred *vfs.Cred, ino vfs.Ino) ([]string, error) {
 }
 
 // Removexattr implements vfs.FS.
-func (c *Conn) Removexattr(cred *vfs.Cred, ino vfs.Ino, name string) error {
-	_, err := c.call(OpRemovexattr, ino, cred, func(w *buf) { w.str(name) }, 0, 0)
+func (c *Conn) Removexattr(op *vfs.Op, ino vfs.Ino, name string) error {
+	_, err := c.call(OpRemovexattr, ino, op, func(w *buf) { w.str(name) }, 0, 0)
 	c.invalidateAttr(ino)
 	return err
 }
 
 // Access implements vfs.FS.
-func (c *Conn) Access(cred *vfs.Cred, ino vfs.Ino, mask uint32) error {
-	_, err := c.call(OpAccess, ino, cred, func(w *buf) { w.u32(mask) }, 0, 0)
+func (c *Conn) Access(op *vfs.Op, ino vfs.Ino, mask uint32) error {
+	_, err := c.call(OpAccess, ino, op, func(w *buf) { w.u32(mask) }, 0, 0)
 	return err
 }
 
 // Fallocate implements vfs.FS.
-func (c *Conn) Fallocate(cred *vfs.Cred, h vfs.Handle, mode uint32, off, length int64) error {
-	_, err := c.call(OpFallocate, 0, cred, func(w *buf) {
+func (c *Conn) Fallocate(op *vfs.Op, h vfs.Handle, mode uint32, off, length int64) error {
+	_, err := c.call(OpFallocate, 0, op, func(w *buf) {
 		w.u64(uint64(h))
 		w.u32(mode)
 		w.i64(off)
@@ -534,17 +536,4 @@ func (c *Conn) Fallocate(cred *vfs.Cred, h vfs.Handle, mode uint32, off, length 
 		c.invalidateAttr(ino)
 	}
 	return err
-}
-
-// StatsSnapshot implements vfs.FS; the kernel side reports request counts
-// mapped onto the generic op counters.
-func (c *Conn) StatsSnapshot() vfs.OpStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return vfs.OpStats{
-		Lookups:   c.stats.EntryMisses,
-		BytesRead: c.stats.BytesIn,
-		BytesWrit: c.stats.BytesOut,
-		Forgets:   c.stats.ForgetsSent,
-	}
 }

@@ -105,18 +105,18 @@ func TestXattrOverWire(t *testing.T) {
 	e := mount(t, DefaultMountOptions())
 	e.cli.WriteFile("/f", nil, 0o644)
 	r, _ := e.cli.Resolve("/f")
-	if err := e.conn.Setxattr(e.cli.Cred, r.Ino, "user.a", []byte("v"), 0); err != nil {
+	if err := e.conn.Setxattr(e.cli.Op, r.Ino, "user.a", []byte("v"), 0); err != nil {
 		t.Fatal(err)
 	}
-	v, err := e.conn.Getxattr(e.cli.Cred, r.Ino, "user.a")
+	v, err := e.conn.Getxattr(e.cli.Op, r.Ino, "user.a")
 	if err != nil || string(v) != "v" {
 		t.Fatalf("getxattr: %q %v", v, err)
 	}
-	names, err := e.conn.Listxattr(e.cli.Cred, r.Ino)
+	names, err := e.conn.Listxattr(e.cli.Op, r.Ino)
 	if err != nil || len(names) != 1 {
 		t.Fatalf("listxattr: %v %v", names, err)
 	}
-	if err := e.conn.Removexattr(e.cli.Cred, r.Ino, "user.a"); err != nil {
+	if err := e.conn.Removexattr(e.cli.Op, r.Ino, "user.a"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -181,7 +181,7 @@ func TestForgetBatching(t *testing.T) {
 	opts := DefaultMountOptions()
 	e := mount(t, opts)
 	for i := 0; i < ForgetBatchSize; i++ {
-		e.conn.Forget(vfs.Ino(i+2), 1)
+		e.conn.Forget(nil, vfs.Ino(i+2), 1)
 	}
 	st := e.conn.Stats()
 	if st.BatchFrames != 1 {
@@ -201,7 +201,7 @@ func TestUnbatchedForgetsCostMore(t *testing.T) {
 		conn, srv := Mount(memfs.New(memfs.Options{}), clock, model, opts)
 		start := clock.Now()
 		for i := 0; i < 1000; i++ {
-			conn.Forget(vfs.Ino(i+2), 1)
+			conn.Forget(nil, vfs.Ino(i+2), 1)
 		}
 		elapsed := clock.Now() - start
 		conn.Unmount()
@@ -377,7 +377,7 @@ func TestUnmountStopsServer(t *testing.T) {
 
 func TestWireProtocolHeaderRoundTrip(t *testing.T) {
 	w := &buf{}
-	encodeReqHeader(w, OpLookup, 42, 7, vfs.User(10, 20))
+	encodeReqHeader(w, OpLookup, 42, 7, vfs.NewOp(nil, vfs.User(10, 20)))
 	w.str("name")
 	frame := finishFrame(w)
 	h, r, err := decodeReqHeader(frame)

@@ -1,0 +1,190 @@
+package fuse
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"cntr/internal/memfs"
+	"cntr/internal/sim"
+	"cntr/internal/vfs"
+)
+
+// TestInterruptAbortsBlockedRead is the FUSE_INTERRUPT round trip: a read
+// of an empty FIFO blocks inside the server-side filesystem; canceling
+// the caller's Op context forwards an INTERRUPT frame naming the in-
+// flight request, the server cancels the request's context, the blocked
+// read unwinds with EINTR, and the errno travels back to the caller.
+func TestInterruptAbortsBlockedRead(t *testing.T) {
+	opts := DefaultMountOptions()
+	// One worker blocks in the FIFO read; a sibling must be free to
+	// process the INTERRUPT frame.
+	opts.ServerThreads = 2
+	e := mount(t, opts)
+
+	root := vfs.RootOp()
+	if _, err := e.conn.Mknod(root, vfs.RootIno, "pipe", vfs.TypeFIFO, 0o644, 0); err != nil {
+		t.Fatal(err)
+	}
+	attr, err := e.conn.Lookup(root, vfs.RootIno, "pipe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := e.conn.Open(root, attr.Ino, vfs.ORdonly)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	op := vfs.NewOp(ctx, vfs.Root())
+	type result struct {
+		n   int
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		buf := make([]byte, 16)
+		n, rerr := e.conn.Read(op, h, 0, buf)
+		done <- result{n, rerr}
+	}()
+
+	// Give the read time to reach the server and block, then interrupt.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case r := <-done:
+		t.Fatalf("read returned before interrupt: n=%d err=%v", r.n, r.err)
+	default:
+	}
+	cancel()
+
+	select {
+	case r := <-done:
+		if vfs.ToErrno(r.err) != vfs.EINTR {
+			t.Fatalf("interrupted read: n=%d err=%v, want EINTR", r.n, r.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("interrupt did not unblock the read")
+	}
+	if e.srv.Interrupts() == 0 {
+		t.Fatal("server processed no INTERRUPT frame")
+	}
+
+	// The connection must stay fully usable after an interrupt.
+	if err := e.cli.WriteFile("/after", []byte("ok"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := e.cli.ReadFile("/after"); err != nil || string(got) != "ok" {
+		t.Fatalf("post-interrupt traffic: %q, %v", got, err)
+	}
+	if err := e.conn.Release(root, h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInterruptDataStillFlows: writing into the FIFO after an interrupted
+// read wakes a fresh (non-canceled) read normally.
+func TestInterruptedFIFOStaysUsable(t *testing.T) {
+	opts := DefaultMountOptions()
+	opts.ServerThreads = 2
+	e := mount(t, opts)
+
+	root := vfs.RootOp()
+	if _, err := e.conn.Mknod(root, vfs.RootIno, "pipe", vfs.TypeFIFO, 0o644, 0); err != nil {
+		t.Fatal(err)
+	}
+	attr, err := e.conn.Lookup(root, vfs.RootIno, "pipe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := e.conn.Open(root, attr.Ino, vfs.ORdonly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh, err := e.conn.Open(root, attr.Ino, vfs.OWronly)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt one read.
+	ctx, cancel := context.WithCancel(context.Background())
+	op := vfs.NewOp(ctx, vfs.Root())
+	done := make(chan error, 1)
+	go func() {
+		_, rerr := e.conn.Read(op, rh, 0, make([]byte, 4))
+		done <- rerr
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if rerr := <-done; vfs.ToErrno(rerr) != vfs.EINTR {
+		t.Fatalf("interrupted read: %v, want EINTR", rerr)
+	}
+
+	// A subsequent read sees data written into the FIFO.
+	go func() {
+		buf := make([]byte, 4)
+		n, rerr := e.conn.Read(root, rh, 0, buf)
+		if rerr == nil && string(buf[:n]) != "ping" {
+			rerr = vfs.EIO
+		}
+		done <- rerr
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if _, err := e.conn.Write(root, wh, 0, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case rerr := <-done:
+		if rerr != nil {
+			t.Fatalf("read after write: %v", rerr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("FIFO write did not wake the reader")
+	}
+}
+
+// TestUnmountCancelsBlockedRequests: tearing the stack down while a
+// non-cancelable request is blocked inside the filesystem must not hang
+// — Server.Wait cancels in-flight operations.
+func TestUnmountCancelsBlockedRequests(t *testing.T) {
+	opts := DefaultMountOptions()
+	opts.ServerThreads = 2
+	clock := sim.NewClock()
+	model := sim.DefaultCostModel()
+	back := memfs.New(memfs.Options{})
+	conn, srv := Mount(back, clock, model, opts)
+
+	root := vfs.RootOp()
+	if _, err := conn.Mknod(root, vfs.RootIno, "pipe", vfs.TypeFIFO, 0o644, 0); err != nil {
+		t.Fatal(err)
+	}
+	attr, err := conn.Lookup(root, vfs.RootIno, "pipe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := conn.Open(root, attr.Ino, vfs.ORdonly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		// A non-cancelable op: nobody will ever write or interrupt it.
+		_, rerr := conn.Read(vfs.RootOp(), h, 0, make([]byte, 4))
+		done <- rerr
+	}()
+	time.Sleep(10 * time.Millisecond)
+
+	closed := make(chan struct{})
+	go func() {
+		conn.Unmount()
+		srv.Wait()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Unmount+Wait hung on a blocked request")
+	}
+	if rerr := <-done; vfs.ToErrno(rerr) != vfs.EINTR {
+		t.Fatalf("teardown-canceled read: %v, want EINTR", rerr)
+	}
+}

@@ -50,6 +50,7 @@ const (
 	OpRemovexattr Opcode = 24
 	OpFlush       Opcode = 25
 	OpInit        Opcode = 26
+	OpInterrupt   Opcode = 36
 	OpOpendir     Opcode = 27
 	OpReaddir     Opcode = 28
 	OpReleasedir  Opcode = 29
@@ -71,7 +72,8 @@ var opcodeNames = map[Opcode]string{
 	OpGetxattr: "GETXATTR", OpListxattr: "LISTXATTR",
 	OpRemovexattr: "REMOVEXATTR", OpFlush: "FLUSH", OpInit: "INIT",
 	OpOpendir: "OPENDIR", OpReaddir: "READDIR", OpReleasedir: "RELEASEDIR",
-	OpAccess: "ACCESS", OpCreate: "CREATE", OpDestroy: "DESTROY",
+	OpAccess: "ACCESS", OpCreate: "CREATE", OpInterrupt: "INTERRUPT",
+	OpDestroy:     "DESTROY",
 	OpBatchForget: "BATCH_FORGET", OpFallocate: "FALLOCATE",
 	OpRename2: "RENAME2",
 }
@@ -212,12 +214,18 @@ func (r *rdr) rawBytes() []byte {
 }
 
 // encodeReqHeader writes the fixed header at the front of a frame. The
-// frame length is patched in by finishFrame.
-func encodeReqHeader(w *buf, op Opcode, unique, nodeid uint64, c *vfs.Cred) {
+// frame length is patched in by finishFrame. req supplies the credential
+// and originating PID; nil means an anonymous kernel-internal message
+// (forgets, releases, interrupts).
+func encodeReqHeader(w *buf, op Opcode, unique, nodeid uint64, req *vfs.Op) {
 	w.u32(0) // length placeholder
 	w.u32(uint32(op))
 	w.u64(unique)
 	w.u64(nodeid)
+	var c *vfs.Cred
+	if req != nil {
+		c = req.Cred
+	}
 	if c != nil {
 		w.u32(c.FSUID)
 		w.u32(c.FSGID)
@@ -225,7 +233,11 @@ func encodeReqHeader(w *buf, op Opcode, unique, nodeid uint64, c *vfs.Cred) {
 		w.u32(0)
 		w.u32(0)
 	}
-	w.u32(0) // pid: the simulation does not track one per request
+	if req != nil {
+		w.u32(req.PID)
+	} else {
+		w.u32(0)
+	}
 	w.u32(0) // padding
 	if c != nil {
 		w.u32(uint32(len(c.Groups)))

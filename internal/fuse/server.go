@@ -1,6 +1,7 @@
 package fuse
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,11 +24,26 @@ type Server struct {
 	served  atomic.Int64
 	errors  atomic.Int64
 	stopped atomic.Bool
+
+	// inflight maps a request's unique id to the cancel function of its
+	// operation context; FUSE_INTERRUPT frames resolve through it.
+	// pending records interrupts that raced ahead of their target's
+	// registration (a sibling worker may process the INTERRUPT frame
+	// before the target request's worker registers it); track consumes
+	// them, so no interleaving loses an interrupt.
+	inflightMu sync.Mutex
+	inflight   map[uint64]context.CancelFunc
+	pending    map[uint64]bool
+	interrupts atomic.Int64
 }
 
 // newServer starts the worker pool. Workers exit when the queue closes.
 func newServer(fs vfs.FS, clock *sim.Clock, model *sim.CostModel, opts MountOptions, queue chan *message) *Server {
-	s := &Server{fs: fs, clock: clock, model: model, opts: opts, queue: queue}
+	s := &Server{
+		fs: fs, clock: clock, model: model, opts: opts, queue: queue,
+		inflight: make(map[uint64]context.CancelFunc),
+		pending:  make(map[uint64]bool),
+	}
 	for i := 0; i < opts.ServerThreads; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -36,13 +52,86 @@ func newServer(fs vfs.FS, clock *sim.Clock, model *sim.CostModel, opts MountOpti
 }
 
 // Wait blocks until all workers have drained the queue and exited.
+// Requests still blocked inside the filesystem (e.g. a FIFO read with no
+// writer) are canceled, so teardown cannot hang on an operation nobody
+// will ever complete; the cancellation repeats until every worker is
+// out, covering requests dispatched after the first sweep.
 func (s *Server) Wait() {
-	s.wg.Wait()
-	s.stopped.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	for {
+		select {
+		case <-done:
+			s.stopped.Store(true)
+			return
+		case <-time.After(10 * time.Millisecond):
+			s.cancelInflight()
+		}
+	}
+}
+
+// cancelInflight aborts every registered request.
+func (s *Server) cancelInflight() {
+	s.inflightMu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(s.inflight))
+	for _, c := range s.inflight {
+		cancels = append(cancels, c)
+	}
+	s.inflightMu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
 }
 
 // Served reports the number of requests processed.
 func (s *Server) Served() int64 { return s.served.Load() }
+
+// Interrupts reports how many FUSE_INTERRUPT frames were processed.
+func (s *Server) Interrupts() int64 { return s.interrupts.Load() }
+
+// track registers a request's cancel function for interrupt delivery,
+// consuming any interrupt that arrived before the registration.
+func (s *Server) track(unique uint64, cancel context.CancelFunc) {
+	s.inflightMu.Lock()
+	s.inflight[unique] = cancel
+	early := s.pending[unique]
+	delete(s.pending, unique)
+	s.inflightMu.Unlock()
+	if early {
+		cancel()
+	}
+}
+
+// untrack removes a finished request.
+func (s *Server) untrack(unique uint64) {
+	s.inflightMu.Lock()
+	delete(s.inflight, unique)
+	s.inflightMu.Unlock()
+}
+
+// interrupt cancels the in-flight request with the given unique id. An
+// id that is not registered yet is remembered so the registration can
+// consume it; an id whose request already replied leaves a stale pending
+// entry, bounded by periodically clearing the set (the real protocol has
+// the same benign race).
+func (s *Server) interrupt(target uint64) {
+	s.inflightMu.Lock()
+	cancel := s.inflight[target]
+	if cancel == nil {
+		if len(s.pending) > 1024 {
+			s.pending = make(map[uint64]bool)
+		}
+		s.pending[target] = true
+	}
+	s.inflightMu.Unlock()
+	s.interrupts.Add(1)
+	if cancel != nil {
+		cancel()
+	}
+}
 
 // FS exposes the filesystem the server dispatches to.
 func (s *Server) FS() vfs.FS { return s.fs }
@@ -86,14 +175,26 @@ func serverCred(h ReqHeader) *vfs.Cred {
 }
 
 // dispatch decodes one request frame, invokes the filesystem, and
-// encodes the reply frame.
+// encodes the reply frame. Each two-way request runs under its own
+// cancelable context, registered by unique id so FUSE_INTERRUPT frames
+// (processed by a sibling worker) can abort it mid-flight.
 func (s *Server) dispatch(frame []byte) []byte {
 	h, r, err := decodeReqHeader(frame)
 	if err != nil {
 		s.errors.Add(1)
 		return encodeReply(h.Unique, vfs.EINVAL, nil)
 	}
-	cred := serverCred(h)
+	if h.Opcode == OpInterrupt {
+		s.interrupt(r.u64())
+		return nil // one-way
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.track(h.Unique, cancel)
+	defer s.untrack(h.Unique)
+	op := vfs.NewOp(ctx, serverCred(h))
+	op.ID = h.Unique
+	op.PID = h.PID
 	ino := vfs.Ino(h.NodeID)
 	w := &buf{}
 	var opErr error
@@ -101,14 +202,14 @@ func (s *Server) dispatch(frame []byte) []byte {
 	switch h.Opcode {
 	case OpLookup:
 		name := r.str()
-		attr, err := s.fs.Lookup(cred, ino, name)
+		attr, err := s.fs.Lookup(op, ino, name)
 		if err == nil {
 			encodeAttr(w, &attr)
 		}
 		opErr = err
 
 	case OpForget:
-		s.fs.Forget(ino, r.u64())
+		s.fs.Forget(op, ino, r.u64())
 		return nil // one-way
 
 	case OpBatchForget:
@@ -116,12 +217,12 @@ func (s *Server) dispatch(frame []byte) []byte {
 		for i := 0; i < n; i++ {
 			target := vfs.Ino(r.u64())
 			nlookup := r.u64()
-			s.fs.Forget(target, nlookup)
+			s.fs.Forget(op, target, nlookup)
 		}
 		return nil // one-way
 
 	case OpGetattr:
-		attr, err := s.fs.Getattr(cred, ino)
+		attr, err := s.fs.Getattr(op, ino)
 		if err == nil {
 			encodeAttr(w, &attr)
 		}
@@ -130,7 +231,7 @@ func (s *Server) dispatch(frame []byte) []byte {
 	case OpSetattr:
 		mask := vfs.SetattrMask(r.u32())
 		in := decodeAttr(r)
-		attr, err := s.fs.Setattr(cred, ino, mask, in)
+		attr, err := s.fs.Setattr(op, ino, mask, in)
 		if err == nil {
 			encodeAttr(w, &attr)
 		}
@@ -141,7 +242,7 @@ func (s *Server) dispatch(frame []byte) []byte {
 		typ := vfs.FileType(r.u8())
 		mode := vfs.Mode(r.u32())
 		rdev := r.u32()
-		attr, err := s.fs.Mknod(cred, ino, name, typ, mode, rdev)
+		attr, err := s.fs.Mknod(op, ino, name, typ, mode, rdev)
 		if err == nil {
 			encodeAttr(w, &attr)
 		}
@@ -150,7 +251,7 @@ func (s *Server) dispatch(frame []byte) []byte {
 	case OpMkdir:
 		name := r.str()
 		mode := vfs.Mode(r.u32())
-		attr, err := s.fs.Mkdir(cred, ino, name, mode)
+		attr, err := s.fs.Mkdir(op, ino, name, mode)
 		if err == nil {
 			encodeAttr(w, &attr)
 		}
@@ -159,36 +260,36 @@ func (s *Server) dispatch(frame []byte) []byte {
 	case OpSymlink:
 		name := r.str()
 		target := r.str()
-		attr, err := s.fs.Symlink(cred, ino, name, target)
+		attr, err := s.fs.Symlink(op, ino, name, target)
 		if err == nil {
 			encodeAttr(w, &attr)
 		}
 		opErr = err
 
 	case OpReadlink:
-		target, err := s.fs.Readlink(cred, ino)
+		target, err := s.fs.Readlink(op, ino)
 		if err == nil {
 			w.str(target)
 		}
 		opErr = err
 
 	case OpUnlink:
-		opErr = s.fs.Unlink(cred, ino, r.str())
+		opErr = s.fs.Unlink(op, ino, r.str())
 
 	case OpRmdir:
-		opErr = s.fs.Rmdir(cred, ino, r.str())
+		opErr = s.fs.Rmdir(op, ino, r.str())
 
 	case OpRename2:
 		oldName := r.str()
 		newParent := vfs.Ino(r.u64())
 		newName := r.str()
 		flags := vfs.RenameFlags(r.u32())
-		opErr = s.fs.Rename(cred, ino, oldName, newParent, newName, flags)
+		opErr = s.fs.Rename(op, ino, oldName, newParent, newName, flags)
 
 	case OpLink:
 		parent := vfs.Ino(r.u64())
 		name := r.str()
-		attr, err := s.fs.Link(cred, ino, parent, name)
+		attr, err := s.fs.Link(op, ino, parent, name)
 		if err == nil {
 			encodeAttr(w, &attr)
 		}
@@ -198,7 +299,7 @@ func (s *Server) dispatch(frame []byte) []byte {
 		name := r.str()
 		mode := vfs.Mode(r.u32())
 		flags := vfs.OpenFlags(r.u32())
-		attr, handle, err := s.fs.Create(cred, ino, name, mode, flags)
+		attr, handle, err := s.fs.Create(op, ino, name, mode, flags)
 		if err == nil {
 			encodeAttr(w, &attr)
 			w.u64(uint64(handle))
@@ -207,7 +308,7 @@ func (s *Server) dispatch(frame []byte) []byte {
 
 	case OpOpen:
 		flags := vfs.OpenFlags(r.u32())
-		handle, err := s.fs.Open(cred, ino, flags)
+		handle, err := s.fs.Open(op, ino, flags)
 		if err == nil {
 			w.u64(uint64(handle))
 		}
@@ -218,7 +319,7 @@ func (s *Server) dispatch(frame []byte) []byte {
 		off := r.i64()
 		size := int(r.u32())
 		dest := make([]byte, size)
-		n, err := s.fs.Read(cred, handle, off, dest)
+		n, err := s.fs.Read(op, handle, off, dest)
 		if err == nil {
 			w.bytes(dest[:n])
 		}
@@ -228,25 +329,25 @@ func (s *Server) dispatch(frame []byte) []byte {
 		handle := vfs.Handle(r.u64())
 		off := r.i64()
 		data := r.rawBytes()
-		n, err := s.fs.Write(cred, handle, off, data)
+		n, err := s.fs.Write(op, handle, off, data)
 		if err == nil {
 			w.u32(uint32(n))
 		}
 		opErr = err
 
 	case OpFlush:
-		opErr = s.fs.Flush(cred, vfs.Handle(r.u64()))
+		opErr = s.fs.Flush(op, vfs.Handle(r.u64()))
 
 	case OpFsync:
 		handle := vfs.Handle(r.u64())
 		datasync := r.u8() == 1
-		opErr = s.fs.Fsync(cred, handle, datasync)
+		opErr = s.fs.Fsync(op, handle, datasync)
 
 	case OpRelease:
-		opErr = s.fs.Release(vfs.Handle(r.u64()))
+		opErr = s.fs.Release(op, vfs.Handle(r.u64()))
 
 	case OpOpendir:
-		handle, err := s.fs.Opendir(cred, ino)
+		handle, err := s.fs.Opendir(op, ino)
 		if err == nil {
 			w.u64(uint64(handle))
 		}
@@ -255,7 +356,7 @@ func (s *Server) dispatch(frame []byte) []byte {
 	case OpReaddir:
 		handle := vfs.Handle(r.u64())
 		off := r.i64()
-		ents, err := s.fs.Readdir(cred, handle, off)
+		ents, err := s.fs.Readdir(op, handle, off)
 		if err == nil {
 			w.u32(uint32(len(ents)))
 			for _, d := range ents {
@@ -268,10 +369,10 @@ func (s *Server) dispatch(frame []byte) []byte {
 		opErr = err
 
 	case OpReleasedir:
-		opErr = s.fs.Releasedir(vfs.Handle(r.u64()))
+		opErr = s.fs.Releasedir(op, vfs.Handle(r.u64()))
 
 	case OpStatfs:
-		st, err := s.fs.Statfs(ino)
+		st, err := s.fs.Statfs(op, ino)
 		if err == nil {
 			w.u32(st.BlockSize)
 			w.u64(st.Blocks)
@@ -286,17 +387,17 @@ func (s *Server) dispatch(frame []byte) []byte {
 		name := r.str()
 		value := r.rawBytes()
 		flags := vfs.XattrFlags(r.u32())
-		opErr = s.fs.Setxattr(cred, ino, name, value, flags)
+		opErr = s.fs.Setxattr(op, ino, name, value, flags)
 
 	case OpGetxattr:
-		value, err := s.fs.Getxattr(cred, ino, r.str())
+		value, err := s.fs.Getxattr(op, ino, r.str())
 		if err == nil {
 			w.bytes(value)
 		}
 		opErr = err
 
 	case OpListxattr:
-		names, err := s.fs.Listxattr(cred, ino)
+		names, err := s.fs.Listxattr(op, ino)
 		if err == nil {
 			w.u32(uint32(len(names)))
 			for _, n := range names {
@@ -306,17 +407,17 @@ func (s *Server) dispatch(frame []byte) []byte {
 		opErr = err
 
 	case OpRemovexattr:
-		opErr = s.fs.Removexattr(cred, ino, r.str())
+		opErr = s.fs.Removexattr(op, ino, r.str())
 
 	case OpAccess:
-		opErr = s.fs.Access(cred, ino, r.u32())
+		opErr = s.fs.Access(op, ino, r.u32())
 
 	case OpFallocate:
 		handle := vfs.Handle(r.u64())
 		mode := r.u32()
 		off := r.i64()
 		length := r.i64()
-		opErr = s.fs.Fallocate(cred, handle, mode, off, length)
+		opErr = s.fs.Fallocate(op, handle, mode, off, length)
 
 	default:
 		opErr = vfs.ENOSYS

@@ -1,0 +1,65 @@
+package memfs
+
+import (
+	"sync"
+
+	"cntr/internal/vfs"
+)
+
+// pipeBuf is the byte stream behind a FIFO inode. Readers block until
+// data is available; an interrupted operation (canceled Op context)
+// unwinds with EINTR, which is what FUSE_INTERRUPT delivers to a process
+// stuck in read(2) on a pipe.
+type pipeBuf struct {
+	mu   sync.Mutex
+	data []byte
+	// wake is closed (and replaced) whenever data arrives.
+	wake chan struct{}
+}
+
+func newPipeBuf() *pipeBuf { return &pipeBuf{wake: make(chan struct{})} }
+
+// pipeBuf returns the inode's pipe, creating it on first use. Caller
+// holds fs.mu.
+func (n *inode) pipeBuf() *pipeBuf {
+	if n.pipe == nil {
+		n.pipe = newPipeBuf()
+	}
+	return n.pipe
+}
+
+// read blocks until the FIFO has data or op is interrupted.
+func (p *pipeBuf) read(op *vfs.Op, dest []byte) (int, error) {
+	if len(dest) == 0 {
+		return 0, nil
+	}
+	for {
+		if err := op.Err(); err != nil {
+			return 0, err
+		}
+		p.mu.Lock()
+		if len(p.data) > 0 {
+			n := copy(dest, p.data)
+			p.data = append(p.data[:0], p.data[n:]...)
+			p.mu.Unlock()
+			return n, nil
+		}
+		wake := p.wake
+		p.mu.Unlock()
+		select {
+		case <-op.Context().Done():
+			return 0, vfs.EINTR
+		case <-wake:
+		}
+	}
+}
+
+// write appends data and wakes blocked readers.
+func (p *pipeBuf) write(data []byte) int {
+	p.mu.Lock()
+	p.data = append(p.data, data...)
+	close(p.wake)
+	p.wake = make(chan struct{})
+	p.mu.Unlock()
+	return len(data)
+}

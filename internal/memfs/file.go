@@ -8,10 +8,10 @@ import (
 )
 
 // Create implements vfs.FS: atomic create-and-open of a regular file.
-func (fs *FS) Create(c *vfs.Cred, parent vfs.Ino, name string, mode vfs.Mode, flags vfs.OpenFlags) (vfs.Attr, vfs.Handle, error) {
+func (fs *FS) Create(op *vfs.Op, parent vfs.Ino, name string, mode vfs.Mode, flags vfs.OpenFlags) (vfs.Attr, vfs.Handle, error) {
+	c := op.Cred
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	fs.stats.Creates++
 	attr, err := fs.insertChild(c, parent, name, func(dir *inode) (*inode, error) {
 		return fs.newInode(c, dir, vfs.TypeRegular, mode, 0), nil
 	})
@@ -23,10 +23,10 @@ func (fs *FS) Create(c *vfs.Cred, parent vfs.Ino, name string, mode vfs.Mode, fl
 }
 
 // Open implements vfs.FS.
-func (fs *FS) Open(c *vfs.Cred, ino vfs.Ino, flags vfs.OpenFlags) (vfs.Handle, error) {
+func (fs *FS) Open(op *vfs.Op, ino vfs.Ino, flags vfs.OpenFlags) (vfs.Handle, error) {
+	c := op.Cred
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	fs.stats.Opens++
 	n, err := fs.get(ino)
 	if err != nil {
 		return 0, err
@@ -75,11 +75,15 @@ func (fs *FS) handle(h vfs.Handle) (*openFile, *inode, error) {
 	return of, n, nil
 }
 
-// Read implements vfs.FS.
-func (fs *FS) Read(c *vfs.Cred, h vfs.Handle, off int64, dest []byte) (int, error) {
+// Read implements vfs.FS. Reads from a FIFO block until data arrives and
+// unwind with EINTR when the operation is interrupted (the memfs-level
+// half of FUSE_INTERRUPT support).
+func (fs *FS) Read(op *vfs.Op, h vfs.Handle, off int64, dest []byte) (int, error) {
+	if err := op.Err(); err != nil {
+		return 0, err
+	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	fs.stats.Reads++
 	of, n, err := fs.handle(h)
 	if err != nil {
 		return 0, err
@@ -89,6 +93,15 @@ func (fs *FS) Read(c *vfs.Cred, h vfs.Handle, off int64, dest []byte) (int, erro
 	}
 	if !of.flags.Readable() {
 		return 0, vfs.EBADF
+	}
+	if n.attr.Type == vfs.TypeFIFO {
+		p := n.pipeBuf()
+		// Block outside the filesystem lock: a stuck FIFO reader must not
+		// wedge the whole filesystem.
+		fs.mu.Unlock()
+		nr, rerr := p.read(op, dest)
+		fs.mu.Lock()
+		return nr, rerr
 	}
 	if off < 0 {
 		return 0, vfs.EINVAL
@@ -119,17 +132,19 @@ func (fs *FS) Read(c *vfs.Cred, h vfs.Handle, off int64, dest []byte) (int, erro
 		read += chunk
 	}
 	n.attr.Atime = fs.now()
-	fs.stats.BytesRead += read
 	return int(read), nil
 }
 
 // Write implements vfs.FS, honouring O_APPEND, RLIMIT_FSIZE, capacity
 // limits, and clearing setuid/setgid bits on writes by unprivileged
 // callers.
-func (fs *FS) Write(c *vfs.Cred, h vfs.Handle, off int64, data []byte) (int, error) {
+func (fs *FS) Write(op *vfs.Op, h vfs.Handle, off int64, data []byte) (int, error) {
+	c := op.Cred
+	if err := op.Err(); err != nil {
+		return 0, err
+	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	fs.stats.Writes++
 	of, n, err := fs.handle(h)
 	if err != nil {
 		return 0, err
@@ -139,6 +154,9 @@ func (fs *FS) Write(c *vfs.Cred, h vfs.Handle, off int64, data []byte) (int, err
 	}
 	if !of.flags.Writable() {
 		return 0, vfs.EBADF
+	}
+	if n.attr.Type == vfs.TypeFIFO {
+		return n.pipeBuf().write(data), nil
 	}
 	if off < 0 {
 		return 0, vfs.EINVAL
@@ -183,12 +201,11 @@ func (fs *FS) Write(c *vfs.Cred, h vfs.Handle, off int64, data []byte) (int, err
 			n.attr.Mode &^= vfs.ModeSetGID
 		}
 	}
-	fs.stats.BytesWrit += written
 	return int(written), nil
 }
 
 // Flush implements vfs.FS. memfs has no dirty state to write out.
-func (fs *FS) Flush(c *vfs.Cred, h vfs.Handle) error {
+func (fs *FS) Flush(op *vfs.Op, h vfs.Handle) error {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	_, _, err := fs.handle(h)
@@ -196,16 +213,15 @@ func (fs *FS) Flush(c *vfs.Cred, h vfs.Handle) error {
 }
 
 // Fsync implements vfs.FS.
-func (fs *FS) Fsync(c *vfs.Cred, h vfs.Handle, datasync bool) error {
+func (fs *FS) Fsync(op *vfs.Op, h vfs.Handle, datasync bool) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	fs.stats.Fsyncs++
 	_, _, err := fs.handle(h)
 	return err
 }
 
 // Release implements vfs.FS.
-func (fs *FS) Release(h vfs.Handle) error {
+func (fs *FS) Release(op *vfs.Op, h vfs.Handle) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	of, ok := fs.handles[h]
@@ -221,10 +237,10 @@ func (fs *FS) Release(h vfs.Handle) error {
 }
 
 // Opendir implements vfs.FS.
-func (fs *FS) Opendir(c *vfs.Cred, ino vfs.Ino) (vfs.Handle, error) {
+func (fs *FS) Opendir(op *vfs.Op, ino vfs.Ino) (vfs.Handle, error) {
+	c := op.Cred
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	fs.stats.Opens++
 	n, err := fs.getDir(c, ino)
 	if err != nil {
 		return 0, err
@@ -238,10 +254,9 @@ func (fs *FS) Opendir(c *vfs.Cred, ino vfs.Ino) (vfs.Handle, error) {
 // Readdir implements vfs.FS. Entries are returned in a stable sorted
 // order; offsets are 1-based positions in that order with "." and ".."
 // first, matching what getdents callers expect.
-func (fs *FS) Readdir(c *vfs.Cred, h vfs.Handle, off int64) ([]vfs.Dirent, error) {
+func (fs *FS) Readdir(op *vfs.Op, h vfs.Handle, off int64) ([]vfs.Dirent, error) {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
-	fs.stats.Readdirs++
 	of, n, err := fs.handle(h)
 	if err != nil {
 		return nil, err
@@ -277,10 +292,10 @@ func (fs *FS) Readdir(c *vfs.Cred, h vfs.Handle, off int64) ([]vfs.Dirent, error
 }
 
 // Releasedir implements vfs.FS.
-func (fs *FS) Releasedir(h vfs.Handle) error { return fs.Release(h) }
+func (fs *FS) Releasedir(op *vfs.Op, h vfs.Handle) error { return fs.Release(op, h) }
 
 // Statfs implements vfs.FS.
-func (fs *FS) Statfs(ino vfs.Ino) (vfs.StatfsOut, error) {
+func (fs *FS) Statfs(op *vfs.Op, ino vfs.Ino) (vfs.StatfsOut, error) {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	total := uint64(fs.cap / blockSize)
@@ -297,10 +312,10 @@ func (fs *FS) Statfs(ino vfs.Ino) (vfs.StatfsOut, error) {
 
 // Setxattr implements vfs.FS. Setting a POSIX access ACL re-derives the
 // group permission bits from the ACL mask entry, as Linux does.
-func (fs *FS) Setxattr(c *vfs.Cred, ino vfs.Ino, name string, value []byte, flags vfs.XattrFlags) error {
+func (fs *FS) Setxattr(op *vfs.Op, ino vfs.Ino, name string, value []byte, flags vfs.XattrFlags) error {
+	c := op.Cred
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	fs.stats.Xattrs++
 	n, err := fs.get(ino)
 	if err != nil {
 		return err
@@ -333,10 +348,9 @@ func (fs *FS) Setxattr(c *vfs.Cred, ino vfs.Ino, name string, value []byte, flag
 }
 
 // Getxattr implements vfs.FS.
-func (fs *FS) Getxattr(c *vfs.Cred, ino vfs.Ino, name string) ([]byte, error) {
+func (fs *FS) Getxattr(op *vfs.Op, ino vfs.Ino, name string) ([]byte, error) {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
-	fs.stats.Xattrs++
 	n, err := fs.get(ino)
 	if err != nil {
 		return nil, err
@@ -349,10 +363,9 @@ func (fs *FS) Getxattr(c *vfs.Cred, ino vfs.Ino, name string) ([]byte, error) {
 }
 
 // Listxattr implements vfs.FS.
-func (fs *FS) Listxattr(c *vfs.Cred, ino vfs.Ino) ([]string, error) {
+func (fs *FS) Listxattr(op *vfs.Op, ino vfs.Ino) ([]string, error) {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
-	fs.stats.Xattrs++
 	n, err := fs.get(ino)
 	if err != nil {
 		return nil, err
@@ -366,10 +379,10 @@ func (fs *FS) Listxattr(c *vfs.Cred, ino vfs.Ino) ([]string, error) {
 }
 
 // Removexattr implements vfs.FS.
-func (fs *FS) Removexattr(c *vfs.Cred, ino vfs.Ino, name string) error {
+func (fs *FS) Removexattr(op *vfs.Op, ino vfs.Ino, name string) error {
+	c := op.Cred
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	fs.stats.Xattrs++
 	n, err := fs.get(ino)
 	if err != nil {
 		return err
@@ -386,7 +399,8 @@ func (fs *FS) Removexattr(c *vfs.Cred, ino vfs.Ino, name string) error {
 }
 
 // Access implements vfs.FS.
-func (fs *FS) Access(c *vfs.Cred, ino vfs.Ino, mask uint32) error {
+func (fs *FS) Access(op *vfs.Op, ino vfs.Ino, mask uint32) error {
+	c := op.Cred
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	n, err := fs.get(ino)
@@ -407,7 +421,8 @@ func (fs *FS) Access(c *vfs.Cred, ino vfs.Ino, mask uint32) error {
 
 // Fallocate implements vfs.FS with default (extend), FALLOC_FL_KEEP_SIZE
 // and FALLOC_FL_PUNCH_HOLE behaviours.
-func (fs *FS) Fallocate(c *vfs.Cred, h vfs.Handle, mode uint32, off, length int64) error {
+func (fs *FS) Fallocate(op *vfs.Op, h vfs.Handle, mode uint32, off, length int64) error {
+	c := op.Cred
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	of, n, err := fs.handle(h)
@@ -455,13 +470,6 @@ func (fs *FS) Fallocate(c *vfs.Cred, h vfs.Handle, mode uint32, off, length int6
 		n.attr.Size = end
 	}
 	return nil
-}
-
-// StatsSnapshot implements vfs.FS.
-func (fs *FS) StatsSnapshot() vfs.OpStats {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	return fs.stats
 }
 
 // UsedBytes reports the allocated data bytes (for tests and tools).

@@ -43,7 +43,6 @@ type FS struct {
 	cap     int64
 	now     func() time.Time
 	logical time.Duration
-	stats   vfs.OpStats
 }
 
 type inode struct {
@@ -56,6 +55,9 @@ type inode struct {
 	parent   vfs.Ino
 	// openCount keeps unlinked-but-open inodes alive.
 	openCount int
+	// pipe backs FIFO inodes: reads block on it until data arrives or the
+	// operation is interrupted.
+	pipe *pipeBuf
 }
 
 type openFile struct {
@@ -132,10 +134,10 @@ func checkName(name string) error {
 }
 
 // Lookup implements vfs.FS.
-func (fs *FS) Lookup(c *vfs.Cred, parent vfs.Ino, name string) (vfs.Attr, error) {
+func (fs *FS) Lookup(op *vfs.Op, parent vfs.Ino, name string) (vfs.Attr, error) {
+	c := op.Cred
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
-	fs.stats.Lookups++
 	dir, err := fs.getDir(c, parent)
 	if err != nil {
 		return vfs.Attr{}, err
@@ -164,18 +166,14 @@ func (fs *FS) Lookup(c *vfs.Cred, parent vfs.Ino, name string) (vfs.Attr, error)
 	return n.attr, nil
 }
 
-// Forget implements vfs.FS; memfs inodes are persistent so it only counts.
-func (fs *FS) Forget(ino vfs.Ino, nlookup uint64) {
-	fs.mu.Lock()
-	fs.stats.Forgets++
-	fs.mu.Unlock()
-}
+// Forget implements vfs.FS; memfs inodes are persistent, so there is no
+// per-lookup state to drop.
+func (fs *FS) Forget(op *vfs.Op, ino vfs.Ino, nlookup uint64) {}
 
 // Getattr implements vfs.FS.
-func (fs *FS) Getattr(c *vfs.Cred, ino vfs.Ino) (vfs.Attr, error) {
+func (fs *FS) Getattr(op *vfs.Op, ino vfs.Ino) (vfs.Attr, error) {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
-	fs.stats.Getattrs++
 	n, err := fs.get(ino)
 	if err != nil {
 		return vfs.Attr{}, err
@@ -185,10 +183,10 @@ func (fs *FS) Getattr(c *vfs.Cred, ino vfs.Ino) (vfs.Attr, error) {
 
 // Setattr implements vfs.FS, including chmod/chown side effects on the
 // setuid/setgid bits and RLIMIT_FSIZE enforcement on truncation-growth.
-func (fs *FS) Setattr(c *vfs.Cred, ino vfs.Ino, mask vfs.SetattrMask, attr vfs.Attr) (vfs.Attr, error) {
+func (fs *FS) Setattr(op *vfs.Op, ino vfs.Ino, mask vfs.SetattrMask, attr vfs.Attr) (vfs.Attr, error) {
+	c := op.Cred
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	fs.stats.Setattrs++
 	n, err := fs.get(ino)
 	if err != nil {
 		return vfs.Attr{}, err
@@ -390,10 +388,10 @@ func (fs *FS) insertChild(c *vfs.Cred, parent vfs.Ino, name string, build func(d
 }
 
 // Mknod implements vfs.FS.
-func (fs *FS) Mknod(c *vfs.Cred, parent vfs.Ino, name string, typ vfs.FileType, mode vfs.Mode, rdev uint32) (vfs.Attr, error) {
+func (fs *FS) Mknod(op *vfs.Op, parent vfs.Ino, name string, typ vfs.FileType, mode vfs.Mode, rdev uint32) (vfs.Attr, error) {
+	c := op.Cred
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	fs.stats.Creates++
 	if typ == vfs.TypeDirectory {
 		return vfs.Attr{}, vfs.EINVAL
 	}
@@ -406,20 +404,20 @@ func (fs *FS) Mknod(c *vfs.Cred, parent vfs.Ino, name string, typ vfs.FileType, 
 }
 
 // Mkdir implements vfs.FS.
-func (fs *FS) Mkdir(c *vfs.Cred, parent vfs.Ino, name string, mode vfs.Mode) (vfs.Attr, error) {
+func (fs *FS) Mkdir(op *vfs.Op, parent vfs.Ino, name string, mode vfs.Mode) (vfs.Attr, error) {
+	c := op.Cred
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	fs.stats.Creates++
 	return fs.insertChild(c, parent, name, func(dir *inode) (*inode, error) {
 		return fs.newInode(c, dir, vfs.TypeDirectory, mode, 0), nil
 	})
 }
 
 // Symlink implements vfs.FS.
-func (fs *FS) Symlink(c *vfs.Cred, parent vfs.Ino, name, target string) (vfs.Attr, error) {
+func (fs *FS) Symlink(op *vfs.Op, parent vfs.Ino, name, target string) (vfs.Attr, error) {
+	c := op.Cred
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	fs.stats.Creates++
 	if target == "" {
 		return vfs.Attr{}, vfs.ENOENT
 	}
@@ -432,7 +430,7 @@ func (fs *FS) Symlink(c *vfs.Cred, parent vfs.Ino, name, target string) (vfs.Att
 }
 
 // Readlink implements vfs.FS.
-func (fs *FS) Readlink(c *vfs.Cred, ino vfs.Ino) (string, error) {
+func (fs *FS) Readlink(op *vfs.Op, ino vfs.Ino) (string, error) {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	n, err := fs.get(ino)
@@ -459,10 +457,10 @@ func stickyDenied(c *vfs.Cred, dir, child *inode) bool {
 }
 
 // Unlink implements vfs.FS.
-func (fs *FS) Unlink(c *vfs.Cred, parent vfs.Ino, name string) error {
+func (fs *FS) Unlink(op *vfs.Op, parent vfs.Ino, name string) error {
+	c := op.Cred
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	fs.stats.Unlinks++
 	if err := checkName(name); err != nil {
 		return err
 	}
@@ -497,10 +495,10 @@ func (fs *FS) Unlink(c *vfs.Cred, parent vfs.Ino, name string) error {
 }
 
 // Rmdir implements vfs.FS.
-func (fs *FS) Rmdir(c *vfs.Cred, parent vfs.Ino, name string) error {
+func (fs *FS) Rmdir(op *vfs.Op, parent vfs.Ino, name string) error {
+	c := op.Cred
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	fs.stats.Unlinks++
 	if err := checkName(name); err != nil {
 		return err
 	}
@@ -562,10 +560,10 @@ func (fs *FS) isAncestor(a, b vfs.Ino) bool {
 }
 
 // Rename implements vfs.FS including RENAME_NOREPLACE and RENAME_EXCHANGE.
-func (fs *FS) Rename(c *vfs.Cred, oldParent vfs.Ino, oldName string, newParent vfs.Ino, newName string, flags vfs.RenameFlags) error {
+func (fs *FS) Rename(op *vfs.Op, oldParent vfs.Ino, oldName string, newParent vfs.Ino, newName string, flags vfs.RenameFlags) error {
+	c := op.Cred
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	fs.stats.Renames++
 	if err := checkName(oldName); err != nil {
 		return err
 	}
@@ -673,10 +671,10 @@ func (fs *FS) fixupDirParent(n *inode, newParent vfs.Ino, from, to *inode) {
 }
 
 // Link implements vfs.FS.
-func (fs *FS) Link(c *vfs.Cred, ino vfs.Ino, parent vfs.Ino, name string) (vfs.Attr, error) {
+func (fs *FS) Link(op *vfs.Op, ino vfs.Ino, parent vfs.Ino, name string) (vfs.Attr, error) {
+	c := op.Cred
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	fs.stats.Creates++
 	n, err := fs.get(ino)
 	if err != nil {
 		return vfs.Attr{}, err

@@ -264,7 +264,7 @@ func TestRenameNoReplace(t *testing.T) {
 	c.WriteFile("/b", nil, 0o644)
 	ra, _ := c.Lresolve("/a")
 	rb, _ := c.Lresolve("/b")
-	err := c.FS.Rename(c.Cred, ra.Parent, "a", rb.Parent, "b", vfs.RenameNoReplace)
+	err := c.FS.Rename(c.Op, ra.Parent, "a", rb.Parent, "b", vfs.RenameNoReplace)
 	if vfs.ToErrno(err) != vfs.EEXIST {
 		t.Fatalf("err = %v, want EEXIST", err)
 	}
@@ -274,7 +274,7 @@ func TestRenameExchange(t *testing.T) {
 	c := newClient(t)
 	c.WriteFile("/a", []byte("A"), 0o644)
 	c.WriteFile("/b", []byte("B"), 0o644)
-	err := c.FS.Rename(c.Cred, vfs.RootIno, "a", vfs.RootIno, "b", vfs.RenameExchange)
+	err := c.FS.Rename(c.Op, vfs.RootIno, "a", vfs.RootIno, "b", vfs.RenameExchange)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,12 +351,12 @@ func TestReaddirOffsetResume(t *testing.T) {
 	for _, n := range []string{"a", "b", "c", "d"} {
 		c.WriteFile("/"+n, nil, 0o644)
 	}
-	h, err := fs.Opendir(c.Cred, vfs.RootIno)
+	h, err := fs.Opendir(c.Op, vfs.RootIno)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer fs.Releasedir(h)
-	first, err := fs.Readdir(c.Cred, h, 0)
+	defer fs.Releasedir(c.Op, h)
+	first, err := fs.Readdir(c.Op, h, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,7 +364,7 @@ func TestReaddirOffsetResume(t *testing.T) {
 		t.Fatal("dot entries must come first")
 	}
 	// Resume from the third entry's offset.
-	rest, err := fs.Readdir(c.Cred, h, first[2].Off)
+	rest, err := fs.Readdir(c.Op, h, first[2].Off)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -552,21 +552,21 @@ func TestXattrRoundTrip(t *testing.T) {
 	c := vfs.NewClient(fs, vfs.Root())
 	c.WriteFile("/f", nil, 0o644)
 	r, _ := c.Resolve("/f")
-	if err := fs.Setxattr(c.Cred, r.Ino, "user.key", []byte("val"), 0); err != nil {
+	if err := fs.Setxattr(c.Op, r.Ino, "user.key", []byte("val"), 0); err != nil {
 		t.Fatal(err)
 	}
-	v, err := fs.Getxattr(c.Cred, r.Ino, "user.key")
+	v, err := fs.Getxattr(c.Op, r.Ino, "user.key")
 	if err != nil || string(v) != "val" {
 		t.Fatalf("getxattr: %q, %v", v, err)
 	}
-	names, err := fs.Listxattr(c.Cred, r.Ino)
+	names, err := fs.Listxattr(c.Op, r.Ino)
 	if err != nil || len(names) != 1 || names[0] != "user.key" {
 		t.Fatalf("listxattr: %v, %v", names, err)
 	}
-	if err := fs.Removexattr(c.Cred, r.Ino, "user.key"); err != nil {
+	if err := fs.Removexattr(c.Op, r.Ino, "user.key"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Getxattr(c.Cred, r.Ino, "user.key"); vfs.ToErrno(err) != vfs.ENODATA {
+	if _, err := fs.Getxattr(c.Op, r.Ino, "user.key"); vfs.ToErrno(err) != vfs.ENODATA {
 		t.Fatalf("after remove: %v, want ENODATA", err)
 	}
 }
@@ -576,13 +576,13 @@ func TestXattrCreateReplaceFlags(t *testing.T) {
 	c := vfs.NewClient(fs, vfs.Root())
 	c.WriteFile("/f", nil, 0o644)
 	r, _ := c.Resolve("/f")
-	if err := fs.Setxattr(c.Cred, r.Ino, "user.k", []byte("1"), vfs.XattrReplace); vfs.ToErrno(err) != vfs.ENODATA {
+	if err := fs.Setxattr(c.Op, r.Ino, "user.k", []byte("1"), vfs.XattrReplace); vfs.ToErrno(err) != vfs.ENODATA {
 		t.Fatalf("replace-missing: %v", err)
 	}
-	if err := fs.Setxattr(c.Cred, r.Ino, "user.k", []byte("1"), vfs.XattrCreate); err != nil {
+	if err := fs.Setxattr(c.Op, r.Ino, "user.k", []byte("1"), vfs.XattrCreate); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Setxattr(c.Cred, r.Ino, "user.k", []byte("2"), vfs.XattrCreate); vfs.ToErrno(err) != vfs.EEXIST {
+	if err := fs.Setxattr(c.Op, r.Ino, "user.k", []byte("2"), vfs.XattrCreate); vfs.ToErrno(err) != vfs.EEXIST {
 		t.Fatalf("create-existing: %v", err)
 	}
 }
@@ -599,7 +599,7 @@ func TestACLMaskUpdatesGroupBits(t *testing.T) {
 		{Tag: vfs.ACLMask, Perm: 5},
 		{Tag: vfs.ACLOther, Perm: 4},
 	}}
-	if err := fs.Setxattr(c.Cred, r.Ino, vfs.XattrPosixACLAccess, vfs.EncodeACL(acl), 0); err != nil {
+	if err := fs.Setxattr(c.Op, r.Ino, vfs.XattrPosixACLAccess, vfs.EncodeACL(acl), 0); err != nil {
 		t.Fatal(err)
 	}
 	attr, _ := c.Stat("/f")
@@ -616,7 +616,7 @@ func TestFallocatePreallocateAndPunch(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	if err := fs.Fallocate(c.Cred, f.Handle(), 0, 0, 4*blockSize); err != nil {
+	if err := fs.Fallocate(c.Op, f.Handle(), 0, 0, 4*blockSize); err != nil {
 		t.Fatal(err)
 	}
 	attr, _ := f.Stat()
@@ -627,7 +627,7 @@ func TestFallocatePreallocateAndPunch(t *testing.T) {
 		t.Fatalf("blocks = %d", attr.Blocks)
 	}
 	// KEEP_SIZE must not grow the file.
-	if err := fs.Fallocate(c.Cred, f.Handle(), vfs.FallocKeepSize, 4*blockSize, blockSize); err != nil {
+	if err := fs.Fallocate(c.Op, f.Handle(), vfs.FallocKeepSize, 4*blockSize, blockSize); err != nil {
 		t.Fatal(err)
 	}
 	attr, _ = f.Stat()
@@ -638,7 +638,7 @@ func TestFallocatePreallocateAndPunch(t *testing.T) {
 	if _, err := f.WriteAt(bytes.Repeat([]byte("y"), blockSize), blockSize); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Fallocate(c.Cred, f.Handle(), vfs.FallocPunchHole|vfs.FallocKeepSize, blockSize, blockSize); err != nil {
+	if err := fs.Fallocate(c.Op, f.Handle(), vfs.FallocPunchHole|vfs.FallocKeepSize, blockSize, blockSize); err != nil {
 		t.Fatal(err)
 	}
 	buf := make([]byte, blockSize)
@@ -649,7 +649,7 @@ func TestFallocatePreallocateAndPunch(t *testing.T) {
 		}
 	}
 	// PUNCH_HOLE without KEEP_SIZE is invalid.
-	if err := fs.Fallocate(c.Cred, f.Handle(), vfs.FallocPunchHole, 0, blockSize); vfs.ToErrno(err) != vfs.EINVAL {
+	if err := fs.Fallocate(c.Op, f.Handle(), vfs.FallocPunchHole, 0, blockSize); vfs.ToErrno(err) != vfs.EINVAL {
 		t.Fatalf("punch without keep-size: %v", err)
 	}
 }
@@ -666,7 +666,7 @@ func TestCapacityEnforced(t *testing.T) {
 			t.Fatalf("file exceeded capacity: %d", attr.Size)
 		}
 	}
-	st, _ := fs.Statfs(vfs.RootIno)
+	st, _ := fs.Statfs(c.Op, vfs.RootIno)
 	if st.BlocksFree != 0 {
 		t.Fatalf("free blocks = %d, want 0", st.BlocksFree)
 	}
@@ -693,7 +693,7 @@ func TestStatfsCounts(t *testing.T) {
 	fs := New(Options{})
 	c := vfs.NewClient(fs, vfs.Root())
 	c.WriteFile("/f", make([]byte, blockSize), 0o644)
-	st, err := fs.Statfs(vfs.RootIno)
+	st, err := fs.Statfs(c.Op, vfs.RootIno)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -729,20 +729,20 @@ func TestHandleExport(t *testing.T) {
 
 func TestMknodRequiresPrivilege(t *testing.T) {
 	fs := New(Options{})
-	user := vfs.User(1000, 1000)
+	user := vfs.NewOp(nil, vfs.User(1000, 1000))
 	if _, err := fs.Mknod(user, vfs.RootIno, "dev", vfs.TypeCharDev, 0o600, 0x0101); vfs.ToErrno(err) != vfs.EPERM {
 		t.Fatalf("mknod chardev as user: %v, want EPERM", err)
 	}
 	// But root first needs write access to /.
-	root := vfs.Root()
-	if _, err := fs.Mknod(root, vfs.RootIno, "dev", vfs.TypeCharDev, 0o600, 0x0101); err != nil {
+	root := vfs.RootOp()
+	if _, err := fs.Mknod(root, vfs.RootIno, "dev", vfs.TypeCharDev, 0o600, 0x0101); vfs.ToErrno(err) != vfs.OK {
 		t.Fatal(err)
 	}
 	// FIFOs are unprivileged — but / is 0755 so give the user a dir.
 	if _, err := fs.Mkdir(root, vfs.RootIno, "home", 0o777); err != nil {
 		t.Fatal(err)
 	}
-	c := vfs.NewClient(fs, user)
+	c := vfs.NewClientOp(fs, user)
 	r, _ := c.Resolve("/home")
 	if _, err := fs.Mknod(user, r.Ino, "pipe", vfs.TypeFIFO, 0o644, 0); err != nil {
 		t.Fatalf("mknod fifo: %v", err)
@@ -773,14 +773,18 @@ func TestTimesUpdate(t *testing.T) {
 	}
 }
 
-func TestStatsSnapshot(t *testing.T) {
+func TestStatsInterceptorCounts(t *testing.T) {
 	fs := New(Options{})
-	c := vfs.NewClient(fs, vfs.Root())
+	stats := vfs.NewStats()
+	c := vfs.NewClient(vfs.Chain(fs, stats), vfs.Root())
 	c.WriteFile("/f", []byte("abc"), 0o644)
 	c.ReadFile("/f")
-	st := fs.StatsSnapshot()
+	st := stats.Snapshot()
 	if st.Creates == 0 || st.Writes == 0 || st.Reads == 0 || st.BytesWrit != 3 {
 		t.Fatalf("stats = %+v", st)
+	}
+	if st.Releases == 0 {
+		t.Fatalf("releases uncounted: %+v", st)
 	}
 }
 

@@ -220,8 +220,8 @@ func (ns *MountNS) MoveMount(oldPoint, newPoint string) error {
 
 // Bind resolves srcPath in this namespace and mounts the resolved
 // directory (or file) at dstPoint — a bind mount.
-func (ns *MountNS) Bind(cred *vfs.Cred, srcPath, dstPoint string, readOnly bool) error {
-	fs, ino, _, err := ns.Resolve(cred, srcPath)
+func (ns *MountNS) Bind(op *vfs.Op, srcPath, dstPoint string, readOnly bool) error {
+	fs, ino, _, err := ns.Resolve(op, srcPath)
 	if err != nil {
 		return err
 	}
@@ -269,13 +269,13 @@ func (ns *MountNS) lookupMount(path string) (*Mount, string) {
 
 // Resolve walks path across mounts and symlinks, returning the serving
 // filesystem, the inode, and its attributes.
-func (ns *MountNS) Resolve(cred *vfs.Cred, path string) (vfs.FS, vfs.Ino, vfs.Attr, error) {
-	return ns.resolve(cred, path, true, 0)
+func (ns *MountNS) Resolve(op *vfs.Op, path string) (vfs.FS, vfs.Ino, vfs.Attr, error) {
+	return ns.resolve(op, path, true, 0)
 }
 
 // Lresolve is Resolve without following a final symlink.
-func (ns *MountNS) Lresolve(cred *vfs.Cred, path string) (vfs.FS, vfs.Ino, vfs.Attr, error) {
-	return ns.resolve(cred, path, false, 0)
+func (ns *MountNS) Lresolve(op *vfs.Op, path string) (vfs.FS, vfs.Ino, vfs.Attr, error) {
+	return ns.resolve(op, path, false, 0)
 }
 
 // hasMountUnder reports whether any mount point lies strictly below path.
@@ -290,7 +290,7 @@ func (ns *MountNS) hasMountUnder(path string) bool {
 	return false
 }
 
-func (ns *MountNS) resolve(cred *vfs.Cred, path string, followLeaf bool, depth int) (vfs.FS, vfs.Ino, vfs.Attr, error) {
+func (ns *MountNS) resolve(op *vfs.Op, path string, followLeaf bool, depth int) (vfs.FS, vfs.Ino, vfs.Attr, error) {
 	if depth > vfs.MaxSymlinkDepth {
 		return nil, 0, vfs.Attr{}, vfs.ELOOP
 	}
@@ -302,7 +302,7 @@ func (ns *MountNS) resolve(cred *vfs.Cred, path string, followLeaf bool, depth i
 	cur := "/"
 	m, _ := ns.lookupMount("/")
 	fs, ino := m.FS, m.Root
-	attr, err := fs.Getattr(cred, ino)
+	attr, err := fs.Getattr(op, ino)
 	if err != nil {
 		return nil, 0, vfs.Attr{}, err
 	}
@@ -320,7 +320,7 @@ func (ns *MountNS) resolve(cred *vfs.Cred, path string, followLeaf bool, depth i
 				}
 			}
 			m, rest := ns.lookupMount(cur)
-			fs, ino, attr, err = walkWithin(m, rest, cred)
+			fs, ino, attr, err = walkWithin(m, rest, op)
 			if err != nil {
 				return nil, 0, vfs.Attr{}, err
 			}
@@ -336,7 +336,7 @@ func (ns *MountNS) resolve(cred *vfs.Cred, path string, followLeaf bool, depth i
 		// A mount exactly at next shadows the underlying directory.
 		if nm, ok := ns.MountAt(next); ok {
 			fs, ino = nm.FS, nm.Root
-			attr, err = fs.Getattr(cred, ino)
+			attr, err = fs.Getattr(op, ino)
 			if err != nil {
 				return nil, 0, vfs.Attr{}, err
 			}
@@ -354,7 +354,7 @@ func (ns *MountNS) resolve(cred *vfs.Cred, path string, followLeaf bool, depth i
 		if attr.Type != vfs.TypeDirectory {
 			return nil, 0, vfs.Attr{}, vfs.ENOTDIR
 		}
-		childAttr, err := fs.Lookup(cred, ino, name)
+		childAttr, err := fs.Lookup(op, ino, name)
 		if err != nil {
 			if vfs.ToErrno(err) == vfs.ENOENT && !last && ns.hasMountUnder(next) {
 				synthetic = true
@@ -365,7 +365,7 @@ func (ns *MountNS) resolve(cred *vfs.Cred, path string, followLeaf bool, depth i
 			return nil, 0, vfs.Attr{}, err
 		}
 		if childAttr.Type == vfs.TypeSymlink && (!last || followLeaf) {
-			target, rerr := fs.Readlink(cred, childAttr.Ino)
+			target, rerr := fs.Readlink(op, childAttr.Ino)
 			if rerr != nil {
 				return nil, 0, vfs.Attr{}, rerr
 			}
@@ -379,7 +379,7 @@ func (ns *MountNS) resolve(cred *vfs.Cred, path string, followLeaf bool, depth i
 			if rest != "" {
 				joined += "/" + rest
 			}
-			return ns.resolve(cred, joined, followLeaf, depth+1)
+			return ns.resolve(op, joined, followLeaf, depth+1)
 		}
 		ino, attr = childAttr.Ino, childAttr
 		cur = next
@@ -391,8 +391,8 @@ func (ns *MountNS) resolve(cred *vfs.Cred, path string, followLeaf bool, depth i
 }
 
 // walkWithin re-resolves a residual path inside a single mount.
-func walkWithin(m *Mount, rest string, cred *vfs.Cred) (vfs.FS, vfs.Ino, vfs.Attr, error) {
-	res, err := vfs.Walk(m.FS, cred, m.Root, rest, true)
+func walkWithin(m *Mount, rest string, op *vfs.Op) (vfs.FS, vfs.Ino, vfs.Attr, error) {
+	res, err := vfs.Walk(m.FS, op, m.Root, rest, true)
 	if err != nil {
 		return nil, 0, vfs.Attr{}, err
 	}

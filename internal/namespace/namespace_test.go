@@ -65,7 +65,7 @@ func TestBindMount(t *testing.T) {
 	ns, c := newRoot(t)
 	c.MkdirAll("/data/sub", 0o755)
 	c.WriteFile("/data/sub/f", []byte("x"), 0o644)
-	if err := ns.Bind(vfs.Root(), "/data/sub", "/alias", false); err != nil {
+	if err := ns.Bind(vfs.RootOp(), "/data/sub", "/alias", false); err != nil {
 		t.Fatal(err)
 	}
 	got, err := c.ReadFile("/alias/f")
@@ -86,7 +86,7 @@ func TestReadOnlyMountRejectsWrites(t *testing.T) {
 	ns, c := newRoot(t)
 	c.MkdirAll("/ro", 0o755)
 	c.WriteFile("/ro/f", []byte("x"), 0o644)
-	if err := ns.Bind(vfs.Root(), "/ro", "/mnt", true); err != nil {
+	if err := ns.Bind(vfs.RootOp(), "/ro", "/mnt", true); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.WriteFile("/mnt/new", nil, 0o644); vfs.ToErrno(err) != vfs.EROFS {

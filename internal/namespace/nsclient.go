@@ -11,8 +11,9 @@ import (
 // vfs.Client for a process living inside a mount namespace, including a
 // chroot. Processes created by internal/proc hold one of these.
 type Client struct {
-	NS   *MountNS
-	Cred *vfs.Cred
+	NS *MountNS
+	// Op is the request context the client's operations run with.
+	Op *vfs.Op
 	// Root is the chroot directory as an absolute path in NS ("/" when
 	// not chrooted). All paths the client resolves are interpreted
 	// beneath it.
@@ -21,14 +22,21 @@ type Client struct {
 
 // NewClient returns a client at the namespace root.
 func NewClient(ns *MountNS, cred *vfs.Cred) *Client {
-	return &Client{NS: ns, Cred: cred, Root: "/"}
+	return &Client{NS: ns, Op: vfs.NewOp(nil, cred), Root: "/"}
 }
+
+// Cred returns the credential the client operates with.
+func (c *Client) Cred() *vfs.Cred { return c.Op.Cred }
+
+// req mints the request context for one client call: the client's
+// credential, PID and cancellation scope with a fresh request id.
+func (c *Client) req() *vfs.Op { return c.Op.Fork() }
 
 // Chroot returns a copy of the client whose root is dir (resolved
 // against the current root).
 func (c *Client) Chroot(dir string) (*Client, error) {
 	abs := c.abs(dir)
-	_, _, attr, err := c.NS.Resolve(c.Cred, abs)
+	_, _, attr, err := c.NS.Resolve(c.req(), abs)
 	if err != nil {
 		return nil, err
 	}
@@ -62,7 +70,7 @@ func (c *Client) resolveParent(path string) (*Mount, vfs.Ino, string, error) {
 	}
 	leaf := parts[len(parts)-1]
 	dir := "/" + strings.Join(parts[:len(parts)-1], "/")
-	fs, ino, attr, err := c.NS.Resolve(c.Cred, dir)
+	fs, ino, attr, err := c.NS.Resolve(c.req(), dir)
 	if err != nil {
 		return nil, 0, "", err
 	}
@@ -89,7 +97,7 @@ func (c *Client) roCheck(m *Mount) error {
 // File is an open file bound to the filesystem instance that served it.
 type File struct {
 	fs     vfs.FS
-	cred   *vfs.Cred
+	op     *vfs.Op
 	h      vfs.Handle
 	ino    vfs.Ino
 	flags  vfs.OpenFlags
@@ -99,19 +107,19 @@ type File struct {
 
 // Stat returns the attributes of path (following symlinks).
 func (c *Client) Stat(path string) (vfs.Attr, error) {
-	_, _, attr, err := c.NS.Resolve(c.Cred, c.abs(path))
+	_, _, attr, err := c.NS.Resolve(c.req(), c.abs(path))
 	return attr, err
 }
 
 // Lstat returns the attributes without following a leaf symlink.
 func (c *Client) Lstat(path string) (vfs.Attr, error) {
-	_, _, attr, err := c.NS.Lresolve(c.Cred, c.abs(path))
+	_, _, attr, err := c.NS.Lresolve(c.req(), c.abs(path))
 	return attr, err
 }
 
 // Open opens path. O_CREAT creates the leaf in its parent directory.
 func (c *Client) Open(path string, flags vfs.OpenFlags, mode vfs.Mode) (*File, error) {
-	fs, ino, _, err := c.NS.Resolve(c.Cred, c.abs(path))
+	fs, ino, _, err := c.NS.Resolve(c.req(), c.abs(path))
 	if err != nil {
 		if vfs.ToErrno(err) == vfs.ENOENT && flags&vfs.OCreat != 0 {
 			m, parent, leaf, perr := c.resolveParent(path)
@@ -121,11 +129,11 @@ func (c *Client) Open(path string, flags vfs.OpenFlags, mode vfs.Mode) (*File, e
 			if rerr := c.roCheck(m); rerr != nil {
 				return nil, rerr
 			}
-			cattr, h, cerr := m.FS.Create(c.Cred, parent, leaf, mode, flags)
+			cattr, h, cerr := m.FS.Create(c.req(), parent, leaf, mode, flags)
 			if cerr != nil {
 				return nil, cerr
 			}
-			return &File{fs: m.FS, cred: c.Cred, h: h, ino: cattr.Ino, flags: flags}, nil
+			return &File{fs: m.FS, op: c.req(), h: h, ino: cattr.Ino, flags: flags}, nil
 		}
 		return nil, err
 	}
@@ -138,11 +146,11 @@ func (c *Client) Open(path string, flags vfs.OpenFlags, mode vfs.Mode) (*File, e
 			return nil, err
 		}
 	}
-	h, err := fs.Open(c.Cred, ino, flags)
+	h, err := fs.Open(c.req(), ino, flags)
 	if err != nil {
 		return nil, err
 	}
-	return &File{fs: fs, cred: c.Cred, h: h, ino: ino, flags: flags, offset: 0}, nil
+	return &File{fs: fs, op: c.req(), h: h, ino: ino, flags: flags, offset: 0}, nil
 }
 
 // Create creates or truncates path for writing.
@@ -196,7 +204,7 @@ func (c *Client) Mkdir(path string, mode vfs.Mode) error {
 	if err := c.roCheck(m); err != nil {
 		return err
 	}
-	_, err = m.FS.Mkdir(c.Cred, parent, leaf, mode)
+	_, err = m.FS.Mkdir(c.req(), parent, leaf, mode)
 	return err
 }
 
@@ -227,15 +235,15 @@ func (c *Client) Remove(path string) error {
 	if err := c.roCheck(m); err != nil {
 		return err
 	}
-	attr, err := m.FS.Lookup(c.Cred, parent, leaf)
+	attr, err := m.FS.Lookup(c.req(), parent, leaf)
 	if err != nil {
 		return err
 	}
-	defer m.FS.Forget(attr.Ino, 1)
+	defer m.FS.Forget(c.req(), attr.Ino, 1)
 	if attr.Type == vfs.TypeDirectory {
-		return m.FS.Rmdir(c.Cred, parent, leaf)
+		return m.FS.Rmdir(c.req(), parent, leaf)
 	}
-	return m.FS.Unlink(c.Cred, parent, leaf)
+	return m.FS.Unlink(c.req(), parent, leaf)
 }
 
 // RemoveAll removes path recursively, ignoring ENOENT.
@@ -263,22 +271,22 @@ func (c *Client) RemoveAll(path string) error {
 
 // ReadDir lists the entries of the directory at path (no "."/"..").
 func (c *Client) ReadDir(path string) ([]vfs.Dirent, error) {
-	fs, ino, attr, err := c.NS.Resolve(c.Cred, c.abs(path))
+	fs, ino, attr, err := c.NS.Resolve(c.req(), c.abs(path))
 	if err != nil {
 		return nil, err
 	}
 	if attr.Type != vfs.TypeDirectory {
 		return nil, vfs.ENOTDIR
 	}
-	h, err := fs.Opendir(c.Cred, ino)
+	h, err := fs.Opendir(c.req(), ino)
 	if err != nil {
 		return nil, err
 	}
-	defer fs.Releasedir(h)
+	defer fs.Releasedir(c.req(), h)
 	var out []vfs.Dirent
 	off := int64(0)
 	for {
-		ents, err := fs.Readdir(c.Cred, h, off)
+		ents, err := fs.Readdir(c.req(), h, off)
 		if err != nil {
 			return nil, err
 		}
@@ -307,20 +315,20 @@ func (c *Client) Symlink(target, linkPath string) error {
 	if err := c.roCheck(m); err != nil {
 		return err
 	}
-	_, err = m.FS.Symlink(c.Cred, parent, leaf, target)
+	_, err = m.FS.Symlink(c.req(), parent, leaf, target)
 	return err
 }
 
 // Readlink returns the target of the symlink at path.
 func (c *Client) Readlink(path string) (string, error) {
-	fs, ino, attr, err := c.NS.Lresolve(c.Cred, c.abs(path))
+	fs, ino, attr, err := c.NS.Lresolve(c.req(), c.abs(path))
 	if err != nil {
 		return "", err
 	}
 	if attr.Type != vfs.TypeSymlink {
 		return "", vfs.EINVAL
 	}
-	return fs.Readlink(c.Cred, ino)
+	return fs.Readlink(c.req(), ino)
 }
 
 // Rename moves oldPath to newPath; crossing mounts yields EXDEV as
@@ -340,12 +348,12 @@ func (c *Client) Rename(oldPath, newPath string) error {
 	if err := c.roCheck(om); err != nil {
 		return err
 	}
-	return om.FS.Rename(c.Cred, oldParent, oldLeaf, newParent, newLeaf, 0)
+	return om.FS.Rename(c.req(), oldParent, oldLeaf, newParent, newLeaf, 0)
 }
 
 // Link creates a hard link; crossing mounts yields EXDEV.
 func (c *Client) Link(oldPath, newPath string) error {
-	sfs, sino, _, err := c.NS.Lresolve(c.Cred, c.abs(oldPath))
+	sfs, sino, _, err := c.NS.Lresolve(c.req(), c.abs(oldPath))
 	if err != nil {
 		return err
 	}
@@ -359,33 +367,33 @@ func (c *Client) Link(oldPath, newPath string) error {
 	if err := c.roCheck(nm); err != nil {
 		return err
 	}
-	_, err = nm.FS.Link(c.Cred, sino, newParent, newLeaf)
+	_, err = nm.FS.Link(c.req(), sino, newParent, newLeaf)
 	return err
 }
 
 // Chmod updates mode bits.
 func (c *Client) Chmod(path string, mode vfs.Mode) error {
-	fs, ino, _, err := c.NS.Resolve(c.Cred, c.abs(path))
+	fs, ino, _, err := c.NS.Resolve(c.req(), c.abs(path))
 	if err != nil {
 		return err
 	}
-	_, err = fs.Setattr(c.Cred, ino, vfs.SetMode, vfs.Attr{Mode: mode})
+	_, err = fs.Setattr(c.req(), ino, vfs.SetMode, vfs.Attr{Mode: mode})
 	return err
 }
 
 // Truncate resizes the file at path.
 func (c *Client) Truncate(path string, size int64) error {
-	fs, ino, _, err := c.NS.Resolve(c.Cred, c.abs(path))
+	fs, ino, _, err := c.NS.Resolve(c.req(), c.abs(path))
 	if err != nil {
 		return err
 	}
-	_, err = fs.Setattr(c.Cred, ino, vfs.SetSize, vfs.Attr{Size: size})
+	_, err = fs.Setattr(c.req(), ino, vfs.SetSize, vfs.Attr{Size: size})
 	return err
 }
 
 // Read implements sequential reads.
 func (f *File) Read(p []byte) (int, error) {
-	n, err := f.fs.Read(f.cred, f.h, f.offset, p)
+	n, err := f.fs.Read(f.op.Fork(), f.h, f.offset, p)
 	f.offset += int64(n)
 	if err != nil {
 		return n, err
@@ -398,7 +406,7 @@ func (f *File) Read(p []byte) (int, error) {
 
 // ReadAt reads at an absolute offset.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
-	n, err := f.fs.Read(f.cred, f.h, off, p)
+	n, err := f.fs.Read(f.op.Fork(), f.h, off, p)
 	if err != nil {
 		return n, err
 	}
@@ -410,21 +418,21 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 
 // Write implements sequential writes.
 func (f *File) Write(p []byte) (int, error) {
-	n, err := f.fs.Write(f.cred, f.h, f.offset, p)
+	n, err := f.fs.Write(f.op.Fork(), f.h, f.offset, p)
 	f.offset += int64(n)
 	return n, err
 }
 
 // WriteAt writes at an absolute offset.
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
-	return f.fs.Write(f.cred, f.h, off, p)
+	return f.fs.Write(f.op.Fork(), f.h, off, p)
 }
 
 // Sync fsyncs the file.
-func (f *File) Sync() error { return f.fs.Fsync(f.cred, f.h, false) }
+func (f *File) Sync() error { return f.fs.Fsync(f.op.Fork(), f.h, false) }
 
 // Stat returns current attributes.
-func (f *File) Stat() (vfs.Attr, error) { return f.fs.Getattr(f.cred, f.ino) }
+func (f *File) Stat() (vfs.Attr, error) { return f.fs.Getattr(f.op.Fork(), f.ino) }
 
 // Close flushes and releases the file.
 func (f *File) Close() error {
@@ -432,8 +440,8 @@ func (f *File) Close() error {
 		return vfs.EBADF
 	}
 	f.closed = true
-	ferr := f.fs.Flush(f.cred, f.h)
-	rerr := f.fs.Release(f.h)
+	ferr := f.fs.Flush(f.op.Fork(), f.h)
+	rerr := f.fs.Release(f.op.Fork(), f.h)
 	if ferr != nil {
 		return ferr
 	}

@@ -9,11 +9,11 @@ import (
 
 // ensureSize makes f.size valid, fetching attributes from the backing
 // filesystem if needed. Caller holds c.mu.
-func (c *Cache) ensureSize(cred *vfs.Cred, ino vfs.Ino, f *fileCache) error {
+func (c *Cache) ensureSize(op *vfs.Op, ino vfs.Ino, f *fileCache) error {
 	if f.valid {
 		return nil
 	}
-	attr, err := c.backing.Getattr(cred, ino)
+	attr, err := c.backing.Getattr(op, ino)
 	if err != nil {
 		return err
 	}
@@ -21,11 +21,17 @@ func (c *Cache) ensureSize(cred *vfs.Cred, ino vfs.Ino, f *fileCache) error {
 	f.valid = true
 	f.mode = attr.Mode
 	f.modeKnown = true
+	f.ftype = attr.Type
 	return nil
 }
 
-// Read implements vfs.FS with page-granular caching.
-func (c *Cache) Read(cred *vfs.Cred, h vfs.Handle, off int64, dest []byte) (int, error) {
+// Read implements vfs.FS with page-granular caching. A canceled Op aborts
+// between pages with EINTR, so interrupting a large read does not wait
+// for the whole transfer.
+func (c *Cache) Read(op *vfs.Op, h vfs.Handle, off int64, dest []byte) (int, error) {
+	if err := op.Err(); err != nil {
+		return 0, err
+	}
 	c.charge()
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -42,15 +48,28 @@ func (c *Cache) Read(cred *vfs.Cred, h vfs.Handle, off int64, dest []byte) (int,
 		if f, ok := c.files[st.ino]; ok && f.dirtyBytes > 0 {
 			c.flushFileLocked(st.ino, f)
 		}
-		n, err := c.backing.Read(cred, h, off, dest)
+		// The backing read may block (a FIFO opened O_DIRECT); do not
+		// hold the cache-wide mutex across it.
+		c.mu.Unlock()
+		n, err := c.backing.Read(op, h, off, dest)
+		c.mu.Lock()
 		if err == nil && c.opts.ChargeDisk != nil {
 			c.opts.ChargeDisk.Read(n)
 		}
 		return n, err
 	}
 	f := c.file(st.ino)
-	if err := c.ensureSize(cred, st.ino, f); err != nil {
+	if err := c.ensureSize(op, st.ino, f); err != nil {
 		return 0, err
+	}
+	if f.ftype == vfs.TypeFIFO {
+		// Pipes bypass the page cache. Release the cache lock while the
+		// read blocks waiting for data (or an interrupt): a stuck FIFO
+		// reader must not wedge every other cached file.
+		c.mu.Unlock()
+		n, err := c.backing.Read(op, h, off, dest)
+		c.mu.Lock()
+		return n, err
 	}
 	if off < 0 {
 		return 0, vfs.EINVAL
@@ -64,6 +83,12 @@ func (c *Cache) Read(cred *vfs.Cred, h vfs.Handle, off int64, dest []byte) (int,
 	}
 	read := int64(0)
 	for read < want {
+		if err := op.Err(); err != nil {
+			if read > 0 {
+				break
+			}
+			return 0, err
+		}
 		idx := (off + read) / PageSize
 		po := (off + read) % PageSize
 		chunk := int64(PageSize) - po
@@ -91,7 +116,7 @@ func (c *Cache) Read(cred *vfs.Cred, h vfs.Handle, off int64, dest []byte) (int,
 				fetch = PageSize
 			}
 			buf := make([]byte, fetch)
-			n, err := c.backing.Read(cred, h, idx*PageSize, buf)
+			n, err := c.backing.Read(op, h, idx*PageSize, buf)
 			if err != nil {
 				return int(read), err
 			}
@@ -136,7 +161,10 @@ func min64(a, b int64) int64 {
 // mirroring the kernel's file-capability check on every write(2) — the
 // lookup the paper identifies as the Apache/IOZone write overhead when the
 // backing filesystem is FUSE.
-func (c *Cache) Write(cred *vfs.Cred, h vfs.Handle, off int64, data []byte) (int, error) {
+func (c *Cache) Write(op *vfs.Op, h vfs.Handle, off int64, data []byte) (int, error) {
+	if err := op.Err(); err != nil {
+		return 0, err
+	}
 	c.charge()
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -147,14 +175,14 @@ func (c *Cache) Write(cred *vfs.Cred, h vfs.Handle, off int64, data []byte) (int
 	if !st.flags.Writable() {
 		return 0, vfs.EBADF
 	}
-	if _, err := c.backing.Getxattr(cred, st.ino, vfs.XattrSecurityCapability); err != nil {
+	if _, err := c.backing.Getxattr(op, st.ino, vfs.XattrSecurityCapability); err != nil {
 		if e := vfs.ToErrno(err); e != vfs.ENODATA && e != vfs.EOPNOTSUPP {
 			return 0, err
 		}
 	}
-	c.killPrivsLocked(cred, st)
+	c.killPrivsLocked(op, st)
 	if st.direct || !c.opts.Writeback {
-		n, err := c.backing.Write(cred, h, off, data)
+		n, err := c.backing.Write(op, h, off, data)
 		if err != nil {
 			return n, err
 		}
@@ -174,8 +202,16 @@ func (c *Cache) Write(cred *vfs.Cred, h vfs.Handle, off int64, data []byte) (int
 		return n, err
 	}
 	f := c.file(st.ino)
-	if err := c.ensureSize(cred, st.ino, f); err != nil {
+	if err := c.ensureSize(op, st.ino, f); err != nil {
 		return 0, err
+	}
+	if f.ftype == vfs.TypeFIFO {
+		// Pipe writes go straight through so blocked readers wake now,
+		// not at writeback time.
+		c.mu.Unlock()
+		n, err := c.backing.Write(op, h, off, data)
+		c.mu.Lock()
+		return n, err
 	}
 	if st.flags&vfs.OAppend != 0 {
 		off = f.size
@@ -183,16 +219,22 @@ func (c *Cache) Write(cred *vfs.Cred, h vfs.Handle, off int64, data []byte) (int
 	if off < 0 {
 		return 0, vfs.EINVAL
 	}
-	if cred.FSizeLimit > 0 {
-		if off >= cred.FSizeLimit {
+	if limit := op.Cred.FSizeLimit; limit > 0 {
+		if off >= limit {
 			return 0, vfs.EFBIG
 		}
-		if off+int64(len(data)) > cred.FSizeLimit {
-			data = data[:cred.FSizeLimit-off]
+		if off+int64(len(data)) > limit {
+			data = data[:limit-off]
 		}
 	}
 	written := int64(0)
 	for written < int64(len(data)) {
+		if err := op.Err(); err != nil {
+			if written > 0 {
+				break
+			}
+			return 0, err
+		}
 		idx := (off + written) / PageSize
 		po := (off + written) % PageSize
 		chunk := int64(PageSize) - po
@@ -207,7 +249,7 @@ func (c *Cache) Write(cred *vfs.Cred, h vfs.Handle, off int64, data []byte) (int
 			partial := (po != 0 || chunk != PageSize) && idx*PageSize < f.size
 			buf := make([]byte, PageSize)
 			if partial {
-				n, err := c.backing.Read(cred, h, idx*PageSize, buf)
+				n, err := c.backing.Read(op, h, idx*PageSize, buf)
 				if err != nil {
 					return int(written), err
 				}
@@ -219,7 +261,7 @@ func (c *Cache) Write(cred *vfs.Cred, h vfs.Handle, off int64, data []byte) (int
 			p = c.insertPage(st.ino, idx, buf)
 			if p == nil {
 				// No cache space: write through.
-				n, err := c.backing.Write(cred, h, off+written, data[written:written+chunk])
+				n, err := c.backing.Write(op, h, off+written, data[written:written+chunk])
 				if err != nil {
 					return int(written), err
 				}
@@ -259,7 +301,7 @@ func (c *Cache) Write(cred *vfs.Cred, h vfs.Handle, off int64, data []byte) (int
 		// require the data on stable storage before write(2) returns).
 		c.flushFileLocked(st.ino, f)
 		if st.flags&vfs.OSync == vfs.OSync {
-			c.backing.Fsync(cred, h, true)
+			c.backing.Fsync(op, h, true)
 			if c.opts.ChargeDisk != nil {
 				c.opts.ChargeDisk.Write(0) // device barrier
 			}
@@ -290,14 +332,14 @@ func (c *Cache) updateCachedPages(f *fileCache, off int64, data []byte) {
 // when an unprivileged caller writes a setuid/setgid file, the kernel —
 // not the filesystem — clears the bits, folding a SETATTR into the write
 // path. Caller holds c.mu.
-func (c *Cache) killPrivsLocked(cred *vfs.Cred, st *openState) {
+func (c *Cache) killPrivsLocked(op *vfs.Op, st *openState) {
 	f := c.file(st.ino)
 	if !f.modeKnown {
-		if err := c.ensureSize(cred, st.ino, f); err != nil {
+		if err := c.ensureSize(op, st.ino, f); err != nil {
 			return
 		}
 	}
-	if cred.Caps.Has(vfs.CapFsetid) {
+	if op.Cred.Caps.Has(vfs.CapFsetid) {
 		return
 	}
 	kill := f.mode&vfs.ModeSetUID != 0 || (f.mode&vfs.ModeSetGID != 0 && f.mode&0o010 != 0)
@@ -308,7 +350,7 @@ func (c *Cache) killPrivsLocked(cred *vfs.Cred, st *openState) {
 	if mode&0o010 != 0 {
 		mode &^= vfs.ModeSetGID
 	}
-	if _, err := c.backing.Setattr(cred, st.ino, vfs.SetMode, vfs.Attr{Mode: mode}); err == nil {
+	if _, err := c.backing.Setattr(op, st.ino, vfs.SetMode, vfs.Attr{Mode: mode}); err == nil {
 		f.mode = mode
 	}
 }
@@ -356,7 +398,7 @@ func (c *Cache) flushFileLocked(ino vfs.Ino, f *fileCache) {
 			p.dirtyLo, p.dirtyHi = 0, 0
 		}
 		if len(buf) > 0 {
-			n, err := c.backing.Write(vfs.Root(), f.wbHandle, start, buf)
+			n, err := c.backing.Write(wbOp, f.wbHandle, start, buf)
 			if err == nil && c.opts.ChargeDisk != nil {
 				c.opts.ChargeDisk.Write(n)
 			}
@@ -371,7 +413,7 @@ func (c *Cache) flushFileLocked(ino vfs.Ino, f *fileCache) {
 		if f.wbValid && f.wbHandle == zh {
 			f.wbValid = false
 		}
-		c.backing.Release(zh)
+		c.backing.Release(wbOp, zh)
 	}
 	f.zombies = nil
 }
@@ -388,7 +430,7 @@ func (c *Cache) flushPageLocked(ino vfs.Ino, f *fileCache, idx int64, p *page) {
 		end = f.size
 	}
 	if end > start {
-		n, err := c.backing.Write(vfs.Root(), f.wbHandle, start, p.data[p.dirtyLo:p.dirtyLo+(end-start)])
+		n, err := c.backing.Write(wbOp, f.wbHandle, start, p.data[p.dirtyLo:p.dirtyLo+(end-start)])
 		if err == nil && c.opts.ChargeDisk != nil {
 			c.opts.ChargeDisk.Write(n)
 		}
@@ -406,9 +448,9 @@ func (c *Cache) flushPageLocked(ino vfs.Ino, f *fileCache, idx int64, p *page) {
 // Open implements vfs.FS. Without KeepCache the file's pages are
 // invalidated, which is what makes the cache unshareable across processes
 // in stock FUSE (Figure 3a).
-func (c *Cache) Open(cred *vfs.Cred, ino vfs.Ino, flags vfs.OpenFlags) (vfs.Handle, error) {
+func (c *Cache) Open(op *vfs.Op, ino vfs.Ino, flags vfs.OpenFlags) (vfs.Handle, error) {
 	c.charge()
-	h, err := c.backing.Open(cred, ino, flags)
+	h, err := c.backing.Open(op, ino, flags)
 	if err != nil {
 		return 0, err
 	}
@@ -432,10 +474,10 @@ func (c *Cache) Open(cred *vfs.Cred, ino vfs.Ino, flags vfs.OpenFlags) (vfs.Hand
 }
 
 // Create implements vfs.FS.
-func (c *Cache) Create(cred *vfs.Cred, parent vfs.Ino, name string, mode vfs.Mode, flags vfs.OpenFlags) (vfs.Attr, vfs.Handle, error) {
+func (c *Cache) Create(op *vfs.Op, parent vfs.Ino, name string, mode vfs.Mode, flags vfs.OpenFlags) (vfs.Attr, vfs.Handle, error) {
 	c.charge()
 	c.clock.Advance(c.model.InodeOp)
-	attr, h, err := c.backing.Create(cred, parent, name, mode, flags)
+	attr, h, err := c.backing.Create(op, parent, name, mode, flags)
 	if err != nil {
 		return attr, h, err
 	}
@@ -445,6 +487,7 @@ func (c *Cache) Create(cred *vfs.Cred, parent vfs.Ino, name string, mode vfs.Mod
 	f := c.file(attr.Ino)
 	f.size, f.valid = 0, true
 	f.mode, f.modeKnown = attr.Mode, true
+	f.ftype = attr.Type
 	f.openHandles++
 	if flags.Writable() && c.opts.Writeback {
 		f.wbHandle, f.wbValid = h, true
@@ -455,7 +498,7 @@ func (c *Cache) Create(cred *vfs.Cred, parent vfs.Ino, name string, mode vfs.Mod
 // Flush implements vfs.FS: called on close(2). With FlushOnClose (the
 // FUSE behaviour) dirty data is written back now; otherwise (native
 // behaviour) it stays dirty for background writeback.
-func (c *Cache) Flush(cred *vfs.Cred, h vfs.Handle) error {
+func (c *Cache) Flush(op *vfs.Op, h vfs.Handle) error {
 	c.charge()
 	if c.opts.FlushOnClose {
 		c.mu.Lock()
@@ -465,11 +508,11 @@ func (c *Cache) Flush(cred *vfs.Cred, h vfs.Handle) error {
 		}
 		c.mu.Unlock()
 	}
-	return c.backing.Flush(cred, h)
+	return c.backing.Flush(op, h)
 }
 
 // Fsync implements vfs.FS: flush dirty pages then issue a barrier.
-func (c *Cache) Fsync(cred *vfs.Cred, h vfs.Handle, datasync bool) error {
+func (c *Cache) Fsync(op *vfs.Op, h vfs.Handle, datasync bool) error {
 	c.charge()
 	c.mu.Lock()
 	if st, ok := c.opens[h]; ok {
@@ -481,11 +524,11 @@ func (c *Cache) Fsync(cred *vfs.Cred, h vfs.Handle, datasync bool) error {
 		// Journal commit / cache barrier: one small device round trip.
 		c.opts.ChargeDisk.Write(0)
 	}
-	return c.backing.Fsync(cred, h, datasync)
+	return c.backing.Fsync(op, h, datasync)
 }
 
 // Release implements vfs.FS.
-func (c *Cache) Release(h vfs.Handle) error {
+func (c *Cache) Release(op *vfs.Op, h vfs.Handle) error {
 	c.mu.Lock()
 	keepBacking := false
 	if st, ok := c.opens[h]; ok {
@@ -512,12 +555,12 @@ func (c *Cache) Release(h vfs.Handle) error {
 	if keepBacking {
 		return nil
 	}
-	return c.backing.Release(h)
+	return c.backing.Release(op, h)
 }
 
 // Setattr implements vfs.FS; truncation invalidates pages beyond the new
 // size and updates the cached length.
-func (c *Cache) Setattr(cred *vfs.Cred, ino vfs.Ino, mask vfs.SetattrMask, attr vfs.Attr) (vfs.Attr, error) {
+func (c *Cache) Setattr(op *vfs.Op, ino vfs.Ino, mask vfs.SetattrMask, attr vfs.Attr) (vfs.Attr, error) {
 	c.charge()
 	c.clock.Advance(c.model.InodeOp)
 	c.mu.Lock()
@@ -551,7 +594,7 @@ func (c *Cache) Setattr(cred *vfs.Cred, ino vfs.Ino, mask vfs.SetattrMask, attr 
 		}
 	}
 	c.mu.Unlock()
-	return c.backing.Setattr(cred, ino, mask, attr)
+	return c.backing.Setattr(op, ino, mask, attr)
 }
 
 // overlayDirtyState folds writeback state the backing filesystem has not
@@ -574,9 +617,9 @@ func (c *Cache) overlayDirtyState(attr *vfs.Attr) {
 }
 
 // Getattr implements vfs.FS, overlaying the cached (possibly dirty) size.
-func (c *Cache) Getattr(cred *vfs.Cred, ino vfs.Ino) (vfs.Attr, error) {
+func (c *Cache) Getattr(op *vfs.Op, ino vfs.Ino) (vfs.Attr, error) {
 	c.charge()
-	attr, err := c.backing.Getattr(cred, ino)
+	attr, err := c.backing.Getattr(op, ino)
 	if err != nil {
 		return attr, err
 	}
@@ -585,10 +628,10 @@ func (c *Cache) Getattr(cred *vfs.Cred, ino vfs.Ino) (vfs.Attr, error) {
 }
 
 // Lookup implements vfs.FS, with the same dirty-state overlay as Getattr.
-func (c *Cache) Lookup(cred *vfs.Cred, parent vfs.Ino, name string) (vfs.Attr, error) {
+func (c *Cache) Lookup(op *vfs.Op, parent vfs.Ino, name string) (vfs.Attr, error) {
 	c.charge()
 	c.clock.Advance(c.model.InodeOp)
-	attr, err := c.backing.Lookup(cred, parent, name)
+	attr, err := c.backing.Lookup(op, parent, name)
 	if err != nil {
 		return attr, err
 	}
@@ -597,41 +640,41 @@ func (c *Cache) Lookup(cred *vfs.Cred, parent vfs.Ino, name string) (vfs.Attr, e
 }
 
 // Forget implements vfs.FS.
-func (c *Cache) Forget(ino vfs.Ino, nlookup uint64) { c.backing.Forget(ino, nlookup) }
+func (c *Cache) Forget(op *vfs.Op, ino vfs.Ino, nlookup uint64) { c.backing.Forget(op, ino, nlookup) }
 
 // Mknod implements vfs.FS.
-func (c *Cache) Mknod(cred *vfs.Cred, parent vfs.Ino, name string, typ vfs.FileType, mode vfs.Mode, rdev uint32) (vfs.Attr, error) {
+func (c *Cache) Mknod(op *vfs.Op, parent vfs.Ino, name string, typ vfs.FileType, mode vfs.Mode, rdev uint32) (vfs.Attr, error) {
 	c.charge()
 	c.clock.Advance(c.model.InodeOp)
-	return c.backing.Mknod(cred, parent, name, typ, mode, rdev)
+	return c.backing.Mknod(op, parent, name, typ, mode, rdev)
 }
 
 // Mkdir implements vfs.FS.
-func (c *Cache) Mkdir(cred *vfs.Cred, parent vfs.Ino, name string, mode vfs.Mode) (vfs.Attr, error) {
+func (c *Cache) Mkdir(op *vfs.Op, parent vfs.Ino, name string, mode vfs.Mode) (vfs.Attr, error) {
 	c.charge()
 	c.clock.Advance(c.model.InodeOp)
-	return c.backing.Mkdir(cred, parent, name, mode)
+	return c.backing.Mkdir(op, parent, name, mode)
 }
 
 // Symlink implements vfs.FS.
-func (c *Cache) Symlink(cred *vfs.Cred, parent vfs.Ino, name, target string) (vfs.Attr, error) {
+func (c *Cache) Symlink(op *vfs.Op, parent vfs.Ino, name, target string) (vfs.Attr, error) {
 	c.charge()
 	c.clock.Advance(c.model.InodeOp)
-	return c.backing.Symlink(cred, parent, name, target)
+	return c.backing.Symlink(op, parent, name, target)
 }
 
 // Readlink implements vfs.FS.
-func (c *Cache) Readlink(cred *vfs.Cred, ino vfs.Ino) (string, error) {
+func (c *Cache) Readlink(op *vfs.Op, ino vfs.Ino) (string, error) {
 	c.charge()
-	return c.backing.Readlink(cred, ino)
+	return c.backing.Readlink(op, ino)
 }
 
 // Unlink implements vfs.FS. Dirty pages of removed files are discarded —
 // Postmark's files often die before ever reaching the disk.
-func (c *Cache) Unlink(cred *vfs.Cred, parent vfs.Ino, name string) error {
+func (c *Cache) Unlink(op *vfs.Op, parent vfs.Ino, name string) error {
 	c.charge()
 	c.clock.Advance(c.model.InodeOp)
-	attr, err := c.backing.Lookup(cred, parent, name)
+	attr, err := c.backing.Lookup(op, parent, name)
 	if err == nil {
 		c.mu.Lock()
 		if f, ok := c.files[attr.Ino]; ok && attr.Nlink <= 1 && f.openHandles == 0 {
@@ -643,36 +686,36 @@ func (c *Cache) Unlink(cred *vfs.Cred, parent vfs.Ino, name string) error {
 			delete(c.files, attr.Ino)
 		}
 		c.mu.Unlock()
-		c.backing.Forget(attr.Ino, 1)
+		c.backing.Forget(op, attr.Ino, 1)
 	}
-	return c.backing.Unlink(cred, parent, name)
+	return c.backing.Unlink(op, parent, name)
 }
 
 // Rmdir implements vfs.FS.
-func (c *Cache) Rmdir(cred *vfs.Cred, parent vfs.Ino, name string) error {
+func (c *Cache) Rmdir(op *vfs.Op, parent vfs.Ino, name string) error {
 	c.charge()
 	c.clock.Advance(c.model.InodeOp)
-	return c.backing.Rmdir(cred, parent, name)
+	return c.backing.Rmdir(op, parent, name)
 }
 
 // Rename implements vfs.FS.
-func (c *Cache) Rename(cred *vfs.Cred, oldParent vfs.Ino, oldName string, newParent vfs.Ino, newName string, flags vfs.RenameFlags) error {
+func (c *Cache) Rename(op *vfs.Op, oldParent vfs.Ino, oldName string, newParent vfs.Ino, newName string, flags vfs.RenameFlags) error {
 	c.charge()
 	c.clock.Advance(c.model.InodeOp)
-	return c.backing.Rename(cred, oldParent, oldName, newParent, newName, flags)
+	return c.backing.Rename(op, oldParent, oldName, newParent, newName, flags)
 }
 
 // Link implements vfs.FS.
-func (c *Cache) Link(cred *vfs.Cred, ino vfs.Ino, parent vfs.Ino, name string) (vfs.Attr, error) {
+func (c *Cache) Link(op *vfs.Op, ino vfs.Ino, parent vfs.Ino, name string) (vfs.Attr, error) {
 	c.charge()
 	c.clock.Advance(c.model.InodeOp)
-	return c.backing.Link(cred, ino, parent, name)
+	return c.backing.Link(op, ino, parent, name)
 }
 
 // Opendir implements vfs.FS.
-func (c *Cache) Opendir(cred *vfs.Cred, ino vfs.Ino) (vfs.Handle, error) {
+func (c *Cache) Opendir(op *vfs.Op, ino vfs.Ino) (vfs.Handle, error) {
 	c.charge()
-	h, err := c.backing.Opendir(cred, ino)
+	h, err := c.backing.Opendir(op, ino)
 	if err == nil {
 		c.mu.Lock()
 		c.opens[h] = &openState{ino: ino, flags: vfs.ORdonly}
@@ -682,58 +725,58 @@ func (c *Cache) Opendir(cred *vfs.Cred, ino vfs.Ino) (vfs.Handle, error) {
 }
 
 // Readdir implements vfs.FS.
-func (c *Cache) Readdir(cred *vfs.Cred, h vfs.Handle, off int64) ([]vfs.Dirent, error) {
+func (c *Cache) Readdir(op *vfs.Op, h vfs.Handle, off int64) ([]vfs.Dirent, error) {
 	c.charge()
 	c.clock.Advance(c.model.InodeOp)
-	return c.backing.Readdir(cred, h, off)
+	return c.backing.Readdir(op, h, off)
 }
 
 // Releasedir implements vfs.FS.
-func (c *Cache) Releasedir(h vfs.Handle) error {
+func (c *Cache) Releasedir(op *vfs.Op, h vfs.Handle) error {
 	c.mu.Lock()
 	delete(c.opens, h)
 	c.mu.Unlock()
-	return c.backing.Releasedir(h)
+	return c.backing.Releasedir(op, h)
 }
 
 // Statfs implements vfs.FS.
-func (c *Cache) Statfs(ino vfs.Ino) (vfs.StatfsOut, error) {
+func (c *Cache) Statfs(op *vfs.Op, ino vfs.Ino) (vfs.StatfsOut, error) {
 	c.charge()
-	return c.backing.Statfs(ino)
+	return c.backing.Statfs(op, ino)
 }
 
 // Setxattr implements vfs.FS.
-func (c *Cache) Setxattr(cred *vfs.Cred, ino vfs.Ino, name string, value []byte, flags vfs.XattrFlags) error {
+func (c *Cache) Setxattr(op *vfs.Op, ino vfs.Ino, name string, value []byte, flags vfs.XattrFlags) error {
 	c.charge()
-	return c.backing.Setxattr(cred, ino, name, value, flags)
+	return c.backing.Setxattr(op, ino, name, value, flags)
 }
 
 // Getxattr implements vfs.FS.
-func (c *Cache) Getxattr(cred *vfs.Cred, ino vfs.Ino, name string) ([]byte, error) {
+func (c *Cache) Getxattr(op *vfs.Op, ino vfs.Ino, name string) ([]byte, error) {
 	c.charge()
-	return c.backing.Getxattr(cred, ino, name)
+	return c.backing.Getxattr(op, ino, name)
 }
 
 // Listxattr implements vfs.FS.
-func (c *Cache) Listxattr(cred *vfs.Cred, ino vfs.Ino) ([]string, error) {
+func (c *Cache) Listxattr(op *vfs.Op, ino vfs.Ino) ([]string, error) {
 	c.charge()
-	return c.backing.Listxattr(cred, ino)
+	return c.backing.Listxattr(op, ino)
 }
 
 // Removexattr implements vfs.FS.
-func (c *Cache) Removexattr(cred *vfs.Cred, ino vfs.Ino, name string) error {
+func (c *Cache) Removexattr(op *vfs.Op, ino vfs.Ino, name string) error {
 	c.charge()
-	return c.backing.Removexattr(cred, ino, name)
+	return c.backing.Removexattr(op, ino, name)
 }
 
 // Access implements vfs.FS.
-func (c *Cache) Access(cred *vfs.Cred, ino vfs.Ino, mask uint32) error {
+func (c *Cache) Access(op *vfs.Op, ino vfs.Ino, mask uint32) error {
 	c.charge()
-	return c.backing.Access(cred, ino, mask)
+	return c.backing.Access(op, ino, mask)
 }
 
 // Fallocate implements vfs.FS.
-func (c *Cache) Fallocate(cred *vfs.Cred, h vfs.Handle, mode uint32, off, length int64) error {
+func (c *Cache) Fallocate(op *vfs.Op, h vfs.Handle, mode uint32, off, length int64) error {
 	c.charge()
 	c.mu.Lock()
 	if st, ok := c.opens[h]; ok {
@@ -742,7 +785,7 @@ func (c *Cache) Fallocate(cred *vfs.Cred, h vfs.Handle, mode uint32, off, length
 		}
 	}
 	c.mu.Unlock()
-	err := c.backing.Fallocate(cred, h, mode, off, length)
+	err := c.backing.Fallocate(op, h, mode, off, length)
 	if err == nil {
 		c.mu.Lock()
 		if st, ok := c.opens[h]; ok {
@@ -754,9 +797,6 @@ func (c *Cache) Fallocate(cred *vfs.Cred, h vfs.Handle, mode uint32, off, length
 	}
 	return err
 }
-
-// StatsSnapshot implements vfs.FS.
-func (c *Cache) StatsSnapshot() vfs.OpStats { return c.backing.StatsSnapshot() }
 
 // NameToHandle implements vfs.HandleExporter by delegation: the kernel
 // exports handles whenever the underlying filesystem can (ext4 can; a

@@ -126,6 +126,11 @@ type Cache struct {
 	fsized map[vfs.Handle]bool
 }
 
+// wbOp is the request context for kernel-internal I/O (writeback,
+// eviction): root credentials, not cancelable — background writeback does
+// not belong to any one process and must not be interrupted by one.
+var wbOp = vfs.RootOp()
+
 type pageKey struct {
 	ino vfs.Ino
 	idx int64
@@ -139,6 +144,9 @@ type fileCache struct {
 	// setuid-clearing check on write.
 	mode      vfs.Mode
 	modeKnown bool
+	// ftype is the file's type, learned with the size; pipes (FIFOs)
+	// bypass the page cache entirely, as in the kernel.
+	ftype vfs.FileType
 	// mtimeBump counts writeback-cached writes not yet reflected in the
 	// backing filesystem's timestamps; Getattr overlays it so mtime stays
 	// monotonic even while dirty data sits in the cache.
@@ -304,7 +312,7 @@ func (c *Cache) invalidateNoFlush(ino vfs.Ino) {
 	}
 	// Zombie handles were only kept for writeback of now-discarded data.
 	for _, zh := range f.zombies {
-		c.backing.Release(zh)
+		c.backing.Release(wbOp, zh)
 	}
 	f.zombies = nil
 	c.dropFileLocked(ino, f)

@@ -322,7 +322,7 @@ func TestMetadataPassThrough(t *testing.T) {
 	if err != nil || len(ents) != 2 {
 		t.Fatalf("readdir: %v %v", ents, err)
 	}
-	st, err := e.cache.Statfs(vfs.RootIno)
+	st, err := e.cache.Statfs(e.cli.Op, vfs.RootIno)
 	if err != nil || st.BlockSize == 0 {
 		t.Fatalf("statfs: %+v %v", st, err)
 	}

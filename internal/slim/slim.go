@@ -40,8 +40,8 @@ func NewRecorder(fs vfs.FS) *Recorder {
 }
 
 // Lookup implements vfs.FS, maintaining the ino→path map.
-func (r *Recorder) Lookup(c *vfs.Cred, parent vfs.Ino, name string) (vfs.Attr, error) {
-	attr, err := r.FS.Lookup(c, parent, name)
+func (r *Recorder) Lookup(op *vfs.Op, parent vfs.Ino, name string) (vfs.Attr, error) {
+	attr, err := r.FS.Lookup(op, parent, name)
 	if err != nil {
 		return attr, err
 	}
@@ -54,8 +54,8 @@ func (r *Recorder) Lookup(c *vfs.Cred, parent vfs.Ino, name string) (vfs.Attr, e
 }
 
 // Open implements vfs.FS, recording the access.
-func (r *Recorder) Open(c *vfs.Cred, ino vfs.Ino, flags vfs.OpenFlags) (vfs.Handle, error) {
-	h, err := r.FS.Open(c, ino, flags)
+func (r *Recorder) Open(op *vfs.Op, ino vfs.Ino, flags vfs.OpenFlags) (vfs.Handle, error) {
+	h, err := r.FS.Open(op, ino, flags)
 	if err != nil {
 		return h, err
 	}

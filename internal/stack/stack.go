@@ -52,7 +52,12 @@ type Native struct {
 	Disk  *sim.Disk
 	Mem   *memfs.FS
 	Cache *pagecache.Cache
-	// Top is the filesystem workloads should use.
+	// Stats counts every operation entering the stack; it is the single
+	// place operation counters live (one stats interceptor instead of a
+	// copy in every filesystem).
+	Stats *vfs.Stats
+	// Top is the filesystem workloads should use: the syscall-entry
+	// interceptor chain above the page cache.
 	Top vfs.FS
 }
 
@@ -73,7 +78,11 @@ func NewNative(cfg Config) *Native {
 		ChargeDisk:   disk,
 		Budget:       budget,
 	})
-	return &Native{Clock: clock, Model: model, Disk: disk, Mem: mem, Cache: cache, Top: cache}
+	stats := vfs.NewStats()
+	return &Native{
+		Clock: clock, Model: model, Disk: disk, Mem: mem, Cache: cache,
+		Stats: stats, Top: vfs.Chain(cache, stats),
+	}
 }
 
 // Cntr is the full CntrFS stack.
@@ -88,8 +97,10 @@ type Cntr struct {
 	Server *fuse.Server
 	Kernel *pagecache.Cache
 	Budget *pagecache.MemBudget
-	// Top is the filesystem workloads should use (the kernel-side cache
-	// above the FUSE mount).
+	// Stats counts every operation entering the stack (see Native.Stats).
+	Stats *vfs.Stats
+	// Top is the filesystem workloads should use: the syscall-entry
+	// interceptor chain above the kernel-side cache over the FUSE mount.
 	Top vfs.FS
 }
 
@@ -132,10 +143,11 @@ func NewCntr(cfg Config) *Cntr {
 		FlushOnClose: true, // fuse_flush writes dirty pages on close
 		Budget:       budget,
 	})
+	stats := vfs.NewStats()
 	return &Cntr{
 		Clock: clock, Model: model, Disk: disk, Host: host, HostPC: hostPC,
 		FS: cfs, Conn: conn, Server: srv, Kernel: kernel, Budget: budget,
-		Top: kernel,
+		Stats: stats, Top: vfs.Chain(kernel, stats),
 	}
 }
 

@@ -8,21 +8,18 @@ import (
 )
 
 // Lookup implements vfs.FS.
-func (fs *FS) Lookup(c *vfs.Cred, parent vfs.Ino, name string) (vfs.Attr, error) {
-	fs.mu.Lock()
-	fs.stats.Lookups++
-	fs.mu.Unlock()
+func (fs *FS) Lookup(op *vfs.Op, parent vfs.Ino, name string) (vfs.Attr, error) {
 	ppath, err := fs.pathOf(parent)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
 	if name == "." {
-		return fs.Getattr(c, parent)
+		return fs.Getattr(op, parent)
 	}
 	if name == ".." {
 		dir, _ := splitParent(ppath)
 		ino := fs.register(dir)
-		attr, gerr := fs.Getattr(c, ino)
+		attr, gerr := fs.Getattr(op, ino)
 		return attr, gerr
 	}
 	if strings.HasPrefix(name, whiteoutPrefix) {
@@ -39,10 +36,9 @@ func (fs *FS) Lookup(c *vfs.Cred, parent vfs.Ino, name string) (vfs.Attr, error)
 }
 
 // Forget implements vfs.FS.
-func (fs *FS) Forget(ino vfs.Ino, nlookup uint64) {
+func (fs *FS) Forget(op *vfs.Op, ino vfs.Ino, nlookup uint64) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	fs.stats.Forgets++
 	n, ok := fs.nodes[ino]
 	if !ok || ino == vfs.RootIno {
 		return
@@ -58,17 +54,14 @@ func (fs *FS) Forget(ino vfs.Ino, nlookup uint64) {
 }
 
 // Getattr implements vfs.FS.
-func (fs *FS) Getattr(c *vfs.Cred, ino vfs.Ino) (vfs.Attr, error) {
-	fs.mu.Lock()
-	fs.stats.Getattrs++
-	fs.mu.Unlock()
+func (fs *FS) Getattr(op *vfs.Op, ino vfs.Ino) (vfs.Attr, error) {
 	path, err := fs.pathOf(ino)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
 	if path == "/" {
 		// Root: upper root attrs.
-		attr, gerr := fs.upper.Getattr(internalCred, vfs.RootIno)
+		attr, gerr := fs.upper.Getattr(internalOp, vfs.RootIno)
 		if gerr != nil {
 			return vfs.Attr{}, gerr
 		}
@@ -85,10 +78,7 @@ func (fs *FS) Getattr(c *vfs.Cred, ino vfs.Ino) (vfs.Attr, error) {
 }
 
 // Setattr implements vfs.FS (copy-up then apply).
-func (fs *FS) Setattr(c *vfs.Cred, ino vfs.Ino, mask vfs.SetattrMask, attr vfs.Attr) (vfs.Attr, error) {
-	fs.mu.Lock()
-	fs.stats.Setattrs++
-	fs.mu.Unlock()
+func (fs *FS) Setattr(op *vfs.Op, ino vfs.Ino, mask vfs.SetattrMask, attr vfs.Attr) (vfs.Attr, error) {
 	path, err := fs.pathOf(ino)
 	if err != nil {
 		return vfs.Attr{}, err
@@ -96,11 +86,11 @@ func (fs *FS) Setattr(c *vfs.Cred, ino vfs.Ino, mask vfs.SetattrMask, attr vfs.A
 	if err := fs.copyUp(path); err != nil {
 		return vfs.Attr{}, err
 	}
-	res, err := vfs.Walk(fs.upper, internalCred, vfs.RootIno, path, false)
+	res, err := vfs.Walk(fs.upper, internalOp, vfs.RootIno, path, false)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
-	out, err := fs.upper.Setattr(c, res.Ino, mask, attr)
+	out, err := fs.upper.Setattr(op, res.Ino, mask, attr)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
@@ -122,7 +112,7 @@ func (fs *FS) create(parent vfs.Ino, name string, op func(dir vfs.Ino) (vfs.Attr
 		return vfs.Attr{}, err
 	}
 	fs.removeWhiteout(path)
-	res, err := vfs.Walk(fs.upper, internalCred, vfs.RootIno, ppath, true)
+	res, err := vfs.Walk(fs.upper, internalOp, vfs.RootIno, ppath, true)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
@@ -135,37 +125,28 @@ func (fs *FS) create(parent vfs.Ino, name string, op func(dir vfs.Ino) (vfs.Attr
 }
 
 // Mknod implements vfs.FS.
-func (fs *FS) Mknod(c *vfs.Cred, parent vfs.Ino, name string, typ vfs.FileType, mode vfs.Mode, rdev uint32) (vfs.Attr, error) {
-	fs.mu.Lock()
-	fs.stats.Creates++
-	fs.mu.Unlock()
+func (fs *FS) Mknod(op *vfs.Op, parent vfs.Ino, name string, typ vfs.FileType, mode vfs.Mode, rdev uint32) (vfs.Attr, error) {
 	return fs.create(parent, name, func(dir vfs.Ino) (vfs.Attr, error) {
-		return fs.upper.Mknod(c, dir, name, typ, mode, rdev)
+		return fs.upper.Mknod(op, dir, name, typ, mode, rdev)
 	})
 }
 
 // Mkdir implements vfs.FS.
-func (fs *FS) Mkdir(c *vfs.Cred, parent vfs.Ino, name string, mode vfs.Mode) (vfs.Attr, error) {
-	fs.mu.Lock()
-	fs.stats.Creates++
-	fs.mu.Unlock()
+func (fs *FS) Mkdir(op *vfs.Op, parent vfs.Ino, name string, mode vfs.Mode) (vfs.Attr, error) {
 	return fs.create(parent, name, func(dir vfs.Ino) (vfs.Attr, error) {
-		return fs.upper.Mkdir(c, dir, name, mode)
+		return fs.upper.Mkdir(op, dir, name, mode)
 	})
 }
 
 // Symlink implements vfs.FS.
-func (fs *FS) Symlink(c *vfs.Cred, parent vfs.Ino, name, target string) (vfs.Attr, error) {
-	fs.mu.Lock()
-	fs.stats.Creates++
-	fs.mu.Unlock()
+func (fs *FS) Symlink(op *vfs.Op, parent vfs.Ino, name, target string) (vfs.Attr, error) {
 	return fs.create(parent, name, func(dir vfs.Ino) (vfs.Attr, error) {
-		return fs.upper.Symlink(c, dir, name, target)
+		return fs.upper.Symlink(op, dir, name, target)
 	})
 }
 
 // Readlink implements vfs.FS.
-func (fs *FS) Readlink(c *vfs.Cred, ino vfs.Ino) (string, error) {
+func (fs *FS) Readlink(op *vfs.Op, ino vfs.Ino) (string, error) {
 	path, err := fs.pathOf(ino)
 	if err != nil {
 		return "", err
@@ -174,15 +155,12 @@ func (fs *FS) Readlink(c *vfs.Cred, ino vfs.Ino) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return layer.Readlink(c, res.Ino)
+	return layer.Readlink(op, res.Ino)
 }
 
 // Unlink implements vfs.FS: delete from the upper layer and whiteout any
 // lower copy.
-func (fs *FS) Unlink(c *vfs.Cred, parent vfs.Ino, name string) error {
-	fs.mu.Lock()
-	fs.stats.Unlinks++
-	fs.mu.Unlock()
+func (fs *FS) Unlink(op *vfs.Op, parent vfs.Ino, name string) error {
 	ppath, err := fs.pathOf(parent)
 	if err != nil {
 		return err
@@ -197,11 +175,11 @@ func (fs *FS) Unlink(c *vfs.Cred, parent vfs.Ino, name string) error {
 	}
 	if isUpper {
 		upDir, leaf := splitParent(path)
-		dres, derr := vfs.Walk(fs.upper, internalCred, vfs.RootIno, upDir, true)
+		dres, derr := vfs.Walk(fs.upper, internalOp, vfs.RootIno, upDir, true)
 		if derr != nil {
 			return derr
 		}
-		if err := fs.upper.Unlink(c, dres.Ino, leaf); err != nil {
+		if err := fs.upper.Unlink(op, dres.Ino, leaf); err != nil {
 			return err
 		}
 	}
@@ -213,10 +191,7 @@ func (fs *FS) Unlink(c *vfs.Cred, parent vfs.Ino, name string) error {
 }
 
 // Rmdir implements vfs.FS. The union directory must be empty.
-func (fs *FS) Rmdir(c *vfs.Cred, parent vfs.Ino, name string) error {
-	fs.mu.Lock()
-	fs.stats.Unlinks++
-	fs.mu.Unlock()
+func (fs *FS) Rmdir(op *vfs.Op, parent vfs.Ino, name string) error {
 	ppath, err := fs.pathOf(parent)
 	if err != nil {
 		return err
@@ -229,7 +204,7 @@ func (fs *FS) Rmdir(c *vfs.Cred, parent vfs.Ino, name string) error {
 	if res.Attr.Type != vfs.TypeDirectory {
 		return vfs.ENOTDIR
 	}
-	ents, err := fs.mergedReaddir(c, path)
+	ents, err := fs.mergedReaddir(op, path)
 	if err != nil {
 		return err
 	}
@@ -238,7 +213,7 @@ func (fs *FS) Rmdir(c *vfs.Cred, parent vfs.Ino, name string) error {
 	}
 	if isUpper {
 		upDir, leaf := splitParent(path)
-		dres, derr := vfs.Walk(fs.upper, internalCred, vfs.RootIno, upDir, true)
+		dres, derr := vfs.Walk(fs.upper, internalOp, vfs.RootIno, upDir, true)
 		if derr != nil {
 			return derr
 		}
@@ -248,7 +223,7 @@ func (fs *FS) Rmdir(c *vfs.Cred, parent vfs.Ino, name string) error {
 		if werr := fs.clearWhiteoutsIn(path); werr != nil {
 			return werr
 		}
-		if err := fs.upper.Rmdir(c, dres.Ino, leaf); err != nil {
+		if err := fs.upper.Rmdir(op, dres.Ino, leaf); err != nil {
 			return err
 		}
 	}
@@ -289,10 +264,7 @@ func (fs *FS) dropPath(path string) {
 // Rename implements vfs.FS: copy-up the source, move it in the upper
 // layer, whiteout the origin. Directory renames of lower trees copy the
 // whole subtree up first.
-func (fs *FS) Rename(c *vfs.Cred, oldParent vfs.Ino, oldName string, newParent vfs.Ino, newName string, flags vfs.RenameFlags) error {
-	fs.mu.Lock()
-	fs.stats.Renames++
-	fs.mu.Unlock()
+func (fs *FS) Rename(op *vfs.Op, oldParent vfs.Ino, oldName string, newParent vfs.Ino, newName string, flags vfs.RenameFlags) error {
 	opath, err := fs.pathOf(oldParent)
 	if err != nil {
 		return err
@@ -313,7 +285,7 @@ func (fs *FS) Rename(c *vfs.Cred, oldParent vfs.Ino, oldName string, newParent v
 		}
 		_ = dstLayer
 		if dres.Attr.Type == vfs.TypeDirectory {
-			ents, eerr := fs.mergedReaddir(c, dst)
+			ents, eerr := fs.mergedReaddir(op, dst)
 			if eerr != nil {
 				return eerr
 			}
@@ -332,11 +304,11 @@ func (fs *FS) Rename(c *vfs.Cred, oldParent vfs.Ino, oldName string, newParent v
 	if err := fs.ensureUpperDir(npath); err != nil {
 		return err
 	}
-	sres, err := vfs.Walk(fs.upper, internalCred, vfs.RootIno, opath, true)
+	sres, err := vfs.Walk(fs.upper, internalOp, vfs.RootIno, opath, true)
 	if err != nil {
 		return err
 	}
-	dres, err := vfs.Walk(fs.upper, internalCred, vfs.RootIno, npath, true)
+	dres, err := vfs.Walk(fs.upper, internalOp, vfs.RootIno, npath, true)
 	if err != nil {
 		return err
 	}
@@ -344,7 +316,7 @@ func (fs *FS) Rename(c *vfs.Cred, oldParent vfs.Ino, oldName string, newParent v
 	fs.removeWhiteout(dst)
 	upCli := vfs.NewClient(fs.upper, internalCred)
 	upCli.RemoveAll(dst)
-	if err := fs.upper.Rename(c, sres.Ino, oldName, dres.Ino, newName, 0); err != nil {
+	if err := fs.upper.Rename(op, sres.Ino, oldName, dres.Ino, newName, 0); err != nil {
 		return err
 	}
 	if err := fs.addWhiteout(src); err != nil {
@@ -364,7 +336,7 @@ func (fs *FS) copyUpTree(path string) error {
 	if err := fs.copyUp(path); err != nil {
 		return err
 	}
-	ents, err := fs.mergedReaddir(internalCred, path)
+	ents, err := fs.mergedReaddir(internalOp, path)
 	if err != nil {
 		return err
 	}
@@ -384,7 +356,7 @@ func (fs *FS) copyUpTree(path string) error {
 
 // Link implements vfs.FS. Hard links work within the upper layer only
 // (as in overlayfs, links to lower files copy up first).
-func (fs *FS) Link(c *vfs.Cred, ino vfs.Ino, parent vfs.Ino, name string) (vfs.Attr, error) {
+func (fs *FS) Link(op *vfs.Op, ino vfs.Ino, parent vfs.Ino, name string) (vfs.Attr, error) {
 	path, err := fs.pathOf(ino)
 	if err != nil {
 		return vfs.Attr{}, err
@@ -392,22 +364,19 @@ func (fs *FS) Link(c *vfs.Cred, ino vfs.Ino, parent vfs.Ino, name string) (vfs.A
 	if err := fs.copyUp(path); err != nil {
 		return vfs.Attr{}, err
 	}
-	src, err := vfs.Walk(fs.upper, internalCred, vfs.RootIno, path, false)
+	src, err := vfs.Walk(fs.upper, internalOp, vfs.RootIno, path, false)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
 	return fs.create(parent, name, func(dir vfs.Ino) (vfs.Attr, error) {
-		return fs.upper.Link(c, src.Ino, dir, name)
+		return fs.upper.Link(op, src.Ino, dir, name)
 	})
 }
 
 // Create implements vfs.FS.
-func (fs *FS) Create(c *vfs.Cred, parent vfs.Ino, name string, mode vfs.Mode, flags vfs.OpenFlags) (vfs.Attr, vfs.Handle, error) {
-	fs.mu.Lock()
-	fs.stats.Creates++
-	fs.mu.Unlock()
+func (fs *FS) Create(op *vfs.Op, parent vfs.Ino, name string, mode vfs.Mode, flags vfs.OpenFlags) (vfs.Attr, vfs.Handle, error) {
 	attr, err := fs.create(parent, name, func(dir vfs.Ino) (vfs.Attr, error) {
-		a, _, err := fs.upper.Create(c, dir, name, mode, flags&^vfs.OpenFlags(0))
+		a, _, err := fs.upper.Create(op, dir, name, mode, flags&^vfs.OpenFlags(0))
 		if err != nil {
 			return vfs.Attr{}, err
 		}
@@ -418,7 +387,7 @@ func (fs *FS) Create(c *vfs.Cred, parent vfs.Ino, name string, mode vfs.Mode, fl
 	}
 	// Re-open to obtain a handle (the inner create's handle was dropped
 	// for simplicity of the closure; open is cheap on memfs).
-	h, err := fs.Open(c, attr.Ino, flags)
+	h, err := fs.Open(op, attr.Ino, flags)
 	if err != nil {
 		return vfs.Attr{}, 0, err
 	}
@@ -426,10 +395,7 @@ func (fs *FS) Create(c *vfs.Cred, parent vfs.Ino, name string, mode vfs.Mode, fl
 }
 
 // Open implements vfs.FS: writable opens force copy-up.
-func (fs *FS) Open(c *vfs.Cred, ino vfs.Ino, flags vfs.OpenFlags) (vfs.Handle, error) {
-	fs.mu.Lock()
-	fs.stats.Opens++
-	fs.mu.Unlock()
+func (fs *FS) Open(op *vfs.Op, ino vfs.Ino, flags vfs.OpenFlags) (vfs.Handle, error) {
 	path, err := fs.pathOf(ino)
 	if err != nil {
 		return 0, err
@@ -447,7 +413,7 @@ func (fs *FS) Open(c *vfs.Cred, ino vfs.Ino, flags vfs.OpenFlags) (vfs.Handle, e
 			return 0, err
 		}
 	}
-	lh, err := layer.Open(c, res.Ino, flags)
+	lh, err := layer.Open(op, res.Ino, flags)
 	if err != nil {
 		return 0, err
 	}
@@ -470,49 +436,43 @@ func (fs *FS) handleRef(h vfs.Handle) (handleRef, error) {
 }
 
 // Read implements vfs.FS.
-func (fs *FS) Read(c *vfs.Cred, h vfs.Handle, off int64, dest []byte) (int, error) {
+func (fs *FS) Read(op *vfs.Op, h vfs.Handle, off int64, dest []byte) (int, error) {
 	ref, err := fs.handleRef(h)
 	if err != nil {
 		return 0, err
 	}
-	fs.mu.Lock()
-	fs.stats.Reads++
-	fs.mu.Unlock()
-	return ref.fs.Read(c, ref.h, off, dest)
+	return ref.fs.Read(op, ref.h, off, dest)
 }
 
 // Write implements vfs.FS.
-func (fs *FS) Write(c *vfs.Cred, h vfs.Handle, off int64, data []byte) (int, error) {
+func (fs *FS) Write(op *vfs.Op, h vfs.Handle, off int64, data []byte) (int, error) {
 	ref, err := fs.handleRef(h)
 	if err != nil {
 		return 0, err
 	}
-	fs.mu.Lock()
-	fs.stats.Writes++
-	fs.mu.Unlock()
-	return ref.fs.Write(c, ref.h, off, data)
+	return ref.fs.Write(op, ref.h, off, data)
 }
 
 // Flush implements vfs.FS.
-func (fs *FS) Flush(c *vfs.Cred, h vfs.Handle) error {
+func (fs *FS) Flush(op *vfs.Op, h vfs.Handle) error {
 	ref, err := fs.handleRef(h)
 	if err != nil {
 		return err
 	}
-	return ref.fs.Flush(c, ref.h)
+	return ref.fs.Flush(op, ref.h)
 }
 
 // Fsync implements vfs.FS.
-func (fs *FS) Fsync(c *vfs.Cred, h vfs.Handle, datasync bool) error {
+func (fs *FS) Fsync(op *vfs.Op, h vfs.Handle, datasync bool) error {
 	ref, err := fs.handleRef(h)
 	if err != nil {
 		return err
 	}
-	return ref.fs.Fsync(c, ref.h, datasync)
+	return ref.fs.Fsync(op, ref.h, datasync)
 }
 
 // Release implements vfs.FS.
-func (fs *FS) Release(h vfs.Handle) error {
+func (fs *FS) Release(op *vfs.Op, h vfs.Handle) error {
 	fs.mu.Lock()
 	ref, ok := fs.handles[h]
 	delete(fs.handles, h)
@@ -520,17 +480,17 @@ func (fs *FS) Release(h vfs.Handle) error {
 	if !ok {
 		return vfs.EBADF
 	}
-	return ref.fs.Release(ref.h)
+	return ref.fs.Release(op, ref.h)
 }
 
 // Opendir implements vfs.FS; the merged listing is computed eagerly for
 // stable offsets.
-func (fs *FS) Opendir(c *vfs.Cred, ino vfs.Ino) (vfs.Handle, error) {
+func (fs *FS) Opendir(op *vfs.Op, ino vfs.Ino) (vfs.Handle, error) {
 	path, err := fs.pathOf(ino)
 	if err != nil {
 		return 0, err
 	}
-	ents, err := fs.mergedReaddir(c, path)
+	ents, err := fs.mergedReaddir(op, path)
 	if err != nil {
 		return 0, err
 	}
@@ -547,20 +507,19 @@ func (fs *FS) Opendir(c *vfs.Cred, ino vfs.Ino) (vfs.Handle, error) {
 	h := fs.nextH
 	fs.nextH++
 	fs.handles[h] = handleRef{dir: true, upath: path, ents: all}
-	fs.stats.Opens++
 	fs.mu.Unlock()
 	return h, nil
 }
 
 // mergedReaddir unions directory listings across layers, applying
 // whiteouts and opacity, excluding "."/"..".
-func (fs *FS) mergedReaddir(c *vfs.Cred, path string) ([]vfs.Dirent, error) {
+func (fs *FS) mergedReaddir(op *vfs.Op, path string) ([]vfs.Dirent, error) {
 	seen := make(map[string]vfs.Dirent)
 	hidden := make(map[string]bool)
 	found := false
 
 	collect := func(layer vfs.FS) error {
-		res, err := vfs.Walk(layer, internalCred, vfs.RootIno, path, true)
+		res, err := vfs.Walk(layer, internalOp, vfs.RootIno, path, true)
 		if err != nil {
 			return err
 		}
@@ -568,14 +527,14 @@ func (fs *FS) mergedReaddir(c *vfs.Cred, path string) ([]vfs.Dirent, error) {
 			return vfs.ENOTDIR
 		}
 		found = true
-		h, err := layer.Opendir(internalCred, res.Ino)
+		h, err := layer.Opendir(internalOp, res.Ino)
 		if err != nil {
 			return err
 		}
-		defer layer.Releasedir(h)
+		defer layer.Releasedir(internalOp, h)
 		off := int64(0)
 		for {
-			ents, err := layer.Readdir(internalCred, h, off)
+			ents, err := layer.Readdir(internalOp, h, off)
 			if err != nil {
 				return err
 			}
@@ -601,7 +560,7 @@ func (fs *FS) mergedReaddir(c *vfs.Cred, path string) ([]vfs.Dirent, error) {
 	if err := collect(fs.upper); err != nil && vfs.ToErrno(err) != vfs.ENOENT {
 		return nil, err
 	}
-	if !fs.dirOpaque(path) && !fs.whiteoutExists(internalCred, path) {
+	if !fs.dirOpaque(path) && !fs.whiteoutExists(path) {
 		for _, lower := range fs.lowers {
 			if err := collect(lower); err != nil && vfs.ToErrno(err) != vfs.ENOENT {
 				return nil, err
@@ -624,9 +583,8 @@ func (fs *FS) mergedReaddir(c *vfs.Cred, path string) ([]vfs.Dirent, error) {
 }
 
 // Readdir implements vfs.FS.
-func (fs *FS) Readdir(c *vfs.Cred, h vfs.Handle, off int64) ([]vfs.Dirent, error) {
+func (fs *FS) Readdir(op *vfs.Op, h vfs.Handle, off int64) ([]vfs.Dirent, error) {
 	fs.mu.Lock()
-	fs.stats.Readdirs++
 	ref, ok := fs.handles[h]
 	fs.mu.Unlock()
 	if !ok {
@@ -642,7 +600,7 @@ func (fs *FS) Readdir(c *vfs.Cred, h vfs.Handle, off int64) ([]vfs.Dirent, error
 }
 
 // Releasedir implements vfs.FS.
-func (fs *FS) Releasedir(h vfs.Handle) error {
+func (fs *FS) Releasedir(op *vfs.Op, h vfs.Handle) error {
 	fs.mu.Lock()
 	_, ok := fs.handles[h]
 	delete(fs.handles, h)
@@ -654,15 +612,12 @@ func (fs *FS) Releasedir(h vfs.Handle) error {
 }
 
 // Statfs implements vfs.FS (upper layer's numbers).
-func (fs *FS) Statfs(ino vfs.Ino) (vfs.StatfsOut, error) {
-	return fs.upper.Statfs(vfs.RootIno)
+func (fs *FS) Statfs(op *vfs.Op, ino vfs.Ino) (vfs.StatfsOut, error) {
+	return fs.upper.Statfs(op, vfs.RootIno)
 }
 
 // Setxattr implements vfs.FS.
-func (fs *FS) Setxattr(c *vfs.Cred, ino vfs.Ino, name string, value []byte, flags vfs.XattrFlags) error {
-	fs.mu.Lock()
-	fs.stats.Xattrs++
-	fs.mu.Unlock()
+func (fs *FS) Setxattr(op *vfs.Op, ino vfs.Ino, name string, value []byte, flags vfs.XattrFlags) error {
 	path, err := fs.pathOf(ino)
 	if err != nil {
 		return err
@@ -670,18 +625,15 @@ func (fs *FS) Setxattr(c *vfs.Cred, ino vfs.Ino, name string, value []byte, flag
 	if err := fs.copyUp(path); err != nil {
 		return err
 	}
-	res, err := vfs.Walk(fs.upper, internalCred, vfs.RootIno, path, false)
+	res, err := vfs.Walk(fs.upper, internalOp, vfs.RootIno, path, false)
 	if err != nil {
 		return err
 	}
-	return fs.upper.Setxattr(c, res.Ino, name, value, flags)
+	return fs.upper.Setxattr(op, res.Ino, name, value, flags)
 }
 
 // Getxattr implements vfs.FS.
-func (fs *FS) Getxattr(c *vfs.Cred, ino vfs.Ino, name string) ([]byte, error) {
-	fs.mu.Lock()
-	fs.stats.Xattrs++
-	fs.mu.Unlock()
+func (fs *FS) Getxattr(op *vfs.Op, ino vfs.Ino, name string) ([]byte, error) {
 	path, err := fs.pathOf(ino)
 	if err != nil {
 		return nil, err
@@ -690,11 +642,11 @@ func (fs *FS) Getxattr(c *vfs.Cred, ino vfs.Ino, name string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return layer.Getxattr(c, res.Ino, name)
+	return layer.Getxattr(op, res.Ino, name)
 }
 
 // Listxattr implements vfs.FS.
-func (fs *FS) Listxattr(c *vfs.Cred, ino vfs.Ino) ([]string, error) {
+func (fs *FS) Listxattr(op *vfs.Op, ino vfs.Ino) ([]string, error) {
 	path, err := fs.pathOf(ino)
 	if err != nil {
 		return nil, err
@@ -703,11 +655,11 @@ func (fs *FS) Listxattr(c *vfs.Cred, ino vfs.Ino) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	return layer.Listxattr(c, res.Ino)
+	return layer.Listxattr(op, res.Ino)
 }
 
 // Removexattr implements vfs.FS.
-func (fs *FS) Removexattr(c *vfs.Cred, ino vfs.Ino, name string) error {
+func (fs *FS) Removexattr(op *vfs.Op, ino vfs.Ino, name string) error {
 	path, err := fs.pathOf(ino)
 	if err != nil {
 		return err
@@ -715,19 +667,20 @@ func (fs *FS) Removexattr(c *vfs.Cred, ino vfs.Ino, name string) error {
 	if err := fs.copyUp(path); err != nil {
 		return err
 	}
-	res, err := vfs.Walk(fs.upper, internalCred, vfs.RootIno, path, false)
+	res, err := vfs.Walk(fs.upper, internalOp, vfs.RootIno, path, false)
 	if err != nil {
 		return err
 	}
-	return fs.upper.Removexattr(c, res.Ino, name)
+	return fs.upper.Removexattr(op, res.Ino, name)
 }
 
 // Access implements vfs.FS.
-func (fs *FS) Access(c *vfs.Cred, ino vfs.Ino, mask uint32) error {
-	attr, err := fs.Getattr(c, ino)
+func (fs *FS) Access(op *vfs.Op, ino vfs.Ino, mask uint32) error {
+	attr, err := fs.Getattr(op, ino)
 	if err != nil {
 		return err
 	}
+	c := op.Cred
 	if mask&vfs.AccessRead != 0 && !c.MayRead(&attr) {
 		return vfs.EACCES
 	}
@@ -741,17 +694,10 @@ func (fs *FS) Access(c *vfs.Cred, ino vfs.Ino, mask uint32) error {
 }
 
 // Fallocate implements vfs.FS.
-func (fs *FS) Fallocate(c *vfs.Cred, h vfs.Handle, mode uint32, off, length int64) error {
+func (fs *FS) Fallocate(op *vfs.Op, h vfs.Handle, mode uint32, off, length int64) error {
 	ref, err := fs.handleRef(h)
 	if err != nil {
 		return err
 	}
-	return ref.fs.Fallocate(c, ref.h, mode, off, length)
-}
-
-// StatsSnapshot implements vfs.FS.
-func (fs *FS) StatsSnapshot() vfs.OpStats {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	return fs.stats
+	return ref.fs.Fallocate(op, ref.h, mode, off, length)
 }

@@ -37,7 +37,6 @@ type FS struct {
 	nextIno vfs.Ino
 	handles map[vfs.Handle]handleRef
 	nextH   vfs.Handle
-	stats   vfs.OpStats
 }
 
 type unode struct {
@@ -120,11 +119,13 @@ func (fs *FS) register(path string) vfs.Ino {
 // checks already happened against the looked-up attributes.
 var internalCred = vfs.Root()
 
+// internalOp is the request context for that internal layer access.
+var internalOp = vfs.NewOp(nil, internalCred)
+
 // whiteoutExists reports whether the upper layer hides path.
-func (fs *FS) whiteoutExists(cred *vfs.Cred, path string) bool {
+func (fs *FS) whiteoutExists(path string) bool {
 	dir, name := splitParent(path)
-	res, err := vfs.Walk(fs.upper, internalCred, vfs.RootIno, joinPath(dir, whiteoutPrefix+name), false)
-	_ = cred
+	res, err := vfs.Walk(fs.upper, internalOp, vfs.RootIno, joinPath(dir, whiteoutPrefix+name), false)
 	if err == nil {
 		_ = res
 		return true
@@ -134,7 +135,7 @@ func (fs *FS) whiteoutExists(cred *vfs.Cred, path string) bool {
 
 // dirOpaque reports whether the upper copy of dir is opaque.
 func (fs *FS) dirOpaque(path string) bool {
-	_, err := vfs.Walk(fs.upper, internalCred, vfs.RootIno, joinPath(path, opaqueMarker), false)
+	_, err := vfs.Walk(fs.upper, internalOp, vfs.RootIno, joinPath(path, opaqueMarker), false)
 	return err == nil
 }
 
@@ -143,21 +144,21 @@ func (fs *FS) dirOpaque(path string) bool {
 // It returns the serving filesystem, the layer-local walk result, and
 // whether it came from the upper (writable) layer.
 func (fs *FS) findLayer(path string) (vfs.FS, vfs.WalkResult, bool, error) {
-	if fs.whiteoutExists(internalCred, path) {
+	if fs.whiteoutExists(path) {
 		return nil, vfs.WalkResult{}, false, vfs.ENOENT
 	}
 	// Opaque/whiteout checks apply along every ancestor.
 	if hidden := fs.ancestorsHidden(path); hidden {
 		return nil, vfs.WalkResult{}, false, vfs.ENOENT
 	}
-	if res, err := vfs.Walk(fs.upper, internalCred, vfs.RootIno, path, false); err == nil {
+	if res, err := vfs.Walk(fs.upper, internalOp, vfs.RootIno, path, false); err == nil {
 		return fs.upper, res, true, nil
 	}
 	for i, lower := range fs.lowers {
 		if fs.pathOpaquedAbove(path) {
 			break
 		}
-		res, err := vfs.Walk(lower, internalCred, vfs.RootIno, path, false)
+		res, err := vfs.Walk(lower, internalOp, vfs.RootIno, path, false)
 		if err == nil {
 			_ = i
 			return lower, res, false, nil
@@ -172,7 +173,7 @@ func (fs *FS) ancestorsHidden(path string) bool {
 	cur := ""
 	for i := 0; i < len(parts)-1; i++ {
 		cur += "/" + parts[i]
-		if fs.whiteoutExists(internalCred, cur) {
+		if fs.whiteoutExists(cur) {
 			return true
 		}
 	}
@@ -229,7 +230,7 @@ func (fs *FS) ensureUpperDir(dir string) error {
 // copyUp copies path from a lower layer into the upper layer, preserving
 // data, mode, ownership and xattrs. No-op if already in the upper layer.
 func (fs *FS) copyUp(path string) error {
-	if _, err := vfs.Walk(fs.upper, internalCred, vfs.RootIno, path, false); err == nil {
+	if _, err := vfs.Walk(fs.upper, internalOp, vfs.RootIno, path, false); err == nil {
 		return nil
 	}
 	layer, res, isUpper, err := fs.findLayer(path)
@@ -250,7 +251,7 @@ func (fs *FS) copyUp(path string) error {
 			return err
 		}
 	case vfs.TypeSymlink:
-		target, err := layer.Readlink(internalCred, res.Ino)
+		target, err := layer.Readlink(internalOp, res.Ino)
 		if err != nil {
 			return err
 		}
@@ -269,12 +270,12 @@ func (fs *FS) copyUp(path string) error {
 	}
 	upCli.Chown(path, res.Attr.UID, res.Attr.GID)
 	// Copy xattrs.
-	if names, err := layer.Listxattr(internalCred, res.Ino); err == nil {
-		upRes, uerr := vfs.Walk(fs.upper, internalCred, vfs.RootIno, path, false)
+	if names, err := layer.Listxattr(internalOp, res.Ino); err == nil {
+		upRes, uerr := vfs.Walk(fs.upper, internalOp, vfs.RootIno, path, false)
 		if uerr == nil {
 			for _, name := range names {
-				if v, gerr := layer.Getxattr(internalCred, res.Ino, name); gerr == nil {
-					fs.upper.Setxattr(internalCred, upRes.Ino, name, v, 0)
+				if v, gerr := layer.Getxattr(internalOp, res.Ino, name); gerr == nil {
+					fs.upper.Setxattr(internalOp, upRes.Ino, name, v, 0)
 				}
 			}
 		}
@@ -294,7 +295,7 @@ func (fs *FS) removeWhiteout(path string) {
 func (fs *FS) addWhiteout(path string) error {
 	existsBelow := false
 	for _, lower := range fs.lowers {
-		if _, err := vfs.Walk(lower, internalCred, vfs.RootIno, path, false); err == nil {
+		if _, err := vfs.Walk(lower, internalOp, vfs.RootIno, path, false); err == nil {
 			existsBelow = true
 			break
 		}

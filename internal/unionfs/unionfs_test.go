@@ -260,16 +260,16 @@ func TestXattrCopyUp(t *testing.T) {
 	lower := makeLayer(t, map[string]string{"/f": "x"})
 	lcli := vfs.NewClient(lower, vfs.Root())
 	r, _ := lcli.Resolve("/f")
-	lower.Setxattr(vfs.Root(), r.Ino, "user.origin", []byte("lower"), 0)
+	lower.Setxattr(vfs.RootOp(), r.Ino, "user.origin", []byte("lower"), 0)
 
 	u := New(lower)
 	cli := vfs.NewClient(u, vfs.Root())
 	ur, _ := cli.Resolve("/f")
 	// Setting a new xattr copies up and must preserve existing ones.
-	if err := u.Setxattr(vfs.Root(), ur.Ino, "user.new", []byte("v"), 0); err != nil {
+	if err := u.Setxattr(vfs.RootOp(), ur.Ino, "user.new", []byte("v"), 0); err != nil {
 		t.Fatal(err)
 	}
-	v, err := u.Getxattr(vfs.Root(), ur.Ino, "user.origin")
+	v, err := u.Getxattr(vfs.RootOp(), ur.Ino, "user.origin")
 	if err != nil || !bytes.Equal(v, []byte("lower")) {
 		t.Fatalf("xattr lost in copy-up: %q %v", v, err)
 	}

@@ -10,17 +10,33 @@ import (
 // read/write files, walk trees. A Client carries the credential its
 // operations run with, like a process does.
 type Client struct {
-	FS   FS
-	Cred *Cred
+	FS FS
+	// Op is the request context client operations run with; its Cred is
+	// the client's identity, like a process's credentials.
+	Op *Op
 	// Root is the directory all absolute paths resolve from; it
 	// implements chroot for clients running inside a container.
 	Root Ino
 }
 
-// NewClient returns a client rooted at the filesystem root.
+// NewClient returns a client rooted at the filesystem root, running
+// non-cancelable operations with cred.
 func NewClient(fs FS, cred *Cred) *Client {
-	return &Client{FS: fs, Cred: cred, Root: RootIno}
+	return &Client{FS: fs, Op: NewOp(nil, cred), Root: RootIno}
 }
+
+// NewClientOp returns a client running every operation under op —
+// canceling op's context interrupts the client's in-flight calls.
+func NewClientOp(fs FS, op *Op) *Client {
+	return &Client{FS: fs, Op: op, Root: RootIno}
+}
+
+// Cred returns the credential the client operates with.
+func (c *Client) Cred() *Cred { return c.Op.Cred }
+
+// req mints the request context for one client call: the client's
+// credential and cancellation scope with a fresh request id.
+func (c *Client) req() *Op { return c.Op.Fork() }
 
 // File is an open file with a seek position, the shape workloads expect.
 type File struct {
@@ -35,12 +51,12 @@ type File struct {
 // Resolve walks path and returns its inode and attributes, following
 // symlinks.
 func (c *Client) Resolve(path string) (WalkResult, error) {
-	return Walk(c.FS, c.Cred, c.Root, path, true)
+	return Walk(c.FS, c.req(), c.Root, path, true)
 }
 
 // Lresolve walks path without following a leaf symlink.
 func (c *Client) Lresolve(path string) (WalkResult, error) {
-	return Walk(c.FS, c.Cred, c.Root, path, false)
+	return Walk(c.FS, c.req(), c.Root, path, false)
 }
 
 // Stat returns the attributes of path, following symlinks.
@@ -64,10 +80,10 @@ func (c *Client) Lstat(path string) (Attr, error) {
 // Open opens path with flags; mode is used when O_CREAT creates the file.
 func (c *Client) Open(path string, flags OpenFlags, mode Mode) (*File, error) {
 	follow := flags&ONofollow == 0
-	r, err := Walk(c.FS, c.Cred, c.Root, path, follow)
+	r, err := Walk(c.FS, c.req(), c.Root, path, follow)
 	if err != nil {
 		if ToErrno(err) == ENOENT && flags&OCreat != 0 && r.Parent != 0 && r.Leaf != "" && r.Leaf != "." {
-			attr, h, cerr := c.FS.Create(c.Cred, r.Parent, r.Leaf, mode, flags)
+			attr, h, cerr := c.FS.Create(c.req(), r.Parent, r.Leaf, mode, flags)
 			if cerr != nil {
 				return nil, cerr
 			}
@@ -87,7 +103,7 @@ func (c *Client) Open(path string, flags OpenFlags, mode Mode) (*File, error) {
 	if r.Attr.Type == TypeDirectory && flags.Writable() {
 		return nil, EISDIR
 	}
-	h, err := c.FS.Open(c.Cred, r.Ino, flags)
+	h, err := c.FS.Open(c.req(), r.Ino, flags)
 	if err != nil {
 		return nil, err
 	}
@@ -143,7 +159,7 @@ func (c *Client) Mkdir(path string, mode Mode) error {
 	if ToErrno(err) != ENOENT || r.Leaf == "" || r.Leaf == "." {
 		return err
 	}
-	_, err = c.FS.Mkdir(c.Cred, r.Parent, r.Leaf, mode)
+	_, err = c.FS.Mkdir(c.req(), r.Parent, r.Leaf, mode)
 	return err
 }
 
@@ -167,9 +183,9 @@ func (c *Client) Remove(path string) error {
 		return err
 	}
 	if r.Attr.Type == TypeDirectory {
-		return c.FS.Rmdir(c.Cred, r.Parent, r.Leaf)
+		return c.FS.Rmdir(c.req(), r.Parent, r.Leaf)
 	}
-	return c.FS.Unlink(c.Cred, r.Parent, r.Leaf)
+	return c.FS.Unlink(c.req(), r.Parent, r.Leaf)
 }
 
 // RemoveAll removes path and, for directories, everything beneath it.
@@ -192,9 +208,9 @@ func (c *Client) RemoveAll(path string) error {
 				return err
 			}
 		}
-		return c.FS.Rmdir(c.Cred, r.Parent, r.Leaf)
+		return c.FS.Rmdir(c.req(), r.Parent, r.Leaf)
 	}
-	return c.FS.Unlink(c.Cred, r.Parent, r.Leaf)
+	return c.FS.Unlink(c.req(), r.Parent, r.Leaf)
 }
 
 // ReadDir returns the entries of the directory at path, excluding "." and
@@ -204,15 +220,15 @@ func (c *Client) ReadDir(path string) ([]Dirent, error) {
 	if err != nil {
 		return nil, err
 	}
-	h, err := c.FS.Opendir(c.Cred, r.Ino)
+	h, err := c.FS.Opendir(c.req(), r.Ino)
 	if err != nil {
 		return nil, err
 	}
-	defer c.FS.Releasedir(h)
+	defer c.FS.Releasedir(c.req(), h)
 	var out []Dirent
 	off := int64(0)
 	for {
-		ents, err := c.FS.Readdir(c.Cred, h, off)
+		ents, err := c.FS.Readdir(c.req(), h, off)
 		if err != nil {
 			return nil, err
 		}
@@ -238,7 +254,7 @@ func (c *Client) Symlink(target, linkPath string) error {
 	if ToErrno(err) != ENOENT || r.Leaf == "" {
 		return err
 	}
-	_, err = c.FS.Symlink(c.Cred, r.Parent, r.Leaf, target)
+	_, err = c.FS.Symlink(c.req(), r.Parent, r.Leaf, target)
 	return err
 }
 
@@ -251,7 +267,7 @@ func (c *Client) Readlink(path string) (string, error) {
 	if r.Attr.Type != TypeSymlink {
 		return "", EINVAL
 	}
-	return c.FS.Readlink(c.Cred, r.Ino)
+	return c.FS.Readlink(c.req(), r.Ino)
 }
 
 // Link creates a hard link at newPath referring to oldPath.
@@ -267,7 +283,7 @@ func (c *Client) Link(oldPath, newPath string) error {
 	if ToErrno(err) != ENOENT || dst.Leaf == "" {
 		return err
 	}
-	_, err = c.FS.Link(c.Cred, src.Ino, dst.Parent, dst.Leaf)
+	_, err = c.FS.Link(c.req(), src.Ino, dst.Parent, dst.Leaf)
 	return err
 }
 
@@ -285,7 +301,7 @@ func (c *Client) Rename(oldPath, newPath string) error {
 		return EINVAL
 	}
 	_ = src
-	return c.FS.Rename(c.Cred, src.Parent, src.Leaf, dst.Parent, dst.Leaf, 0)
+	return c.FS.Rename(c.req(), src.Parent, src.Leaf, dst.Parent, dst.Leaf, 0)
 }
 
 // Truncate sets the size of the file at path.
@@ -294,7 +310,7 @@ func (c *Client) Truncate(path string, size int64) error {
 	if err != nil {
 		return err
 	}
-	_, err = c.FS.Setattr(c.Cred, r.Ino, SetSize, Attr{Size: size})
+	_, err = c.FS.Setattr(c.req(), r.Ino, SetSize, Attr{Size: size})
 	return err
 }
 
@@ -304,7 +320,7 @@ func (c *Client) Chmod(path string, mode Mode) error {
 	if err != nil {
 		return err
 	}
-	_, err = c.FS.Setattr(c.Cred, r.Ino, SetMode, Attr{Mode: mode})
+	_, err = c.FS.Setattr(c.req(), r.Ino, SetMode, Attr{Mode: mode})
 	return err
 }
 
@@ -314,7 +330,7 @@ func (c *Client) Chown(path string, uid, gid uint32) error {
 	if err != nil {
 		return err
 	}
-	_, err = c.FS.Setattr(c.Cred, r.Ino, SetUID|SetGID, Attr{UID: uid, GID: gid})
+	_, err = c.FS.Setattr(c.req(), r.Ino, SetUID|SetGID, Attr{UID: uid, GID: gid})
 	return err
 }
 
@@ -346,7 +362,7 @@ func (c *Client) WalkTree(root string, fn func(path string, attr Attr) error) er
 
 // Read reads from the file at its current offset.
 func (f *File) Read(p []byte) (int, error) {
-	n, err := f.c.FS.Read(f.c.Cred, f.h, f.offset, p)
+	n, err := f.c.FS.Read(f.c.req(), f.h, f.offset, p)
 	f.offset += int64(n)
 	if err != nil {
 		return n, err
@@ -359,7 +375,7 @@ func (f *File) Read(p []byte) (int, error) {
 
 // ReadAt reads at an explicit offset without moving the file position.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
-	n, err := f.c.FS.Read(f.c.Cred, f.h, off, p)
+	n, err := f.c.FS.Read(f.c.req(), f.h, off, p)
 	if err != nil {
 		return n, err
 	}
@@ -371,14 +387,14 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 
 // Write writes at the current offset (or end of file for O_APPEND).
 func (f *File) Write(p []byte) (int, error) {
-	n, err := f.c.FS.Write(f.c.Cred, f.h, f.offset, p)
+	n, err := f.c.FS.Write(f.c.req(), f.h, f.offset, p)
 	f.offset += int64(n)
 	return n, err
 }
 
 // WriteAt writes at an explicit offset without moving the file position.
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
-	return f.c.FS.Write(f.c.Cred, f.h, off, p)
+	return f.c.FS.Write(f.c.req(), f.h, off, p)
 }
 
 // Seek repositions the file offset per io.Seeker semantics.
@@ -389,7 +405,7 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 	case io.SeekCurrent:
 		f.offset += offset
 	case io.SeekEnd:
-		attr, err := f.c.FS.Getattr(f.c.Cred, f.ino)
+		attr, err := f.c.FS.Getattr(f.c.req(), f.ino)
 		if err != nil {
 			return f.offset, err
 		}
@@ -406,23 +422,23 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 
 // Sync flushes the file's data to stable storage (fsync(2)).
 func (f *File) Sync() error {
-	return f.c.FS.Fsync(f.c.Cred, f.h, false)
+	return f.c.FS.Fsync(f.c.req(), f.h, false)
 }
 
 // Datasync flushes only the file's data (fdatasync(2)).
 func (f *File) Datasync() error {
-	return f.c.FS.Fsync(f.c.Cred, f.h, true)
+	return f.c.FS.Fsync(f.c.req(), f.h, true)
 }
 
 // Truncate resizes the open file.
 func (f *File) Truncate(size int64) error {
-	_, err := f.c.FS.Setattr(f.c.Cred, f.ino, SetSize, Attr{Size: size})
+	_, err := f.c.FS.Setattr(f.c.req(), f.ino, SetSize, Attr{Size: size})
 	return err
 }
 
 // Stat returns the file's current attributes.
 func (f *File) Stat() (Attr, error) {
-	return f.c.FS.Getattr(f.c.Cred, f.ino)
+	return f.c.FS.Getattr(f.c.req(), f.ino)
 }
 
 // Ino returns the inode number of the open file.
@@ -437,8 +453,8 @@ func (f *File) Close() error {
 		return EBADF
 	}
 	f.closed = true
-	ferr := f.c.FS.Flush(f.c.Cred, f.h)
-	rerr := f.c.FS.Release(f.h)
+	ferr := f.c.FS.Flush(f.c.req(), f.h)
+	rerr := f.c.FS.Release(f.c.req(), f.h)
 	if ferr != nil {
 		return ferr
 	}

@@ -5,108 +5,111 @@ package vfs
 // internal/fuse and the path walker in this package) resolves paths one
 // component at a time with Lookup, and refers to open files by Handle.
 //
-// All methods return Errno-compatible errors (see ToErrno). Methods that
-// take a *Cred perform permission checks against it; passing Root()
-// bypasses most checks, as for a root process with full capabilities.
+// Every method takes an *Op request context as its first argument,
+// carrying the credential, a cancellation context, the request id and the
+// originating PID. Methods perform permission checks against op.Cred;
+// passing RootOp() bypasses most checks, as for a root process with full
+// capabilities. Operations that can block (FIFO reads, FUSE round trips)
+// observe op.Context() and return EINTR when it is canceled.
+//
+// All methods return Errno-compatible errors (see ToErrno).
 type FS interface {
 	// Lookup finds name within the directory parent.
-	Lookup(c *Cred, parent Ino, name string) (Attr, error)
+	Lookup(op *Op, parent Ino, name string) (Attr, error)
 
 	// Forget tells the filesystem that the caller (e.g. the FUSE kernel
 	// module) has dropped nlookup references to ino obtained via Lookup,
 	// Create, Mkdir, etc. Filesystems that keep per-lookup state (such as
 	// CntrFS's inode table) use this to free it.
-	Forget(ino Ino, nlookup uint64)
+	Forget(op *Op, ino Ino, nlookup uint64)
 
 	// Getattr returns the attributes of ino.
-	Getattr(c *Cred, ino Ino) (Attr, error)
+	Getattr(op *Op, ino Ino) (Attr, error)
 
 	// Setattr updates the attributes selected by mask and returns the
 	// resulting attributes.
-	Setattr(c *Cred, ino Ino, mask SetattrMask, attr Attr) (Attr, error)
+	Setattr(op *Op, ino Ino, mask SetattrMask, attr Attr) (Attr, error)
 
 	// Mknod creates a non-directory node (regular file, device, fifo or
 	// socket) in parent.
-	Mknod(c *Cred, parent Ino, name string, typ FileType, mode Mode, rdev uint32) (Attr, error)
+	Mknod(op *Op, parent Ino, name string, typ FileType, mode Mode, rdev uint32) (Attr, error)
 
 	// Mkdir creates a directory.
-	Mkdir(c *Cred, parent Ino, name string, mode Mode) (Attr, error)
+	Mkdir(op *Op, parent Ino, name string, mode Mode) (Attr, error)
 
 	// Symlink creates a symbolic link containing target.
-	Symlink(c *Cred, parent Ino, name, target string) (Attr, error)
+	Symlink(op *Op, parent Ino, name, target string) (Attr, error)
 
 	// Readlink returns the target of a symlink.
-	Readlink(c *Cred, ino Ino) (string, error)
+	Readlink(op *Op, ino Ino) (string, error)
 
 	// Unlink removes a non-directory entry.
-	Unlink(c *Cred, parent Ino, name string) error
+	Unlink(op *Op, parent Ino, name string) error
 
 	// Rmdir removes an empty directory.
-	Rmdir(c *Cred, parent Ino, name string) error
+	Rmdir(op *Op, parent Ino, name string) error
 
 	// Rename moves oldName in oldParent to newName in newParent.
-	Rename(c *Cred, oldParent Ino, oldName string, newParent Ino, newName string, flags RenameFlags) error
+	Rename(op *Op, oldParent Ino, oldName string, newParent Ino, newName string, flags RenameFlags) error
 
 	// Link creates a hard link to ino under parent/name.
-	Link(c *Cred, ino Ino, parent Ino, name string) (Attr, error)
+	Link(op *Op, ino Ino, parent Ino, name string) (Attr, error)
 
 	// Create atomically creates and opens a regular file.
-	Create(c *Cred, parent Ino, name string, mode Mode, flags OpenFlags) (Attr, Handle, error)
+	Create(op *Op, parent Ino, name string, mode Mode, flags OpenFlags) (Attr, Handle, error)
 
 	// Open opens an existing file.
-	Open(c *Cred, ino Ino, flags OpenFlags) (Handle, error)
+	Open(op *Op, ino Ino, flags OpenFlags) (Handle, error)
 
 	// Read reads up to len(dest) bytes at off, returning the count read.
-	// A short count with a nil error indicates end of file.
-	Read(c *Cred, h Handle, off int64, dest []byte) (int, error)
+	// A short count with a nil error indicates end of file. Reads that
+	// block (FIFOs, FUSE round trips) return EINTR when op is canceled.
+	Read(op *Op, h Handle, off int64, dest []byte) (int, error)
 
 	// Write writes data at off (or at end-of-file for O_APPEND handles)
 	// and returns the count written.
-	Write(c *Cred, h Handle, off int64, data []byte) (int, error)
+	Write(op *Op, h Handle, off int64, data []byte) (int, error)
 
 	// Flush is called on close(2) of each file descriptor referring to h.
-	Flush(c *Cred, h Handle) error
+	Flush(op *Op, h Handle) error
 
 	// Fsync persists the file's data (and metadata, unless datasync).
-	Fsync(c *Cred, h Handle, datasync bool) error
+	Fsync(op *Op, h Handle, datasync bool) error
 
 	// Release drops the last reference to an open file handle.
-	Release(h Handle) error
+	Release(op *Op, h Handle) error
 
 	// Opendir opens a directory for reading.
-	Opendir(c *Cred, ino Ino) (Handle, error)
+	Opendir(op *Op, ino Ino) (Handle, error)
 
 	// Readdir returns directory entries starting at offset off. An empty
 	// slice indicates end of directory.
-	Readdir(c *Cred, h Handle, off int64) ([]Dirent, error)
+	Readdir(op *Op, h Handle, off int64) ([]Dirent, error)
 
 	// Releasedir drops a directory handle.
-	Releasedir(h Handle) error
+	Releasedir(op *Op, h Handle) error
 
 	// Statfs reports filesystem statistics.
-	Statfs(ino Ino) (StatfsOut, error)
+	Statfs(op *Op, ino Ino) (StatfsOut, error)
 
 	// Setxattr sets an extended attribute. flags follows setxattr(2):
 	// 0 = create or replace, XattrCreate, XattrReplace.
-	Setxattr(c *Cred, ino Ino, name string, value []byte, flags XattrFlags) error
+	Setxattr(op *Op, ino Ino, name string, value []byte, flags XattrFlags) error
 
 	// Getxattr reads an extended attribute.
-	Getxattr(c *Cred, ino Ino, name string) ([]byte, error)
+	Getxattr(op *Op, ino Ino, name string) ([]byte, error)
 
 	// Listxattr lists extended attribute names.
-	Listxattr(c *Cred, ino Ino) ([]string, error)
+	Listxattr(op *Op, ino Ino) ([]string, error)
 
 	// Removexattr deletes an extended attribute.
-	Removexattr(c *Cred, ino Ino, name string) error
+	Removexattr(op *Op, ino Ino, name string) error
 
 	// Access checks accessibility per access(2) semantics.
-	Access(c *Cred, ino Ino, mask uint32) error
+	Access(op *Op, ino Ino, mask uint32) error
 
 	// Fallocate manipulates file space (preallocate or punch holes).
-	Fallocate(c *Cred, h Handle, mode uint32, off, length int64) error
-
-	// StatsSnapshot returns operation counters for instrumentation.
-	StatsSnapshot() OpStats
+	Fallocate(op *Op, h Handle, mode uint32, off, length int64) error
 }
 
 // XattrFlags controls Setxattr create/replace behaviour.
@@ -118,14 +121,17 @@ const (
 	XattrReplace XattrFlags = 2
 )
 
-// OpStats counts filesystem operations; every FS implementation exposes
-// these so benchmarks can attribute costs.
+// OpStats counts filesystem operations. Counting lives in exactly one
+// place — the Stats interceptor (see Chain) — rather than in each FS
+// implementation, so benchmarks can attribute costs at any layer by
+// inserting an interceptor there.
 type OpStats struct {
 	Lookups   int64
 	Getattrs  int64
 	Setattrs  int64
 	Creates   int64
 	Opens     int64
+	Opendirs  int64
 	Reads     int64
 	Writes    int64
 	BytesRead int64
@@ -136,6 +142,9 @@ type OpStats struct {
 	Readdirs  int64
 	Xattrs    int64
 	Forgets   int64
+	Releases  int64
+	Statfs    int64
+	Access    int64
 }
 
 // Add accumulates o into s.
@@ -145,6 +154,7 @@ func (s *OpStats) Add(o OpStats) {
 	s.Setattrs += o.Setattrs
 	s.Creates += o.Creates
 	s.Opens += o.Opens
+	s.Opendirs += o.Opendirs
 	s.Reads += o.Reads
 	s.Writes += o.Writes
 	s.BytesRead += o.BytesRead
@@ -155,6 +165,9 @@ func (s *OpStats) Add(o OpStats) {
 	s.Readdirs += o.Readdirs
 	s.Xattrs += o.Xattrs
 	s.Forgets += o.Forgets
+	s.Releases += o.Releases
+	s.Statfs += o.Statfs
+	s.Access += o.Access
 }
 
 // HandleExporter is the optional interface behind name_to_handle_at(2) /

@@ -31,18 +31,22 @@ func SplitPath(path string) []string {
 // Walk resolves path relative to dir (use RootIno with a leading-slash
 // path for absolute resolution), following symlinks in intermediate
 // components and, if followLeaf is set, in the final component too.
-// It enforces the MaxSymlinkDepth limit with ELOOP and checks search
-// permission on every traversed directory.
-func Walk(fs FS, c *Cred, dir Ino, path string, followLeaf bool) (WalkResult, error) {
-	return walk(fs, c, dir, path, followLeaf, 0)
+// It enforces the MaxSymlinkDepth limit with ELOOP, checks search
+// permission on every traversed directory, and aborts with EINTR once
+// op's context is canceled.
+func Walk(fs FS, op *Op, dir Ino, path string, followLeaf bool) (WalkResult, error) {
+	return walk(fs, op, dir, path, followLeaf, 0)
 }
 
-func walk(fs FS, c *Cred, dir Ino, path string, followLeaf bool, depth int) (WalkResult, error) {
+func walk(fs FS, op *Op, dir Ino, path string, followLeaf bool, depth int) (WalkResult, error) {
 	if depth > MaxSymlinkDepth {
 		return WalkResult{}, ELOOP
 	}
+	if err := op.Err(); err != nil {
+		return WalkResult{}, err
+	}
 	cur := dir
-	curAttr, err := fs.Getattr(c, cur)
+	curAttr, err := fs.Getattr(op, cur)
 	if err != nil {
 		return WalkResult{}, err
 	}
@@ -55,7 +59,7 @@ func walk(fs FS, c *Cred, dir Ino, path string, followLeaf bool, depth int) (Wal
 		if curAttr.Type != TypeDirectory {
 			return WalkResult{}, ENOTDIR
 		}
-		if !c.MayExec(&curAttr) {
+		if !op.Cred.MayExec(&curAttr) {
 			return WalkResult{}, EACCES
 		}
 		if name == ".." {
@@ -63,7 +67,7 @@ func walk(fs FS, c *Cred, dir Ino, path string, followLeaf bool, depth int) (Wal
 			// ".." entry every directory carries.
 			name = ".."
 		}
-		attr, err := fs.Lookup(c, cur, name)
+		attr, err := fs.Lookup(op, cur, name)
 		last := i == len(components)-1
 		if err != nil {
 			if last {
@@ -73,8 +77,8 @@ func walk(fs FS, c *Cred, dir Ino, path string, followLeaf bool, depth int) (Wal
 			return WalkResult{}, err
 		}
 		if attr.Type == TypeSymlink && (!last || followLeaf) {
-			target, rerr := fs.Readlink(c, attr.Ino)
-			fs.Forget(attr.Ino, 1)
+			target, rerr := fs.Readlink(op, attr.Ino)
+			fs.Forget(op, attr.Ino, 1)
 			if rerr != nil {
 				return WalkResult{}, rerr
 			}
@@ -88,7 +92,7 @@ func walk(fs FS, c *Cred, dir Ino, path string, followLeaf bool, depth int) (Wal
 				joined = target + "/" + rest
 			}
 			// Release the chain reference for cur before re-walking.
-			sub, serr := walk(fs, c, base, joined, followLeaf, depth+1)
+			sub, serr := walk(fs, op, base, joined, followLeaf, depth+1)
 			return sub, serr
 		}
 		res = WalkResult{Ino: attr.Ino, Attr: attr, Parent: cur, Leaf: name}

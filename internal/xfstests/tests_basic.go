@@ -300,7 +300,7 @@ func init() {
 	})
 
 	reg(23, "quick", "statfs reports sane numbers", func(e *Env) error {
-		st, err := e.Top.Statfs(vfs.RootIno)
+		st, err := e.Top.Statfs(e.Root.Op, vfs.RootIno)
 		if err != nil {
 			return err
 		}

@@ -15,7 +15,7 @@ func init() {
 			return err
 		}
 		defer f.Close()
-		if err := e.Top.Fallocate(e.Root.Cred, f.Handle(), 0, 0, 64<<10); err != nil {
+		if err := e.Top.Fallocate(e.Root.Op, f.Handle(), 0, 0, 64<<10); err != nil {
 			return err
 		}
 		attr, _ := f.Stat()
@@ -32,7 +32,7 @@ func init() {
 		}
 		defer f.Close()
 		f.Write([]byte("1234"))
-		if err := e.Top.Fallocate(e.Root.Cred, f.Handle(), vfs.FallocKeepSize, 0, 32<<10); err != nil {
+		if err := e.Top.Fallocate(e.Root.Op, f.Handle(), vfs.FallocKeepSize, 0, 32<<10); err != nil {
 			return err
 		}
 		attr, _ := f.Stat()
@@ -50,7 +50,7 @@ func init() {
 			return err
 		}
 		before, _ := f.Stat()
-		if err := e.Top.Fallocate(e.Root.Cred, f.Handle(),
+		if err := e.Top.Fallocate(e.Root.Op, f.Handle(),
 			vfs.FallocPunchHole|vfs.FallocKeepSize, 4096, 16384); err != nil {
 			return err
 		}
@@ -75,7 +75,7 @@ func init() {
 		}
 		defer f.Close()
 		f.Write(make([]byte, 8192))
-		err = e.Top.Fallocate(e.Root.Cred, f.Handle(), vfs.FallocPunchHole, 0, 4096)
+		err = e.Top.Fallocate(e.Root.Op, f.Handle(), vfs.FallocPunchHole, 0, 4096)
 		return expectErrno(err, vfs.EINVAL)
 	})
 
@@ -156,14 +156,14 @@ func init() {
 	})
 
 	reg(77, "ioctl", "statfs free space decreases on write", func(e *Env) error {
-		before, err := e.Top.Statfs(vfs.RootIno)
+		before, err := e.Top.Statfs(e.Root.Op, vfs.RootIno)
 		if err != nil {
 			return err
 		}
 		if err := e.Root.WriteFile(e.P("blob"), make([]byte, 1<<20), 0o644); err != nil {
 			return err
 		}
-		after, err := e.Top.Statfs(vfs.RootIno)
+		after, err := e.Top.Statfs(e.Root.Op, vfs.RootIno)
 		if err != nil {
 			return err
 		}
@@ -173,9 +173,9 @@ func init() {
 	reg(78, "auto", "utimes set explicit times", func(e *Env) error {
 		e.Root.WriteFile(e.P("f"), nil, 0o644)
 		r, _ := e.Root.Resolve(e.P("f"))
-		want := e.Root.Cred
+		want := e.Root.Op
 		_ = want
-		attr, err := e.Top.Setattr(e.Root.Cred, r.Ino, vfs.SetAtime|vfs.SetMtime, vfs.Attr{
+		attr, err := e.Top.Setattr(e.Root.Op, r.Ino, vfs.SetAtime|vfs.SetMtime, vfs.Attr{
 			Atime: fixedTime(1000), Mtime: fixedTime(2000),
 		})
 		if err != nil {

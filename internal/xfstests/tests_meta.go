@@ -36,7 +36,7 @@ func init() {
 		if err != nil {
 			return err
 		}
-		return expectErrno(e.Top.Unlink(e.Root.Cred, r.Parent, r.Leaf), vfs.EISDIR)
+		return expectErrno(e.Top.Unlink(e.Root.Op, r.Parent, r.Leaf), vfs.EISDIR)
 	})
 
 	reg(29, "quick", "rename file basic", func(e *Env) error {
@@ -80,7 +80,7 @@ func init() {
 		e.Root.WriteFile(e.P("b"), nil, 0o644)
 		ra, _ := e.Root.Lresolve(e.P("a"))
 		rb, _ := e.Root.Lresolve(e.P("b"))
-		err := e.Top.Rename(e.Root.Cred, ra.Parent, ra.Leaf, rb.Parent, rb.Leaf, vfs.RenameNoReplace)
+		err := e.Top.Rename(e.Root.Op, ra.Parent, ra.Leaf, rb.Parent, rb.Leaf, vfs.RenameNoReplace)
 		return expectErrno(err, vfs.EEXIST)
 	})
 
@@ -89,7 +89,7 @@ func init() {
 		e.Root.WriteFile(e.P("b"), []byte("B"), 0o644)
 		ra, _ := e.Root.Lresolve(e.P("a"))
 		rb, _ := e.Root.Lresolve(e.P("b"))
-		if err := e.Top.Rename(e.Root.Cred, ra.Parent, ra.Leaf, rb.Parent, rb.Leaf, vfs.RenameExchange); err != nil {
+		if err := e.Top.Rename(e.Root.Op, ra.Parent, ra.Leaf, rb.Parent, rb.Leaf, vfs.RenameExchange); err != nil {
 			return err
 		}
 		ga, _ := e.Root.ReadFile(e.P("a"))
@@ -174,12 +174,12 @@ func init() {
 		if err != nil {
 			return err
 		}
-		h, err := e.Top.Opendir(e.Root.Cred, r.Ino)
+		h, err := e.Top.Opendir(e.Root.Op, r.Ino)
 		if err != nil {
 			return err
 		}
-		defer e.Top.Releasedir(h)
-		ents, err := e.Top.Readdir(e.Root.Cred, h, 0)
+		defer e.Top.Releasedir(e.Root.Op, h)
+		ents, err := e.Top.Readdir(e.Root.Op, h, 0)
 		if err != nil {
 			return err
 		}
@@ -187,7 +187,7 @@ func init() {
 			return fmt.Errorf("entries = %v", ents)
 		}
 		// Resuming from an offset must not repeat entries.
-		rest, err := e.Top.Readdir(e.Root.Cred, h, ents[1].Off)
+		rest, err := e.Top.Readdir(e.Root.Op, h, ents[1].Off)
 		if err != nil {
 			return err
 		}

@@ -141,16 +141,16 @@ func init() {
 		if err != nil {
 			return err
 		}
-		if err := expectErrno(e.Top.Access(u.Cred, r.Ino, vfs.AccessRead), vfs.EACCES); err != nil {
+		if err := expectErrno(e.Top.Access(u.Op, r.Ino, vfs.AccessRead), vfs.EACCES); err != nil {
 			return err
 		}
-		return e.Top.Access(e.Root.Cred, r.Ino, vfs.AccessRead)
+		return e.Top.Access(e.Root.Op, r.Ino, vfs.AccessRead)
 	})
 
 	reg(58, "quick", "exec bit checked even for root", func(e *Env) error {
 		e.Root.WriteFile(e.P("f"), []byte("data"), 0o644)
 		r, _ := e.Root.Resolve(e.P("f"))
-		return expectErrno(e.Top.Access(e.Root.Cred, r.Ino, vfs.AccessExec), vfs.EACCES)
+		return expectErrno(e.Top.Access(e.Root.Op, r.Ino, vfs.AccessExec), vfs.EACCES)
 	})
 
 	reg(59, "quick", "mknod device requires privilege", func(e *Env) error {
@@ -160,11 +160,11 @@ func init() {
 			return err
 		}
 		e.Root.Chmod(e.Scratch, 0o777)
-		_, err = e.Top.Mknod(u.Cred, r.Ino, "dev", vfs.TypeCharDev, 0o600, 0x0101)
+		_, err = e.Top.Mknod(u.Op, r.Ino, "dev", vfs.TypeCharDev, 0o600, 0x0101)
 		if verr := expectErrno(err, vfs.EPERM); verr != nil {
 			return verr
 		}
-		_, err = e.Top.Mknod(u.Cred, r.Ino, "fifo", vfs.TypeFIFO, 0o644, 0)
+		_, err = e.Top.Mknod(u.Op, r.Ino, "fifo", vfs.TypeFIFO, 0o644, 0)
 		return err
 	})
 
@@ -186,7 +186,7 @@ func init() {
 			{Tag: vfs.ACLMask, Perm: 5},
 			{Tag: vfs.ACLOther, Perm: 5},
 		}}
-		if err := e.Top.Setxattr(e.Root.Cred, r.Ino, vfs.XattrPosixACLAccess, vfs.EncodeACL(acl), 0); err != nil {
+		if err := e.Top.Setxattr(e.Root.Op, r.Ino, vfs.XattrPosixACLAccess, vfs.EncodeACL(acl), 0); err != nil {
 			return err
 		}
 		owner := e.User(1000, 1000)

@@ -12,10 +12,10 @@ func init() {
 	reg(61, "quick", "xattr set/get round trip", func(e *Env) error {
 		e.Root.WriteFile(e.P("f"), nil, 0o644)
 		r, _ := e.Root.Resolve(e.P("f"))
-		if err := e.Top.Setxattr(e.Root.Cred, r.Ino, "user.comment", []byte("hello"), 0); err != nil {
+		if err := e.Top.Setxattr(e.Root.Op, r.Ino, "user.comment", []byte("hello"), 0); err != nil {
 			return err
 		}
-		v, err := e.Top.Getxattr(e.Root.Cred, r.Ino, "user.comment")
+		v, err := e.Top.Getxattr(e.Root.Op, r.Ino, "user.comment")
 		if err != nil || string(v) != "hello" {
 			return fmt.Errorf("getxattr: %q %v", v, err)
 		}
@@ -25,7 +25,7 @@ func init() {
 	reg(62, "quick", "xattr missing yields ENODATA", func(e *Env) error {
 		e.Root.WriteFile(e.P("f"), nil, 0o644)
 		r, _ := e.Root.Resolve(e.P("f"))
-		_, err := e.Top.Getxattr(e.Root.Cred, r.Ino, "user.none")
+		_, err := e.Top.Getxattr(e.Root.Op, r.Ino, "user.none")
 		return expectErrno(err, vfs.ENODATA)
 	})
 
@@ -33,15 +33,15 @@ func init() {
 		e.Root.WriteFile(e.P("f"), nil, 0o644)
 		r, _ := e.Root.Resolve(e.P("f"))
 		if err := expectErrno(
-			e.Top.Setxattr(e.Root.Cred, r.Ino, "user.k", []byte("1"), vfs.XattrReplace),
+			e.Top.Setxattr(e.Root.Op, r.Ino, "user.k", []byte("1"), vfs.XattrReplace),
 			vfs.ENODATA); err != nil {
 			return err
 		}
-		if err := e.Top.Setxattr(e.Root.Cred, r.Ino, "user.k", []byte("1"), vfs.XattrCreate); err != nil {
+		if err := e.Top.Setxattr(e.Root.Op, r.Ino, "user.k", []byte("1"), vfs.XattrCreate); err != nil {
 			return err
 		}
 		return expectErrno(
-			e.Top.Setxattr(e.Root.Cred, r.Ino, "user.k", []byte("2"), vfs.XattrCreate),
+			e.Top.Setxattr(e.Root.Op, r.Ino, "user.k", []byte("2"), vfs.XattrCreate),
 			vfs.EEXIST)
 	})
 
@@ -49,9 +49,9 @@ func init() {
 		e.Root.WriteFile(e.P("f"), nil, 0o644)
 		r, _ := e.Root.Resolve(e.P("f"))
 		for _, name := range []string{"user.z", "user.a", "user.m"} {
-			e.Top.Setxattr(e.Root.Cred, r.Ino, name, []byte("v"), 0)
+			e.Top.Setxattr(e.Root.Op, r.Ino, name, []byte("v"), 0)
 		}
-		names, err := e.Top.Listxattr(e.Root.Cred, r.Ino)
+		names, err := e.Top.Listxattr(e.Root.Op, r.Ino)
 		if err != nil || len(names) != 3 {
 			return fmt.Errorf("list: %v %v", names, err)
 		}
@@ -61,14 +61,14 @@ func init() {
 	reg(65, "quick", "removexattr removes", func(e *Env) error {
 		e.Root.WriteFile(e.P("f"), nil, 0o644)
 		r, _ := e.Root.Resolve(e.P("f"))
-		e.Top.Setxattr(e.Root.Cred, r.Ino, "user.k", []byte("v"), 0)
-		if err := e.Top.Removexattr(e.Root.Cred, r.Ino, "user.k"); err != nil {
+		e.Top.Setxattr(e.Root.Op, r.Ino, "user.k", []byte("v"), 0)
+		if err := e.Top.Removexattr(e.Root.Op, r.Ino, "user.k"); err != nil {
 			return err
 		}
-		if err := expectErrno(e.Top.Removexattr(e.Root.Cred, r.Ino, "user.k"), vfs.ENODATA); err != nil {
+		if err := expectErrno(e.Top.Removexattr(e.Root.Op, r.Ino, "user.k"), vfs.ENODATA); err != nil {
 			return err
 		}
-		_, err := e.Top.Getxattr(e.Root.Cred, r.Ino, "user.k")
+		_, err := e.Top.Getxattr(e.Root.Op, r.Ino, "user.k")
 		return expectErrno(err, vfs.ENODATA)
 	})
 
@@ -76,7 +76,7 @@ func init() {
 		e.Root.WriteFile(e.P("f"), nil, 0o666)
 		r, _ := e.Root.Resolve(e.P("f"))
 		u := e.User(1000, 1000)
-		err := e.Top.Setxattr(u.Cred, r.Ino, "user.k", []byte("v"), 0)
+		err := e.Top.Setxattr(u.Op, r.Ino, "user.k", []byte("v"), 0)
 		return expectErrno(err, vfs.EPERM)
 	})
 
@@ -84,8 +84,8 @@ func init() {
 		e.Root.WriteFile(e.P("f"), nil, 0o644)
 		r, _ := e.Root.Resolve(e.P("f"))
 		blob := []byte{0, 1, 2, 255, 254, 0, 7}
-		e.Top.Setxattr(e.Root.Cred, r.Ino, "user.bin", blob, 0)
-		v, err := e.Top.Getxattr(e.Root.Cred, r.Ino, "user.bin")
+		e.Top.Setxattr(e.Root.Op, r.Ino, "user.bin", blob, 0)
+		v, err := e.Top.Getxattr(e.Root.Op, r.Ino, "user.bin")
 		if err != nil || !bytes.Equal(v, blob) {
 			return fmt.Errorf("binary xattr: %v %v", v, err)
 		}
@@ -102,7 +102,7 @@ func init() {
 			{Tag: vfs.ACLMask, Perm: 5},
 			{Tag: vfs.ACLOther, Perm: 4},
 		}}
-		if err := e.Top.Setxattr(e.Root.Cred, r.Ino, vfs.XattrPosixACLAccess, vfs.EncodeACL(acl), 0); err != nil {
+		if err := e.Top.Setxattr(e.Root.Op, r.Ino, vfs.XattrPosixACLAccess, vfs.EncodeACL(acl), 0); err != nil {
 			return err
 		}
 		attr, _ := e.Root.Stat(e.P("f"))
@@ -113,10 +113,10 @@ func init() {
 		e.Root.WriteFile(e.P("f"), nil, 0o644)
 		r, _ := e.Root.Resolve(e.P("f"))
 		in := vfs.EncodeACL(vfs.FromMode(0o751))
-		if err := e.Top.Setxattr(e.Root.Cred, r.Ino, vfs.XattrPosixACLAccess, in, 0); err != nil {
+		if err := e.Top.Setxattr(e.Root.Op, r.Ino, vfs.XattrPosixACLAccess, in, 0); err != nil {
 			return err
 		}
-		out, err := e.Top.Getxattr(e.Root.Cred, r.Ino, vfs.XattrPosixACLAccess)
+		out, err := e.Top.Getxattr(e.Root.Op, r.Ino, vfs.XattrPosixACLAccess)
 		if err != nil || !bytes.Equal(in, out) {
 			return fmt.Errorf("ACL mangled: %v", err)
 		}
@@ -130,7 +130,7 @@ func init() {
 	reg(70, "quick", "xattrs survive rename", func(e *Env) error {
 		e.Root.WriteFile(e.P("f"), nil, 0o644)
 		r, _ := e.Root.Resolve(e.P("f"))
-		e.Top.Setxattr(e.Root.Cred, r.Ino, "user.tag", []byte("keep"), 0)
+		e.Top.Setxattr(e.Root.Op, r.Ino, "user.tag", []byte("keep"), 0)
 		if err := e.Root.Rename(e.P("f"), e.P("g")); err != nil {
 			return err
 		}
@@ -138,7 +138,7 @@ func init() {
 		if err != nil {
 			return err
 		}
-		v, err := e.Top.Getxattr(e.Root.Cred, r2.Ino, "user.tag")
+		v, err := e.Top.Getxattr(e.Root.Op, r2.Ino, "user.tag")
 		if err != nil || string(v) != "keep" {
 			return fmt.Errorf("xattr lost: %q %v", v, err)
 		}
