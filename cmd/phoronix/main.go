@@ -1,9 +1,12 @@
 // Command phoronix runs the §5.2 disk suite on both stacks and prints
 // the Figure 2 table, the Figure 3 optimization panels and the Figure 4
-// thread sweep.
+// thread sweep. With -chaos it instead runs the suite on a clean Cntr
+// stack and on one with the FaultInjector interceptor at syscall entry,
+// reporting the latency degradation per benchmark.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -11,6 +14,21 @@ import (
 )
 
 func main() {
+	chaos := flag.Bool("chaos", false,
+		"run the suite under the fault/latency-injection profile and report degradation")
+	flag.Parse()
+
+	if *chaos {
+		results, err := phoronix.RunChaosAll(nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("== Chaos profile: CntrFS under injected faults/latency ==")
+		fmt.Print(phoronix.FormatChaosTable(results))
+		return
+	}
+
 	results, err := phoronix.RunAll()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -76,7 +76,9 @@ type Session struct {
 	shell  *Shell
 
 	proxies []*socketproxy.Proxy
-	closed  bool
+	// removeIOSource unregisters this mount's /proc io feed on Close.
+	removeIOSource func()
+	closed         bool
 }
 
 // Attach performs the four-step workflow of §3.2 and returns a live
@@ -199,11 +201,32 @@ func Attach(h *Host, opts Options) (*Session, error) {
 
 	// Step #4: interactive shell on a pseudo-TTY.
 	master, slave := pty.New()
+	// Feed the server's per-origin (Op.PID) request-table counters into
+	// the process table, so /proc/<pid>/io in the next snapshot shows
+	// which process moved how much data through this mount. Registered
+	// last — every fallible attach step is behind us — so no error path
+	// can leave a feed pointing at a torn-down mount; Session.Close
+	// unregisters it.
+	removeIOSource := h.Procs.AddIOSource(func() map[uint32]proc.IOCounters {
+		stats := server.OriginStats()
+		out := make(map[uint32]proc.IOCounters, len(stats))
+		for pid, s := range stats {
+			out[pid] = proc.IOCounters{
+				ReadBytes:  s.ReadBytes,
+				WriteBytes: s.WriteBytes,
+				ReadOps:    s.ReadOps,
+				WriteOps:   s.WriteOps,
+				Ops:        s.Ops,
+			}
+		}
+		return out
+	})
 	sess := &Session{
 		Host: h, Target: target, Context: ctx,
 		Proc: child, Nested: nested, Client: chrooted,
 		CntrFS: cfs, Conn: conn, Server: server, Kernel: kernel,
 		Master: master, slave: slave,
+		removeIOSource: removeIOSource,
 	}
 	sess.shell = NewShell(sess)
 	return sess, nil
@@ -346,4 +369,7 @@ func (s *Session) Close() {
 	s.Host.Procs.Exit(s.Proc.PID)
 	s.Conn.Unmount()
 	s.Server.Wait()
+	if s.removeIOSource != nil {
+		s.removeIOSource()
+	}
 }

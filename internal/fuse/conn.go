@@ -51,6 +51,28 @@ type MountOptions struct {
 	// single-threaded FUSE server. Use >= 2 threads when workloads can
 	// block indefinitely.
 	ServerThreads int
+
+	// MaxBackground caps the number of requests queued on the device
+	// (mirroring FUSE's max_background): submitters block once the
+	// request table is full, the backpressure a real /dev/fuse applies.
+	// Zero means 256.
+	MaxBackground int
+	// CongestionThreshold is the queue depth beyond which asynchronous
+	// submissions are charged congestion latency (the kernel marks the
+	// backing device congested and throttles background I/O at
+	// 3/4 * max_background; zero picks the same default here).
+	CongestionThreshold int
+	// QoSWeights assigns weighted-fair-queueing weights per origin
+	// (Op.PID): under saturation, dispatch ratios track these weights.
+	// Unlisted origins get DefaultWeight.
+	QoSWeights map[uint32]int
+	// DefaultWeight is the WFQ weight for origins not in QoSWeights;
+	// zero means 1.
+	DefaultWeight int
+	// MaxOriginInflight caps how many of one origin's requests may be
+	// dispatched to workers concurrently, keeping a single container
+	// from occupying every server thread. Zero means unlimited.
+	MaxOriginInflight int
 }
 
 // DefaultMountOptions returns the fully optimized configuration the
@@ -95,21 +117,20 @@ type message struct {
 
 // Conn is the kernel side of the FUSE transport. It implements vfs.FS;
 // stacking a pagecache.Cache on top of a Conn reproduces the full kernel
-// I/O path of the paper's CntrFS mounts.
+// I/O path of the paper's CntrFS mounts. It also implements vfs.AsyncFS:
+// SubmitRead/SubmitWrite pipeline data requests through the same request
+// table without blocking the submitter per round trip.
 type Conn struct {
 	clock *sim.Clock
 	model *sim.CostModel
 	opts  MountOptions
-	queue chan *message
+	table *reqTable
 
 	unique   atomic.Uint64
 	inflight atomic.Int64
-
-	// qmu serializes queue sends against Unmount's close: senders hold
-	// the read side and check qclosed, so a teardown concurrent with
-	// in-flight traffic cannot close the channel mid-send.
-	qmu     sync.RWMutex
-	qclosed bool
+	// asyncInflight counts submitted-but-unawaited pipelined requests;
+	// it drives the overlap cost model (see Pending.Await).
+	asyncInflight atomic.Int64
 
 	mu        sync.Mutex
 	entries   map[entryKey]entryVal
@@ -160,22 +181,32 @@ func Mount(fs vfs.FS, clock *sim.Clock, model *sim.CostModel, opts MountOptions)
 	if opts.ServerThreads <= 0 {
 		opts.ServerThreads = 1
 	}
-	queue := make(chan *message, 256)
+	if opts.MaxBackground <= 0 {
+		opts.MaxBackground = 256
+	}
+	if opts.CongestionThreshold <= 0 {
+		opts.CongestionThreshold = opts.MaxBackground * 3 / 4
+	}
+	if opts.DefaultWeight <= 0 {
+		opts.DefaultWeight = 1
+	}
+	table := newReqTable(opts.MaxBackground, opts.MaxOriginInflight,
+		opts.DefaultWeight, opts.QoSWeights)
 	conn := &Conn{
 		clock:     clock,
 		model:     model,
 		opts:      opts,
-		queue:     queue,
+		table:     table,
 		entries:   make(map[entryKey]entryVal),
 		attrs:     make(map[vfs.Ino]attrVal),
 		handleIno: make(map[vfs.Handle]vfs.Ino),
 		held:      make(map[vfs.Ino]uint64),
 	}
-	srv := newServer(fs, clock, model, opts, queue)
+	srv := newServer(fs, clock, model, opts, table)
 	return conn, srv
 }
 
-// Unmount flushes pending forgets and closes the request queue, stopping
+// Unmount flushes pending forgets and closes the request table, stopping
 // the server's workers once drained.
 func (c *Conn) Unmount() {
 	c.mu.Lock()
@@ -190,10 +221,7 @@ func (c *Conn) Unmount() {
 	if len(forgets) > 0 {
 		c.sendForgetBatch(forgets)
 	}
-	c.qmu.Lock()
-	c.qclosed = true
-	close(c.queue)
-	c.qmu.Unlock()
+	c.table.close()
 }
 
 // Stats returns a snapshot of connection counters.
@@ -203,16 +231,40 @@ func (c *Conn) Stats() ConnStats {
 	return c.stats
 }
 
-// call performs one round trip: encode, charge transport costs, enqueue,
-// wait for the reply, decode the errno. If req's context is canceled
-// while the request is in flight, a FUSE_INTERRUPT frame naming the
-// request's unique id is forwarded to the server, and call keeps waiting
-// for the (typically EINTR) reply — exactly the kernel's behaviour: the
-// reply slot must not be abandoned.
-//
-// dataOut/dataIn are payload byte counts used for copy-cost accounting
-// (write data flowing out of the kernel, read data flowing back in).
-func (c *Conn) call(op Opcode, nodeid vfs.Ino, req *vfs.Op, payload func(w *buf), dataOut, dataIn int) (*rdr, error) {
+// Pending is the future half of a submitted request: the frame is on the
+// device queue, keyed by its unique id, and Await collects the reply.
+// The two-phase submit/await split is what lets callers pipeline
+// requests — submit N, then await them — instead of blocking one
+// goroutine per round trip. Interrupt forwarding lives in the future: if
+// the awaiting operation's context is canceled, Await sends a
+// FUSE_INTERRUPT naming the request and keeps waiting for the (typically
+// EINTR) reply, because the reply slot must never be abandoned.
+type Pending struct {
+	c      *Conn
+	unique uint64
+	msg    *message
+	dataIn int
+	// async marks a pipelined submission (SubmitRead/SubmitWrite):
+	// submit charged only the enqueue, so Await owes the round trip.
+	async bool
+	// overlapped is set when the request was submitted while other
+	// pipelined requests were outstanding: its round-trip latency hides
+	// behind theirs, and Await charges only a completion-reap wakeup.
+	overlapped bool
+	// err is a submission-time failure (connection torn down).
+	err  error
+	done bool
+}
+
+// submit encodes one request, charges the submission-side transport
+// costs, and enqueues the frame in the request table under the
+// requesting origin (req.PID). The synchronous path (async == false)
+// charges the full round-trip and queue-wakeup costs up front, exactly
+// as the old blocking call did; the pipelined path charges only the
+// enqueue (one kernel transition plus the payload copy) and defers the
+// round-trip accounting to Await, where overlap with other in-flight
+// requests is known.
+func (c *Conn) submit(op Opcode, nodeid vfs.Ino, req *vfs.Op, payload func(w *buf), dataOut, dataIn int, async bool) *Pending {
 	unique := c.unique.Add(1)
 	w := &buf{b: make([]byte, 0, 128+dataOut)}
 	encodeReqHeader(w, op, unique, uint64(nodeid), req)
@@ -221,26 +273,37 @@ func (c *Conn) call(op Opcode, nodeid vfs.Ino, req *vfs.Op, payload func(w *buf)
 	}
 	frame := finishFrame(w)
 
-	cost := c.model.FuseRoundTrip()
+	p := &Pending{c: c, unique: unique, dataIn: dataIn, async: async}
+
+	var cost time.Duration
+	if async {
+		// Pipelined submission: one kernel transition to enqueue; the
+		// round trip is accounted at Await time.
+		cost = c.model.ContextSwitch
+	} else {
+		cost = c.model.FuseRoundTrip()
+	}
 	if c.opts.SpliceWrite {
 		// The header must be spliced to a pipe and re-read before the
 		// opcode is known, penalizing every request (§3.3).
 		cost += c.model.ContextSwitch
 	}
 	c.mu.Lock()
-	if op == OpLookup && c.opts.ParallelDirops {
-		// With FUSE_PARALLEL_DIROPS, pending directory lookups are not
-		// serialized on the parent's mutex and share round trips; after
-		// the first lookup of a scan, subsequent ones ride along. The
-		// streak survives interleaved data ops (a tree walk mixes
-		// lookups with opens and reads) and resets once the scan moves
-		// on for good.
-		if c.streak > 0 {
-			cost = cost / 4
+	if !async {
+		if op == OpLookup && c.opts.ParallelDirops {
+			// With FUSE_PARALLEL_DIROPS, pending directory lookups are not
+			// serialized on the parent's mutex and share round trips; after
+			// the first lookup of a scan, subsequent ones ride along. The
+			// streak survives interleaved data ops (a tree walk mixes
+			// lookups with opens and reads) and resets once the scan moves
+			// on for good.
+			if c.streak > 0 {
+				cost = cost / 4
+			}
+			c.streak = 16
+		} else if c.streak > 0 {
+			c.streak--
 		}
-		c.streak = 16
-	} else if c.streak > 0 {
-		c.streak--
 	}
 	c.lastOp = op
 	c.stats.Requests++
@@ -255,37 +318,81 @@ func (c *Conn) call(op Opcode, nodeid vfs.Ino, req *vfs.Op, payload func(w *buf)
 		}
 	}
 
-	// Queueing: more outstanding requests than server threads means the
-	// request waits for a worker wakeup.
-	in := c.inflight.Add(1)
-	if over := in - int64(c.opts.ServerThreads); over > 0 {
-		cost += time.Duration(over) * c.model.WakeupLatency
+	if async {
+		p.overlapped = c.asyncInflight.Add(1) > 1
+	} else {
+		// Queueing: more outstanding requests than server threads means
+		// the request waits for a worker wakeup.
+		in := c.inflight.Add(1)
+		if over := in - int64(c.opts.ServerThreads); over > 0 {
+			cost += time.Duration(over) * c.model.WakeupLatency
+		}
 	}
 	c.clock.Advance(cost)
 
-	msg := &message{frame: frame, reply: make(chan []byte, 1), created: c.clock.Now()}
-	c.qmu.RLock()
-	if c.qclosed {
-		c.qmu.RUnlock()
-		c.inflight.Add(-1)
-		return nil, vfs.EIO // connection torn down
+	var origin uint32
+	if req != nil {
+		origin = req.PID
 	}
-	c.queue <- msg
-	c.qmu.RUnlock()
+	msg := &message{frame: frame, reply: make(chan []byte, 1), created: c.clock.Now()}
+	depth, ok := c.table.push(origin, msg)
+	if !ok {
+		if async {
+			c.asyncInflight.Add(-1)
+		} else {
+			c.inflight.Add(-1)
+		}
+		p.err = vfs.EIO // connection torn down
+		return p
+	}
+	if async && depth > c.opts.CongestionThreshold {
+		// The device is congested (more background requests queued than
+		// the threshold): background submitters are throttled, as the
+		// kernel throttles writeback/readahead past congestion_threshold.
+		c.clock.Advance(c.model.WakeupLatency)
+	}
+	p.msg = msg
+	return p
+}
+
+// Await collects the reply for a submitted request, charging the
+// reception-side costs and decoding the errno. A canceled op forwards
+// FUSE_INTERRUPT and keeps waiting. Await must be called exactly once.
+func (p *Pending) Await(op *vfs.Op) (*rdr, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.done {
+		return nil, vfs.EIO
+	}
+	p.done = true
+	c := p.c
 	var replyFrame []byte
 	select {
-	case replyFrame = <-msg.reply:
-	case <-req.Context().Done():
-		c.sendInterrupt(unique)
-		replyFrame = <-msg.reply
+	case replyFrame = <-p.msg.reply:
+	case <-op.Context().Done():
+		c.sendInterrupt(p.unique)
+		replyFrame = <-p.msg.reply
 	}
-	c.inflight.Add(-1)
-
-	if dataIn > 0 {
-		if c.opts.SpliceRead {
-			c.clock.Advance(c.model.SpliceCost(dataIn))
+	if p.async {
+		c.asyncInflight.Add(-1)
+		if p.overlapped {
+			// The reply arrived while we were (virtually) waiting on an
+			// earlier request: its round trip overlapped, and reaping the
+			// completion costs one scheduler wakeup.
+			c.clock.Advance(c.model.WakeupLatency)
 		} else {
-			c.clock.Advance(c.model.CopyCost(dataIn))
+			c.clock.Advance(c.model.FuseRoundTrip())
+		}
+	} else {
+		c.inflight.Add(-1)
+	}
+
+	if p.dataIn > 0 {
+		if c.opts.SpliceRead {
+			c.clock.Advance(c.model.SpliceCost(p.dataIn))
+		} else {
+			c.clock.Advance(c.model.CopyCost(p.dataIn))
 		}
 	}
 
@@ -300,6 +407,18 @@ func (c *Conn) call(op Opcode, nodeid vfs.Ino, req *vfs.Op, payload func(w *buf)
 		return nil, errno
 	}
 	return &rdr{b: body}, nil
+}
+
+// call performs one synchronous round trip: submit, then await. If req's
+// context is canceled while the request is in flight, a FUSE_INTERRUPT
+// frame naming the request's unique id is forwarded to the server, and
+// call keeps waiting for the (typically EINTR) reply — exactly the
+// kernel's behaviour.
+//
+// dataOut/dataIn are payload byte counts used for copy-cost accounting
+// (write data flowing out of the kernel, read data flowing back in).
+func (c *Conn) call(op Opcode, nodeid vfs.Ino, req *vfs.Op, payload func(w *buf), dataOut, dataIn int) (*rdr, error) {
+	return c.submit(op, nodeid, req, payload, dataOut, dataIn, false).Await(req)
 }
 
 // sendInterrupt forwards a cancellation to the server as a one-way

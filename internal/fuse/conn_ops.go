@@ -107,13 +107,9 @@ func (c *Conn) sendForgetBatch(batch []forgetItem) {
 
 func (c *Conn) enqueueOneWay(frame []byte) {
 	// One-way messages sent during or after unmount are dropped, as the
-	// kernel drops forgets once the connection is gone.
-	c.qmu.RLock()
-	defer c.qmu.RUnlock()
-	if c.qclosed {
-		return
-	}
-	c.queue <- &message{frame: frame}
+	// kernel drops forgets once the connection is gone. Kernel-internal
+	// traffic (forgets, releases, interrupts) queues under origin 0.
+	c.table.push(0, &message{frame: frame})
 }
 
 // Getattr implements vfs.FS with attribute caching.
@@ -328,6 +324,121 @@ func (c *Conn) Read(op *vfs.Op, h vfs.Handle, off int64, dest []byte) (int, erro
 		return 0, vfs.EIO
 	}
 	return copy(dest, data), nil
+}
+
+// SubmitRead implements vfs.AsyncFS: the READ request is queued and the
+// caller gets a future, so N readahead windows can ride the device queue
+// concurrently — the submitter pays one enqueue transition per request
+// instead of a full blocking round trip (this is what FUSE_ASYNC_READ
+// buys the kernel's readahead path).
+func (c *Conn) SubmitRead(op *vfs.Op, h vfs.Handle, off int64, dest []byte) vfs.PendingIO {
+	p := c.submit(OpRead, 0, op, func(w *buf) {
+		w.u64(uint64(h))
+		w.i64(off)
+		w.u32(uint32(len(dest)))
+	}, 0, len(dest), true)
+	return &pendingRead{p: p, dest: dest}
+}
+
+// pendingRead adapts a wire-level Pending to vfs.PendingIO for reads.
+type pendingRead struct {
+	p    *Pending
+	dest []byte
+}
+
+// Await implements vfs.PendingIO.
+func (pr *pendingRead) Await(op *vfs.Op) (int, error) {
+	r, err := pr.p.Await(op)
+	if err != nil {
+		return 0, err
+	}
+	data := r.rawBytes()
+	if r.bad {
+		return 0, vfs.EIO
+	}
+	return copy(pr.dest, data), nil
+}
+
+// SubmitWrite implements vfs.AsyncFS. Payloads above the negotiated
+// MaxWrite are split into several pipelined WRITE requests; Await
+// collects them all.
+func (c *Conn) SubmitWrite(op *vfs.Op, h vfs.Handle, off int64, data []byte) vfs.PendingIO {
+	pw := &pendingWrite{c: c, h: h}
+	for len(data) > 0 {
+		chunk := data
+		if len(chunk) > c.opts.MaxWrite {
+			chunk = chunk[:c.opts.MaxWrite]
+		}
+		p := c.submit(OpWrite, 0, op, func(w *buf) {
+			w.u64(uint64(h))
+			w.i64(off)
+			w.bytes(chunk)
+		}, len(chunk), 0, true)
+		pw.parts = append(pw.parts, p)
+		pw.sizes = append(pw.sizes, len(chunk))
+		off += int64(len(chunk))
+		data = data[len(chunk):]
+	}
+	return pw
+}
+
+// pendingWrite is the future for a (possibly split) asynchronous write.
+type pendingWrite struct {
+	c     *Conn
+	h     vfs.Handle
+	parts []*Pending
+	sizes []int
+}
+
+// Await implements vfs.PendingIO, summing the chunk counts. A short or
+// failed chunk ends the collection, but every submitted part is still
+// awaited so no reply slot is abandoned. Unlike the synchronous Write
+// loop, every chunk was already on the queue when the failure surfaced:
+// if a *later* chunk landed bytes past the failure point, a plain short
+// count would describe a contiguous prefix that does not exist, so the
+// error is surfaced alongside the applied-prefix count.
+func (pw *pendingWrite) Await(op *vfs.Op) (int, error) {
+	total, stop, holed := 0, false, false
+	var firstErr error
+	for i, p := range pw.parts {
+		r, err := p.Await(op)
+		if stop {
+			// Drain the remaining replies; note any that applied bytes
+			// beyond the failed chunk.
+			if err == nil && !r.bad && int(r.u32()) > 0 {
+				holed = true
+			}
+			continue
+		}
+		if err != nil {
+			firstErr = err
+			stop = true
+			continue
+		}
+		n := int(r.u32())
+		if r.bad {
+			firstErr = vfs.EIO
+			stop = true
+			continue
+		}
+		total += n
+		if n < pw.sizes[i] {
+			stop = true
+		}
+	}
+	if ino, ok := pw.c.handleInode(pw.h); ok {
+		pw.c.invalidateAttr(ino)
+	}
+	if total > 0 {
+		if holed {
+			if firstErr == nil {
+				firstErr = vfs.EIO
+			}
+			return total, firstErr
+		}
+		return total, nil
+	}
+	return 0, firstErr
 }
 
 // Write implements vfs.FS, splitting payloads at the negotiated MaxWrite.

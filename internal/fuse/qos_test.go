@@ -1,0 +1,415 @@
+package fuse
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"cntr/internal/memfs"
+	"cntr/internal/sim"
+	"cntr/internal/vfs"
+)
+
+// gateFS blocks every Read until the gate opens and records the PID of
+// each read it serves, in dispatch order — the observation point for
+// scheduler tests.
+type gateFS struct {
+	vfs.FS
+	gate chan struct{}
+
+	mu    sync.Mutex
+	order []uint32
+}
+
+func (g *gateFS) Read(op *vfs.Op, h vfs.Handle, off int64, dest []byte) (int, error) {
+	<-g.gate
+	g.mu.Lock()
+	g.order = append(g.order, op.PID)
+	g.mu.Unlock()
+	return g.FS.Read(op, h, off, dest)
+}
+
+func (g *gateFS) served() []uint32 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]uint32(nil), g.order...)
+}
+
+// TestQoSWeightedFairness is the isolation property the request table
+// exists for: two origins saturate the queue at 3:1 weights, and the
+// dispatch ratio tracks the weights.
+func TestQoSWeightedFairness(t *testing.T) {
+	const (
+		pidA, pidB   = 101, 102
+		perOrigin    = 20
+		weightA      = 3
+		weightB      = 1
+		totalQueued  = 2 * perOrigin
+		examinedPref = 16 // dispatches examined after the first
+	)
+	clock := sim.NewClock()
+	model := sim.DefaultCostModel()
+	gate := &gateFS{FS: memfs.New(memfs.Options{}), gate: make(chan struct{})}
+	opts := DefaultMountOptions()
+	opts.ServerThreads = 1 // serialize dispatch so order is observable
+	opts.QoSWeights = map[uint32]int{pidA: weightA, pidB: weightB}
+	conn, srv := Mount(gate, clock, model, opts)
+	defer func() {
+		conn.Unmount()
+		srv.Wait()
+	}()
+
+	root := vfs.RootOp()
+	cli := vfs.NewClient(conn, vfs.Root())
+	if err := cli.WriteFile("/f", []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := cli.Resolve("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := conn.Open(root, r.Ino, vfs.ORdonly)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opA := vfs.NewOp(nil, vfs.Root())
+	opA.PID = pidA
+	opB := vfs.NewOp(nil, vfs.Root())
+	opB.PID = pidB
+
+	var wg sync.WaitGroup
+	for i := 0; i < perOrigin; i++ {
+		for _, op := range []*vfs.Op{opA, opB} {
+			wg.Add(1)
+			go func(op *vfs.Op) {
+				defer wg.Done()
+				buf := make([]byte, 4)
+				if _, err := conn.Read(op.Fork(), h, 0, buf); err != nil {
+					t.Errorf("read (pid %d): %v", op.PID, err)
+				}
+			}(op)
+		}
+	}
+
+	// The single worker pops one request and blocks at the gate; wait
+	// until every other request is queued, so WFQ ordering — not arrival
+	// order — decides what runs next.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Queued() != totalQueued-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queued = %d, want %d", srv.Queued(), totalQueued-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate.gate)
+	wg.Wait()
+
+	order := gate.served()
+	if len(order) != totalQueued {
+		t.Fatalf("served %d reads, want %d", len(order), totalQueued)
+	}
+	// Skip the first dispatch (arrival race, popped before the queue was
+	// saturated); over the next examinedPref the 3:1 weights must show.
+	countA := 0
+	for _, pid := range order[1 : 1+examinedPref] {
+		if pid == pidA {
+			countA++
+		}
+	}
+	wantA := examinedPref * weightA / (weightA + weightB)
+	if countA < wantA-1 || countA > wantA+1 {
+		t.Fatalf("origin A got %d of %d dispatches, want ~%d (weights %d:%d); order=%v",
+			countA, examinedPref, wantA, weightA, weightB, order)
+	}
+}
+
+// TestPerOriginInflightCap: with a cap of 1 and several workers, one
+// origin's requests are dispatched one at a time even though workers are
+// idle.
+func TestPerOriginInflightCap(t *testing.T) {
+	clock := sim.NewClock()
+	model := sim.DefaultCostModel()
+	var (
+		mu      sync.Mutex
+		cur     int
+		maxSeen int
+	)
+	entered := make(chan struct{}, 64)
+	blockFS := &slowFS{FS: memfs.New(memfs.Options{}), enter: func() {
+		mu.Lock()
+		cur++
+		if cur > maxSeen {
+			maxSeen = cur
+		}
+		mu.Unlock()
+		entered <- struct{}{}
+		time.Sleep(5 * time.Millisecond)
+		mu.Lock()
+		cur--
+		mu.Unlock()
+	}}
+	opts := DefaultMountOptions()
+	opts.ServerThreads = 4
+	opts.MaxOriginInflight = 1
+	conn, srv := Mount(blockFS, clock, model, opts)
+	defer func() {
+		conn.Unmount()
+		srv.Wait()
+	}()
+
+	cli := vfs.NewClient(conn, vfs.Root())
+	if err := cli.WriteFile("/f", []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := cli.Resolve("/f")
+	root := vfs.RootOp()
+	h, err := conn.Open(root, r.Ino, vfs.ORdonly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := vfs.NewOp(nil, vfs.Root())
+	op.PID = 55
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn.Read(op.Fork(), h, 0, make([]byte, 4))
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if maxSeen != 1 {
+		t.Fatalf("max concurrent dispatches for one origin = %d, want 1", maxSeen)
+	}
+}
+
+// slowFS runs a hook on entry to Read.
+type slowFS struct {
+	vfs.FS
+	enter func()
+}
+
+func (s *slowFS) Read(op *vfs.Op, h vfs.Handle, off int64, dest []byte) (int, error) {
+	if s.enter != nil {
+		s.enter()
+	}
+	return s.FS.Read(op, h, off, dest)
+}
+
+// TestSubmitAwaitPipeline: N reads submitted before any is awaited
+// return correct data and cost less virtual time than N synchronous
+// round trips — the overlap the submit/await split exists to model.
+func TestSubmitAwaitPipeline(t *testing.T) {
+	const window = 64 << 10
+	const windows = 8
+	data := bytes.Repeat([]byte("0123456789abcdef"), windows*window/16)
+
+	setup := func() (*Conn, *Server, vfs.Handle, *sim.Clock) {
+		clock := sim.NewClock()
+		model := sim.DefaultCostModel()
+		back := memfs.New(memfs.Options{})
+		if err := vfs.NewClient(back, vfs.Root()).WriteFile("/big", data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		conn, srv := Mount(back, clock, model, DefaultMountOptions())
+		cli := vfs.NewClient(conn, vfs.Root())
+		r, err := cli.Resolve("/big")
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := conn.Open(vfs.RootOp(), r.Ino, vfs.ORdonly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return conn, srv, h, clock
+	}
+
+	// Pipelined: submit all windows, then await them.
+	conn, srv, h, clock := setup()
+	op := vfs.RootOp()
+	bufs := make([][]byte, windows)
+	start := clock.Now()
+	pendings := make([]vfs.PendingIO, windows)
+	for i := range pendings {
+		bufs[i] = make([]byte, window)
+		pendings[i] = conn.SubmitRead(op, h, int64(i*window), bufs[i])
+	}
+	for i, p := range pendings {
+		n, err := p.Await(op)
+		if err != nil || n != window {
+			t.Fatalf("window %d: n=%d err=%v", i, n, err)
+		}
+	}
+	asyncTime := clock.Now() - start
+	var got []byte
+	for _, b := range bufs {
+		got = append(got, b...)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("pipelined reads returned wrong data")
+	}
+	conn.Unmount()
+	srv.Wait()
+
+	// Synchronous: one blocking round trip per window.
+	conn, srv, h, clock = setup()
+	start = clock.Now()
+	buf := make([]byte, window)
+	for i := 0; i < windows; i++ {
+		if _, err := conn.Read(vfs.RootOp(), h, int64(i*window), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	syncTime := clock.Now() - start
+	conn.Unmount()
+	srv.Wait()
+
+	if asyncTime >= syncTime {
+		t.Fatalf("pipelined reads (%v) should cost less than synchronous (%v)", asyncTime, syncTime)
+	}
+}
+
+// TestSubmitWriteRoundTrip: an asynchronous write larger than MaxWrite
+// is split, pipelined, and lands intact.
+func TestSubmitWriteRoundTrip(t *testing.T) {
+	opts := DefaultMountOptions()
+	opts.MaxWrite = 64 << 10
+	e := mount(t, opts)
+	data := bytes.Repeat([]byte("w"), 200<<10)
+	f, err := e.cli.Create("/f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := vfs.RootOp()
+	p := e.conn.SubmitWrite(op, f.Handle(), 0, data)
+	n, err := p.Await(op)
+	if err != nil || n != len(data) {
+		t.Fatalf("async write: n=%d err=%v", n, err)
+	}
+	f.Close()
+	got, err := e.cli.ReadFile("/f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read back %d bytes, err=%v", len(got), err)
+	}
+}
+
+// TestOriginStatsAccounting: the request table attributes completed ops
+// and payload bytes to the origin PID carried in the request header.
+func TestOriginStatsAccounting(t *testing.T) {
+	e := mount(t, DefaultMountOptions())
+	op := vfs.NewOp(nil, vfs.Root())
+	op.PID = 7
+
+	attr, _, err := e.conn.Create(op, vfs.RootIno, "f", 0o644, vfs.OWronly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = attr
+	h, err := e.conn.Open(op, attr.Ino, vfs.ORdwr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 10<<10)
+	if _, err := e.conn.Write(op, h, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(payload))
+	if _, err := e.conn.Read(op, h, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	stats := e.srv.OriginStats()[7]
+	if stats.WriteBytes != int64(len(payload)) || stats.WriteOps != 1 {
+		t.Fatalf("write accounting = %+v", stats)
+	}
+	if stats.ReadBytes != int64(len(payload)) || stats.ReadOps != 1 {
+		t.Fatalf("read accounting = %+v", stats)
+	}
+	if stats.Ops < 4 { // create, open, write, read
+		t.Fatalf("ops = %d, want >= 4", stats.Ops)
+	}
+	if _, ok := e.srv.OriginStats()[9999]; ok {
+		t.Fatal("phantom origin in stats")
+	}
+}
+
+// TestInterruptBookkeepingBounded is the regression test for the
+// interrupt-set growth noted in PR 1: an interrupt arriving for an
+// already-completed unique must be dropped, not parked forever.
+func TestInterruptBookkeepingBounded(t *testing.T) {
+	opts := DefaultMountOptions()
+	opts.EntryTimeout = 0 // force wire traffic for every stat
+	opts.AttrTimeout = 0
+	e := mount(t, opts)
+	if err := e.cli.WriteFile("/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := e.cli.Stat("/f"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Late interrupts for every unique issued so far: all two-way
+	// requests have completed, so none of these may stick.
+	last := e.conn.unique.Load()
+	for u := uint64(1); u <= last; u++ {
+		e.srv.interrupt(u)
+	}
+	if n := e.srv.pendingInterrupts(); n != 0 {
+		t.Fatalf("%d interrupts parked for completed uniques, want 0", n)
+	}
+	// Interrupts for uniques that never existed stay bounded too.
+	for u := last + 1; u < last+3*completedRing; u++ {
+		e.srv.interrupt(u)
+	}
+	if n := e.srv.pendingInterrupts(); n > completedRing+1 {
+		t.Fatalf("pending interrupt set grew to %d, bound is %d", n, completedRing+1)
+	}
+}
+
+// TestCongestionChargesAsyncSubmitters: past the congestion threshold,
+// pipelined submissions pay extra latency.
+func TestCongestionChargesAsyncSubmitters(t *testing.T) {
+	run := func(threshold int) time.Duration {
+		clock := sim.NewClock()
+		model := sim.DefaultCostModel()
+		gate := &gateFS{FS: memfs.New(memfs.Options{}), gate: make(chan struct{})}
+		opts := DefaultMountOptions()
+		opts.ServerThreads = 1
+		opts.CongestionThreshold = threshold
+		conn, srv := Mount(gate, clock, model, opts)
+		cli := vfs.NewClient(conn, vfs.Root())
+		if err := cli.WriteFile("/f", bytes.Repeat([]byte("x"), 4096), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, _ := cli.Resolve("/f")
+		h, err := conn.Open(vfs.RootOp(), r.Ino, vfs.ORdonly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op := vfs.RootOp()
+		start := clock.Now()
+		var pendings []vfs.PendingIO
+		for i := 0; i < 32; i++ {
+			pendings = append(pendings, conn.SubmitRead(op, h, 0, make([]byte, 512)))
+		}
+		submitted := clock.Now() - start
+		close(gate.gate)
+		for _, p := range pendings {
+			p.Await(op)
+		}
+		conn.Unmount()
+		srv.Wait()
+		return submitted
+	}
+	congested := run(2)
+	uncongested := run(200)
+	if congested <= uncongested {
+		t.Fatalf("congested submissions (%v) should cost more than uncongested (%v)",
+			congested, uncongested)
+	}
+}

@@ -1,0 +1,219 @@
+package fuse
+
+import "sync"
+
+// reqTable is the request queue shared by the kernel-side Conn and the
+// userspace Server. It replaces the bare channel the server used to read:
+// incoming frames land in per-origin queues (keyed by the requesting
+// process id carried in Op.PID), and workers pull them with weighted fair
+// queueing, so one chatty container cannot starve its neighbours of
+// server threads. The table is also the accounting vantage point: it
+// knows, per origin, how many operations are queued, dispatched and
+// completed, and how many payload bytes moved — the per-container view
+// BEACON-style policy generation needs.
+type reqTable struct {
+	mu    sync.Mutex
+	avail *sync.Cond // a message became poppable, or the table closed
+	space *sync.Cond // the queue drained below maxQueued
+
+	// queues holds only *active* origins — ones with requests queued or
+	// in flight. Idle origins are pruned in done() so pop's WFQ scan
+	// stays proportional to current load, not to every PID the mount has
+	// ever served; their accounting survives in stats.
+	queues map[uint32]*originQueue
+	stats  map[uint32]OriginStats
+	queued int
+	closed bool
+
+	// vclock is the WFQ virtual clock: the virtual start time of the most
+	// recently dispatched request. Origins whose queues were empty rejoin
+	// at the current virtual time, so they compete fairly from now on
+	// without collecting credit for their idle past.
+	vclock float64
+
+	maxQueued         int
+	maxOriginInflight int
+	weights           map[uint32]int
+	defaultWeight     int
+}
+
+// originQueue is one origin's pending requests plus its scheduling and
+// accounting state.
+type originQueue struct {
+	origin   uint32
+	weight   int
+	msgs     []*message
+	inflight int
+	// vstart is the virtual start time of the queue's head request; it
+	// advances by 1/weight per dispatched request, which is what makes
+	// dispatch ratios track configured weights under saturation.
+	vstart float64
+}
+
+// OriginStats is the per-origin accounting the request table maintains:
+// completed operations and payload bytes, keyed by the originating
+// process id (Op.PID; zero for kernel-internal traffic such as forgets,
+// releases and writeback).
+type OriginStats struct {
+	Ops        int64
+	ReadOps    int64
+	WriteOps   int64
+	ReadBytes  int64
+	WriteBytes int64
+}
+
+func newReqTable(maxQueued, maxOriginInflight, defaultWeight int, weights map[uint32]int) *reqTable {
+	t := &reqTable{
+		queues:            make(map[uint32]*originQueue),
+		stats:             make(map[uint32]OriginStats),
+		maxQueued:         maxQueued,
+		maxOriginInflight: maxOriginInflight,
+		weights:           weights,
+		defaultWeight:     defaultWeight,
+	}
+	t.avail = sync.NewCond(&t.mu)
+	t.space = sync.NewCond(&t.mu)
+	return t
+}
+
+// queue returns the origin's queue, creating it on first use. Caller
+// holds t.mu.
+func (t *reqTable) queue(origin uint32) *originQueue {
+	q, ok := t.queues[origin]
+	if !ok {
+		w := t.defaultWeight
+		if cw, ok := t.weights[origin]; ok && cw > 0 {
+			w = cw
+		}
+		if w <= 0 {
+			w = 1
+		}
+		q = &originQueue{origin: origin, weight: w, vstart: t.vclock}
+		t.queues[origin] = q
+	}
+	return q
+}
+
+// push enqueues msg for origin, blocking while the table is at capacity
+// (the congestion backpressure a real /dev/fuse queue applies). It
+// reports false when the table has been closed — the connection is gone
+// and the frame must be dropped (one-way) or failed (two-way). The
+// returned depth is the total queued count after the insert, for the
+// submitter's congestion accounting.
+func (t *reqTable) push(origin uint32, msg *message) (depth int, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for t.queued >= t.maxQueued && !t.closed {
+		t.space.Wait()
+	}
+	if t.closed {
+		return 0, false
+	}
+	q := t.queue(origin)
+	if len(q.msgs) == 0 && q.vstart < t.vclock {
+		q.vstart = t.vclock
+	}
+	q.msgs = append(q.msgs, msg)
+	t.queued++
+	t.avail.Broadcast()
+	return t.queued, true
+}
+
+// pop dequeues the next request under weighted fair queueing: among
+// origins with pending messages and spare in-flight budget, the one with
+// the smallest virtual start time wins (ties broken by origin id for
+// determinism). It blocks until a message is available and returns ok ==
+// false once the table is closed and fully drained.
+func (t *reqTable) pop() (msg *message, origin uint32, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		var best *originQueue
+		for _, q := range t.queues {
+			if len(q.msgs) == 0 {
+				continue
+			}
+			if t.maxOriginInflight > 0 && q.inflight >= t.maxOriginInflight {
+				continue
+			}
+			if best == nil || q.vstart < best.vstart ||
+				(q.vstart == best.vstart && q.origin < best.origin) {
+				best = q
+			}
+		}
+		if best != nil {
+			m := best.msgs[0]
+			best.msgs[0] = nil
+			best.msgs = best.msgs[1:]
+			t.queued--
+			best.inflight++
+			if best.vstart > t.vclock {
+				t.vclock = best.vstart
+			}
+			best.vstart += 1 / float64(best.weight)
+			t.space.Broadcast()
+			return m, best.origin, true
+		}
+		if t.closed && t.queued == 0 {
+			return nil, 0, false
+		}
+		t.avail.Wait()
+	}
+}
+
+// done records the completion of a request popped for origin, folding the
+// transferred byte counts into the origin's accounting and freeing its
+// in-flight slot (which may unblock a capped origin's next dispatch).
+func (t *reqTable) done(origin uint32, readBytes, writeBytes int64, isRead, isWrite bool) {
+	t.mu.Lock()
+	s := t.stats[origin]
+	s.Ops++
+	if isRead {
+		s.ReadOps++
+		s.ReadBytes += readBytes
+	}
+	if isWrite {
+		s.WriteOps++
+		s.WriteBytes += writeBytes
+	}
+	t.stats[origin] = s
+	if q, ok := t.queues[origin]; ok {
+		q.inflight--
+		if q.inflight == 0 && len(q.msgs) == 0 {
+			// The origin went idle: drop its scheduler queue. It rejoins
+			// at the current virtual time on its next request, the same
+			// idle-rejoin rule push applies.
+			delete(t.queues, origin)
+		}
+	}
+	t.avail.Broadcast()
+	t.mu.Unlock()
+}
+
+// close marks the table closed and wakes everyone: blocked pushers fail,
+// workers drain what is queued and exit.
+func (t *reqTable) close() {
+	t.mu.Lock()
+	t.closed = true
+	t.avail.Broadcast()
+	t.space.Broadcast()
+	t.mu.Unlock()
+}
+
+// depth reports the current queued count.
+func (t *reqTable) depth() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.queued
+}
+
+// originStats snapshots the per-origin completion counters.
+func (t *reqTable) originStats() map[uint32]OriginStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[uint32]OriginStats, len(t.stats))
+	for origin, s := range t.stats {
+		out[origin] = s
+	}
+	return out
+}

@@ -11,15 +11,18 @@ import (
 )
 
 // Server is the userspace side of the FUSE transport: a pool of worker
-// threads reading the request queue and dispatching to a filesystem
+// threads pulling from the request table and dispatching to a filesystem
 // implementation. In the paper this is the CNTRFS server process running
-// in the fat container or on the host.
+// in the fat container or on the host. Workers do not drain a bare
+// channel: the table hands them requests under weighted fair queueing
+// across origins (see reqTable), so scheduling and per-origin accounting
+// live in one place.
 type Server struct {
 	fs      vfs.FS
 	clock   *sim.Clock
 	model   *sim.CostModel
 	opts    MountOptions
-	queue   chan *message
+	table   *reqTable
 	wg      sync.WaitGroup
 	served  atomic.Int64
 	errors  atomic.Int64
@@ -30,19 +33,31 @@ type Server struct {
 	// pending records interrupts that raced ahead of their target's
 	// registration (a sibling worker may process the INTERRUPT frame
 	// before the target request's worker registers it); track consumes
-	// them, so no interleaving loses an interrupt.
-	inflightMu sync.Mutex
-	inflight   map[uint64]context.CancelFunc
-	pending    map[uint64]bool
-	interrupts atomic.Int64
+	// them, so no interleaving loses an interrupt. completed remembers
+	// the last completedRing finished uniques so a late interrupt for an
+	// already-answered request is dropped instead of leaking a pending
+	// entry — this is what keeps the set bounded.
+	inflightMu    sync.Mutex
+	inflight      map[uint64]context.CancelFunc
+	pending       map[uint64]bool
+	completed     map[uint64]struct{}
+	completedFifo []uint64
+	interrupts    atomic.Int64
 }
 
-// newServer starts the worker pool. Workers exit when the queue closes.
-func newServer(fs vfs.FS, clock *sim.Clock, model *sim.CostModel, opts MountOptions, queue chan *message) *Server {
+// completedRing bounds the completed-unique memory: old entries fall out
+// first. Uniques older than the ring can no longer race an interrupt in
+// practice; a spurious interrupt for one is additionally bounded by the
+// pending-set reset.
+const completedRing = 1024
+
+// newServer starts the worker pool. Workers exit when the table closes.
+func newServer(fs vfs.FS, clock *sim.Clock, model *sim.CostModel, opts MountOptions, table *reqTable) *Server {
 	s := &Server{
-		fs: fs, clock: clock, model: model, opts: opts, queue: queue,
-		inflight: make(map[uint64]context.CancelFunc),
-		pending:  make(map[uint64]bool),
+		fs: fs, clock: clock, model: model, opts: opts, table: table,
+		inflight:  make(map[uint64]context.CancelFunc),
+		pending:   make(map[uint64]bool),
+		completed: make(map[uint64]struct{}),
 	}
 	for i := 0; i < opts.ServerThreads; i++ {
 		s.wg.Add(1)
@@ -105,23 +120,39 @@ func (s *Server) track(unique uint64, cancel context.CancelFunc) {
 	}
 }
 
-// untrack removes a finished request.
+// untrack removes a finished request, clears any interrupt that raced in
+// for it, and records the unique as completed so a later interrupt for
+// it is recognized and dropped rather than parked forever.
 func (s *Server) untrack(unique uint64) {
 	s.inflightMu.Lock()
 	delete(s.inflight, unique)
+	delete(s.pending, unique)
+	s.completed[unique] = struct{}{}
+	s.completedFifo = append(s.completedFifo, unique)
+	if len(s.completedFifo) > completedRing {
+		delete(s.completed, s.completedFifo[0])
+		s.completedFifo = s.completedFifo[1:]
+	}
 	s.inflightMu.Unlock()
 }
 
 // interrupt cancels the in-flight request with the given unique id. An
 // id that is not registered yet is remembered so the registration can
-// consume it; an id whose request already replied leaves a stale pending
-// entry, bounded by periodically clearing the set (the real protocol has
-// the same benign race).
+// consume it — unless the request already completed, in which case the
+// interrupt is dropped (the real protocol has the same race; tracking
+// completed uniques is what keeps the pending set from growing without
+// bound). Spurious interrupts for uniques that never existed are bounded
+// by resetting the set when it grows past the ring size.
 func (s *Server) interrupt(target uint64) {
 	s.inflightMu.Lock()
 	cancel := s.inflight[target]
 	if cancel == nil {
-		if len(s.pending) > 1024 {
+		if _, done := s.completed[target]; done {
+			s.inflightMu.Unlock()
+			s.interrupts.Add(1)
+			return
+		}
+		if len(s.pending) > completedRing {
 			s.pending = make(map[uint64]bool)
 		}
 		s.pending[target] = true
@@ -133,12 +164,34 @@ func (s *Server) interrupt(target uint64) {
 	}
 }
 
+// pendingInterrupts reports the interrupts parked for unregistered
+// uniques (regression hook: the set must stay bounded).
+func (s *Server) pendingInterrupts() int {
+	s.inflightMu.Lock()
+	defer s.inflightMu.Unlock()
+	return len(s.pending)
+}
+
 // FS exposes the filesystem the server dispatches to.
 func (s *Server) FS() vfs.FS { return s.fs }
 
+// Queued reports the requests currently waiting in the request table.
+func (s *Server) Queued() int { return s.table.depth() }
+
+// OriginStats snapshots the request table's per-origin (Op.PID)
+// completion counters — the data source for /proc-style per-process I/O
+// accounting and for policy generation.
+func (s *Server) OriginStats() map[uint32]OriginStats {
+	return s.table.originStats()
+}
+
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for msg := range s.queue {
+	for {
+		msg, origin, ok := s.table.pop()
+		if !ok {
+			return
+		}
 		s.served.Add(1)
 		// Per-request server cost: the worker wakeup plus cacheline
 		// contention on the shared device queue, growing with the
@@ -148,11 +201,23 @@ func (s *Server) worker() {
 			cost += time.Duration(n-1) * s.model.LockContention
 		}
 		s.clock.Advance(cost)
-		reply := s.dispatch(msg.frame)
+		reply, acct := s.dispatch(msg.frame)
+		// Account completion before delivering the reply, so a caller
+		// that awaited the request observes its own operation in the
+		// origin counters.
+		s.table.done(origin, acct.readBytes, acct.writeBytes, acct.isRead, acct.isWrite)
 		if msg.reply != nil {
 			msg.reply <- reply
 		}
 	}
+}
+
+// ioAcct is the per-request accounting dispatch reports to the table.
+type ioAcct struct {
+	readBytes  int64
+	writeBytes int64
+	isRead     bool
+	isWrite    bool
 }
 
 // serverCred reconstructs the credential the server impersonates for a
@@ -178,15 +243,16 @@ func serverCred(h ReqHeader) *vfs.Cred {
 // encodes the reply frame. Each two-way request runs under its own
 // cancelable context, registered by unique id so FUSE_INTERRUPT frames
 // (processed by a sibling worker) can abort it mid-flight.
-func (s *Server) dispatch(frame []byte) []byte {
+func (s *Server) dispatch(frame []byte) ([]byte, ioAcct) {
+	var acct ioAcct
 	h, r, err := decodeReqHeader(frame)
 	if err != nil {
 		s.errors.Add(1)
-		return encodeReply(h.Unique, vfs.EINVAL, nil)
+		return encodeReply(h.Unique, vfs.EINVAL, nil), acct
 	}
 	if h.Opcode == OpInterrupt {
 		s.interrupt(r.u64())
-		return nil // one-way
+		return nil, acct // one-way
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -210,7 +276,7 @@ func (s *Server) dispatch(frame []byte) []byte {
 
 	case OpForget:
 		s.fs.Forget(op, ino, r.u64())
-		return nil // one-way
+		return nil, acct // one-way
 
 	case OpBatchForget:
 		n := int(r.u32())
@@ -219,7 +285,7 @@ func (s *Server) dispatch(frame []byte) []byte {
 			nlookup := r.u64()
 			s.fs.Forget(op, target, nlookup)
 		}
-		return nil // one-way
+		return nil, acct // one-way
 
 	case OpGetattr:
 		attr, err := s.fs.Getattr(op, ino)
@@ -322,6 +388,7 @@ func (s *Server) dispatch(frame []byte) []byte {
 		n, err := s.fs.Read(op, handle, off, dest)
 		if err == nil {
 			w.bytes(dest[:n])
+			acct.isRead, acct.readBytes = true, int64(n)
 		}
 		opErr = err
 
@@ -332,6 +399,7 @@ func (s *Server) dispatch(frame []byte) []byte {
 		n, err := s.fs.Write(op, handle, off, data)
 		if err == nil {
 			w.u32(uint32(n))
+			acct.isWrite, acct.writeBytes = true, int64(n)
 		}
 		opErr = err
 
@@ -428,7 +496,7 @@ func (s *Server) dispatch(frame []byte) []byte {
 	}
 	if opErr != nil {
 		s.errors.Add(1)
-		return encodeReply(h.Unique, vfs.ToErrno(opErr), nil)
+		return encodeReply(h.Unique, vfs.ToErrno(opErr), nil), ioAcct{}
 	}
-	return encodeReply(h.Unique, vfs.OK, w.b)
+	return encodeReply(h.Unique, vfs.OK, w.b), acct
 }

@@ -6,15 +6,27 @@ import (
 	"cntr/internal/vfs"
 )
 
-// pipeBuf is the byte stream behind a FIFO inode. Readers block until
-// data is available; an interrupted operation (canceled Op context)
-// unwinds with EINTR, which is what FUSE_INTERRUPT delivers to a process
-// stuck in read(2) on a pipe.
+// pipeBuf is the byte stream behind a FIFO inode, with pipe(7)'s
+// end-of-stream semantics. Readers block until data is available; an
+// interrupted operation (canceled Op context) unwinds with EINTR, which
+// is what FUSE_INTERRUPT delivers to a process stuck in read(2) on a
+// pipe. Open ends are counted: once a writer has existed, the last
+// writer's close delivers EOF to readers; once a reader has existed, a
+// write after the last reader's close fails with EPIPE (the errno behind
+// SIGPIPE).
+//
+// Open(2)'s block-until-peer behaviour and O_NONBLOCK are not modelled:
+// opening either end always succeeds immediately, and a reader that
+// arrives before any writer blocks in read rather than in open.
 type pipeBuf struct {
 	mu   sync.Mutex
 	data []byte
-	// wake is closed (and replaced) whenever data arrives.
+	// wake is closed (and replaced) whenever data arrives or an end of
+	// the pipe is closed, so blocked readers re-evaluate EOF.
 	wake chan struct{}
+
+	readers, writers     int
+	hadReader, hadWriter bool
 }
 
 func newPipeBuf() *pipeBuf { return &pipeBuf{wake: make(chan struct{})} }
@@ -28,7 +40,44 @@ func (n *inode) pipeBuf() *pipeBuf {
 	return n.pipe
 }
 
-// read blocks until the FIFO has data or op is interrupted.
+// open registers one open of the FIFO for the given directions.
+func (p *pipeBuf) open(readable, writable bool) {
+	p.mu.Lock()
+	if readable {
+		p.readers++
+		p.hadReader = true
+	}
+	if writable {
+		p.writers++
+		p.hadWriter = true
+	}
+	p.wakeAllLocked()
+	p.mu.Unlock()
+}
+
+// release undoes one open. The last writer's close wakes blocked readers
+// so they observe EOF; the last reader's close is observed by the next
+// write, which fails with EPIPE.
+func (p *pipeBuf) release(readable, writable bool) {
+	p.mu.Lock()
+	if readable && p.readers > 0 {
+		p.readers--
+	}
+	if writable && p.writers > 0 {
+		p.writers--
+	}
+	p.wakeAllLocked()
+	p.mu.Unlock()
+}
+
+// wakeAllLocked wakes every blocked reader. Caller holds p.mu.
+func (p *pipeBuf) wakeAllLocked() {
+	close(p.wake)
+	p.wake = make(chan struct{})
+}
+
+// read blocks until the FIFO has data, every writer is gone (EOF), or op
+// is interrupted.
 func (p *pipeBuf) read(op *vfs.Op, dest []byte) (int, error) {
 	if len(dest) == 0 {
 		return 0, nil
@@ -44,6 +93,13 @@ func (p *pipeBuf) read(op *vfs.Op, dest []byte) (int, error) {
 			p.mu.Unlock()
 			return n, nil
 		}
+		if p.hadWriter && p.writers == 0 {
+			// The write side existed and is fully closed: end of stream.
+			// (A reader that opened before any writer blocks instead —
+			// this stands in for open(2) blocking until a peer arrives.)
+			p.mu.Unlock()
+			return 0, nil
+		}
 		wake := p.wake
 		p.mu.Unlock()
 		select {
@@ -54,12 +110,15 @@ func (p *pipeBuf) read(op *vfs.Op, dest []byte) (int, error) {
 	}
 }
 
-// write appends data and wakes blocked readers.
-func (p *pipeBuf) write(data []byte) int {
+// write appends data and wakes blocked readers. Writing after the read
+// side has come and gone fails with EPIPE, as a broken pipe does.
+func (p *pipeBuf) write(data []byte) (int, error) {
 	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.hadReader && p.readers == 0 {
+		return 0, vfs.EPIPE
+	}
 	p.data = append(p.data, data...)
-	close(p.wake)
-	p.wake = make(chan struct{})
-	p.mu.Unlock()
-	return len(data)
+	p.wakeAllLocked()
+	return len(data), nil
 }

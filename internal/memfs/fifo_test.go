@@ -1,0 +1,182 @@
+package memfs
+
+import (
+	"testing"
+	"time"
+
+	"cntr/internal/vfs"
+)
+
+func mkfifo(t *testing.T, fs *FS, name string) vfs.Ino {
+	t.Helper()
+	attr, err := fs.Mknod(vfs.RootOp(), vfs.RootIno, name, vfs.TypeFIFO, 0o644, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return attr.Ino
+}
+
+// TestFIFOWriterCloseDeliversEOF: a blocked reader wakes with EOF when
+// the last writer closes, and subsequent reads see EOF immediately.
+func TestFIFOWriterCloseDeliversEOF(t *testing.T) {
+	fs := New(Options{})
+	root := vfs.RootOp()
+	ino := mkfifo(t, fs, "pipe")
+
+	rh, err := fs.Open(root, ino, vfs.ORdonly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh, err := fs.Open(root, ino, vfs.OWronly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Write(root, wh, 0, []byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		n   int
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		buf := make([]byte, 16)
+		n, rerr := fs.Read(root, rh, 0, buf)
+		if rerr == nil && string(buf[:n]) != "tail" {
+			rerr = vfs.EIO
+		}
+		if rerr == nil {
+			// Drain: the next read must block until the writer closes,
+			// then deliver EOF.
+			n, rerr = fs.Read(root, rh, 0, buf)
+		}
+		done <- result{n, rerr}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case r := <-done:
+		t.Fatalf("read finished before writer close: %+v", r)
+	default:
+	}
+	if err := fs.Release(root, wh); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-done:
+		if r.err != nil || r.n != 0 {
+			t.Fatalf("EOF read: n=%d err=%v, want 0,nil", r.n, r.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("last-writer close did not wake the reader")
+	}
+	// EOF is sticky while no writer exists.
+	if n, err := fs.Read(root, rh, 0, make([]byte, 4)); n != 0 || err != nil {
+		t.Fatalf("post-EOF read: n=%d err=%v", n, err)
+	}
+	// A new writer revives the stream.
+	wh2, err := fs.Open(root, ino, vfs.OWronly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Write(root, wh2, 0, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if n, err := fs.Read(root, rh, 0, buf); err != nil || string(buf[:n]) != "hi" {
+		t.Fatalf("revived pipe read: %q %v", buf[:n], err)
+	}
+	fs.Release(root, wh2)
+	fs.Release(root, rh)
+}
+
+// TestFIFOReaderCloseBreaksPipe: once the read side has come and gone,
+// writes fail with EPIPE.
+func TestFIFOReaderCloseBreaksPipe(t *testing.T) {
+	fs := New(Options{})
+	root := vfs.RootOp()
+	ino := mkfifo(t, fs, "pipe")
+
+	rh, err := fs.Open(root, ino, vfs.ORdonly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh, err := fs.Open(root, ino, vfs.OWronly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Write(root, wh, 0, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Release(root, rh); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Write(root, wh, 0, []byte("x")); vfs.ToErrno(err) != vfs.EPIPE {
+		t.Fatalf("write after reader close: %v, want EPIPE", err)
+	}
+	fs.Release(root, wh)
+}
+
+// TestFIFOReadBlocksBeforeFirstWriter: a reader that arrives before any
+// writer must block (the stand-in for open(2) blocking), not see EOF.
+func TestFIFOReadBlocksBeforeFirstWriter(t *testing.T) {
+	fs := New(Options{})
+	root := vfs.RootOp()
+	ino := mkfifo(t, fs, "pipe")
+	rh, err := fs.Open(root, ino, vfs.ORdonly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 4)
+		n, rerr := fs.Read(root, rh, 0, buf)
+		if rerr == nil && string(buf[:n]) != "ping" {
+			rerr = vfs.EIO
+		}
+		done <- rerr
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case err := <-done:
+		t.Fatalf("read returned with no writer ever: %v", err)
+	default:
+	}
+	wh, err := fs.Open(root, ino, vfs.OWronly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Write(root, wh, 0, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("write did not wake the early reader")
+	}
+	fs.Release(root, wh)
+	fs.Release(root, rh)
+}
+
+// TestFIFOReadWriteEnd: an O_RDWR open holds both ends, so it neither
+// breaks the pipe for itself nor sees EOF while it stays open.
+func TestFIFOReadWriteEnd(t *testing.T) {
+	fs := New(Options{})
+	root := vfs.RootOp()
+	ino := mkfifo(t, fs, "pipe")
+	h, err := fs.Open(root, ino, vfs.ORdwr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Write(root, h, 0, []byte("self")); err != nil {
+		t.Fatalf("rdwr write: %v", err)
+	}
+	buf := make([]byte, 8)
+	if n, err := fs.Read(root, h, 0, buf); err != nil || string(buf[:n]) != "self" {
+		t.Fatalf("rdwr read: %q %v", buf[:n], err)
+	}
+	fs.Release(root, h)
+}

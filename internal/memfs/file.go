@@ -52,6 +52,11 @@ func (fs *FS) Open(op *vfs.Op, ino vfs.Ino, flags vfs.OpenFlags) (vfs.Handle, er
 		now := fs.now()
 		n.attr.Mtime, n.attr.Ctime = now, now
 	}
+	if n.attr.Type == vfs.TypeFIFO {
+		// Count the pipe's open ends so reads see EOF once the last
+		// writer closes and writes fail with EPIPE once readers are gone.
+		n.pipeBuf().open(flags.Readable(), flags.Writable())
+	}
 	return fs.openLocked(ino, flags, false), nil
 }
 
@@ -156,7 +161,7 @@ func (fs *FS) Write(op *vfs.Op, h vfs.Handle, off int64, data []byte) (int, erro
 		return 0, vfs.EBADF
 	}
 	if n.attr.Type == vfs.TypeFIFO {
-		return n.pipeBuf().write(data), nil
+		return n.pipeBuf().write(data)
 	}
 	if off < 0 {
 		return 0, vfs.EINVAL
@@ -230,6 +235,9 @@ func (fs *FS) Release(op *vfs.Op, h vfs.Handle) error {
 	}
 	delete(fs.handles, h)
 	if n, ok := fs.inodes[of.ino]; ok {
+		if n.attr.Type == vfs.TypeFIFO && !of.dir {
+			n.pipeBuf().release(of.flags.Readable(), of.flags.Writable())
+		}
 		n.openCount--
 		fs.maybeReap(of.ino, n)
 	}

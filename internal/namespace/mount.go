@@ -57,6 +57,12 @@ func NewMountNS(rootFS vfs.FS) *MountNS {
 	return ns
 }
 
+// NewHostSet is the common HostSet(NewMountNS(fs)) shorthand: boot a
+// host whose root mount is fs.
+func NewHostSet(fs vfs.FS) *Set {
+	return HostSet(NewMountNS(fs))
+}
+
 // normalizePoint canonicalizes a mount point path.
 func normalizePoint(p string) string {
 	parts := vfs.SplitPath(p)

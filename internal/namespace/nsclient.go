@@ -416,6 +416,19 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	return n, nil
 }
 
+// SubmitRead starts an asynchronous read at off through the mount's
+// filesystem (pipelined when it implements vfs.AsyncFS, inline
+// otherwise). The file position is not consulted or moved.
+func (f *File) SubmitRead(p []byte, off int64) vfs.PendingIO {
+	return vfs.SubmitRead(f.fs, f.op.Fork(), f.h, off, p)
+}
+
+// SubmitWrite starts an asynchronous write of p at off; p must stay
+// unmodified until the future is awaited.
+func (f *File) SubmitWrite(p []byte, off int64) vfs.PendingIO {
+	return vfs.SubmitWrite(f.fs, f.op.Fork(), f.h, off, p)
+}
+
 // Write implements sequential writes.
 func (f *File) Write(p []byte) (int, error) {
 	n, err := f.fs.Write(f.op.Fork(), f.h, f.offset, p)

@@ -102,43 +102,71 @@ func (c *Cache) Read(op *vfs.Op, h vfs.Handle, off int64, dest []byte) (int, err
 			c.touch(st.ino, idx)
 		} else {
 			c.stats.Misses++
-			// Readahead: a miss continuing a sequential pattern fetches
-			// a whole window in one backing request.
-			fetch := int64(PageSize)
 			pos := off + read
-			if c.opts.ReadAhead > PageSize && pos >= f.lastReadEnd-PageSize && pos <= f.lastReadEnd+PageSize {
-				fetch = c.opts.ReadAhead
-			}
-			if rem := f.size - idx*PageSize; fetch > rem {
-				fetch = rem
-			}
-			if fetch < PageSize {
-				fetch = PageSize
-			}
-			buf := make([]byte, fetch)
-			n, err := c.backing.Read(op, h, idx*PageSize, buf)
-			if err != nil {
-				return int(read), err
-			}
-			if c.opts.ChargeDisk != nil {
-				c.opts.ChargeDisk.Read(n)
-			}
-			for pi := int64(0); pi*PageSize < int64(n); pi++ {
-				pageBuf := make([]byte, PageSize)
-				copy(pageBuf, buf[pi*PageSize:min64(int64(n), (pi+1)*PageSize)])
-				inserted := c.insertPage(st.ino, idx+pi, pageBuf)
-				if pi == 0 {
-					p = inserted
+			seq := pos >= f.lastReadEnd-PageSize && pos <= f.lastReadEnd+PageSize
+			if c.async != nil && c.opts.ReadAhead > PageSize &&
+				(seq || c.windowAt(f, idx*PageSize) != nil) {
+				// Asynchronous readahead: harvest (or submit) the window
+				// covering this page while keeping AsyncDepth further
+				// windows in flight, so their round trips overlap. A
+				// random miss with no covering window takes the one-page
+				// synchronous path instead — pulling a whole window per
+				// random miss would be pure read amplification.
+				var spill []byte
+				var spillBase int64
+				var err error
+				p, spill, spillBase, err = c.readAheadAsync(op, h, st.ino, f, idx)
+				if err != nil {
+					return int(read), err
 				}
-			}
-			// Keep the sequential detector current within this call so
-			// the next miss in a long read continues the readahead.
-			f.lastReadEnd = idx*PageSize + int64(n)
-			if p == nil {
-				// Budget exhausted: serve without caching.
-				copy(dest[read:read+chunk], buf[po:po+chunk])
-				read += chunk
-				continue
+				if p == nil {
+					// Budget exhausted: serve from the window buffer.
+					so := idx*PageSize + po - spillBase
+					if spill == nil || so < 0 || so+chunk > int64(len(spill)) {
+						break // backing came up short; return what we have
+					}
+					copy(dest[read:read+chunk], spill[so:so+chunk])
+					read += chunk
+					continue
+				}
+			} else {
+				// Synchronous path: a miss continuing a sequential pattern
+				// fetches a whole readahead window in one backing request.
+				fetch := int64(PageSize)
+				if c.opts.ReadAhead > PageSize && seq {
+					fetch = c.opts.ReadAhead
+				}
+				if rem := f.size - idx*PageSize; fetch > rem {
+					fetch = rem
+				}
+				if fetch < PageSize {
+					fetch = PageSize
+				}
+				buf := make([]byte, fetch)
+				n, err := c.backing.Read(op, h, idx*PageSize, buf)
+				if err != nil {
+					return int(read), err
+				}
+				if c.opts.ChargeDisk != nil {
+					c.opts.ChargeDisk.Read(n)
+				}
+				for pi := int64(0); pi*PageSize < int64(n); pi++ {
+					pageBuf := make([]byte, PageSize)
+					copy(pageBuf, buf[pi*PageSize:min64(int64(n), (pi+1)*PageSize)])
+					inserted := c.insertPage(st.ino, idx+pi, pageBuf)
+					if pi == 0 {
+						p = inserted
+					}
+				}
+				// Keep the sequential detector current within this call so
+				// the next miss in a long read continues the readahead.
+				f.lastReadEnd = idx*PageSize + int64(n)
+				if p == nil {
+					// Budget exhausted: serve without caching.
+					copy(dest[read:read+chunk], buf[po:po+chunk])
+					read += chunk
+					continue
+				}
 			}
 		}
 		copy(dest[read:read+chunk], p.data[po:po+chunk])
@@ -153,6 +181,127 @@ func min64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// windowAt returns the in-flight readahead window covering byte offset
+// pos, if any. The map holds at most AsyncDepth entries, so a linear
+// scan is fine. Caller holds c.mu.
+func (c *Cache) windowAt(f *fileCache, pos int64) *raWindow {
+	for _, w := range f.ra {
+		if pos >= w.start && pos < w.start+int64(len(w.buf)) {
+			return w
+		}
+	}
+	return nil
+}
+
+// submitWindow starts one asynchronous readahead window at start,
+// clamped to the file size. Caller holds c.mu.
+func (c *Cache) submitWindow(op *vfs.Op, h vfs.Handle, f *fileCache, start int64) {
+	size := c.opts.ReadAhead
+	if size < PageSize {
+		size = PageSize
+	}
+	if rem := f.size - start; size > rem {
+		size = rem
+	}
+	if size <= 0 {
+		return
+	}
+	if f.ra == nil {
+		f.ra = make(map[int64]*raWindow)
+	}
+	buf := make([]byte, size)
+	f.ra[start] = &raWindow{start: start, buf: buf, pending: c.async.SubmitRead(op, h, start, buf)}
+	if start+size > f.raNext {
+		f.raNext = start + size
+	}
+}
+
+// topUpReadahead keeps AsyncDepth windows in flight beyond the furthest
+// submitted offset. Caller holds c.mu.
+func (c *Cache) topUpReadahead(op *vfs.Op, h vfs.Handle, f *fileCache) {
+	for len(f.ra) < c.opts.AsyncDepth && f.raNext < f.size {
+		if c.windowAt(f, f.raNext) != nil {
+			return
+		}
+		c.submitWindow(op, h, f, f.raNext)
+	}
+}
+
+// readAheadAsync serves a sequential miss through the pipelined backing:
+// it makes sure a window covering page idx is in flight, tops the
+// pipeline up to AsyncDepth windows ahead, then harvests the covering
+// window into cache pages. It returns the cached page for idx; when the
+// budget had no room, it returns the raw window bytes (and their base
+// offset) so the caller can serve the read uncached. Caller holds c.mu.
+func (c *Cache) readAheadAsync(op *vfs.Op, h vfs.Handle, ino vfs.Ino, f *fileCache, idx int64) (*page, []byte, int64, error) {
+	base := idx * PageSize
+	if c.windowAt(f, base) == nil {
+		if f.raNext < base {
+			f.raNext = base
+		}
+		c.submitWindow(op, h, f, base)
+	}
+	// raNext parked far ahead of the reader means the stream restarted
+	// (a re-read from the start after a pass reached EOF, with the pages
+	// since evicted): pull the pipeline back behind the current position,
+	// or topUpReadahead never submits again and every miss degenerates to
+	// one blocking round trip — worse than the synchronous path.
+	if ahead := int64(c.opts.AsyncDepth+1) * c.opts.ReadAhead; f.raNext > base+ahead {
+		if w := c.windowAt(f, base); w != nil {
+			f.raNext = w.start + int64(len(w.buf))
+		} else {
+			f.raNext = base
+		}
+	}
+	c.topUpReadahead(op, h, f)
+	win := c.windowAt(f, base)
+	if win == nil {
+		// base is at or past EOF per the cached size; nothing to fetch.
+		return nil, nil, 0, nil
+	}
+	delete(f.ra, win.start)
+	n, err := win.pending.Await(op)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if c.opts.ChargeDisk != nil {
+		c.opts.ChargeDisk.Read(n)
+	}
+	var p *page
+	firstPage := win.start / PageSize
+	for pi := int64(0); pi*PageSize < int64(n); pi++ {
+		pageBuf := make([]byte, PageSize)
+		copy(pageBuf, win.buf[pi*PageSize:min64(int64(n), (pi+1)*PageSize)])
+		inserted := c.insertPage(ino, firstPage+pi, pageBuf)
+		if firstPage+pi == idx {
+			p = inserted
+		}
+	}
+	if end := win.start + int64(n); end > f.lastReadEnd {
+		f.lastReadEnd = end
+	}
+	// Consuming one window frees a pipeline slot: refill it so the
+	// stream stays AsyncDepth deep.
+	c.topUpReadahead(op, h, f)
+	// The whole (zero-padded) window is the spill: a short backing read
+	// means the tail is a hole or cache-extended region, which reads as
+	// zeros, exactly as the synchronous path serves it.
+	return p, win.buf, win.start, nil
+}
+
+// dropReadaheadRange awaits and discards in-flight readahead windows
+// overlapping [off, end): their payload was fetched before the write
+// and must not refresh cache pages afterwards (a clean page harvested
+// from a stale window would serve pre-write data). Caller holds c.mu.
+func (c *Cache) dropReadaheadRange(f *fileCache, off, end int64) {
+	for start, w := range f.ra {
+		if start < end && off < start+int64(len(w.buf)) {
+			w.pending.Await(wbOp)
+			delete(f.ra, start)
+		}
+	}
 }
 
 // Write implements vfs.FS. In writeback mode dirty data accumulates in
@@ -193,7 +342,9 @@ func (c *Cache) Write(op *vfs.Op, h vfs.Handle, off int64, data []byte) (int, er
 		f := c.file(st.ino)
 		if st.flags&vfs.OAppend != 0 {
 			f.valid = false
+			c.dropReadahead(f)
 		} else {
+			c.dropReadaheadRange(f, off, off+int64(n))
 			c.updateCachedPages(f, off, data[:n])
 			if f.valid && off+int64(n) > f.size {
 				f.size = off + int64(n)
@@ -227,6 +378,10 @@ func (c *Cache) Write(op *vfs.Op, h vfs.Handle, off int64, data []byte) (int, er
 			data = data[:limit-off]
 		}
 	}
+	// Windows submitted before this write hold pre-write bytes; once the
+	// dirtied pages are flushed clean, harvesting one would roll the
+	// cache back. Discard the overlap now.
+	c.dropReadaheadRange(f, off, off+int64(len(data)))
 	written := int64(0)
 	for written < int64(len(data)) {
 		if err := op.Err(); err != nil {
@@ -356,7 +511,11 @@ func (c *Cache) killPrivsLocked(op *vfs.Op, st *openState) {
 }
 
 // flushFileLocked writes out every dirty page of ino in coalesced extents
-// capped at MaxWriteSize. Caller holds c.mu.
+// capped at MaxWriteSize. When the backing filesystem supports pipelined
+// submission (vfs.AsyncFS) and AsyncDepth is configured, all extents are
+// submitted before any is awaited — batched writeback: the extents'
+// round trips overlap instead of paying one blocking trip each. Caller
+// holds c.mu.
 func (c *Cache) flushFileLocked(ino vfs.Ino, f *fileCache) {
 	if f.dirtyBytes == 0 || !f.wbValid {
 		return
@@ -368,6 +527,11 @@ func (c *Cache) flushFileLocked(ino vfs.Ino, f *fileCache) {
 		}
 	}
 	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	type extent struct {
+		start int64
+		buf   []byte
+	}
+	var extents []extent
 	i := 0
 	for i < len(idxs) {
 		j := i
@@ -398,14 +562,32 @@ func (c *Cache) flushFileLocked(ino vfs.Ino, f *fileCache) {
 			p.dirtyLo, p.dirtyHi = 0, 0
 		}
 		if len(buf) > 0 {
-			n, err := c.backing.Write(wbOp, f.wbHandle, start, buf)
+			extents = append(extents, extent{start, buf})
+		}
+		i = j + 1
+	}
+	if c.async != nil && len(extents) > 1 {
+		pendings := make([]vfs.PendingIO, len(extents))
+		for i, e := range extents {
+			pendings[i] = c.async.SubmitWrite(wbOp, f.wbHandle, e.start, e.buf)
+		}
+		for i, p := range pendings {
+			n, err := p.Await(wbOp)
 			if err == nil && c.opts.ChargeDisk != nil {
 				c.opts.ChargeDisk.Write(n)
 			}
 			c.stats.FlushedExt++
-			c.stats.FlushedB += int64(len(buf))
+			c.stats.FlushedB += int64(len(extents[i].buf))
 		}
-		i = j + 1
+	} else {
+		for _, e := range extents {
+			n, err := c.backing.Write(wbOp, f.wbHandle, e.start, e.buf)
+			if err == nil && c.opts.ChargeDisk != nil {
+				c.opts.ChargeDisk.Write(n)
+			}
+			c.stats.FlushedExt++
+			c.stats.FlushedB += int64(len(e.buf))
+		}
 	}
 	f.dirtyBytes = 0
 	// Dirty data is gone: zombie handles kept for writeback can go too.
@@ -533,6 +715,9 @@ func (c *Cache) Release(op *vfs.Op, h vfs.Handle) error {
 	keepBacking := false
 	if st, ok := c.opens[h]; ok {
 		f := c.file(st.ino)
+		// Readahead windows were submitted on this handle; settle them
+		// before it goes away.
+		c.dropReadahead(f)
 		if f.wbValid && f.wbHandle == h {
 			if c.opts.FlushOnClose {
 				c.flushFileLocked(st.ino, f)
@@ -571,6 +756,7 @@ func (c *Cache) Setattr(op *vfs.Op, ino vfs.Ino, mask vfs.SetattrMask, attr vfs.
 	}
 	if mask.Has(vfs.SetSize) {
 		if f, ok := c.files[ino]; ok {
+			c.dropReadahead(f) // windows may span the truncation point
 			c.flushFileLocked(ino, f)
 			for idx := range f.pages {
 				if idx*PageSize >= attr.Size {
@@ -780,18 +966,21 @@ func (c *Cache) Fallocate(op *vfs.Op, h vfs.Handle, mode uint32, off, length int
 	c.charge()
 	c.mu.Lock()
 	if st, ok := c.opens[h]; ok {
-		if f, ok := c.files[st.ino]; ok {
-			c.flushFileLocked(st.ino, f)
-		}
+		// Flush dirty data and drop every cached page and in-flight
+		// readahead window *before* the backing extents change — the
+		// kernel's flush-then-punch order. Flushing afterwards would
+		// write pre-punch data back over the hole.
+		c.invalidate(st.ino)
 	}
 	c.mu.Unlock()
 	err := c.backing.Fallocate(op, h, mode, off, length)
 	if err == nil {
 		c.mu.Lock()
 		if st, ok := c.opens[h]; ok {
-			if f, ok := c.files[st.ino]; ok {
-				f.valid = false
-			}
+			// Discard (without flushing) anything a racing read or write
+			// repopulated while the punch was in flight; its ordering
+			// against the punch is undefined and its pages may predate it.
+			c.invalidateNoFlush(st.ino)
 		}
 		c.mu.Unlock()
 	}

@@ -88,6 +88,13 @@ type Options struct {
 	// FUSE_ASYNC_READ enables (batched concurrent reads); over a disk it
 	// models the kernel's readahead. Zero disables readahead.
 	ReadAhead int64
+	// AsyncDepth is the number of readahead windows kept in flight when
+	// the backing filesystem implements vfs.AsyncFS: sequential misses
+	// submit up to this many windows and harvest them as the reader
+	// arrives, so each window's round trip overlaps the previous one's.
+	// It also batches writeback: a flush submits all its extents before
+	// awaiting any. Zero keeps the sequential blocking path.
+	AsyncDepth int
 	// FlushOnClose writes dirty pages back when a file is closed, as the
 	// FUSE kernel module does (fuse_flush → write_inode_now). Native
 	// filesystems leave dirty data for background writeback instead;
@@ -117,6 +124,9 @@ type Cache struct {
 	clock   *sim.Clock
 	model   *sim.CostModel
 	opts    Options
+	// async is the backing's pipelined submit/await interface, non-nil
+	// when it implements vfs.AsyncFS and AsyncDepth is configured.
+	async vfs.AsyncFS
 
 	mu     sync.Mutex
 	files  map[vfs.Ino]*fileCache
@@ -167,6 +177,17 @@ type fileCache struct {
 	// lastReadEnd tracks the end offset of the previous read for
 	// sequential-pattern detection (readahead).
 	lastReadEnd int64
+	// ra holds in-flight asynchronous readahead windows keyed by their
+	// starting byte offset; raNext is where the next window begins.
+	ra     map[int64]*raWindow
+	raNext int64
+}
+
+// raWindow is one in-flight asynchronous readahead window.
+type raWindow struct {
+	start   int64
+	buf     []byte
+	pending vfs.PendingIO
 }
 
 type openState struct {
@@ -191,7 +212,7 @@ func New(backing vfs.FS, clock *sim.Clock, model *sim.CostModel, opts Options) *
 	if opts.MaxWriteSize == 0 {
 		opts.MaxWriteSize = 128 << 10
 	}
-	return &Cache{
+	c := &Cache{
 		backing: backing,
 		clock:   clock,
 		model:   model,
@@ -200,6 +221,14 @@ func New(backing vfs.FS, clock *sim.Clock, model *sim.CostModel, opts Options) *
 		opens:   make(map[vfs.Handle]*openState),
 		fsized:  make(map[vfs.Handle]bool),
 	}
+	if opts.AsyncDepth > 0 && vfs.IsAsync(backing) {
+		// IsAsync sees through interceptor chains: pipelining windows
+		// through a wrapped *synchronous* filesystem would execute each
+		// window as a blocking read at submit time — eager prefetch with
+		// zero overlap, strictly worse than leaving AsyncDepth off.
+		c.async = backing.(vfs.AsyncFS)
+	}
+	return c
 }
 
 // Stats returns a snapshot of cache counters.
@@ -319,9 +348,21 @@ func (c *Cache) invalidateNoFlush(ino vfs.Ino) {
 }
 
 func (c *Cache) dropFileLocked(ino vfs.Ino, f *fileCache) {
+	c.dropReadahead(f)
 	if c.opts.Budget != nil {
 		c.opts.Budget.release(int64(len(f.pages)) * PageSize)
 	}
 	delete(c.files, ino)
 	c.stats.Invalidate++
+}
+
+// dropReadahead awaits and discards the file's in-flight readahead
+// windows. Futures must not be abandoned — the transport's reply slot
+// (and its pipelining accounting) is balanced at Await. Caller holds
+// c.mu.
+func (c *Cache) dropReadahead(f *fileCache) {
+	for start, w := range f.ra {
+		w.pending.Await(wbOp)
+		delete(f.ra, start)
+	}
 }

@@ -1,0 +1,92 @@
+package phoronix
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cntr/internal/stack"
+	"cntr/internal/vfs"
+)
+
+// ChaosProfile is the default fault/latency-injection rule set for the
+// -chaos harness profile: periodic extra latency on the data path and a
+// smaller tax across every operation, modelling a degraded backing store
+// (an EBS volume having a bad day). Errors are deliberately absent from
+// the default profile — the suite's workloads treat any errno as fatal,
+// so the measurable axis under chaos is latency degradation.
+func ChaosProfile() []vfs.FaultRule {
+	return []vfs.FaultRule{
+		{Kind: vfs.KindRead, Delay: 200 * time.Microsecond, EveryN: 7},
+		{Kind: vfs.KindWrite, Delay: 200 * time.Microsecond, EveryN: 5},
+		{Kind: vfs.KindAny, Delay: 50 * time.Microsecond, EveryN: 13},
+	}
+}
+
+// ChaosResult is one benchmark measured on a clean Cntr stack and on the
+// same stack with a FaultInjector at syscall entry.
+type ChaosResult struct {
+	Name        string
+	CleanTime   time.Duration
+	ChaosTime   time.Duration
+	Degradation float64 // ChaosTime / CleanTime
+}
+
+// RunChaosBenchmark measures b on a clean Cntr stack, then again with
+// the given fault rules injected at syscall entry (the vfs.FaultInjector
+// interceptor the PR 1 chain made possible). The injector's sleeps
+// advance the stack's virtual clock, so injected latency is measured in
+// the same currency as everything else.
+func RunChaosBenchmark(b *Benchmark, rules []vfs.FaultRule) (ChaosResult, error) {
+	clean := stack.NewCntr(stackConfig())
+	ct, _, err := RunOn(b, clean.Top, clean.Host, clean.Clock, clean.Model, clean.Disk, 42)
+	clean.Close()
+	if err != nil {
+		return ChaosResult{}, err
+	}
+
+	chaotic := stack.NewCntr(stackConfig())
+	defer chaotic.Close()
+	inj := vfs.NewFaultInjector(rules...)
+	inj.Sleep = func(d time.Duration) { chaotic.Clock.Advance(d) }
+	top := vfs.Chain(chaotic.Top, inj)
+	xt, _, err := RunOn(b, top, chaotic.Host, chaotic.Clock, chaotic.Model, chaotic.Disk, 42)
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	return ChaosResult{
+		Name: b.Name, CleanTime: ct, ChaosTime: xt,
+		Degradation: float64(xt) / float64(ct),
+	}, nil
+}
+
+// RunChaosAll runs the whole suite under the given rules (nil means
+// ChaosProfile) and reports per-benchmark degradation.
+func RunChaosAll(rules []vfs.FaultRule) ([]ChaosResult, error) {
+	if rules == nil {
+		rules = ChaosProfile()
+	}
+	out := make([]ChaosResult, 0, len(Suite))
+	for i := range Suite {
+		r, err := RunChaosBenchmark(&Suite[i], rules)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// FormatChaosTable renders chaos results like FormatTable renders
+// Figure 2.
+func FormatChaosTable(results []ChaosResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %12s %12s %12s\n",
+		"Benchmark", "clean", "chaos", "degradation")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-28s %12v %12v %11.2fx\n",
+			r.Name, r.CleanTime.Round(time.Microsecond),
+			r.ChaosTime.Round(time.Microsecond), r.Degradation)
+	}
+	return b.String()
+}

@@ -68,6 +68,16 @@ func (p *Process) Getenv(key string) (string, bool) {
 	return "", false
 }
 
+// IOCounters is /proc/<pid>/io-style accounting for one process: bytes
+// and operations that crossed the filesystem boundary on its behalf.
+type IOCounters struct {
+	ReadBytes  int64 // rchar
+	WriteBytes int64 // wchar
+	ReadOps    int64 // syscr
+	WriteOps   int64 // syscw
+	Ops        int64 // every filesystem request, data or metadata
+}
+
 // Table is the system process table.
 type Table struct {
 	mu      sync.RWMutex
@@ -77,6 +87,58 @@ type Table struct {
 	Cgroups *cgroup.Hierarchy
 	// Profiles is the loaded MAC policy set.
 	Profiles *caps.Registry
+	// ioSources supply per-PID I/O counters for the /proc/<pid>/io view;
+	// Snapshot sums them. The canonical feed is a FUSE request table's
+	// per-origin accounting (fuse.Server.OriginStats), keyed by the
+	// Op.PID every operation carries across the wire — one source per
+	// mounted CntrFS instance.
+	ioMu      sync.Mutex
+	ioSources map[int]func() map[uint32]IOCounters
+	ioNextID  int
+}
+
+// AddIOSource registers a per-PID I/O counter feed (e.g. one CntrFS
+// server's request-table accounting). Snapshot sums all feeds into the
+// /proc/<pid>/io files. The returned func unregisters the feed; call it
+// when the mount behind it goes away, or the table keeps the source (and
+// whatever it closes over) alive forever.
+func (t *Table) AddIOSource(src func() map[uint32]IOCounters) (remove func()) {
+	t.ioMu.Lock()
+	id := t.ioNextID
+	t.ioNextID++
+	if t.ioSources == nil {
+		t.ioSources = make(map[int]func() map[uint32]IOCounters)
+	}
+	t.ioSources[id] = src
+	t.ioMu.Unlock()
+	return func() {
+		t.ioMu.Lock()
+		delete(t.ioSources, id)
+		t.ioMu.Unlock()
+	}
+}
+
+// ioCounters merges every registered source.
+func (t *Table) ioCounters() map[uint32]IOCounters {
+	t.ioMu.Lock()
+	sources := make([]func() map[uint32]IOCounters, 0, len(t.ioSources))
+	for _, src := range t.ioSources {
+		sources = append(sources, src)
+	}
+	t.ioMu.Unlock()
+	out := make(map[uint32]IOCounters)
+	for _, src := range sources {
+		for pid, c := range src() {
+			sum := out[pid]
+			sum.ReadBytes += c.ReadBytes
+			sum.WriteBytes += c.WriteBytes
+			sum.ReadOps += c.ReadOps
+			sum.WriteOps += c.WriteOps
+			sum.Ops += c.Ops
+			out[pid] = sum
+		}
+	}
+	return out
 }
 
 // NewTable returns a table containing pid 1 (init) in the given host
@@ -183,12 +245,14 @@ func (t *Table) InSameNamespace(a, b int, k namespace.Kind) bool {
 func (t *Table) Snapshot() *memfs.FS {
 	fs := memfs.New(memfs.Options{})
 	cli := vfs.NewClient(fs, vfs.Root())
+	io := t.ioCounters()
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	for pid, p := range t.procs {
 		dir := fmt.Sprintf("/%d", pid)
 		cli.MkdirAll(dir, 0o555)
 		cli.WriteFile(dir+"/status", []byte(renderStatus(t, p)), 0o444)
+		cli.WriteFile(dir+"/io", []byte(renderIO(io[uint32(pid)])), 0o444)
 		cli.WriteFile(dir+"/cmdline", []byte(strings.Join(p.Cmdline, "\x00")), 0o444)
 		cli.WriteFile(dir+"/environ", []byte(strings.Join(p.Env, "\x00")), 0o444)
 		cli.WriteFile(dir+"/cgroup", []byte("0::"+t.Cgroups.Of(pid)+"\n"), 0o444)
@@ -209,6 +273,18 @@ func (t *Table) Snapshot() *memfs.FS {
 		}
 	}
 	return fs
+}
+
+// renderIO formats per-process I/O accounting with /proc/<pid>/io's
+// field names (plus a total-operation count the request table knows).
+func renderIO(c IOCounters) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rchar: %d\n", c.ReadBytes)
+	fmt.Fprintf(&b, "wchar: %d\n", c.WriteBytes)
+	fmt.Fprintf(&b, "syscr: %d\n", c.ReadOps)
+	fmt.Fprintf(&b, "syscw: %d\n", c.WriteOps)
+	fmt.Fprintf(&b, "syscalls: %d\n", c.Ops)
+	return b.String()
 }
 
 func renderStatus(t *Table, p *Process) string {

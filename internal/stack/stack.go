@@ -40,6 +40,11 @@ type Config struct {
 	DirtyWindowFuse int64
 	// ReadAhead is the sequential readahead window (default 128 KiB).
 	ReadAhead int64
+	// AsyncDepth is the number of readahead windows the FUSE-side kernel
+	// cache keeps in flight through the connection's submit/await path
+	// (and enables batched writeback flushes). Zero disables pipelining:
+	// every window is a blocking round trip, the pre-async behaviour.
+	AsyncDepth int
 	// DedupHardlinks controls CntrFS's open+stat lookup path (default
 	// true; disabling it is an ablation).
 	NoDedupHardlinks bool
@@ -134,12 +139,17 @@ func NewCntr(cfg Config) *Cntr {
 	if !cfg.Mount.AsyncRead {
 		ra = 0 // without ASYNC_READ the kernel reads page by page
 	}
+	depth := cfg.AsyncDepth
+	if !cfg.Mount.AsyncRead {
+		depth = 0 // pipelined readahead is what FUSE_ASYNC_READ permits
+	}
 	kernel := pagecache.New(conn, clock, model, pagecache.Options{
 		KeepCache:    cfg.Mount.KeepCache,
 		Writeback:    cfg.Mount.WritebackCache,
 		DirtyWindow:  cfg.DirtyWindowFuse,
 		MaxWriteSize: int64(cfg.Mount.MaxWrite),
 		ReadAhead:    ra,
+		AsyncDepth:   depth,
 		FlushOnClose: true, // fuse_flush writes dirty pages on close
 		Budget:       budget,
 	})
@@ -173,4 +183,10 @@ func applyDefaults(cfg *Config) {
 	if cfg.Mount.MaxWrite == 0 {
 		cfg.Mount = fuse.DefaultMountOptions()
 	}
+	// AsyncDepth deliberately defaults to 0 (synchronous round trips):
+	// the figure reproductions are calibrated against the paper's
+	// synchronous CNTRFS, and with pipelining enabled, concurrent server
+	// workers reach the host-side cache in nondeterministic order, which
+	// costs the simulation its bit-for-bit reproducibility. Experiments
+	// that want the pipelined path opt in per Config.
 }

@@ -1,0 +1,82 @@
+package vfs
+
+// PendingIO is the future half of an asynchronous read or write: the
+// operation has been submitted to the filesystem and Await collects its
+// result. Await must be called exactly once; it blocks until the
+// operation completes and returns the transferred byte count. If op's
+// context is canceled while the result is outstanding, implementations
+// forward the cancellation (over FUSE, an INTERRUPT frame) and return
+// EINTR, exactly as the synchronous path does.
+type PendingIO interface {
+	Await(op *Op) (int, error)
+}
+
+// AsyncFS is the optional capability interface for filesystems whose
+// transport can pipeline data operations: submission and completion are
+// decoupled, so a caller may keep several requests in flight and overlap
+// their round trips. The FUSE connection implements it natively (submit
+// returns once the request frame is queued); use SubmitRead/SubmitWrite
+// on an arbitrary FS for a synchronous fallback.
+type AsyncFS interface {
+	// SubmitRead starts a read of up to len(dest) bytes at off. The data
+	// lands in dest when the returned future's Await succeeds.
+	SubmitRead(op *Op, h Handle, off int64, dest []byte) PendingIO
+
+	// SubmitWrite starts a write of data at off. data must not be
+	// modified until Await returns.
+	SubmitWrite(op *Op, h Handle, off int64, data []byte) PendingIO
+}
+
+// IsAsync reports whether fs has a genuinely asynchronous submit path.
+// It sees through interceptor chains (and any other wrapper exposing
+// Unwrap), because wrappers implement the AsyncFS methods
+// unconditionally with a synchronous fallback — a bare type assertion
+// on a wrapped synchronous filesystem would claim pipelining that
+// isn't there.
+func IsAsync(fs FS) bool {
+	type unwrapper interface{ Unwrap() FS }
+	for {
+		if u, ok := fs.(unwrapper); ok {
+			fs = u.Unwrap()
+			continue
+		}
+		_, ok := fs.(AsyncFS)
+		return ok
+	}
+}
+
+// completedIO is an already-resolved future, used when the backing
+// filesystem has no asynchronous path and the operation ran inline.
+type completedIO struct {
+	n   int
+	err error
+}
+
+// Await implements PendingIO.
+func (c completedIO) Await(*Op) (int, error) { return c.n, c.err }
+
+// CompletedIO returns a future that is already resolved to (n, err).
+// Synchronous fallbacks and tests use it to satisfy PendingIO.
+func CompletedIO(n int, err error) PendingIO { return completedIO{n, err} }
+
+// SubmitRead issues an asynchronous read through fs when it implements
+// AsyncFS, and otherwise performs the read synchronously, returning an
+// already-completed future. Callers can therefore pipeline reads without
+// caring whether the transport underneath supports it.
+func SubmitRead(fs FS, op *Op, h Handle, off int64, dest []byte) PendingIO {
+	if a, ok := fs.(AsyncFS); ok {
+		return a.SubmitRead(op, h, off, dest)
+	}
+	n, err := fs.Read(op, h, off, dest)
+	return completedIO{n, err}
+}
+
+// SubmitWrite issues an asynchronous write through fs when it implements
+// AsyncFS, with the same synchronous fallback as SubmitRead.
+func SubmitWrite(fs FS, op *Op, h Handle, off int64, data []byte) PendingIO {
+	if a, ok := fs.(AsyncFS); ok {
+		return a.SubmitWrite(op, h, off, data)
+	}
+	n, err := fs.Write(op, h, off, data)
+	return completedIO{n, err}
+}

@@ -385,6 +385,20 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	return n, nil
 }
 
+// SubmitRead starts an asynchronous read at off (the file position is
+// not consulted or moved). When the filesystem implements AsyncFS the
+// request is pipelined; otherwise it runs inline and the returned future
+// is already complete. Awaiting collects the byte count into p.
+func (f *File) SubmitRead(p []byte, off int64) PendingIO {
+	return SubmitRead(f.c.FS, f.c.req(), f.h, off, p)
+}
+
+// SubmitWrite starts an asynchronous write of p at off; p must stay
+// unmodified until the future is awaited.
+func (f *File) SubmitWrite(p []byte, off int64) PendingIO {
+	return SubmitWrite(f.c.FS, f.c.req(), f.h, off, p)
+}
+
 // Write writes at the current offset (or end of file for O_APPEND).
 func (f *File) Write(p []byte) (int, error) {
 	n, err := f.c.FS.Write(f.c.req(), f.h, f.offset, p)

@@ -387,6 +387,63 @@ func (c *chainFS) Fallocate(op *Op, h Handle, mode uint32, off, length int64) er
 	})
 }
 
+// Unwrap exposes the chained filesystem so capability probes
+// (vfs.IsAsync) can see through the wrapper.
+func (c *chainFS) Unwrap() FS { return c.fs }
+
+// SubmitRead implements vfs.AsyncFS. The interceptor chain runs around
+// the *completion* (Await), not the submission, so stats and fault rules
+// observe the operation exactly once with its final byte count — the
+// same point at which the synchronous path reports it.
+func (c *chainFS) SubmitRead(op *Op, h Handle, off int64, dest []byte) PendingIO {
+	a, ok := c.fs.(AsyncFS)
+	if !ok {
+		n, err := c.Read(op, h, off, dest)
+		return completedIO{n, err}
+	}
+	return &chainPending{c: c, kind: KindRead, inner: a.SubmitRead(op, h, off, dest)}
+}
+
+// SubmitWrite implements vfs.AsyncFS (see SubmitRead for chain timing).
+func (c *chainFS) SubmitWrite(op *Op, h Handle, off int64, data []byte) PendingIO {
+	a, ok := c.fs.(AsyncFS)
+	if !ok {
+		n, err := c.Write(op, h, off, data)
+		return completedIO{n, err}
+	}
+	return &chainPending{c: c, kind: KindWrite, inner: a.SubmitWrite(op, h, off, data)}
+}
+
+// chainPending routes an asynchronous completion through the interceptor
+// chain when it is awaited.
+type chainPending struct {
+	c     *chainFS
+	kind  OpKind
+	inner PendingIO
+}
+
+// Await implements PendingIO.
+func (p *chainPending) Await(op *Op) (int, error) {
+	info := &OpInfo{Kind: p.kind, Op: op}
+	var n int
+	reached := false
+	err := p.c.run(info, func() error {
+		reached = true
+		var err error
+		n, err = p.inner.Await(op)
+		info.Bytes = n
+		return err
+	})
+	if !reached {
+		// An interceptor short-circuited (e.g. an injected fault) without
+		// calling through: the wire future must still be reaped — a reply
+		// slot is never abandoned, and the transport's pipelining
+		// accounting balances at Await.
+		p.inner.Await(op)
+	}
+	return n, err
+}
+
 // NameToHandle implements vfs.HandleExporter by delegation, preserving
 // the wrapped filesystem's exportability (xfstests #426 depends on the
 // answer differing between memfs and a FUSE connection).
