@@ -10,6 +10,7 @@ import (
 	"cntr/internal/fuse"
 	"cntr/internal/namespace"
 	"cntr/internal/pagecache"
+	"cntr/internal/policy"
 	"cntr/internal/proc"
 	"cntr/internal/pty"
 	"cntr/internal/socketproxy"
@@ -40,6 +41,17 @@ type Options struct {
 	// EffectiveUser is the uid/gid the injected shell runs as (0 = root
 	// inside the container's user namespace).
 	EffectiveUser uint32
+	// Trace, when set, receives every operation served by this mount:
+	// a Tracer is inserted into the served filesystem's interceptor
+	// chain with its Sink pointed at the collector, and the collector's
+	// activity profile is exposed as /proc/policy/<container> inside
+	// the session.
+	Trace *policy.Collector
+	// Enforce, when set, inserts a policy.Enforcer ahead of the served
+	// filesystem: operations outside the profile fail with EACCES (or,
+	// with EnforceAudit, are recorded as violations and let through).
+	Enforce      *policy.Profile
+	EnforceAudit bool
 }
 
 // Context is the container execution context gathered in step #1 from
@@ -70,15 +82,22 @@ type Session struct {
 	Conn   *fuse.Conn
 	Server *fuse.Server
 	Kernel *pagecache.Cache
+	// Enforcer is the live policy enforcer when Options.Enforce was
+	// set; its Denials/Violations expose what the policy blocked.
+	Enforcer *policy.Enforcer
 
 	Master *pty.Master
 	slave  *pty.Slave
 	shell  *Shell
 
 	proxies []*socketproxy.Proxy
-	// removeIOSource unregisters this mount's /proc io feed on Close.
-	removeIOSource func()
-	closed         bool
+	// removeIOSource unregisters this mount's /proc io feed on Close;
+	// removeExitHook and removePolicyView undo the other process-table
+	// registrations the attach made.
+	removeIOSource   func()
+	removeExitHook   func()
+	removePolicyView func()
+	closed           bool
 }
 
 // Attach performs the four-step workflow of §3.2 and returns a live
@@ -107,7 +126,26 @@ func Attach(h *Host, opts Options) (*Session, error) {
 		return nil, fmt.Errorf("cntr: locating tools: %w", err)
 	}
 	cfs := cntrfs.New(toolsFS, cntrfs.Options{DedupHardlinks: true})
-	conn, server := fuse.Mount(cfs, h.Clock, h.Model, mountOpts)
+	// The served filesystem is wrapped in the policy interceptors the
+	// caller asked for. The tracer is outermost so it also records
+	// operations the enforcer denies — with EACCES as their outcome —
+	// which is what makes denials auditable through the activity view.
+	var ics []vfs.Interceptor
+	if opts.Trace != nil {
+		// Each mount gets its own path-learning scope: inode numbers are
+		// only meaningful within one mount, and a shared collector may be
+		// tracing several attached containers at once.
+		tracer := vfs.NewTracer(0)
+		tracer.Sink = opts.Trace.NewRun().Sink
+		ics = append(ics, tracer)
+	}
+	var enforcer *policy.Enforcer
+	if opts.Enforce != nil {
+		enforcer = policy.NewEnforcer(opts.Enforce, opts.EnforceAudit)
+		ics = append(ics, enforcer)
+	}
+	served := vfs.Chain(cfs, ics...)
+	conn, server := fuse.Mount(served, h.Clock, h.Model, mountOpts)
 	kernel := pagecache.New(conn, h.Clock, h.Model, pagecache.Options{
 		KeepCache:    mountOpts.KeepCache,
 		Writeback:    mountOpts.WritebackCache,
@@ -221,12 +259,25 @@ func Attach(h *Host, opts Options) (*Session, error) {
 		}
 		return out
 	})
+	// When a process exits, fold its per-origin request-table counters
+	// into the aggregate bucket: accounting stays bounded by live
+	// processes instead of growing with every PID the mount ever served.
+	removeExitHook := h.Procs.AddExitHook(func(pid int) {
+		server.RetireOrigin(uint32(pid))
+	})
+	var removePolicyView func()
+	if opts.Trace != nil {
+		removePolicyView = h.Procs.AddPolicyView(opts.Container, opts.Trace.RenderJSON)
+	}
 	sess := &Session{
 		Host: h, Target: target, Context: ctx,
 		Proc: child, Nested: nested, Client: chrooted,
 		CntrFS: cfs, Conn: conn, Server: server, Kernel: kernel,
-		Master: master, slave: slave,
-		removeIOSource: removeIOSource,
+		Enforcer: enforcer,
+		Master:   master, slave: slave,
+		removeIOSource:   removeIOSource,
+		removeExitHook:   removeExitHook,
+		removePolicyView: removePolicyView,
 	}
 	sess.shell = NewShell(sess)
 	return sess, nil
@@ -371,5 +422,11 @@ func (s *Session) Close() {
 	s.Server.Wait()
 	if s.removeIOSource != nil {
 		s.removeIOSource()
+	}
+	if s.removeExitHook != nil {
+		s.removeExitHook()
+	}
+	if s.removePolicyView != nil {
+		s.removePolicyView()
 	}
 }

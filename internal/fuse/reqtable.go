@@ -22,8 +22,12 @@ type reqTable struct {
 	// ever served; their accounting survives in stats.
 	queues map[uint32]*originQueue
 	stats  map[uint32]OriginStats
-	queued int
-	closed bool
+	// retired aggregates the counters of origins whose processes have
+	// exited (see retire); without it, stats grows by one entry per PID
+	// the mount has ever served.
+	retired OriginStats
+	queued  int
+	closed  bool
 
 	// vclock is the WFQ virtual clock: the virtual start time of the most
 	// recently dispatched request. Origins whose queues were empty rejoin
@@ -44,6 +48,11 @@ type originQueue struct {
 	weight   int
 	msgs     []*message
 	inflight int
+	// retireOnIdle marks an origin whose process exited while requests
+	// were still queued or in flight: folding its stats is deferred to
+	// the moment it goes idle, so a straggling completion cannot
+	// resurrect a stats entry that was already folded away.
+	retireOnIdle bool
 	// vstart is the virtual start time of the queue's head request; it
 	// advances by 1/weight per dispatched request, which is what makes
 	// dispatch ratios track configured weights under saturation.
@@ -60,6 +69,15 @@ type OriginStats struct {
 	WriteOps   int64
 	ReadBytes  int64
 	WriteBytes int64
+}
+
+// Add accumulates o into s.
+func (s *OriginStats) Add(o OriginStats) {
+	s.Ops += o.Ops
+	s.ReadOps += o.ReadOps
+	s.WriteOps += o.WriteOps
+	s.ReadBytes += o.ReadBytes
+	s.WriteBytes += o.WriteBytes
 }
 
 func newReqTable(maxQueued, maxOriginInflight, defaultWeight int, weights map[uint32]int) *reqTable {
@@ -110,6 +128,10 @@ func (t *reqTable) push(origin uint32, msg *message) (depth int, ok bool) {
 		return 0, false
 	}
 	q := t.queue(origin)
+	// A request arriving after retire() marked the draining queue means
+	// the PID was recycled: the origin is live again, so its counters
+	// must not be folded away when the old stragglers finish.
+	q.retireOnIdle = false
 	if len(q.msgs) == 0 && q.vstart < t.vclock {
 		q.vstart = t.vclock
 	}
@@ -183,6 +205,9 @@ func (t *reqTable) done(origin uint32, readBytes, writeBytes int64, isRead, isWr
 			// The origin went idle: drop its scheduler queue. It rejoins
 			// at the current virtual time on its next request, the same
 			// idle-rejoin rule push applies.
+			if q.retireOnIdle {
+				t.foldLocked(origin)
+			}
 			delete(t.queues, origin)
 		}
 	}
@@ -216,4 +241,37 @@ func (t *reqTable) originStats() map[uint32]OriginStats {
 		out[origin] = s
 	}
 	return out
+}
+
+// retire folds an exited origin's counters into the aggregate retired
+// bucket and drops its stats entry — the pruning counterpart of done's
+// queue cleanup, driven by the process table's exit notifications. An
+// origin with requests still queued or in flight is folded when it
+// goes idle instead, so a straggling done() cannot leave behind a
+// stats entry nothing will ever retire. A request from a recycled PID
+// simply starts a fresh entry.
+func (t *reqTable) retire(origin uint32) {
+	t.mu.Lock()
+	if q, ok := t.queues[origin]; ok {
+		q.retireOnIdle = true
+	} else {
+		t.foldLocked(origin)
+	}
+	t.mu.Unlock()
+}
+
+// foldLocked moves an origin's counters into the retired aggregate.
+// Caller holds t.mu.
+func (t *reqTable) foldLocked(origin uint32) {
+	if s, ok := t.stats[origin]; ok {
+		t.retired.Add(s)
+		delete(t.stats, origin)
+	}
+}
+
+// retiredStats snapshots the aggregate counters of retired origins.
+func (t *reqTable) retiredStats() OriginStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.retired
 }

@@ -185,6 +185,20 @@ func (s *Server) OriginStats() map[uint32]OriginStats {
 	return s.table.originStats()
 }
 
+// RetireOrigin folds the counters of an exited origin (Op.PID) into the
+// aggregate retired bucket, so per-origin accounting stays bounded by
+// the number of *live* processes rather than every PID ever served.
+// The process table's exit hooks call it when a process unregisters.
+func (s *Server) RetireOrigin(origin uint32) {
+	s.table.retire(origin)
+}
+
+// RetiredOriginStats reports the aggregate counters of retired origins;
+// total traffic through the mount is this plus the sum of OriginStats.
+func (s *Server) RetiredOriginStats() OriginStats {
+	return s.table.retiredStats()
+}
+
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {

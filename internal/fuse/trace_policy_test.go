@@ -1,0 +1,181 @@
+package fuse
+
+import (
+	"testing"
+
+	"cntr/internal/memfs"
+	"cntr/internal/sim"
+	"cntr/internal/vfs"
+)
+
+// TestAsyncTraceAttribution pins the attribution contract for the
+// pipelined submit/await path: entries recorded when a future completes
+// must carry the real inode (resolved from the handle at submit time),
+// the transferred byte count and the originating PID — the fields
+// policy collection keys on.
+func TestAsyncTraceAttribution(t *testing.T) {
+	clock := sim.NewClock()
+	model := sim.DefaultCostModel()
+	conn, srv := Mount(memfs.New(memfs.Options{}), clock, model, DefaultMountOptions())
+	defer func() {
+		conn.Unmount()
+		srv.Wait()
+	}()
+
+	tr := vfs.NewTracer(256)
+	top := vfs.Chain(conn, tr)
+	if !vfs.IsAsync(top) {
+		t.Fatal("chained FUSE connection should remain async-capable")
+	}
+	cli := vfs.NewClient(top, vfs.Root())
+	cli.Op.PID = 77
+
+	f, err := cli.Open("/data", vfs.ORdwr|vfs.OCreat, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("hello, async tracer")
+	if _, err := f.SubmitWrite(payload, 0).Await(cli.Op); err != nil {
+		t.Fatalf("async write: %v", err)
+	}
+	dest := make([]byte, len(payload))
+	if n, err := f.SubmitRead(dest, 0).Await(cli.Op); err != nil || n != len(payload) {
+		t.Fatalf("async read: %d bytes, err %v", n, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var reads, writes int
+	for _, e := range tr.Entries() {
+		if e.Kind != vfs.KindRead && e.Kind != vfs.KindWrite {
+			continue
+		}
+		if e.Kind == vfs.KindRead {
+			reads++
+		} else {
+			writes++
+		}
+		if e.Ino == 0 {
+			t.Fatalf("%v entry with zero inode: %+v", e.Kind, e)
+		}
+		if e.Bytes != len(payload) {
+			t.Fatalf("%v entry with %d bytes, want %d", e.Kind, e.Bytes, len(payload))
+		}
+		if e.PID != 77 {
+			t.Fatalf("%v entry with pid %d, want 77", e.Kind, e.PID)
+		}
+	}
+	if reads != 1 || writes != 1 {
+		t.Fatalf("expected 1 read + 1 write entry, got %d/%d", reads, writes)
+	}
+}
+
+// TestRetireOriginBoundsStats is the pruning regression test: the
+// per-origin stats map must not keep an entry for every PID the mount
+// has ever served once those processes exit — retiring folds them into
+// the aggregate bucket.
+func TestRetireOriginBoundsStats(t *testing.T) {
+	clock := sim.NewClock()
+	model := sim.DefaultCostModel()
+	conn, srv := Mount(memfs.New(memfs.Options{}), clock, model, DefaultMountOptions())
+	defer func() {
+		conn.Unmount()
+		srv.Wait()
+	}()
+
+	const pids = 50
+	for pid := uint32(1); pid <= pids; pid++ {
+		cli := vfs.NewClient(conn, vfs.Root())
+		cli.Op.PID = pid
+		if err := cli.WriteFile("/scratch", []byte("x"), 0o644); err != nil {
+			t.Fatalf("pid %d write: %v", pid, err)
+		}
+	}
+	if got := len(srv.OriginStats()); got < pids {
+		t.Fatalf("expected >= %d live origins before retiring, got %d", pids, got)
+	}
+	var total int64
+	for _, s := range srv.OriginStats() {
+		total += s.Ops
+	}
+	for pid := uint32(1); pid <= pids; pid++ {
+		srv.RetireOrigin(pid)
+	}
+	stats := srv.OriginStats()
+	for pid := uint32(1); pid <= pids; pid++ {
+		if _, ok := stats[pid]; ok {
+			t.Fatalf("origin %d still present after retire", pid)
+		}
+	}
+	retired := srv.RetiredOriginStats()
+	if retired.Ops == 0 || retired.WriteOps == 0 {
+		t.Fatalf("retired aggregate empty: %+v", retired)
+	}
+	var remaining int64
+	for _, s := range stats {
+		remaining += s.Ops
+	}
+	if retired.Ops+remaining != total {
+		t.Fatalf("accounting lost ops: retired %d + live %d != total %d",
+			retired.Ops, remaining, total)
+	}
+	// A recycled PID starts a fresh entry rather than resurrecting the
+	// retired counters.
+	cli := vfs.NewClient(conn, vfs.Root())
+	cli.Op.PID = 1
+	if _, err := cli.ReadFile("/scratch"); err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := srv.OriginStats()[1]; !ok || s.WriteOps != 0 {
+		t.Fatalf("recycled pid entry wrong: %+v ok=%v", s, ok)
+	}
+}
+
+// TestRetireDefersUntilIdle: retiring an origin whose request is still
+// in flight must not race the completion — the fold happens when the
+// origin goes idle, and no stats entry is left behind for it.
+func TestRetireDefersUntilIdle(t *testing.T) {
+	clock := sim.NewClock()
+	model := sim.DefaultCostModel()
+	gate := &gateFS{FS: memfs.New(memfs.Options{}), gate: make(chan struct{})}
+	opts := DefaultMountOptions()
+	conn, srv := Mount(gate, clock, model, opts)
+	defer func() {
+		conn.Unmount()
+		srv.Wait()
+	}()
+
+	cli := vfs.NewClient(conn, vfs.Root())
+	cli.Op.PID = 9
+	if err := cli.WriteFile("/f", []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := cli.Open("/f", vfs.ORdonly, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	pending := f.SubmitRead(buf, 0) // parked on the gate inside gateFS
+	// The process exits while its read is still dispatched.
+	srv.RetireOrigin(9)
+	close(gate.gate)
+	if _, err := pending.Await(cli.Op); err != nil {
+		t.Fatal(err)
+	}
+	// The straggler's completion folded into the aggregate instead of
+	// resurrecting a per-origin entry nothing will retire again. (The
+	// fold runs in the worker's done() just before the reply is
+	// delivered, so it is visible once Await returns.)
+	if _, ok := srv.OriginStats()[9]; ok {
+		t.Fatalf("origin 9 stats entry survived deferred retire: %+v", srv.OriginStats())
+	}
+	if r := srv.RetiredOriginStats(); r.Ops == 0 || r.ReadOps == 0 {
+		t.Fatalf("straggler not folded into retired aggregate: %+v", r)
+	}
+	// Operations arriving after the fold (the close below) start a
+	// fresh entry, exactly like a recycled PID would.
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

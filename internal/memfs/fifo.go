@@ -15,9 +15,14 @@ import (
 // write after the last reader's close fails with EPIPE (the errno behind
 // SIGPIPE).
 //
-// Open(2)'s block-until-peer behaviour and O_NONBLOCK are not modelled:
-// opening either end always succeeds immediately, and a reader that
-// arrives before any writer blocks in read rather than in open.
+// O_NONBLOCK follows pipe(7)/fifo(7): a nonblocking read on an empty
+// pipe returns EAGAIN while a writer holds the other end and 0 (EOF)
+// when no writer does; a nonblocking write-only open with no reader
+// present fails with ENXIO; a write after the last reader's close fails
+// with EPIPE without blocking (writes never block in this model — the
+// buffer is unbounded). Blocking open(2)-until-peer is still not
+// modelled: a blocking reader that arrives before any writer blocks in
+// read rather than in open.
 type pipeBuf struct {
 	mu   sync.Mutex
 	data []byte
@@ -40,9 +45,15 @@ func (n *inode) pipeBuf() *pipeBuf {
 	return n.pipe
 }
 
-// open registers one open of the FIFO for the given directions.
-func (p *pipeBuf) open(readable, writable bool) {
+// open registers one open of the FIFO for the given directions. A
+// nonblocking write-only open with no reader on the other end fails
+// with ENXIO, per fifo(7).
+func (p *pipeBuf) open(readable, writable, nonblock bool) error {
 	p.mu.Lock()
+	defer p.mu.Unlock()
+	if nonblock && writable && !readable && p.readers == 0 {
+		return vfs.ENXIO
+	}
 	if readable {
 		p.readers++
 		p.hadReader = true
@@ -52,7 +63,7 @@ func (p *pipeBuf) open(readable, writable bool) {
 		p.hadWriter = true
 	}
 	p.wakeAllLocked()
-	p.mu.Unlock()
+	return nil
 }
 
 // release undoes one open. The last writer's close wakes blocked readers
@@ -77,8 +88,10 @@ func (p *pipeBuf) wakeAllLocked() {
 }
 
 // read blocks until the FIFO has data, every writer is gone (EOF), or op
-// is interrupted.
-func (p *pipeBuf) read(op *vfs.Op, dest []byte) (int, error) {
+// is interrupted. With nonblock set it never blocks: an empty pipe
+// returns EAGAIN while a writer holds the other end and 0 (EOF) when no
+// writer does, per pipe(7).
+func (p *pipeBuf) read(op *vfs.Op, dest []byte, nonblock bool) (int, error) {
 	if len(dest) == 0 {
 		return 0, nil
 	}
@@ -92,6 +105,14 @@ func (p *pipeBuf) read(op *vfs.Op, dest []byte) (int, error) {
 			p.data = append(p.data[:0], p.data[n:]...)
 			p.mu.Unlock()
 			return n, nil
+		}
+		if nonblock {
+			writers := p.writers
+			p.mu.Unlock()
+			if writers > 0 {
+				return 0, vfs.EAGAIN
+			}
+			return 0, nil
 		}
 		if p.hadWriter && p.writers == 0 {
 			// The write side existed and is fully closed: end of stream.

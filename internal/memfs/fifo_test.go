@@ -180,3 +180,112 @@ func TestFIFOReadWriteEnd(t *testing.T) {
 	}
 	fs.Release(root, h)
 }
+
+// TestFIFONonblockRead: a nonblocking read on an empty pipe returns
+// EAGAIN while a writer holds the other end and 0 (EOF) when no writer
+// does, per pipe(7) — it never blocks.
+func TestFIFONonblockRead(t *testing.T) {
+	fs := New(Options{})
+	root := vfs.RootOp()
+	ino := mkfifo(t, fs, "pipe")
+
+	rh, err := fs.Open(root, ino, vfs.ORdonly|vfs.ONonblock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+
+	// No writer has opened: EOF, not a block.
+	if n, err := fs.Read(root, rh, 0, buf); n != 0 || err != nil {
+		t.Fatalf("read with no writer: n=%d err=%v, want 0/nil", n, err)
+	}
+
+	wh, err := fs.Open(root, ino, vfs.OWronly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty pipe with a live writer: EAGAIN.
+	if _, err := fs.Read(root, rh, 0, buf); err != vfs.EAGAIN {
+		t.Fatalf("read on empty pipe with live writer: %v, want EAGAIN", err)
+	}
+	// Data present: delivered normally.
+	if _, err := fs.Write(root, wh, 0, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := fs.Read(root, rh, 0, buf); err != nil || string(buf[:n]) != "ping" {
+		t.Fatalf("read with data: n=%d err=%v", n, err)
+	}
+	// Drained again with the writer still open: EAGAIN again.
+	if _, err := fs.Read(root, rh, 0, buf); err != vfs.EAGAIN {
+		t.Fatalf("read on drained pipe: %v, want EAGAIN", err)
+	}
+	// Writer gone: EOF.
+	if err := fs.Release(root, wh); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := fs.Read(root, rh, 0, buf); n != 0 || err != nil {
+		t.Fatalf("read after writer close: n=%d err=%v, want 0/nil", n, err)
+	}
+}
+
+// TestFIFONonblockWriteAfterReaderClose: a nonblocking write after the
+// last reader closed fails with EPIPE immediately.
+func TestFIFONonblockWriteAfterReaderClose(t *testing.T) {
+	fs := New(Options{})
+	root := vfs.RootOp()
+	ino := mkfifo(t, fs, "pipe")
+
+	rh, err := fs.Open(root, ino, vfs.ORdonly|vfs.ONonblock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh, err := fs.Open(root, ino, vfs.OWronly|vfs.ONonblock)
+	if err != nil {
+		t.Fatalf("nonblocking write open with a reader present: %v", err)
+	}
+	if err := fs.Release(root, rh); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, werr := fs.Write(root, wh, 0, []byte("x"))
+		done <- werr
+	}()
+	select {
+	case err := <-done:
+		if err != vfs.EPIPE {
+			t.Fatalf("write after last reader close: %v, want EPIPE", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("nonblocking write blocked")
+	}
+}
+
+// TestFIFONonblockWriteOpenWithoutReader: opening a FIFO write-only
+// with O_NONBLOCK and no reader fails with ENXIO, per fifo(7).
+func TestFIFONonblockWriteOpenWithoutReader(t *testing.T) {
+	fs := New(Options{})
+	root := vfs.RootOp()
+	ino := mkfifo(t, fs, "pipe")
+
+	if _, err := fs.Open(root, ino, vfs.OWronly|vfs.ONonblock); err != vfs.ENXIO {
+		t.Fatalf("nonblocking write open with no reader: %v, want ENXIO", err)
+	}
+	// A blocking write open still succeeds (open-until-peer is not
+	// modelled), and so does a nonblocking one once a reader exists.
+	wh, err := fs.Open(root, ino, vfs.OWronly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Release(root, wh); err != nil {
+		t.Fatal(err)
+	}
+	rh, err := fs.Open(root, ino, vfs.ORdonly|vfs.ONonblock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open(root, ino, vfs.OWronly|vfs.ONonblock); err != nil {
+		t.Fatalf("nonblocking write open with reader present: %v", err)
+	}
+	_ = rh
+}

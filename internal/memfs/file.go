@@ -55,7 +55,11 @@ func (fs *FS) Open(op *vfs.Op, ino vfs.Ino, flags vfs.OpenFlags) (vfs.Handle, er
 	if n.attr.Type == vfs.TypeFIFO {
 		// Count the pipe's open ends so reads see EOF once the last
 		// writer closes and writes fail with EPIPE once readers are gone.
-		n.pipeBuf().open(flags.Readable(), flags.Writable())
+		// A nonblocking write-only open with no reader fails with ENXIO.
+		if err := n.pipeBuf().open(flags.Readable(), flags.Writable(),
+			flags&vfs.ONonblock != 0); err != nil {
+			return 0, err
+		}
 	}
 	return fs.openLocked(ino, flags, false), nil
 }
@@ -101,10 +105,11 @@ func (fs *FS) Read(op *vfs.Op, h vfs.Handle, off int64, dest []byte) (int, error
 	}
 	if n.attr.Type == vfs.TypeFIFO {
 		p := n.pipeBuf()
+		nonblock := of.flags&vfs.ONonblock != 0
 		// Block outside the filesystem lock: a stuck FIFO reader must not
 		// wedge the whole filesystem.
 		fs.mu.Unlock()
-		nr, rerr := p.read(op, dest)
+		nr, rerr := p.read(op, dest, nonblock)
 		fs.mu.Lock()
 		return nr, rerr
 	}

@@ -1,0 +1,115 @@
+package phoronix
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cntr/internal/policy"
+	"cntr/internal/stack"
+	"cntr/internal/vfs"
+)
+
+// TraceResult is one benchmark measured under tracing.
+type TraceResult struct {
+	Name string
+	Time time.Duration
+	// Ops is the number of operations the tracer recorded for the run.
+	Ops int64
+}
+
+// RunTracedAll runs the whole suite on fresh Cntr stacks with a
+// vfs.Tracer at syscall entry feeding col, joining each mount's
+// request-table origin counters afterwards. The caller generates the
+// enforceable profile from the returned collector (col.Profile) — this
+// is the recording half of the BEACON-style trace → policy loop.
+func RunTracedAll(col *policy.Collector) ([]TraceResult, error) {
+	out := make([]TraceResult, 0, len(Suite))
+	for i := range Suite {
+		b := &Suite[i]
+		c := stack.NewCntr(stackConfig())
+		// Fresh stack, fresh inode numbering: a new path-learning scope
+		// per benchmark (aggregation is shared across the suite).
+		run := col.NewRun()
+		var ops int64
+		tr := vfs.NewTracer(1)
+		tr.Sink = func(e vfs.TraceEntry) {
+			ops++
+			run.Sink(e)
+		}
+		top := vfs.Chain(c.Top, tr)
+		t, _, err := RunOn(b, top, c.Host, c.Clock, c.Model, c.Disk, 42)
+		if err == nil {
+			col.JoinOriginStats(c.Server.OriginStats())
+		}
+		c.Close()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, TraceResult{Name: b.Name, Time: t, Ops: ops})
+	}
+	return out, nil
+}
+
+// EnforceResult is one benchmark replayed under policy enforcement.
+type EnforceResult struct {
+	Name string
+	Time time.Duration
+	// Denials counts operations rejected with EACCES (must be zero when
+	// replaying the profile generated from the same workload).
+	Denials int64
+	// Audited counts off-profile operations observed in audit mode.
+	Audited int64
+	Err     error
+}
+
+// RunEnforcedAll replays the suite on fresh Cntr stacks with a
+// policy.Enforcer compiled from p at syscall entry. With audit set,
+// off-profile operations are recorded rather than denied. A benchmark
+// failing under enforcement (a denial surfacing as an errno) is
+// reported in its result rather than aborting the sweep, so one
+// mis-generated rule shows up as a row, not a crash.
+func RunEnforcedAll(p *policy.Profile, audit bool) []EnforceResult {
+	out := make([]EnforceResult, 0, len(Suite))
+	for i := range Suite {
+		b := &Suite[i]
+		c := stack.NewCntr(stackConfig())
+		enf := policy.NewEnforcer(p, audit)
+		top := vfs.Chain(c.Top, enf)
+		t, _, err := RunOn(b, top, c.Host, c.Clock, c.Model, c.Disk, 42)
+		c.Close()
+		out = append(out, EnforceResult{
+			Name: b.Name, Time: t,
+			Denials: enf.Denials(), Audited: enf.Audited(),
+			Err: err,
+		})
+	}
+	return out
+}
+
+// FormatTraceTable renders trace-run results.
+func FormatTraceTable(results []TraceResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %12s %12s\n", "Benchmark", "time", "traced ops")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-28s %12v %12d\n",
+			r.Name, r.Time.Round(time.Microsecond), r.Ops)
+	}
+	return b.String()
+}
+
+// FormatEnforceTable renders enforcement-replay results.
+func FormatEnforceTable(results []EnforceResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %12s %9s %9s %s\n",
+		"Benchmark", "time", "denials", "audited", "status")
+	for _, r := range results {
+		status := "ok"
+		if r.Err != nil {
+			status = r.Err.Error()
+		}
+		fmt.Fprintf(&b, "%-28s %12v %9d %9d %s\n",
+			r.Name, r.Time.Round(time.Microsecond), r.Denials, r.Audited, status)
+	}
+	return b.String()
+}

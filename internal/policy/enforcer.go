@@ -1,0 +1,181 @@
+package policy
+
+import (
+	"sync"
+
+	"cntr/internal/vfs"
+)
+
+// maxViolations bounds the enforcer's violation log; beyond it only the
+// counters advance.
+const maxViolations = 1024
+
+// Violation is one off-profile operation the enforcer observed.
+type Violation struct {
+	Kind vfs.OpKind
+	// Path is the operation's target path, empty when unknown.
+	Path string
+	PID  uint32
+	// Denied reports whether the operation was rejected with EACCES
+	// (false in audit mode).
+	Denied bool
+	// Reason distinguishes path/kind violations from ceiling breaches.
+	Reason string
+}
+
+// Enforcer is a vfs.Interceptor that checks every operation against a
+// Profile and denies off-profile operations with EACCES before they
+// reach the filesystem. In audit mode it records the violation and lets
+// the operation through instead — the dry-run for a freshly generated
+// profile.
+//
+// Like the Collector, the enforcer learns the inode→path mapping from
+// the operations flowing past it (Lookup/Create results), so it needs
+// no side channel into the enforced filesystem. Housekeeping kinds the
+// kernel emits on its own behalf (forget, release, releasedir, flush,
+// statfs) are always permitted: denying a release would leak the very
+// handle an allowed open created.
+type Enforcer struct {
+	c     compiled
+	audit bool
+
+	maxRead  int64
+	maxWrite int64
+
+	mu         sync.Mutex
+	paths      map[vfs.Ino]string
+	readBytes  int64
+	writeBytes int64
+	denials    int64
+	audited    int64
+	violations []Violation
+}
+
+// NewEnforcer compiles p for enforcement. With audit set, violations
+// are recorded but never denied.
+func NewEnforcer(p *Profile, audit bool) *Enforcer {
+	return &Enforcer{
+		c:        p.compile(),
+		audit:    audit,
+		maxRead:  p.MaxReadBytes,
+		maxWrite: p.MaxWriteBytes,
+		paths:    map[vfs.Ino]string{vfs.RootIno: "/"},
+	}
+}
+
+// exempt reports the housekeeping kinds enforcement never blocks.
+func exempt(k vfs.OpKind) bool {
+	switch k {
+	case vfs.KindForget, vfs.KindRelease, vfs.KindReleasedir, vfs.KindFlush, vfs.KindStatfs:
+		return true
+	}
+	return false
+}
+
+// gateLocked decides one operation against the profile, recording any
+// violation, and reports whether it must be denied. Caller holds e.mu.
+func (e *Enforcer) gateLocked(info *vfs.OpInfo, target string) (deny bool) {
+	var reason string
+	if !exempt(info.Kind) {
+		if !e.c.allows(info.Kind, target) {
+			reason = "off-profile"
+		} else if info.Kind == vfs.KindRead && e.maxRead > 0 && e.readBytes >= e.maxRead {
+			reason = "read ceiling"
+		} else if info.Kind == vfs.KindWrite && e.maxWrite > 0 && e.writeBytes >= e.maxWrite {
+			reason = "write ceiling"
+		}
+	}
+	if reason == "" {
+		return false
+	}
+	denied := !e.audit
+	if denied {
+		e.denials++
+	} else {
+		e.audited++
+	}
+	if len(e.violations) < maxViolations {
+		var pid uint32
+		if info.Op != nil {
+			pid = info.Op.PID
+		}
+		e.violations = append(e.violations, Violation{
+			Kind: info.Kind, Path: target, PID: pid,
+			Denied: denied, Reason: reason,
+		})
+	}
+	return denied
+}
+
+// InterceptSubmit implements vfs.SubmitInterceptor: pipelined
+// submissions are decided before dispatch — a denial at completion
+// would come after the I/O already ran against the filesystem.
+func (e *Enforcer) InterceptSubmit(info *vfs.OpInfo) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, target := resolvePaths(e.paths, info.Ino, info.Name)
+	if e.gateLocked(info, target) {
+		return vfs.EACCES
+	}
+	return nil
+}
+
+// Intercept implements vfs.Interceptor.
+func (e *Enforcer) Intercept(info *vfs.OpInfo, next func() error) error {
+	e.mu.Lock()
+	_, target := resolvePaths(e.paths, info.Ino, info.Name)
+	// Async completions were already admitted by InterceptSubmit; only
+	// the byte accounting below applies to them.
+	if !info.Async && e.gateLocked(info, target) {
+		e.mu.Unlock()
+		return vfs.EACCES
+	}
+	e.mu.Unlock()
+
+	err := next()
+
+	e.mu.Lock()
+	if info.ResultIno != 0 && target != "" {
+		e.paths[info.ResultIno] = target
+	}
+	if info.Kind == vfs.KindRename && err == nil {
+		// Mirror the collector: renamed subtrees keep resolving to
+		// their current path.
+		rebindPaths(e.paths, target, renameTarget(e.paths, info.NewParentIno, info.NewName))
+	}
+	if info.Kind == vfs.KindForget && info.Ino != vfs.RootIno {
+		// Keep the table bounded by live lookups, exactly like the
+		// collector: a later Lookup relearns the binding.
+		delete(e.paths, info.Ino)
+	}
+	switch info.Kind {
+	case vfs.KindRead:
+		e.readBytes += int64(info.Bytes)
+	case vfs.KindWrite:
+		e.writeBytes += int64(info.Bytes)
+	}
+	e.mu.Unlock()
+	return err
+}
+
+// Denials reports how many operations were rejected with EACCES.
+func (e *Enforcer) Denials() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.denials
+}
+
+// Audited reports how many off-profile operations were let through in
+// audit mode.
+func (e *Enforcer) Audited() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.audited
+}
+
+// Violations returns the recorded violations (bounded at maxViolations).
+func (e *Enforcer) Violations() []Violation {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Violation(nil), e.violations...)
+}

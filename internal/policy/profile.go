@@ -1,0 +1,154 @@
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"cntr/internal/vfs"
+)
+
+// Rule allows a set of operation kinds beneath one path prefix. A rule
+// with prefix "/srv" and kinds ["lookup","read"] permits lookups and
+// reads of "/srv" and everything under it.
+type Rule struct {
+	Prefix string   `json:"prefix"`
+	Kinds  []string `json:"kinds"`
+}
+
+// Profile is a generated per-container allowlist: the operation kinds
+// permitted per path subtree, kinds permitted regardless of path, and
+// byte ceilings for the data path. The zero profile denies everything
+// except housekeeping operations (see Enforcer).
+type Profile struct {
+	// Origins lists the Op.PIDs whose activity the profile was derived
+	// from (informational).
+	Origins []uint32 `json:"origins,omitempty"`
+	// Rules is the path-subtree allowlist; any matching rule permits
+	// the operation.
+	Rules []Rule `json:"rules"`
+	// AnyPathKinds are kinds permitted at any path — operations whose
+	// target could not be attributed to a path during recording.
+	AnyPathKinds []string `json:"any_path_kinds,omitempty"`
+	// MaxReadBytes / MaxWriteBytes cap the total payload bytes moved
+	// through the mount per direction; zero means unlimited.
+	MaxReadBytes  int64 `json:"max_read_bytes,omitempty"`
+	MaxWriteBytes int64 `json:"max_write_bytes,omitempty"`
+}
+
+// Marshal serializes the profile as indented JSON.
+func (p *Profile) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Load parses and validates a profile produced by Marshal.
+func Load(data []byte) (*Profile, error) {
+	var p Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("policy: parsing profile: %w", err)
+	}
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		if r.Prefix == "" || !strings.HasPrefix(r.Prefix, "/") {
+			return nil, fmt.Errorf("policy: rule prefix %q is not absolute", r.Prefix)
+		}
+		// Normalize hand-edited trailing slashes: "/data/" would match
+		// nothing (prefix comparison appends its own separator).
+		for len(r.Prefix) > 1 && strings.HasSuffix(r.Prefix, "/") {
+			r.Prefix = r.Prefix[:len(r.Prefix)-1]
+		}
+		for _, k := range r.Kinds {
+			if _, ok := vfs.KindFromString(k); !ok {
+				return nil, fmt.Errorf("policy: rule %q has unknown kind %q", r.Prefix, k)
+			}
+		}
+	}
+	for _, k := range p.AnyPathKinds {
+		if _, ok := vfs.KindFromString(k); !ok {
+			return nil, fmt.Errorf("policy: unknown any-path kind %q", k)
+		}
+	}
+	return &p, nil
+}
+
+// compiledRule is a rule with its kind set folded into a bitmask for
+// matching on the hot path (numOpKinds < 64).
+type compiledRule struct {
+	prefix string
+	kinds  uint64
+}
+
+// compiled is a profile in matchable form.
+type compiled struct {
+	rules    []compiledRule
+	anyKinds uint64
+}
+
+func kindBit(k vfs.OpKind) uint64 { return 1 << uint(k) }
+
+// kindMask folds kind names into a bitmask. The "any" wildcard (which
+// hand-edited profiles may use) expands to all kinds — matching is done
+// against concrete kind bits, so KindAny's own bit would match nothing.
+func kindMask(names []string) uint64 {
+	var mask uint64
+	for _, name := range names {
+		if k, ok := vfs.KindFromString(name); ok {
+			if k == vfs.KindAny {
+				return ^uint64(0)
+			}
+			mask |= kindBit(k)
+		}
+	}
+	return mask
+}
+
+// compile folds a profile's name lists into bitmasks; unknown kind
+// names are ignored (Load rejects them earlier).
+func (p *Profile) compile() compiled {
+	var c compiled
+	for _, r := range p.Rules {
+		c.rules = append(c.rules, compiledRule{prefix: r.Prefix, kinds: kindMask(r.Kinds)})
+	}
+	c.anyKinds = kindMask(p.AnyPathKinds)
+	return c
+}
+
+// matches reports whether path lies within the rule's subtree.
+func (r *compiledRule) matches(path string) bool {
+	if path == r.prefix {
+		return true
+	}
+	if r.prefix == "/" {
+		return strings.HasPrefix(path, "/")
+	}
+	return strings.HasPrefix(path, r.prefix+"/")
+}
+
+// allows reports whether the compiled profile permits kind at path. An
+// empty path means the target is unknown; only any-path kinds apply.
+func (c *compiled) allows(kind vfs.OpKind, path string) bool {
+	bit := kindBit(kind)
+	if c.anyKinds&bit != 0 {
+		return true
+	}
+	if path == "" {
+		return false
+	}
+	for i := range c.rules {
+		if c.rules[i].kinds&bit != 0 && c.rules[i].matches(path) {
+			return true
+		}
+	}
+	return false
+}
+
+// Allows reports whether the profile permits kind at path — the
+// offline query mirror of what the Enforcer checks online.
+func (p *Profile) Allows(kind vfs.OpKind, path string) bool {
+	c := p.compile()
+	return c.allows(kind, path)
+}

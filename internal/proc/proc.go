@@ -95,6 +95,25 @@ type Table struct {
 	ioMu      sync.Mutex
 	ioSources map[int]func() map[uint32]IOCounters
 	ioNextID  int
+
+	// exitHooks run after a process is removed from the table; FUSE
+	// request tables use them to retire the exited origin's accounting.
+	hookMu     sync.Mutex
+	exitHooks  map[int]func(pid int)
+	hookNextID int
+
+	// policyViews render per-container activity profiles into the /proc
+	// snapshot (as /policy/<name>), so tools inside the namespace can
+	// read the traced profile the same way they read /proc/<pid>/io.
+	policyMu     sync.Mutex
+	policyViews  map[int]policyView
+	policyNextID int
+}
+
+// policyView is one registered profile renderer.
+type policyView struct {
+	name   string
+	render func() []byte
 }
 
 // AddIOSource registers a per-PID I/O counter feed (e.g. one CntrFS
@@ -115,6 +134,45 @@ func (t *Table) AddIOSource(src func() map[uint32]IOCounters) (remove func()) {
 		t.ioMu.Lock()
 		delete(t.ioSources, id)
 		t.ioMu.Unlock()
+	}
+}
+
+// AddExitHook registers a function to run after a process exits and is
+// removed from the table. The canonical consumer is a FUSE mount's
+// request table, which folds the exited origin's per-PID accounting
+// into an aggregate bucket so its stats map stays bounded by live
+// processes. The returned func unregisters the hook.
+func (t *Table) AddExitHook(fn func(pid int)) (remove func()) {
+	t.hookMu.Lock()
+	id := t.hookNextID
+	t.hookNextID++
+	if t.exitHooks == nil {
+		t.exitHooks = make(map[int]func(pid int))
+	}
+	t.exitHooks[id] = fn
+	t.hookMu.Unlock()
+	return func() {
+		t.hookMu.Lock()
+		delete(t.exitHooks, id)
+		t.hookMu.Unlock()
+	}
+}
+
+// AddPolicyView registers a named activity-profile renderer; Snapshot
+// writes its output to /policy/<name>. The returned func unregisters it.
+func (t *Table) AddPolicyView(name string, render func() []byte) (remove func()) {
+	t.policyMu.Lock()
+	id := t.policyNextID
+	t.policyNextID++
+	if t.policyViews == nil {
+		t.policyViews = make(map[int]policyView)
+	}
+	t.policyViews[id] = policyView{name: name, render: render}
+	t.policyMu.Unlock()
+	return func() {
+		t.policyMu.Lock()
+		delete(t.policyViews, id)
+		t.policyMu.Unlock()
 	}
 }
 
@@ -190,18 +248,31 @@ func (t *Table) Spawn(parentPID int, comm string, cmdline []string) (*Process, e
 	return child, nil
 }
 
-// Exit removes the process from the table, its pid namespace and cgroup.
+// Exit removes the process from the table, its pid namespace and cgroup,
+// then runs the registered exit hooks (outside the table lock, so a hook
+// may call back into the table).
 func (t *Table) Exit(pid int) error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	p, ok := t.procs[pid]
 	if !ok {
+		t.mu.Unlock()
 		return vfs.ESRCH
 	}
 	p.exited = true
 	p.Namespaces.PID.Unregister(pid)
 	delete(t.procs, pid)
 	t.Cgroups.Remove(pid)
+	t.mu.Unlock()
+
+	t.hookMu.Lock()
+	hooks := make([]func(int), 0, len(t.exitHooks))
+	for _, fn := range t.exitHooks {
+		hooks = append(hooks, fn)
+	}
+	t.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn(pid)
+	}
 	return nil
 }
 
@@ -246,6 +317,18 @@ func (t *Table) Snapshot() *memfs.FS {
 	fs := memfs.New(memfs.Options{})
 	cli := vfs.NewClient(fs, vfs.Root())
 	io := t.ioCounters()
+	t.policyMu.Lock()
+	views := make([]policyView, 0, len(t.policyViews))
+	for _, v := range t.policyViews {
+		views = append(views, v)
+	}
+	t.policyMu.Unlock()
+	if len(views) > 0 {
+		cli.MkdirAll("/policy", 0o555)
+		for _, v := range views {
+			cli.WriteFile("/policy/"+v.name, v.render(), 0o444)
+		}
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	for pid, p := range t.procs {

@@ -61,20 +61,50 @@ func (k OpKind) String() string {
 	return "any"
 }
 
+// KindFromString reverses OpKind.String, reporting false for unknown
+// names. Policy profiles serialize kinds by name, so loading one needs
+// the inverse mapping.
+func KindFromString(s string) (OpKind, bool) {
+	for i, n := range kindNames {
+		if n == s {
+			return OpKind(i), true
+		}
+	}
+	if s == "any" {
+		return KindAny, true
+	}
+	return 0, false
+}
+
 // OpInfo describes one operation flowing through an interceptor chain.
 // The inner layer fills Bytes after the call for data operations, so
 // interceptors that run code after next() see the transferred count.
 type OpInfo struct {
 	Kind OpKind
 	Op   *Op
-	// Ino is the inode (or parent directory) the operation addresses;
-	// zero for handle-based operations.
+	// Ino is the inode (or parent directory) the operation addresses.
+	// Handle-based operations (Read, Write, Flush, Fsync, Release,
+	// Readdir, Releasedir, Fallocate) carry the inode the handle was
+	// opened on, resolved from the chain's handle table; it is zero only
+	// when the handle was opened before the chain existed.
 	Ino Ino
 	// Name is the directory-entry name for named operations.
 	Name string
 	// Bytes is the number of payload bytes actually moved (reads/writes),
 	// valid after next() returns.
 	Bytes int
+	// ResultIno is the inode the operation resolved or created (Lookup,
+	// Mknod, Mkdir, Symlink, Link, Create), valid after next() returns
+	// with success. Trace consumers use it to learn ino→path bindings.
+	ResultIno Ino
+	// NewParentIno and NewName are the destination of a Rename (Ino and
+	// Name hold the source), letting path-tracking consumers rebind.
+	NewParentIno Ino
+	NewName      string
+	// Async marks the completion of a pipelined submission: the
+	// operation was admitted by the SubmitInterceptor pass at submit
+	// time, so gate-style interceptors must not re-decide it here.
+	Async bool
 }
 
 // Interceptor wraps the invocation of one operation. Implementations may
@@ -93,6 +123,17 @@ func (f InterceptorFunc) Intercept(info *OpInfo, next func() error) error {
 	return f(info, next)
 }
 
+// SubmitInterceptor is the optional capability for interceptors that
+// must decide an operation *before* it is dispatched. The interceptor
+// chain runs ordinary interception around the completion (Await) of a
+// pipelined submission — after the transport already carried the
+// request — so a gate like the policy enforcer implements this too: a
+// non-nil error fails the submission without dispatching it, and the
+// completion-side Intercept sees info.Async and skips re-deciding.
+type SubmitInterceptor interface {
+	InterceptSubmit(info *OpInfo) error
+}
+
 // Chain wraps fs so every operation passes through the given interceptors
 // in order (the first interceptor is outermost). With no interceptors fs
 // is returned unchanged. The wrapper forwards the optional
@@ -102,7 +143,7 @@ func Chain(fs FS, interceptors ...Interceptor) FS {
 	if len(interceptors) == 0 {
 		return fs
 	}
-	return &chainFS{fs: fs, ics: interceptors}
+	return &chainFS{fs: fs, ics: interceptors, handles: make(map[Handle]Ino)}
 }
 
 // Unwrap returns the filesystem beneath a Chain wrapper, or fs itself.
@@ -116,6 +157,37 @@ func Unwrap(fs FS) FS {
 type chainFS struct {
 	fs  FS
 	ics []Interceptor
+
+	// handles maps the open handles issued through this chain to the
+	// inode they were opened on, so handle-based operations can be
+	// attributed to a file in OpInfo.Ino — without it, traces (and the
+	// policies generated from them) are blind to the hottest operations.
+	// Data operations only read the table (RLock); open/release write.
+	hmu     sync.RWMutex
+	handles map[Handle]Ino
+}
+
+// trackHandle records that h refers to ino.
+func (c *chainFS) trackHandle(h Handle, ino Ino) {
+	c.hmu.Lock()
+	c.handles[h] = ino
+	c.hmu.Unlock()
+}
+
+// handleIno resolves a handle to the inode it was opened on; zero for
+// handles the chain never saw open.
+func (c *chainFS) handleIno(h Handle) Ino {
+	c.hmu.RLock()
+	ino := c.handles[h]
+	c.hmu.RUnlock()
+	return ino
+}
+
+// dropHandle forgets a released handle.
+func (c *chainFS) dropHandle(h Handle) {
+	c.hmu.Lock()
+	delete(c.handles, h)
+	c.hmu.Unlock()
 }
 
 // run invokes call through the interceptor chain.
@@ -134,6 +206,9 @@ func (c *chainFS) Lookup(op *Op, parent Ino, name string) (Attr, error) {
 	err := c.run(info, func() error {
 		var err error
 		attr, err = c.fs.Lookup(op, parent, name)
+		if err == nil {
+			info.ResultIno = attr.Ino
+		}
 		return err
 	})
 	return attr, err
@@ -175,6 +250,9 @@ func (c *chainFS) Mknod(op *Op, parent Ino, name string, typ FileType, mode Mode
 	err := c.run(info, func() error {
 		var err error
 		attr, err = c.fs.Mknod(op, parent, name, typ, mode, rdev)
+		if err == nil {
+			info.ResultIno = attr.Ino
+		}
 		return err
 	})
 	return attr, err
@@ -186,6 +264,9 @@ func (c *chainFS) Mkdir(op *Op, parent Ino, name string, mode Mode) (Attr, error
 	err := c.run(info, func() error {
 		var err error
 		attr, err = c.fs.Mkdir(op, parent, name, mode)
+		if err == nil {
+			info.ResultIno = attr.Ino
+		}
 		return err
 	})
 	return attr, err
@@ -197,6 +278,9 @@ func (c *chainFS) Symlink(op *Op, parent Ino, name, target string) (Attr, error)
 	err := c.run(info, func() error {
 		var err error
 		attr, err = c.fs.Symlink(op, parent, name, target)
+		if err == nil {
+			info.ResultIno = attr.Ino
+		}
 		return err
 	})
 	return attr, err
@@ -224,7 +308,8 @@ func (c *chainFS) Rmdir(op *Op, parent Ino, name string) error {
 }
 
 func (c *chainFS) Rename(op *Op, oldParent Ino, oldName string, newParent Ino, newName string, flags RenameFlags) error {
-	info := &OpInfo{Kind: KindRename, Op: op, Ino: oldParent, Name: oldName}
+	info := &OpInfo{Kind: KindRename, Op: op, Ino: oldParent, Name: oldName,
+		NewParentIno: newParent, NewName: newName}
 	return c.run(info, func() error {
 		return c.fs.Rename(op, oldParent, oldName, newParent, newName, flags)
 	})
@@ -236,6 +321,9 @@ func (c *chainFS) Link(op *Op, ino Ino, parent Ino, name string) (Attr, error) {
 	err := c.run(info, func() error {
 		var err error
 		attr, err = c.fs.Link(op, ino, parent, name)
+		if err == nil {
+			info.ResultIno = attr.Ino
+		}
 		return err
 	})
 	return attr, err
@@ -248,6 +336,10 @@ func (c *chainFS) Create(op *Op, parent Ino, name string, mode Mode, flags OpenF
 	err := c.run(info, func() error {
 		var err error
 		attr, h, err = c.fs.Create(op, parent, name, mode, flags)
+		if err == nil {
+			info.ResultIno = attr.Ino
+			c.trackHandle(h, attr.Ino)
+		}
 		return err
 	})
 	return attr, h, err
@@ -259,13 +351,16 @@ func (c *chainFS) Open(op *Op, ino Ino, flags OpenFlags) (Handle, error) {
 	err := c.run(info, func() error {
 		var err error
 		h, err = c.fs.Open(op, ino, flags)
+		if err == nil {
+			c.trackHandle(h, ino)
+		}
 		return err
 	})
 	return h, err
 }
 
 func (c *chainFS) Read(op *Op, h Handle, off int64, dest []byte) (int, error) {
-	info := &OpInfo{Kind: KindRead, Op: op}
+	info := &OpInfo{Kind: KindRead, Op: op, Ino: c.handleIno(h)}
 	var n int
 	err := c.run(info, func() error {
 		var err error
@@ -277,7 +372,7 @@ func (c *chainFS) Read(op *Op, h Handle, off int64, dest []byte) (int, error) {
 }
 
 func (c *chainFS) Write(op *Op, h Handle, off int64, data []byte) (int, error) {
-	info := &OpInfo{Kind: KindWrite, Op: op}
+	info := &OpInfo{Kind: KindWrite, Op: op, Ino: c.handleIno(h)}
 	var n int
 	err := c.run(info, func() error {
 		var err error
@@ -289,18 +384,20 @@ func (c *chainFS) Write(op *Op, h Handle, off int64, data []byte) (int, error) {
 }
 
 func (c *chainFS) Flush(op *Op, h Handle) error {
-	info := &OpInfo{Kind: KindFlush, Op: op}
+	info := &OpInfo{Kind: KindFlush, Op: op, Ino: c.handleIno(h)}
 	return c.run(info, func() error { return c.fs.Flush(op, h) })
 }
 
 func (c *chainFS) Fsync(op *Op, h Handle, datasync bool) error {
-	info := &OpInfo{Kind: KindFsync, Op: op}
+	info := &OpInfo{Kind: KindFsync, Op: op, Ino: c.handleIno(h)}
 	return c.run(info, func() error { return c.fs.Fsync(op, h, datasync) })
 }
 
 func (c *chainFS) Release(op *Op, h Handle) error {
-	info := &OpInfo{Kind: KindRelease, Op: op}
-	return c.run(info, func() error { return c.fs.Release(op, h) })
+	info := &OpInfo{Kind: KindRelease, Op: op, Ino: c.handleIno(h)}
+	err := c.run(info, func() error { return c.fs.Release(op, h) })
+	c.dropHandle(h)
+	return err
 }
 
 func (c *chainFS) Opendir(op *Op, ino Ino) (Handle, error) {
@@ -309,13 +406,16 @@ func (c *chainFS) Opendir(op *Op, ino Ino) (Handle, error) {
 	err := c.run(info, func() error {
 		var err error
 		h, err = c.fs.Opendir(op, ino)
+		if err == nil {
+			c.trackHandle(h, ino)
+		}
 		return err
 	})
 	return h, err
 }
 
 func (c *chainFS) Readdir(op *Op, h Handle, off int64) ([]Dirent, error) {
-	info := &OpInfo{Kind: KindReaddir, Op: op}
+	info := &OpInfo{Kind: KindReaddir, Op: op, Ino: c.handleIno(h)}
 	var ents []Dirent
 	err := c.run(info, func() error {
 		var err error
@@ -326,8 +426,10 @@ func (c *chainFS) Readdir(op *Op, h Handle, off int64) ([]Dirent, error) {
 }
 
 func (c *chainFS) Releasedir(op *Op, h Handle) error {
-	info := &OpInfo{Kind: KindReleasedir, Op: op}
-	return c.run(info, func() error { return c.fs.Releasedir(op, h) })
+	info := &OpInfo{Kind: KindReleasedir, Op: op, Ino: c.handleIno(h)}
+	err := c.run(info, func() error { return c.fs.Releasedir(op, h) })
+	c.dropHandle(h)
+	return err
 }
 
 func (c *chainFS) Statfs(op *Op, ino Ino) (StatfsOut, error) {
@@ -381,7 +483,7 @@ func (c *chainFS) Access(op *Op, ino Ino, mask uint32) error {
 }
 
 func (c *chainFS) Fallocate(op *Op, h Handle, mode uint32, off, length int64) error {
-	info := &OpInfo{Kind: KindFallocate, Op: op}
+	info := &OpInfo{Kind: KindFallocate, Op: op, Ino: c.handleIno(h)}
 	return c.run(info, func() error {
 		return c.fs.Fallocate(op, h, mode, off, length)
 	})
@@ -391,17 +493,49 @@ func (c *chainFS) Fallocate(op *Op, h Handle, mode uint32, off, length int64) er
 // (vfs.IsAsync) can see through the wrapper.
 func (c *chainFS) Unwrap() FS { return c.fs }
 
+// admitSubmit runs the chain's submit-time gates; a non-nil error means
+// the submission must fail without dispatching anything. A denied
+// submission is still routed through the ordinary interceptor chain
+// with its error pre-resolved (info.Async set, so the denying gate does
+// not re-decide) — outer interceptors such as a tracer observe the
+// denial exactly as they would on the synchronous path.
+func (c *chainFS) admitSubmit(info *OpInfo) error {
+	for _, ic := range c.ics {
+		si, ok := ic.(SubmitInterceptor)
+		if !ok {
+			continue
+		}
+		if err := si.InterceptSubmit(info); err != nil {
+			info.Async = true
+			if rerr := c.run(info, func() error { return err }); rerr != nil {
+				return rerr
+			}
+			// An interceptor swallowed the error; the gate's denial
+			// still stands — nothing was dispatched.
+			return err
+		}
+	}
+	return nil
+}
+
 // SubmitRead implements vfs.AsyncFS. The interceptor chain runs around
 // the *completion* (Await), not the submission, so stats and fault rules
 // observe the operation exactly once with its final byte count — the
-// same point at which the synchronous path reports it.
+// same point at which the synchronous path reports it. Gate-style
+// interceptors (SubmitInterceptor) instead decide here, before the
+// request is dispatched: a denial at Await would come after the I/O
+// already ran.
 func (c *chainFS) SubmitRead(op *Op, h Handle, off int64, dest []byte) PendingIO {
 	a, ok := c.fs.(AsyncFS)
 	if !ok {
 		n, err := c.Read(op, h, off, dest)
 		return completedIO{n, err}
 	}
-	return &chainPending{c: c, kind: KindRead, inner: a.SubmitRead(op, h, off, dest)}
+	info := &OpInfo{Kind: KindRead, Op: op, Ino: c.handleIno(h)}
+	if err := c.admitSubmit(info); err != nil {
+		return completedIO{0, err}
+	}
+	return &chainPending{c: c, kind: KindRead, ino: info.Ino, inner: a.SubmitRead(op, h, off, dest)}
 }
 
 // SubmitWrite implements vfs.AsyncFS (see SubmitRead for chain timing).
@@ -411,7 +545,11 @@ func (c *chainFS) SubmitWrite(op *Op, h Handle, off int64, data []byte) PendingI
 		n, err := c.Write(op, h, off, data)
 		return completedIO{n, err}
 	}
-	return &chainPending{c: c, kind: KindWrite, inner: a.SubmitWrite(op, h, off, data)}
+	info := &OpInfo{Kind: KindWrite, Op: op, Ino: c.handleIno(h)}
+	if err := c.admitSubmit(info); err != nil {
+		return completedIO{0, err}
+	}
+	return &chainPending{c: c, kind: KindWrite, ino: info.Ino, inner: a.SubmitWrite(op, h, off, data)}
 }
 
 // chainPending routes an asynchronous completion through the interceptor
@@ -419,12 +557,13 @@ func (c *chainFS) SubmitWrite(op *Op, h Handle, off int64, data []byte) PendingI
 type chainPending struct {
 	c     *chainFS
 	kind  OpKind
+	ino   Ino // resolved from the handle at submit time
 	inner PendingIO
 }
 
 // Await implements PendingIO.
 func (p *chainPending) Await(op *Op) (int, error) {
-	info := &OpInfo{Kind: p.kind, Op: op}
+	info := &OpInfo{Kind: p.kind, Op: op, Ino: p.ino, Async: true}
 	var n int
 	reached := false
 	err := p.c.run(info, func() error {
@@ -547,13 +686,21 @@ func (st *Stats) Reset() {
 
 // TraceEntry is one record emitted by a Tracer.
 type TraceEntry struct {
-	Kind  OpKind
-	ID    uint64
-	PID   uint32
-	Ino   Ino
-	Name  string
-	Bytes int
-	Errno Errno
+	Kind OpKind
+	ID   uint64
+	PID  uint32
+	Ino  Ino
+	// ResultIno is the inode the operation resolved or created (see
+	// OpInfo.ResultIno); policy collectors use the (Ino, Name, ResultIno)
+	// triple to learn the inode→path mapping from the trace itself.
+	ResultIno Ino
+	Name      string
+	// NewParentIno/NewName carry a Rename's destination so path
+	// tracking can rebind the moved subtree.
+	NewParentIno Ino
+	NewName      string
+	Bytes        int
+	Errno        Errno
 }
 
 // Tracer records every operation in a bounded ring buffer and/or a sink
@@ -581,11 +728,14 @@ func NewTracer(capacity int) *Tracer {
 func (t *Tracer) Intercept(info *OpInfo, next func() error) error {
 	err := next()
 	e := TraceEntry{
-		Kind:  info.Kind,
-		Ino:   info.Ino,
-		Name:  info.Name,
-		Bytes: info.Bytes,
-		Errno: ToErrno(err),
+		Kind:         info.Kind,
+		Ino:          info.Ino,
+		ResultIno:    info.ResultIno,
+		Name:         info.Name,
+		NewParentIno: info.NewParentIno,
+		NewName:      info.NewName,
+		Bytes:        info.Bytes,
+		Errno:        ToErrno(err),
 	}
 	if info.Op != nil {
 		e.ID, e.PID = info.Op.ID, info.Op.PID
