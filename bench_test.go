@@ -9,13 +9,16 @@
 package main
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
 	"cntr/internal/cntr"
 	"cntr/internal/container"
 	"cntr/internal/fuse"
 	"cntr/internal/hubdata"
 	"cntr/internal/phoronix"
+	"cntr/internal/policy"
 	"cntr/internal/slim"
 	"cntr/internal/stack"
 	"cntr/internal/vfs"
@@ -192,6 +195,109 @@ func BenchmarkAblationSpliceWrite(b *testing.B) {
 		ratio = run(true) / run(false)
 	}
 	b.ReportMetric(ratio, "splice-write-tax-x")
+}
+
+// benchReqTablePop measures one steady-state WFQ dispatch cycle
+// (pop → done → re-push) with every origin live and backlogged.
+func benchReqTablePop(b *testing.B, linear bool) {
+	for _, n := range []int{16, 256, 2048} {
+		b.Run(fmt.Sprintf("origins=%d", n), func(b *testing.B) {
+			sb := fuse.NewSchedBench(n, linear)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sb.Cycle()
+			}
+		})
+	}
+}
+
+// BenchmarkReqTablePop is the production scheduler: dispatch through
+// the indexed min-heap of eligible origins, O(log origins) per pop.
+func BenchmarkReqTablePop(b *testing.B) { benchReqTablePop(b, false) }
+
+// BenchmarkReqTablePopLinear is the pre-heap baseline: the same table
+// driven through the reference linear min-vstart scan, O(origins) per
+// pop. Kept so BENCH_5.json records the speedup the heap buys.
+func BenchmarkReqTablePopLinear(b *testing.B) { benchReqTablePop(b, true) }
+
+// BenchmarkTracerSink compares what the traced *data path* pays per
+// operation. Synchronous delivery runs the collector's path-learning
+// and aggregation inline — two more lock rounds and the map walk before
+// the operation can return. Batched delivery pays one buffer append
+// under the tracer's lock it already holds; the aggregation happens in
+// the flusher, off the measured path (here deferred past StopTimer,
+// which is the point: the operation no longer waits for the consumer).
+func BenchmarkTracerSink(b *testing.B) {
+	next := func() error { return nil }
+	op := vfs.RootOp()
+	op.PID = 7
+	// A lookup-heavy trace: each entry makes the collector resolve the
+	// parent path, join the name (a string allocation) and learn the
+	// resulting binding — the realistic inline cost of tracing metadata
+	// traffic, not just counter bumps.
+	names := make([]string, 64)
+	for i := range names {
+		names[i] = fmt.Sprintf("entry%02d", i)
+	}
+	info := &vfs.OpInfo{Kind: vfs.KindLookup, Op: op, Ino: vfs.RootIno}
+
+	b.Run("sync", func(b *testing.B) {
+		tr := vfs.NewTracer(0)
+		tr.Sink = policy.NewCollector().Sink
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			info.Name = names[i%64]
+			info.ResultIno = vfs.Ino(i%1024 + 2)
+			tr.Intercept(info, next)
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		tr := vfs.NewTracer(0)
+		col := policy.NewCollector()
+		// Size the batch to the run so the timed window measures the pure
+		// data-path cost (ring + append); delivery happens in stop().
+		stop := tr.StartBatchSink(col.SinkBatch, vfs.TraceBatchOptions{
+			FlushSize:     b.N + 1,
+			Capacity:      b.N + 1,
+			FlushInterval: time.Hour,
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			info.Name = names[i%64]
+			info.ResultIno = vfs.Ino(i%1024 + 2)
+			tr.Intercept(info, next)
+		}
+		b.StopTimer()
+		stop()
+		if tr.DroppedEntries() != 0 {
+			b.Fatalf("benchmark dropped %d entries", tr.DroppedEntries())
+		}
+	})
+}
+
+// BenchmarkEnforcerLookup compares profile-rule lookup at enforcement
+// time: the pre-trie linear scan over every rule versus the
+// path-component trie, on a 512-rule profile probed at its worst-case
+// rule (last in scan order).
+func BenchmarkEnforcerLookup(b *testing.B) {
+	p := &policy.Profile{}
+	for i := 0; i < 512; i++ {
+		p.Rules = append(p.Rules, policy.Rule{
+			Prefix: fmt.Sprintf("/srv/app%03d/data", i),
+			Kinds:  []string{"lookup", "read", "write"},
+		})
+	}
+	path := "/srv/app511/data/logs/current/x.log"
+	run := func(b *testing.B, m *policy.Matcher) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !m.Allows(vfs.KindRead, path) {
+				b.Fatal("probe path must be allowed")
+			}
+		}
+	}
+	b.Run("linear", func(b *testing.B) { run(b, p.CompileLinear()) })
+	b.Run("trie", func(b *testing.B) { run(b, p.Compile()) })
 }
 
 // BenchmarkAttach measures the end-to-end attach workflow (§3.2 steps

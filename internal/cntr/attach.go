@@ -47,6 +47,14 @@ type Options struct {
 	// activity profile is exposed as /proc/policy/<container> inside
 	// the session.
 	Trace *policy.Collector
+	// TraceBatched switches trace delivery to batched mode: the data
+	// path appends each entry to a buffer and a flusher goroutine hands
+	// the collector whole batches (vfs.Tracer.StartBatchSink), so a hot
+	// mount does not pay a collector callback per operation. TraceFlush
+	// tunes the batching; its zero value uses the defaults. The flusher
+	// is flushed and stopped by Session.Close.
+	TraceBatched bool
+	TraceFlush   vfs.TraceBatchOptions
 	// Enforce, when set, inserts a policy.Enforcer ahead of the served
 	// filesystem: operations outside the profile fail with EACCES (or,
 	// with EnforceAudit, are recorded as violations and let through).
@@ -97,7 +105,10 @@ type Session struct {
 	removeIOSource   func()
 	removeExitHook   func()
 	removePolicyView func()
-	closed           bool
+	// stopTrace flushes and stops the batched trace flusher when
+	// Options.TraceBatched was set.
+	stopTrace func()
+	closed    bool
 }
 
 // Attach performs the four-step workflow of §3.2 and returns a live
@@ -131,12 +142,25 @@ func Attach(h *Host, opts Options) (*Session, error) {
 	// operations the enforcer denies — with EACCES as their outcome —
 	// which is what makes denials auditable through the activity view.
 	var ics []vfs.Interceptor
+	var stopTrace func()
 	if opts.Trace != nil {
 		// Each mount gets its own path-learning scope: inode numbers are
 		// only meaningful within one mount, and a shared collector may be
 		// tracing several attached containers at once.
 		tracer := vfs.NewTracer(0)
-		tracer.Sink = opts.Trace.NewRun().Sink
+		run := opts.Trace.NewRun()
+		if opts.TraceBatched {
+			flush := opts.TraceFlush
+			if flush == (vfs.TraceBatchOptions{}) {
+				// Default to lossless: the trace feeds policy generation,
+				// where shed entries silently weaken the profile. Callers
+				// that prefer shedding pass explicit TraceFlush knobs.
+				flush.Lossless = true
+			}
+			stopTrace = tracer.StartBatchSink(run.SinkBatch, flush)
+		} else {
+			tracer.Sink = run.Sink
+		}
 		ics = append(ics, tracer)
 	}
 	var enforcer *policy.Enforcer
@@ -145,6 +169,14 @@ func Attach(h *Host, opts Options) (*Session, error) {
 		ics = append(ics, enforcer)
 	}
 	served := vfs.Chain(cfs, ics...)
+	// Any failure below must stop the trace flusher it no longer owns;
+	// on success the session takes it over and Close stops it.
+	attached := false
+	defer func() {
+		if !attached && stopTrace != nil {
+			stopTrace()
+		}
+	}()
 	conn, server := fuse.Mount(served, h.Clock, h.Model, mountOpts)
 	kernel := pagecache.New(conn, h.Clock, h.Model, pagecache.Options{
 		KeepCache:    mountOpts.KeepCache,
@@ -278,7 +310,9 @@ func Attach(h *Host, opts Options) (*Session, error) {
 		removeIOSource:   removeIOSource,
 		removeExitHook:   removeExitHook,
 		removePolicyView: removePolicyView,
+		stopTrace:        stopTrace,
 	}
+	attached = true
 	sess.shell = NewShell(sess)
 	return sess, nil
 }
@@ -420,6 +454,12 @@ func (s *Session) Close() {
 	s.Host.Procs.Exit(s.Proc.PID)
 	s.Conn.Unmount()
 	s.Server.Wait()
+	if s.stopTrace != nil {
+		// The mount is quiesced: flush the tail of the trace so the
+		// collector (and any profile generated from it) sees every
+		// operation this session served.
+		s.stopTrace()
+	}
 	if s.removeIOSource != nil {
 		s.removeIOSource()
 	}

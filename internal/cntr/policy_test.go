@@ -3,6 +3,7 @@ package cntr
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"cntr/internal/policy"
 	"cntr/internal/vfs"
@@ -47,6 +48,43 @@ func TestAttachTraceGeneratesProfile(t *testing.T) {
 	}
 	if !p.Allows(vfs.KindReaddir, "/usr/bin") {
 		t.Fatalf("profile misses the traced readdir: %+v", p.Rules)
+	}
+}
+
+// TestAttachTraceBatched: with TraceBatched set, the collector receives
+// the session's operations through the tracer's batch flusher instead
+// of a per-operation callback — and Session.Close flushes the tail, so
+// the generated profile matches what a synchronous trace would record.
+func TestAttachTraceBatched(t *testing.T) {
+	h, _, _ := testWorld(t)
+	col := policy.NewCollector()
+	sess, err := Attach(h, Options{
+		Container: "db", Fat: "tools",
+		Trace: col, TraceBatched: true,
+		// A huge flush size and a long interval force the tail flush in
+		// Close to do the delivery — the path that must not lose entries.
+		TraceFlush: vfs.TraceBatchOptions{FlushSize: 1 << 20, FlushInterval: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Client.ReadDir("/usr/bin"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Client.ReadFile("/etc/gdbinit"); err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+
+	p := col.Profile(policy.GenOptions{})
+	if len(p.Rules) == 0 {
+		t.Fatal("batched trace produced no rules")
+	}
+	if !p.Allows(vfs.KindReaddir, "/usr/bin") {
+		t.Fatalf("batched trace misses the readdir: %+v", p.Rules)
+	}
+	if !p.Allows(vfs.KindRead, "/etc/gdbinit") {
+		t.Fatalf("batched trace misses the file read: %+v", p.Rules)
 	}
 }
 

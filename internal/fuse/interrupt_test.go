@@ -10,6 +10,33 @@ import (
 	"cntr/internal/vfs"
 )
 
+// openFIFOPair opens both ends of a FIFO through the connection
+// concurrently: under fifo(7)'s open-until-peer semantics neither
+// blocking single-direction open completes alone, so the two opens must
+// be in flight together (each occupies a server worker until its peer
+// registers).
+func openFIFOPair(t *testing.T, conn *Conn, ino vfs.Ino) (rh, wh vfs.Handle) {
+	t.Helper()
+	type res struct {
+		h   vfs.Handle
+		err error
+	}
+	rc := make(chan res, 1)
+	go func() {
+		h, err := conn.Open(vfs.RootOp(), ino, vfs.ORdonly)
+		rc <- res{h, err}
+	}()
+	wh, err := conn.Open(vfs.RootOp(), ino, vfs.OWronly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-rc
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	return r.h, wh
+}
+
 // TestInterruptAbortsBlockedRead is the FUSE_INTERRUPT round trip: a read
 // of an empty FIFO blocks inside the server-side filesystem; canceling
 // the caller's Op context forwards an INTERRUPT frame naming the in-
@@ -30,10 +57,8 @@ func TestInterruptAbortsBlockedRead(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h, err := e.conn.Open(root, attr.Ino, vfs.ORdonly)
-	if err != nil {
-		t.Fatal(err)
-	}
+	h, wh := openFIFOPair(t, e.conn, attr.Ino)
+	defer e.conn.Release(root, wh)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	op := vfs.NewOp(ctx, vfs.Root())
@@ -96,14 +121,7 @@ func TestInterruptedFIFOStaysUsable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rh, err := e.conn.Open(root, attr.Ino, vfs.ORdonly)
-	if err != nil {
-		t.Fatal(err)
-	}
-	wh, err := e.conn.Open(root, attr.Ino, vfs.OWronly)
-	if err != nil {
-		t.Fatal(err)
-	}
+	rh, wh := openFIFOPair(t, e.conn, attr.Ino)
 
 	// Interrupt one read.
 	ctx, cancel := context.WithCancel(context.Background())
@@ -161,15 +179,27 @@ func TestUnmountCancelsBlockedRequests(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h, err := conn.Open(root, attr.Ino, vfs.ORdonly)
-	if err != nil {
-		t.Fatal(err)
-	}
+	h, wh := openFIFOPair(t, conn, attr.Ino)
+	_ = wh
 	done := make(chan error, 1)
 	go func() {
 		// A non-cancelable op: nobody will ever write or interrupt it.
 		_, rerr := conn.Read(vfs.RootOp(), h, 0, make([]byte, 4))
 		done <- rerr
+	}()
+	// A second victim: a FIFO open parked waiting for a peer that will
+	// never arrive (the writer end of a *different* FIFO).
+	if _, err := conn.Mknod(root, vfs.RootIno, "pipe2", vfs.TypeFIFO, 0o644, 0); err != nil {
+		t.Fatal(err)
+	}
+	attr2, err := conn.Lookup(root, vfs.RootIno, "pipe2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	openDone := make(chan error, 1)
+	go func() {
+		_, oerr := conn.Open(vfs.RootOp(), attr2.Ino, vfs.ORdonly)
+		openDone <- oerr
 	}()
 	time.Sleep(10 * time.Millisecond)
 
@@ -186,5 +216,63 @@ func TestUnmountCancelsBlockedRequests(t *testing.T) {
 	}
 	if rerr := <-done; vfs.ToErrno(rerr) != vfs.EINTR {
 		t.Fatalf("teardown-canceled read: %v, want EINTR", rerr)
+	}
+	if oerr := <-openDone; vfs.ToErrno(oerr) != vfs.EINTR {
+		t.Fatalf("teardown-canceled FIFO open: %v, want EINTR", oerr)
+	}
+}
+
+// TestInterruptAbortsParkedOpen: FUSE_INTERRUPT reaches an open(2)
+// parked on a peerless FIFO — the open-until-peer park is cancelable
+// end-to-end, and the aborted open leaves no phantom reader behind.
+func TestInterruptAbortsParkedOpen(t *testing.T) {
+	opts := DefaultMountOptions()
+	opts.ServerThreads = 2
+	e := mount(t, opts)
+
+	root := vfs.RootOp()
+	if _, err := e.conn.Mknod(root, vfs.RootIno, "pipe", vfs.TypeFIFO, 0o644, 0); err != nil {
+		t.Fatal(err)
+	}
+	attr, err := e.conn.Lookup(root, vfs.RootIno, "pipe")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	op := vfs.NewOp(ctx, vfs.Root())
+	done := make(chan error, 1)
+	go func() {
+		_, oerr := e.conn.Open(op, attr.Ino, vfs.ORdonly)
+		done <- oerr
+	}()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case oerr := <-done:
+		t.Fatalf("peerless FIFO open returned early: %v", oerr)
+	default:
+	}
+	cancel()
+	select {
+	case oerr := <-done:
+		if vfs.ToErrno(oerr) != vfs.EINTR {
+			t.Fatalf("interrupted open: %v, want EINTR", oerr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("interrupt did not unwind the parked open")
+	}
+
+	// No reader was left registered: a nonblocking write-only open must
+	// still see a readerless FIFO (ENXIO), and the pair path still works.
+	if _, err := e.conn.Open(root, attr.Ino, vfs.OWronly|vfs.ONonblock); vfs.ToErrno(err) != vfs.ENXIO {
+		t.Fatalf("write-only open after aborted reader: %v, want ENXIO", err)
+	}
+	rh, wh := openFIFOPair(t, e.conn, attr.Ino)
+	if _, err := e.conn.Write(root, wh, 0, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if n, err := e.conn.Read(root, rh, 0, buf); err != nil || string(buf[:n]) != "ok" {
+		t.Fatalf("FIFO after aborted open: %q %v", buf[:n], err)
 	}
 }

@@ -1,6 +1,15 @@
 package fuse
 
-import "sync"
+import (
+	"container/heap"
+	"sync"
+)
+
+// reqShards is the number of origin-map shards in the request table; a
+// power of two so shard selection is a mask. Sixteen keeps per-shard
+// maps small at thousands of live origins while the array itself stays
+// cheap to embed.
+const reqShards = 16
 
 // reqTable is the request queue shared by the kernel-side Conn and the
 // userspace Server. It replaces the bare channel the server used to read:
@@ -11,23 +20,38 @@ import "sync"
 // knows, per origin, how many operations are queued, dispatched and
 // completed, and how many payload bytes moved — the per-container view
 // BEACON-style policy generation needs.
+//
+// The table is built for mounts serving thousands of live origins:
+//
+//   - Dispatch order comes from an indexed min-heap of *eligible*
+//     origins (pending messages and spare in-flight budget), keyed by
+//     (vstart, origin), so pop picks the WFQ winner in O(log origins)
+//     instead of scanning every active queue.
+//   - The origin→queue and origin→stats maps are sharded reqShards
+//     ways, so push and done resolve and account an origin under one
+//     shard's lock; the global scheduler lock is held only for the
+//     O(log origins) heap fix-up, never for a map scan.
+//
+// Lock order where both are held: shard lock, then scheduler lock.
+// Per-queue scheduling state (msgs, inflight, vstart, heapIdx, dead,
+// retireOnIdle) is guarded by the scheduler lock; the shard lock guards
+// only its maps and counters.
 type reqTable struct {
-	mu    sync.Mutex
+	shards [reqShards]reqShard
+
+	mu    sync.Mutex // scheduler lock: heap, vclock, queued, closed
 	avail *sync.Cond // a message became poppable, or the table closed
 	space *sync.Cond // the queue drained below maxQueued
 
-	// queues holds only *active* origins — ones with requests queued or
-	// in flight. Idle origins are pruned in done() so pop's WFQ scan
-	// stays proportional to current load, not to every PID the mount has
-	// ever served; their accounting survives in stats.
-	queues map[uint32]*originQueue
-	stats  map[uint32]OriginStats
-	// retired aggregates the counters of origins whose processes have
-	// exited (see retire); without it, stats grows by one entry per PID
-	// the mount has ever served.
-	retired OriginStats
-	queued  int
-	closed  bool
+	// eligible holds exactly the origins pop may dispatch from: queues
+	// with pending messages and (when a cap is set) spare in-flight
+	// budget. Idle origins are pruned in done() so the heap and the
+	// shard maps stay proportional to current load, not to every PID
+	// the mount has ever served; their accounting survives in the
+	// shard's stats.
+	eligible originHeap
+	queued   int
+	closed   bool
 
 	// vclock is the WFQ virtual clock: the virtual start time of the most
 	// recently dispatched request. Origins whose queues were empty rejoin
@@ -41,13 +65,33 @@ type reqTable struct {
 	defaultWeight     int
 }
 
+// reqShard is one slice of the origin maps, with its own lock so pushes
+// and completions for different origins do not serialize on map access.
+type reqShard struct {
+	mu     sync.Mutex
+	queues map[uint32]*originQueue
+	stats  map[uint32]OriginStats
+	// retired aggregates the counters of origins whose processes have
+	// exited (see retire); without it, stats grows by one entry per PID
+	// the mount has ever served.
+	retired OriginStats
+}
+
 // originQueue is one origin's pending requests plus its scheduling and
-// accounting state.
+// accounting state. All fields except origin and weight (immutable after
+// creation) are guarded by the table's scheduler lock.
 type originQueue struct {
 	origin   uint32
 	weight   int
 	msgs     []*message
 	inflight int
+	// heapIdx is the queue's position in the eligible heap, -1 when the
+	// origin is not currently dispatchable.
+	heapIdx int
+	// dead marks a queue that went idle and was pruned from its shard's
+	// map; a pusher that raced the pruning re-creates the origin instead
+	// of enqueueing onto the orphaned object.
+	dead bool
 	// retireOnIdle marks an origin whose process exited while requests
 	// were still queued or in flight: folding its stats is deferred to
 	// the moment it goes idle, so a straggling completion cannot
@@ -57,6 +101,43 @@ type originQueue struct {
 	// advances by 1/weight per dispatched request, which is what makes
 	// dispatch ratios track configured weights under saturation.
 	vstart float64
+}
+
+// originHeap is the indexed min-heap of eligible origins, ordered by
+// (vstart, origin) — the same total order the pre-heap linear scan used,
+// so dispatch order (including the deterministic tie-break) is
+// unchanged.
+type originHeap []*originQueue
+
+func (h originHeap) Len() int { return len(h) }
+
+func (h originHeap) Less(i, j int) bool {
+	if h[i].vstart != h[j].vstart {
+		return h[i].vstart < h[j].vstart
+	}
+	return h[i].origin < h[j].origin
+}
+
+func (h originHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+
+func (h *originHeap) Push(x any) {
+	q := x.(*originQueue)
+	q.heapIdx = len(*h)
+	*h = append(*h, q)
+}
+
+func (h *originHeap) Pop() any {
+	old := *h
+	n := len(old)
+	q := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	q.heapIdx = -1
+	return q
 }
 
 // OriginStats is the per-origin accounting the request table maintains:
@@ -82,34 +163,44 @@ func (s *OriginStats) Add(o OriginStats) {
 
 func newReqTable(maxQueued, maxOriginInflight, defaultWeight int, weights map[uint32]int) *reqTable {
 	t := &reqTable{
-		queues:            make(map[uint32]*originQueue),
-		stats:             make(map[uint32]OriginStats),
 		maxQueued:         maxQueued,
 		maxOriginInflight: maxOriginInflight,
 		weights:           weights,
 		defaultWeight:     defaultWeight,
+	}
+	for i := range t.shards {
+		t.shards[i].queues = make(map[uint32]*originQueue)
+		t.shards[i].stats = make(map[uint32]OriginStats)
 	}
 	t.avail = sync.NewCond(&t.mu)
 	t.space = sync.NewCond(&t.mu)
 	return t
 }
 
-// queue returns the origin's queue, creating it on first use. Caller
-// holds t.mu.
-func (t *reqTable) queue(origin uint32) *originQueue {
-	q, ok := t.queues[origin]
-	if !ok {
-		w := t.defaultWeight
-		if cw, ok := t.weights[origin]; ok && cw > 0 {
-			w = cw
-		}
-		if w <= 0 {
-			w = 1
-		}
-		q = &originQueue{origin: origin, weight: w, vstart: t.vclock}
-		t.queues[origin] = q
+// shard returns the shard owning an origin.
+func (t *reqTable) shard(origin uint32) *reqShard {
+	return &t.shards[origin&(reqShards-1)]
+}
+
+// weightFor resolves an origin's configured WFQ weight.
+func (t *reqTable) weightFor(origin uint32) int {
+	w := t.defaultWeight
+	if cw, ok := t.weights[origin]; ok && cw > 0 {
+		w = cw
 	}
-	return q
+	if w <= 0 {
+		w = 1
+	}
+	return w
+}
+
+// eligibleLocked reports whether q may be dispatched from: it has work
+// and spare in-flight budget. Caller holds t.mu.
+func (t *reqTable) eligibleLocked(q *originQueue) bool {
+	if len(q.msgs) == 0 {
+		return false
+	}
+	return t.maxOriginInflight <= 0 || q.inflight < t.maxOriginInflight
 }
 
 // push enqueues msg for origin, blocking while the table is at capacity
@@ -119,62 +210,113 @@ func (t *reqTable) queue(origin uint32) *originQueue {
 // returned depth is the total queued count after the insert, for the
 // submitter's congestion accounting.
 func (t *reqTable) push(origin uint32, msg *message) (depth int, ok bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for t.queued >= t.maxQueued && !t.closed {
-		t.space.Wait()
+	sh := t.shard(origin)
+	for {
+		sh.mu.Lock()
+		q := sh.queues[origin]
+		if q == nil {
+			q = &originQueue{origin: origin, weight: t.weightFor(origin), heapIdx: -1}
+			sh.queues[origin] = q
+		}
+		sh.mu.Unlock()
+
+		t.mu.Lock()
+		for t.queued >= t.maxQueued && !t.closed && !q.dead {
+			t.space.Wait()
+		}
+		if t.closed {
+			t.mu.Unlock()
+			return 0, false
+		}
+		if q.dead {
+			// The origin went idle and done() pruned its queue between our
+			// shard lookup and here; retry against a fresh queue object.
+			t.mu.Unlock()
+			continue
+		}
+		// A request arriving after retire() marked the draining queue means
+		// the PID was recycled: the origin is live again, so its counters
+		// must not be folded away when the old stragglers finish.
+		q.retireOnIdle = false
+		if len(q.msgs) == 0 && q.vstart < t.vclock {
+			// Idle rejoin: compete from the current virtual time, with no
+			// credit for the idle past.
+			q.vstart = t.vclock
+		}
+		q.msgs = append(q.msgs, msg)
+		t.queued++
+		if q.heapIdx < 0 && t.eligibleLocked(q) {
+			heap.Push(&t.eligible, q)
+		}
+		t.avail.Broadcast()
+		depth = t.queued
+		t.mu.Unlock()
+		return depth, true
 	}
-	if t.closed {
-		return 0, false
+}
+
+// dispatchLocked dequeues q's head message and advances the WFQ state:
+// the virtual clock catches up to the dispatched request's virtual start
+// time, and q's vstart advances by 1/weight. The heap is fixed in
+// O(log origins). Caller holds t.mu and q must be in the heap.
+func (t *reqTable) dispatchLocked(q *originQueue) *message {
+	m := q.msgs[0]
+	q.msgs[0] = nil
+	q.msgs = q.msgs[1:]
+	t.queued--
+	q.inflight++
+	if q.vstart > t.vclock {
+		t.vclock = q.vstart
 	}
-	q := t.queue(origin)
-	// A request arriving after retire() marked the draining queue means
-	// the PID was recycled: the origin is live again, so its counters
-	// must not be folded away when the old stragglers finish.
-	q.retireOnIdle = false
-	if len(q.msgs) == 0 && q.vstart < t.vclock {
-		q.vstart = t.vclock
+	q.vstart += 1 / float64(q.weight)
+	if t.eligibleLocked(q) {
+		heap.Fix(&t.eligible, q.heapIdx)
+	} else {
+		heap.Remove(&t.eligible, q.heapIdx)
 	}
-	q.msgs = append(q.msgs, msg)
-	t.queued++
-	t.avail.Broadcast()
-	return t.queued, true
+	t.space.Broadcast()
+	return m
 }
 
 // pop dequeues the next request under weighted fair queueing: among
 // origins with pending messages and spare in-flight budget, the one with
 // the smallest virtual start time wins (ties broken by origin id for
-// determinism). It blocks until a message is available and returns ok ==
-// false once the table is closed and fully drained.
+// determinism) — the heap's root, found in O(1) and fixed in
+// O(log origins). It blocks until a message is available and returns
+// ok == false once the table is closed and fully drained.
 func (t *reqTable) pop() (msg *message, origin uint32, ok bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for {
+		if len(t.eligible) > 0 {
+			q := t.eligible[0]
+			return t.dispatchLocked(q), q.origin, true
+		}
+		if t.closed && t.queued == 0 {
+			return nil, 0, false
+		}
+		t.avail.Wait()
+	}
+}
+
+// popLinear is the pre-heap reference scheduler: it selects the same
+// (vstart, origin) minimum by scanning every eligible origin linearly,
+// exactly as pop did before the indexed heap. It is kept for the
+// differential fairness test (heap order must equal scan order) and as
+// the baseline side of BenchmarkReqTablePop.
+func (t *reqTable) popLinear() (msg *message, origin uint32, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
 		var best *originQueue
-		for _, q := range t.queues {
-			if len(q.msgs) == 0 {
-				continue
-			}
-			if t.maxOriginInflight > 0 && q.inflight >= t.maxOriginInflight {
-				continue
-			}
+		for _, q := range t.eligible {
 			if best == nil || q.vstart < best.vstart ||
 				(q.vstart == best.vstart && q.origin < best.origin) {
 				best = q
 			}
 		}
 		if best != nil {
-			m := best.msgs[0]
-			best.msgs[0] = nil
-			best.msgs = best.msgs[1:]
-			t.queued--
-			best.inflight++
-			if best.vstart > t.vclock {
-				t.vclock = best.vstart
-			}
-			best.vstart += 1 / float64(best.weight)
-			t.space.Broadcast()
-			return m, best.origin, true
+			return t.dispatchLocked(best), best.origin, true
 		}
 		if t.closed && t.queued == 0 {
 			return nil, 0, false
@@ -186,9 +328,12 @@ func (t *reqTable) pop() (msg *message, origin uint32, ok bool) {
 // done records the completion of a request popped for origin, folding the
 // transferred byte counts into the origin's accounting and freeing its
 // in-flight slot (which may unblock a capped origin's next dispatch).
+// Stats land under the origin's shard lock; the scheduler lock is taken
+// only for the in-flight bookkeeping and heap fix-up.
 func (t *reqTable) done(origin uint32, readBytes, writeBytes int64, isRead, isWrite bool) {
-	t.mu.Lock()
-	s := t.stats[origin]
+	sh := t.shard(origin)
+	sh.mu.Lock()
+	s := sh.stats[origin]
 	s.Ops++
 	if isRead {
 		s.ReadOps++
@@ -198,21 +343,33 @@ func (t *reqTable) done(origin uint32, readBytes, writeBytes int64, isRead, isWr
 		s.WriteOps++
 		s.WriteBytes += writeBytes
 	}
-	t.stats[origin] = s
-	if q, ok := t.queues[origin]; ok {
+	sh.stats[origin] = s
+
+	t.mu.Lock()
+	if q, ok := sh.queues[origin]; ok {
 		q.inflight--
 		if q.inflight == 0 && len(q.msgs) == 0 {
 			// The origin went idle: drop its scheduler queue. It rejoins
 			// at the current virtual time on its next request, the same
 			// idle-rejoin rule push applies.
 			if q.retireOnIdle {
-				t.foldLocked(origin)
+				sh.foldLocked(origin)
 			}
-			delete(t.queues, origin)
+			q.dead = true
+			if q.heapIdx >= 0 {
+				heap.Remove(&t.eligible, q.heapIdx)
+			}
+			delete(sh.queues, origin)
+		} else if q.heapIdx < 0 && t.eligibleLocked(q) {
+			// A capped origin's freed slot makes it dispatchable again; it
+			// re-enters the heap with its existing vstart, so a backlog it
+			// accumulated while capped is not forgotten.
+			heap.Push(&t.eligible, q)
 		}
 	}
 	t.avail.Broadcast()
 	t.mu.Unlock()
+	sh.mu.Unlock()
 }
 
 // close marks the table closed and wakes everyone: blocked pushers fail,
@@ -232,13 +389,17 @@ func (t *reqTable) depth() int {
 	return t.queued
 }
 
-// originStats snapshots the per-origin completion counters.
+// originStats snapshots the per-origin completion counters across all
+// shards.
 func (t *reqTable) originStats() map[uint32]OriginStats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make(map[uint32]OriginStats, len(t.stats))
-	for origin, s := range t.stats {
-		out[origin] = s
+	out := make(map[uint32]OriginStats)
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for origin, s := range sh.stats {
+			out[origin] = s
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -251,27 +412,35 @@ func (t *reqTable) originStats() map[uint32]OriginStats {
 // stats entry nothing will ever retire. A request from a recycled PID
 // simply starts a fresh entry.
 func (t *reqTable) retire(origin uint32) {
+	sh := t.shard(origin)
+	sh.mu.Lock()
 	t.mu.Lock()
-	if q, ok := t.queues[origin]; ok {
+	if q, ok := sh.queues[origin]; ok {
 		q.retireOnIdle = true
 	} else {
-		t.foldLocked(origin)
+		sh.foldLocked(origin)
 	}
 	t.mu.Unlock()
+	sh.mu.Unlock()
 }
 
-// foldLocked moves an origin's counters into the retired aggregate.
-// Caller holds t.mu.
-func (t *reqTable) foldLocked(origin uint32) {
-	if s, ok := t.stats[origin]; ok {
-		t.retired.Add(s)
-		delete(t.stats, origin)
+// foldLocked moves an origin's counters into the shard's retired
+// aggregate. Caller holds the shard's lock.
+func (sh *reqShard) foldLocked(origin uint32) {
+	if s, ok := sh.stats[origin]; ok {
+		sh.retired.Add(s)
+		delete(sh.stats, origin)
 	}
 }
 
 // retiredStats snapshots the aggregate counters of retired origins.
 func (t *reqTable) retiredStats() OriginStats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.retired
+	var out OriginStats
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		out.Add(sh.retired)
+		sh.mu.Unlock()
+	}
+	return out
 }

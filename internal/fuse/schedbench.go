@@ -1,0 +1,49 @@
+package fuse
+
+import "fmt"
+
+// SchedBench drives the request-table scheduler for the package-level
+// benchmarks in the repository root's bench_test.go: it pre-loads one
+// pending request per origin and measures the steady-state cost of one
+// dispatch cycle (pop → done → re-push) with every origin live — the
+// regime where the pre-heap linear scan paid O(origins) per pop and the
+// indexed heap pays O(log origins).
+type SchedBench struct {
+	t      *reqTable
+	linear bool
+}
+
+// NewSchedBench builds a table saturated with the given number of live
+// origins. With linear set, Cycle dispatches through the pre-heap
+// reference scan (popLinear) instead of the indexed heap — the baseline
+// side of BenchmarkReqTablePop.
+func NewSchedBench(origins int, linear bool) *SchedBench {
+	b := &SchedBench{
+		t:      newReqTable(2*origins+1, 0, 1, nil),
+		linear: linear,
+	}
+	for i := 0; i < origins; i++ {
+		b.t.push(uint32(i+1), &message{})
+	}
+	return b
+}
+
+// Cycle dispatches one request under WFQ, completes it, and re-queues
+// the same origin, keeping every origin live across iterations.
+func (b *SchedBench) Cycle() {
+	var (
+		msg    *message
+		origin uint32
+		ok     bool
+	)
+	if b.linear {
+		msg, origin, ok = b.t.popLinear()
+	} else {
+		msg, origin, ok = b.t.pop()
+	}
+	if !ok {
+		panic(fmt.Sprintf("SchedBench: table drained (linear=%v)", b.linear))
+	}
+	b.t.done(origin, 0, 0, false, false)
+	b.t.push(origin, msg)
+}

@@ -15,19 +15,24 @@ import (
 // write after the last reader's close fails with EPIPE (the errno behind
 // SIGPIPE).
 //
-// O_NONBLOCK follows pipe(7)/fifo(7): a nonblocking read on an empty
-// pipe returns EAGAIN while a writer holds the other end and 0 (EOF)
-// when no writer does; a nonblocking write-only open with no reader
-// present fails with ENXIO; a write after the last reader's close fails
-// with EPIPE without blocking (writes never block in this model — the
-// buffer is unbounded). Blocking open(2)-until-peer is still not
-// modelled: a blocking reader that arrives before any writer blocks in
-// read rather than in open.
+// open(2) blocks until a peer arrives, per fifo(7): a blocking read-only
+// open parks until a writer holds the other end, a blocking write-only
+// open parks until a reader does, and O_RDWR opens both ends at once so
+// it never blocks. A parked open is interruptible through the Op
+// context, unwinding with EINTR and leaving no trace of the aborted end.
+//
+// O_NONBLOCK follows pipe(7)/fifo(7): a nonblocking read-only open
+// succeeds immediately; a nonblocking write-only open with no reader
+// present fails with ENXIO; a nonblocking read on an empty pipe returns
+// EAGAIN while a writer holds the other end and 0 (EOF) when no writer
+// does; a write after the last reader's close fails with EPIPE without
+// blocking (writes never block in this model — the buffer is unbounded).
 type pipeBuf struct {
 	mu   sync.Mutex
 	data []byte
 	// wake is closed (and replaced) whenever data arrives or an end of
-	// the pipe is closed, so blocked readers re-evaluate EOF.
+	// the pipe is opened or closed, so parked opens and blocked readers
+	// re-evaluate their condition.
 	wake chan struct{}
 
 	readers, writers     int
@@ -45,25 +50,75 @@ func (n *inode) pipeBuf() *pipeBuf {
 	return n.pipe
 }
 
-// open registers one open of the FIFO for the given directions. A
-// nonblocking write-only open with no reader on the other end fails
-// with ENXIO, per fifo(7).
-func (p *pipeBuf) open(readable, writable, nonblock bool) error {
+// open registers one open of the FIFO for the given directions and, for
+// blocking single-direction opens, parks until the other end is held —
+// fifo(7)'s open-until-peer contract. The end being opened is counted
+// *before* parking, so two blocking openers of opposite directions
+// always see each other and both proceed. A nonblocking write-only open
+// with no reader fails with ENXIO; an interrupted park unwinds with
+// EINTR after un-registering the end.
+func (p *pipeBuf) open(op *vfs.Op, readable, writable, nonblock bool) error {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if nonblock && writable && !readable && p.readers == 0 {
+		p.mu.Unlock()
 		return vfs.ENXIO
 	}
 	if readable {
 		p.readers++
-		p.hadReader = true
 	}
 	if writable {
 		p.writers++
-		p.hadWriter = true
 	}
 	p.wakeAllLocked()
+	if nonblock || (readable && writable) {
+		// O_NONBLOCK never parks; O_RDWR holds both ends itself.
+		p.recordEndsLocked(readable, writable)
+		p.mu.Unlock()
+		return nil
+	}
+	for {
+		if readable && p.writers > 0 {
+			break
+		}
+		if writable && p.readers > 0 {
+			break
+		}
+		wake := p.wake
+		p.mu.Unlock()
+		select {
+		case <-op.Context().Done():
+			// Undo the registration: the aborted open never produced a
+			// handle, so it must not count as a live (or historical) end.
+			p.mu.Lock()
+			if readable {
+				p.readers--
+			}
+			if writable {
+				p.writers--
+			}
+			p.wakeAllLocked()
+			p.mu.Unlock()
+			return vfs.EINTR
+		case <-wake:
+		}
+		p.mu.Lock()
+	}
+	p.recordEndsLocked(readable, writable)
+	p.mu.Unlock()
 	return nil
+}
+
+// recordEndsLocked marks which ends have ever been held by a completed
+// open — the history behind EOF (hadWriter) and EPIPE (hadReader).
+// Deferred to open completion so an interrupted park leaves no history.
+// Caller holds p.mu.
+func (p *pipeBuf) recordEndsLocked(readable, writable bool) {
+	if readable {
+		p.hadReader = true
+	}
+	if writable {
+		p.hadWriter = true
+	}
 }
 
 // release undoes one open. The last writer's close wakes blocked readers
@@ -81,7 +136,8 @@ func (p *pipeBuf) release(readable, writable bool) {
 	p.mu.Unlock()
 }
 
-// wakeAllLocked wakes every blocked reader. Caller holds p.mu.
+// wakeAllLocked wakes every parked open and blocked reader. Caller
+// holds p.mu.
 func (p *pipeBuf) wakeAllLocked() {
 	close(p.wake)
 	p.wake = make(chan struct{})
@@ -116,8 +172,6 @@ func (p *pipeBuf) read(op *vfs.Op, dest []byte, nonblock bool) (int, error) {
 		}
 		if p.hadWriter && p.writers == 0 {
 			// The write side existed and is fully closed: end of stream.
-			// (A reader that opened before any writer blocks instead —
-			// this stands in for open(2) blocking until a peer arrives.)
 			p.mu.Unlock()
 			return 0, nil
 		}

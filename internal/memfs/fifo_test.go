@@ -1,6 +1,7 @@
 package memfs
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -16,6 +17,30 @@ func mkfifo(t *testing.T, fs *FS, name string) vfs.Ino {
 	return attr.Ino
 }
 
+// openPair opens the FIFO's read and write ends concurrently: under
+// open-until-peer semantics neither blocking open completes alone.
+func openPair(t *testing.T, fs *FS, ino vfs.Ino) (rh, wh vfs.Handle) {
+	t.Helper()
+	type res struct {
+		h   vfs.Handle
+		err error
+	}
+	rc := make(chan res, 1)
+	go func() {
+		h, err := fs.Open(vfs.RootOp(), ino, vfs.ORdonly)
+		rc <- res{h, err}
+	}()
+	wh, err := fs.Open(vfs.RootOp(), ino, vfs.OWronly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-rc
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	return r.h, wh
+}
+
 // TestFIFOWriterCloseDeliversEOF: a blocked reader wakes with EOF when
 // the last writer closes, and subsequent reads see EOF immediately.
 func TestFIFOWriterCloseDeliversEOF(t *testing.T) {
@@ -23,14 +48,7 @@ func TestFIFOWriterCloseDeliversEOF(t *testing.T) {
 	root := vfs.RootOp()
 	ino := mkfifo(t, fs, "pipe")
 
-	rh, err := fs.Open(root, ino, vfs.ORdonly)
-	if err != nil {
-		t.Fatal(err)
-	}
-	wh, err := fs.Open(root, ino, vfs.OWronly)
-	if err != nil {
-		t.Fatal(err)
-	}
+	rh, wh := openPair(t, fs, ino)
 	if _, err := fs.Write(root, wh, 0, []byte("tail")); err != nil {
 		t.Fatal(err)
 	}
@@ -97,14 +115,7 @@ func TestFIFOReaderCloseBreaksPipe(t *testing.T) {
 	root := vfs.RootOp()
 	ino := mkfifo(t, fs, "pipe")
 
-	rh, err := fs.Open(root, ino, vfs.ORdonly)
-	if err != nil {
-		t.Fatal(err)
-	}
-	wh, err := fs.Open(root, ino, vfs.OWronly)
-	if err != nil {
-		t.Fatal(err)
-	}
+	rh, wh := openPair(t, fs, ino)
 	if _, err := fs.Write(root, wh, 0, []byte("ok")); err != nil {
 		t.Fatal(err)
 	}
@@ -117,48 +128,136 @@ func TestFIFOReaderCloseBreaksPipe(t *testing.T) {
 	fs.Release(root, wh)
 }
 
-// TestFIFOReadBlocksBeforeFirstWriter: a reader that arrives before any
-// writer must block (the stand-in for open(2) blocking), not see EOF.
-func TestFIFOReadBlocksBeforeFirstWriter(t *testing.T) {
-	fs := New(Options{})
+// TestFIFOOpenUntilPeer is the open(2) blocking matrix of fifo(7),
+// sibling to the O_NONBLOCK matrix below: a blocking single-direction
+// open parks until the opposite end is held, O_RDWR never parks, a
+// parked open is woken by a nonblocking peer, and an interrupted park
+// unwinds with EINTR leaving no registered (or historical) end behind.
+func TestFIFOOpenUntilPeer(t *testing.T) {
 	root := vfs.RootOp()
-	ino := mkfifo(t, fs, "pipe")
-	rh, err := fs.Open(root, ino, vfs.ORdonly)
-	if err != nil {
-		t.Fatal(err)
+
+	// assertParks starts the open and fails the test if it completes
+	// before a peer exists; the returned channel delivers the result.
+	type res struct {
+		h   vfs.Handle
+		err error
 	}
-	done := make(chan error, 1)
-	go func() {
-		buf := make([]byte, 4)
-		n, rerr := fs.Read(root, rh, 0, buf)
-		if rerr == nil && string(buf[:n]) != "ping" {
-			rerr = vfs.EIO
+	assertParks := func(t *testing.T, fs *FS, op *vfs.Op, ino vfs.Ino, flags vfs.OpenFlags) chan res {
+		t.Helper()
+		c := make(chan res, 1)
+		go func() {
+			h, err := fs.Open(op, ino, flags)
+			c <- res{h, err}
+		}()
+		time.Sleep(10 * time.Millisecond)
+		select {
+		case r := <-c:
+			t.Fatalf("open(%v) completed with no peer: h=%v err=%v", flags, r.h, r.err)
+		default:
 		}
-		done <- rerr
-	}()
-	time.Sleep(10 * time.Millisecond)
-	select {
-	case err := <-done:
-		t.Fatalf("read returned with no writer ever: %v", err)
-	default:
+		return c
 	}
-	wh, err := fs.Open(root, ino, vfs.OWronly)
-	if err != nil {
-		t.Fatal(err)
+	await := func(t *testing.T, c chan res) vfs.Handle {
+		t.Helper()
+		select {
+		case r := <-c:
+			if r.err != nil {
+				t.Fatal(r.err)
+			}
+			return r.h
+		case <-time.After(5 * time.Second):
+			t.Fatal("parked open never woke")
+			return 0
+		}
 	}
-	if _, err := fs.Write(root, wh, 0, []byte("ping")); err != nil {
-		t.Fatal(err)
-	}
-	select {
-	case err := <-done:
+
+	t.Run("reader-parks-until-writer", func(t *testing.T) {
+		fs := New(Options{})
+		ino := mkfifo(t, fs, "pipe")
+		c := assertParks(t, fs, root, ino, vfs.ORdonly)
+		wh, err := fs.Open(root, ino, vfs.OWronly)
 		if err != nil {
 			t.Fatal(err)
 		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("write did not wake the early reader")
-	}
-	fs.Release(root, wh)
-	fs.Release(root, rh)
+		rh := await(t, c)
+		// The pair is live: data flows, and the reader was parked in
+		// open — not in read — so this read returns as soon as data is
+		// written.
+		if _, err := fs.Write(root, wh, 0, []byte("hi")); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 4)
+		if n, err := fs.Read(root, rh, 0, buf); err != nil || string(buf[:n]) != "hi" {
+			t.Fatalf("read after paired open: %q %v", buf[:n], err)
+		}
+	})
+
+	t.Run("writer-parks-until-reader", func(t *testing.T) {
+		fs := New(Options{})
+		ino := mkfifo(t, fs, "pipe")
+		c := assertParks(t, fs, root, ino, vfs.OWronly)
+		rh, err := fs.Open(root, ino, vfs.ORdonly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wh := await(t, c)
+		fs.Release(root, wh)
+		fs.Release(root, rh)
+	})
+
+	t.Run("rdwr-never-parks", func(t *testing.T) {
+		fs := New(Options{})
+		ino := mkfifo(t, fs, "pipe")
+		h, err := fs.Open(root, ino, vfs.ORdwr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs.Release(root, h)
+	})
+
+	t.Run("nonblock-peer-wakes-parked-open", func(t *testing.T) {
+		fs := New(Options{})
+		ino := mkfifo(t, fs, "pipe")
+		c := assertParks(t, fs, root, ino, vfs.ORdonly)
+		// A parked reader is a present reader: the nonblocking write-only
+		// open succeeds (no ENXIO) and its registration wakes the park.
+		wh, err := fs.Open(root, ino, vfs.OWronly|vfs.ONonblock)
+		if err != nil {
+			t.Fatalf("nonblocking write open with a parked reader: %v", err)
+		}
+		rh := await(t, c)
+		fs.Release(root, wh)
+		fs.Release(root, rh)
+	})
+
+	t.Run("interrupt-unwinds-park", func(t *testing.T) {
+		fs := New(Options{})
+		ino := mkfifo(t, fs, "pipe")
+		ctx, cancel := context.WithCancel(context.Background())
+		op := vfs.NewOp(ctx, vfs.Root())
+		c := assertParks(t, fs, op, ino, vfs.ORdonly)
+		cancel()
+		select {
+		case r := <-c:
+			if vfs.ToErrno(r.err) != vfs.EINTR {
+				t.Fatalf("interrupted open: h=%v err=%v, want EINTR", r.h, r.err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("cancel did not unwind the parked open")
+		}
+		// The aborted open left nothing behind: no live reader (ENXIO for
+		// a nonblocking writer) and no reader history (a fresh pair still
+		// writes without EPIPE).
+		if _, err := fs.Open(root, ino, vfs.OWronly|vfs.ONonblock); err != vfs.ENXIO {
+			t.Fatalf("nonblocking write open after aborted reader: %v, want ENXIO", err)
+		}
+		rh, wh := openPair(t, fs, ino)
+		if _, err := fs.Write(root, wh, 0, []byte("x")); err != nil {
+			t.Fatalf("write on fresh pair after aborted open: %v", err)
+		}
+		fs.Release(root, rh)
+		fs.Release(root, wh)
+	})
 }
 
 // TestFIFOReadWriteEnd: an O_RDWR open holds both ends, so it neither
@@ -271,21 +370,17 @@ func TestFIFONonblockWriteOpenWithoutReader(t *testing.T) {
 	if _, err := fs.Open(root, ino, vfs.OWronly|vfs.ONonblock); err != vfs.ENXIO {
 		t.Fatalf("nonblocking write open with no reader: %v, want ENXIO", err)
 	}
-	// A blocking write open still succeeds (open-until-peer is not
-	// modelled), and so does a nonblocking one once a reader exists.
-	wh, err := fs.Open(root, ino, vfs.OWronly)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := fs.Release(root, wh); err != nil {
-		t.Fatal(err)
-	}
+	// Once a reader exists, both the nonblocking and the blocking write
+	// open succeed immediately (the blocking one has its peer).
 	rh, err := fs.Open(root, ino, vfs.ORdonly|vfs.ONonblock)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := fs.Open(root, ino, vfs.OWronly|vfs.ONonblock); err != nil {
 		t.Fatalf("nonblocking write open with reader present: %v", err)
+	}
+	if _, err := fs.Open(root, ino, vfs.OWronly); err != nil {
+		t.Fatalf("blocking write open with reader present: %v", err)
 	}
 	_ = rh
 }

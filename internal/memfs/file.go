@@ -55,10 +55,24 @@ func (fs *FS) Open(op *vfs.Op, ino vfs.Ino, flags vfs.OpenFlags) (vfs.Handle, er
 	if n.attr.Type == vfs.TypeFIFO {
 		// Count the pipe's open ends so reads see EOF once the last
 		// writer closes and writes fail with EPIPE once readers are gone.
-		// A nonblocking write-only open with no reader fails with ENXIO.
-		if err := n.pipeBuf().open(flags.Readable(), flags.Writable(),
-			flags&vfs.ONonblock != 0); err != nil {
+		// A nonblocking write-only open with no reader fails with ENXIO;
+		// a *blocking* single-direction open parks until the peer end is
+		// held, per fifo(7) — outside the filesystem lock, so a FIFO open
+		// waiting for its peer cannot wedge the whole filesystem
+		// (Read does the same for parked FIFO reads).
+		p := n.pipeBuf()
+		readable, writable := flags.Readable(), flags.Writable()
+		fs.mu.Unlock()
+		err := p.open(op, readable, writable, flags&vfs.ONonblock != 0)
+		fs.mu.Lock()
+		if err != nil {
 			return 0, err
+		}
+		if _, gerr := fs.get(ino); gerr != nil {
+			// The FIFO was unlinked and reaped while we parked; the end we
+			// registered must not linger.
+			p.release(readable, writable)
+			return 0, gerr
 		}
 	}
 	return fs.openLocked(ino, flags, false), nil

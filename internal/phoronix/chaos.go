@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"cntr/internal/policy"
 	"cntr/internal/stack"
 	"cntr/internal/vfs"
 )
@@ -75,6 +76,87 @@ func RunChaosAll(rules []vfs.FaultRule) ([]ChaosResult, error) {
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// ChaosErrnoProfile is ChaosProfile plus occasional injected errnos on
+// the data path — the composition workload for running chaos under an
+// enforced policy: the injected errors must surface in the collector's
+// errno histograms (and, usually, abort the benchmark that drew them)
+// without ever registering as policy denials or new profile rules.
+func ChaosErrnoProfile() []vfs.FaultRule {
+	return append(ChaosProfile(),
+		vfs.FaultRule{Kind: vfs.KindRead, Errno: vfs.EIO, EveryN: 701},
+		vfs.FaultRule{Kind: vfs.KindWrite, Errno: vfs.ENOSPC, EveryN: 887},
+	)
+}
+
+// ChaosEnforceResult is one benchmark replayed with fault injection and
+// policy enforcement composed on one chain.
+type ChaosEnforceResult struct {
+	Name    string
+	Time    time.Duration
+	Denials int64
+	Audited int64
+	// Err is the benchmark's outcome; injected errnos surface here (the
+	// workloads treat any errno as fatal) without aborting the sweep.
+	Err error
+}
+
+// RunChaosEnforced replays one benchmark on a fresh Cntr stack with the
+// full chain composed: a tracer feeding col outermost (so it records
+// injected errnos exactly as it records real ones), the policy enforcer
+// compiled from p next (policy decides at syscall entry), and the fault
+// injector innermost (faults model the backing store behind an admitted
+// operation). A nil col skips the tracer.
+func RunChaosEnforced(b *Benchmark, rules []vfs.FaultRule, p *policy.Profile, audit bool, col *policy.Collector) ChaosEnforceResult {
+	c := stack.NewCntr(stackConfig())
+	defer c.Close()
+	enf := policy.NewEnforcer(p, audit)
+	inj := vfs.NewFaultInjector(rules...)
+	inj.Sleep = func(d time.Duration) { c.Clock.Advance(d) }
+	var ics []vfs.Interceptor
+	if col != nil {
+		tr := vfs.NewTracer(1)
+		tr.Sink = col.NewRun().Sink
+		ics = append(ics, tr)
+	}
+	ics = append(ics, enf, inj)
+	top := vfs.Chain(c.Top, ics...)
+	t, _, err := RunOn(b, top, c.Host, c.Clock, c.Model, c.Disk, 42)
+	return ChaosEnforceResult{
+		Name: b.Name, Time: t,
+		Denials: enf.Denials(), Audited: enf.Audited(),
+		Err: err,
+	}
+}
+
+// RunChaosEnforcedAll replays the whole suite under composed chaos +
+// enforcement (nil rules means ChaosErrnoProfile).
+func RunChaosEnforcedAll(rules []vfs.FaultRule, p *policy.Profile, audit bool, col *policy.Collector) []ChaosEnforceResult {
+	if rules == nil {
+		rules = ChaosErrnoProfile()
+	}
+	out := make([]ChaosEnforceResult, 0, len(Suite))
+	for i := range Suite {
+		out = append(out, RunChaosEnforced(&Suite[i], rules, p, audit, col))
+	}
+	return out
+}
+
+// FormatChaosEnforceTable renders composed chaos + enforcement results.
+func FormatChaosEnforceTable(results []ChaosEnforceResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %12s %9s %9s %s\n",
+		"Benchmark", "time", "denials", "audited", "status")
+	for _, r := range results {
+		status := "ok"
+		if r.Err != nil {
+			status = r.Err.Error()
+		}
+		fmt.Fprintf(&b, "%-28s %12v %9d %9d %s\n",
+			r.Name, r.Time.Round(time.Microsecond), r.Denials, r.Audited, status)
+	}
+	return b.String()
 }
 
 // FormatChaosTable renders chaos results like FormatTable renders

@@ -24,6 +24,15 @@ type TraceResult struct {
 // enforceable profile from the returned collector (col.Profile) — this
 // is the recording half of the BEACON-style trace → policy loop.
 func RunTracedAll(col *policy.Collector) ([]TraceResult, error) {
+	return RunTracedAllOpts(col, false)
+}
+
+// RunTracedAllOpts is RunTracedAll with delivery selection: with
+// batched set, entries reach the collector through the tracer's batch
+// flusher (vfs.Tracer.StartBatchSink → Run.SinkBatch) instead of one
+// synchronous callback per operation, with a final flush before each
+// benchmark's stack is torn down.
+func RunTracedAllOpts(col *policy.Collector, batched bool) ([]TraceResult, error) {
 	out := make([]TraceResult, 0, len(Suite))
 	for i := range Suite {
 		b := &Suite[i]
@@ -33,12 +42,25 @@ func RunTracedAll(col *policy.Collector) ([]TraceResult, error) {
 		run := col.NewRun()
 		var ops int64
 		tr := vfs.NewTracer(1)
-		tr.Sink = func(e vfs.TraceEntry) {
-			ops++
-			run.Sink(e)
+		var stop func()
+		if batched {
+			// Lossless: the batches feed profile generation, where a shed
+			// entry silently weakens rules and byte ceilings.
+			stop = tr.StartBatchSink(func(batch []vfs.TraceEntry) {
+				ops += int64(len(batch))
+				run.SinkBatch(batch)
+			}, vfs.TraceBatchOptions{Lossless: true})
+		} else {
+			tr.Sink = func(e vfs.TraceEntry) {
+				ops++
+				run.Sink(e)
+			}
 		}
 		top := vfs.Chain(c.Top, tr)
 		t, _, err := RunOn(b, top, c.Host, c.Clock, c.Model, c.Disk, 42)
+		if stop != nil {
+			stop() // final flush; ops is stable after this
+		}
 		if err == nil {
 			col.JoinOriginStats(c.Server.OriginStats())
 		}

@@ -57,13 +57,16 @@ type Run struct {
 	paths map[vfs.Ino]string
 }
 
-// activity is one origin's aggregation state.
+// activity is one origin's aggregation state. Anchors live in a
+// path-component trie — the same structure the Enforcer matches rules
+// against — so per-prefix aggregation composes into subtree rollups
+// (PrefixActivity) without scanning every anchor.
 type activity struct {
 	ops        int64
 	readBytes  int64
 	writeBytes int64
 	kinds      map[vfs.OpKind]*kindAgg
-	anchors    map[string]*anchorAgg
+	anchors    pathTrie[*anchorAgg]
 	transport  fuse.OriginStats
 	joined     bool
 }
@@ -161,10 +164,14 @@ func renameTarget(paths map[vfs.Ino]string, newParent vfs.Ino, newName string) s
 // concurrently traced mounts, use a NewRun scope per mount.
 func (c *Collector) Sink(e vfs.TraceEntry) { c.run.Sink(e) }
 
-// Sink records one trace entry, learning paths in this run's scope and
-// aggregating into the shared collector.
-func (r *Run) Sink(e vfs.TraceEntry) {
-	r.mu.Lock()
+// SinkBatch records a batch of trace entries; point a vfs.Tracer's
+// batched sink (StartBatchSink) here. One batch pays for the path-table
+// and aggregation locks once instead of once per operation.
+func (c *Collector) SinkBatch(entries []vfs.TraceEntry) { c.run.SinkBatch(entries) }
+
+// resolveEntryLocked learns paths from one entry and returns its
+// anchor. Caller holds r.mu.
+func (r *Run) resolveEntryLocked(e vfs.TraceEntry) (anchor string) {
 	anchor, target := resolvePaths(r.paths, e.Ino, e.Name)
 	if e.ResultIno != 0 && target != "" {
 		// The operation resolved or created an inode: learn its path.
@@ -183,14 +190,41 @@ func (r *Run) Sink(e vfs.TraceEntry) {
 		// ever traced.
 		delete(r.paths, e.Ino)
 	}
-	r.mu.Unlock()
-	r.c.record(e, anchor)
+	return anchor
 }
 
-// record aggregates one resolved entry.
-func (c *Collector) record(e vfs.TraceEntry, anchor string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// Sink records one trace entry, learning paths in this run's scope and
+// aggregating into the shared collector.
+func (r *Run) Sink(e vfs.TraceEntry) {
+	r.mu.Lock()
+	anchor := r.resolveEntryLocked(e)
+	r.mu.Unlock()
+	r.c.mu.Lock()
+	r.c.recordLocked(e, anchor)
+	r.c.mu.Unlock()
+}
+
+// SinkBatch records a batch of entries in delivery order under one
+// round of locks — the consumer side of vfs.Tracer.StartBatchSink.
+func (r *Run) SinkBatch(entries []vfs.TraceEntry) {
+	if len(entries) == 0 {
+		return
+	}
+	anchors := make([]string, len(entries))
+	r.mu.Lock()
+	for i, e := range entries {
+		anchors[i] = r.resolveEntryLocked(e)
+	}
+	r.mu.Unlock()
+	r.c.mu.Lock()
+	for i, e := range entries {
+		r.c.recordLocked(e, anchors[i])
+	}
+	r.c.mu.Unlock()
+}
+
+// recordLocked aggregates one resolved entry. Caller holds c.mu.
+func (c *Collector) recordLocked(e vfs.TraceEntry, anchor string) {
 	a := c.origin(e.PID)
 	a.ops++
 	k := a.kinds[e.Kind]
@@ -211,24 +245,22 @@ func (c *Collector) record(e vfs.TraceEntry, anchor string) {
 	if key == "" {
 		key = unknownAnchor
 	}
-	an := a.anchors[key]
-	if an == nil {
-		an = &anchorAgg{kinds: make(map[vfs.OpKind]int64)}
-		a.anchors[key] = an
-	}
+	an := a.anchors.getOrCreate(key, newAnchorAgg)
 	an.kinds[e.Kind]++
 	an.ops++
 	an.bytes += int64(e.Bytes)
+}
+
+// newAnchorAgg materializes an empty per-anchor aggregate.
+func newAnchorAgg() *anchorAgg {
+	return &anchorAgg{kinds: make(map[vfs.OpKind]int64)}
 }
 
 // origin returns the aggregation state for one Op.PID. Caller holds c.mu.
 func (c *Collector) origin(pid uint32) *activity {
 	a, ok := c.origins[pid]
 	if !ok {
-		a = &activity{
-			kinds:   make(map[vfs.OpKind]*kindAgg),
-			anchors: make(map[string]*anchorAgg),
-		}
+		a = &activity{kinds: make(map[vfs.OpKind]*kindAgg)}
 		c.origins[pid] = a
 	}
 	return a
@@ -306,7 +338,7 @@ func (c *Collector) Snapshot() []Activity {
 			ReadBytes:  a.readBytes,
 			WriteBytes: a.writeBytes,
 			Kinds:      make(map[string]KindActivity, len(a.kinds)),
-			Paths:      make(map[string]PathActivity, len(a.anchors)),
+			Paths:      make(map[string]PathActivity, a.anchors.size()),
 		}
 		for kind, k := range a.kinds {
 			errnos := make(map[string]int64, len(k.errnos))
@@ -315,14 +347,14 @@ func (c *Collector) Snapshot() []Activity {
 			}
 			act.Kinds[kind.String()] = KindActivity{Ops: k.ops, Bytes: k.bytes, Errnos: errnos}
 		}
-		for anchor, an := range a.anchors {
+		a.anchors.walk(func(anchor string, an *anchorAgg) {
 			kinds := make([]string, 0, len(an.kinds))
 			for kind := range an.kinds {
 				kinds = append(kinds, kind.String())
 			}
 			sort.Strings(kinds)
 			act.Paths[anchor] = PathActivity{Kinds: kinds, Ops: an.ops, Bytes: an.bytes}
-		}
+		})
 		if a.joined {
 			act.Transport = &TransportActivity{
 				Ops:        a.transport.Ops,
@@ -382,12 +414,12 @@ func (c *Collector) Profile(opts GenOptions, origins ...uint32) *Profile {
 		outOrigins = append(outOrigins, pid)
 		readBytes += a.readBytes
 		writeBytes += a.writeBytes
-		for anchor, an := range a.anchors {
+		a.anchors.walk(func(anchor string, an *anchorAgg) {
 			if anchor == unknownAnchor {
 				for kind := range an.kinds {
 					anyKinds[kind] = true
 				}
-				continue
+				return
 			}
 			r := rules[anchor]
 			if r == nil {
@@ -397,7 +429,7 @@ func (c *Collector) Profile(opts GenOptions, origins ...uint32) *Profile {
 			for kind := range an.kinds {
 				r[kind] = true
 			}
-		}
+		})
 	}
 	p := &Profile{}
 	sort.Slice(outOrigins, func(i, j int) bool { return outOrigins[i] < outOrigins[j] })
@@ -419,6 +451,36 @@ func (c *Collector) Profile(opts GenOptions, origins ...uint32) *Profile {
 		p.MaxWriteBytes = int64(float64(writeBytes) * h)
 	}
 	return p
+}
+
+// PrefixActivity rolls one origin's recorded activity up across every
+// anchor at or beneath prefix — the subtree query the shared path trie
+// answers by walking only the matching subtree, not every anchor the
+// origin ever touched. The result's Kinds is the union of kinds seen
+// anywhere in the subtree.
+func (c *Collector) PrefixActivity(origin uint32, prefix string) PathActivity {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.origins[origin]
+	if !ok {
+		return PathActivity{}
+	}
+	var out PathActivity
+	kinds := make(map[vfs.OpKind]bool)
+	a.anchors.walkUnder(prefix, func(key string, an *anchorAgg) {
+		if key == unknownAnchor {
+			// Unattributed activity belongs to no subtree — a "/" rollup
+			// must match what Profile() would derive for the tree.
+			return
+		}
+		out.Ops += an.ops
+		out.Bytes += an.bytes
+		for kind := range an.kinds {
+			kinds[kind] = true
+		}
+	})
+	out.Kinds = kindNamesOf(kinds)
+	return out
 }
 
 // kindNamesOf renders a kind set as a sorted name list.

@@ -36,7 +36,7 @@ type Violation struct {
 // statfs) are always permitted: denying a release would leak the very
 // handle an allowed open created.
 type Enforcer struct {
-	c     compiled
+	m     *Matcher
 	audit bool
 
 	maxRead  int64
@@ -55,7 +55,7 @@ type Enforcer struct {
 // are recorded but never denied.
 func NewEnforcer(p *Profile, audit bool) *Enforcer {
 	return &Enforcer{
-		c:        p.compile(),
+		m:        p.Compile(),
 		audit:    audit,
 		maxRead:  p.MaxReadBytes,
 		maxWrite: p.MaxWriteBytes,
@@ -77,7 +77,7 @@ func exempt(k vfs.OpKind) bool {
 func (e *Enforcer) gateLocked(info *vfs.OpInfo, target string) (deny bool) {
 	var reason string
 	if !exempt(info.Kind) {
-		if !e.c.allows(info.Kind, target) {
+		if !e.m.Allows(info.Kind, target) {
 			reason = "off-profile"
 		} else if info.Kind == vfs.KindRead && e.maxRead > 0 && e.readBytes >= e.maxRead {
 			reason = "read ceiling"

@@ -76,15 +76,21 @@ func Load(data []byte) (*Profile, error) {
 }
 
 // compiledRule is a rule with its kind set folded into a bitmask for
-// matching on the hot path (numOpKinds < 64).
+// matching (numOpKinds < 64); used by the linear reference matcher.
 type compiledRule struct {
 	prefix string
 	kinds  uint64
 }
 
-// compiled is a profile in matchable form.
-type compiled struct {
-	rules    []compiledRule
+// Matcher is a profile compiled for rule lookup on the hot path. The
+// production form (Compile) indexes the rules in a path-component trie,
+// so one lookup walks O(path depth) nodes no matter how many rules the
+// profile holds; CompileLinear builds the pre-trie reference that scans
+// every rule per lookup, kept for differential tests and as the
+// baseline side of BenchmarkEnforcerLookup.
+type Matcher struct {
+	trie     *pathTrie[uint64] // per-subtree kind masks (nil in linear form)
+	rules    []compiledRule    // linear reference (nil in trie form)
 	anyKinds uint64
 }
 
@@ -106,15 +112,33 @@ func kindMask(names []string) uint64 {
 	return mask
 }
 
-// compile folds a profile's name lists into bitmasks; unknown kind
-// names are ignored (Load rejects them earlier).
-func (p *Profile) compile() compiled {
-	var c compiled
+// Compile folds the profile's name lists into bitmasks and indexes the
+// rules in a path-component trie: each rule's kind mask lands on the
+// node for its prefix, and a lookup ORs the masks of every stored
+// prefix on the way down to the target path. Unknown kind names are
+// ignored (Load rejects them earlier).
+func (p *Profile) Compile() *Matcher {
+	m := &Matcher{trie: &pathTrie[uint64]{}, anyKinds: kindMask(p.AnyPathKinds)}
 	for _, r := range p.Rules {
-		c.rules = append(c.rules, compiledRule{prefix: r.Prefix, kinds: kindMask(r.Kinds)})
+		node := m.trie.at(r.Prefix, true)
+		if !node.set {
+			node.key, node.set = r.Prefix, true
+			m.trie.n++
+		}
+		node.val |= kindMask(r.Kinds)
 	}
-	c.anyKinds = kindMask(p.AnyPathKinds)
-	return c
+	return m
+}
+
+// CompileLinear builds the pre-trie reference matcher that scans every
+// rule per lookup. Kept for differential tests and benchmarks; the
+// Enforcer uses Compile.
+func (p *Profile) CompileLinear() *Matcher {
+	m := &Matcher{anyKinds: kindMask(p.AnyPathKinds)}
+	for _, r := range p.Rules {
+		m.rules = append(m.rules, compiledRule{prefix: r.Prefix, kinds: kindMask(r.Kinds)})
+	}
+	return m
 }
 
 // matches reports whether path lies within the rule's subtree.
@@ -128,27 +152,39 @@ func (r *compiledRule) matches(path string) bool {
 	return strings.HasPrefix(path, r.prefix+"/")
 }
 
-// allows reports whether the compiled profile permits kind at path. An
-// empty path means the target is unknown; only any-path kinds apply.
-func (c *compiled) allows(kind vfs.OpKind, path string) bool {
+// Allows reports whether the matcher permits kind at path. An empty
+// path means the target is unknown; only any-path kinds apply. In trie
+// form the lookup is O(path components) — independent of how many
+// rules the profile holds.
+func (m *Matcher) Allows(kind vfs.OpKind, path string) bool {
 	bit := kindBit(kind)
-	if c.anyKinds&bit != 0 {
+	if m.anyKinds&bit != 0 {
 		return true
 	}
 	if path == "" {
 		return false
 	}
-	for i := range c.rules {
-		if c.rules[i].kinds&bit != 0 && c.rules[i].matches(path) {
-			return true
+	if m.trie == nil {
+		for i := range m.rules {
+			if m.rules[i].kinds&bit != 0 && m.rules[i].matches(path) {
+				return true
+			}
 		}
+		return false
 	}
-	return false
+	allowed := false
+	m.trie.visitPrefixes(path, func(mask uint64) bool {
+		if mask&bit != 0 {
+			allowed = true
+			return false
+		}
+		return true
+	})
+	return allowed
 }
 
 // Allows reports whether the profile permits kind at path — the
 // offline query mirror of what the Enforcer checks online.
 func (p *Profile) Allows(kind vfs.OpKind, path string) bool {
-	c := p.compile()
-	return c.allows(kind, path)
+	return p.Compile().Allows(kind, path)
 }

@@ -1,0 +1,154 @@
+package policy
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"cntr/internal/vfs"
+)
+
+// TestMatcherTrieMatchesLinear is the differential check behind the trie
+// rewrite: for a rule set full of nested, sibling and near-miss
+// prefixes, the trie matcher must agree with the pre-trie linear scan on
+// every (kind, path) probe.
+func TestMatcherTrieMatchesLinear(t *testing.T) {
+	p := &Profile{
+		Rules: []Rule{
+			{Prefix: "/", Kinds: []string{"statfs"}},
+			{Prefix: "/srv", Kinds: []string{"lookup"}},
+			{Prefix: "/srv/app", Kinds: []string{"read"}},
+			{Prefix: "/srv/app/data", Kinds: []string{"write"}},
+			{Prefix: "/srv/app2", Kinds: []string{"unlink"}},
+			{Prefix: "/etc", Kinds: []string{"read", "getattr"}},
+			{Prefix: "/var/log", Kinds: []string{"write"}},
+		},
+		AnyPathKinds: []string{"flush"},
+	}
+	trie, linear := p.Compile(), p.CompileLinear()
+
+	paths := []string{
+		"", "/", "/srv", "/srv/app", "/srv/app/data", "/srv/app/data/x/y",
+		"/srv/app2", "/srv/app23", "/srv/appx", "/srv/ap", "/etc",
+		"/etc/passwd", "/var", "/var/log", "/var/logs", "/var/log/syslog",
+		"/unrelated", "/srv/app/datax",
+	}
+	kinds := []vfs.OpKind{
+		vfs.KindLookup, vfs.KindRead, vfs.KindWrite, vfs.KindUnlink,
+		vfs.KindGetattr, vfs.KindStatfs, vfs.KindFlush, vfs.KindMkdir,
+	}
+	for _, path := range paths {
+		for _, kind := range kinds {
+			got, want := trie.Allows(kind, path), linear.Allows(kind, path)
+			if got != want {
+				t.Errorf("Allows(%v, %q): trie=%v linear=%v", kind, path, got, want)
+			}
+		}
+	}
+}
+
+// TestMatcherTrieDeepProfile: lookup cost aside, correctness must hold
+// when the profile holds many disjoint subtrees — the regime the trie
+// exists for — including the deterministic deny of near-miss siblings.
+func TestMatcherTrieDeepProfile(t *testing.T) {
+	p := &Profile{}
+	for i := 0; i < 500; i++ {
+		p.Rules = append(p.Rules, Rule{
+			Prefix: fmt.Sprintf("/srv/app%03d/data", i),
+			Kinds:  []string{"read", "lookup"},
+		})
+	}
+	m := p.Compile()
+	if !m.Allows(vfs.KindRead, "/srv/app499/data/logs/x.log") {
+		t.Fatal("deep rule did not match its own subtree")
+	}
+	if m.Allows(vfs.KindRead, "/srv/app499/datax") {
+		t.Fatal("sibling with shared byte-prefix matched (component matching broken)")
+	}
+	if m.Allows(vfs.KindWrite, "/srv/app499/data/x") {
+		t.Fatal("kind outside the rule's mask allowed")
+	}
+	if m.Allows(vfs.KindRead, "/srv/app500/data") {
+		t.Fatal("unlisted subtree allowed")
+	}
+}
+
+// mkEntry builds a lookup-style entry that binds (parent, name) → ino.
+func mkEntry(pid uint32, kind vfs.OpKind, ino, result vfs.Ino, name string, bytes int, errno vfs.Errno) vfs.TraceEntry {
+	return vfs.TraceEntry{Kind: kind, PID: pid, Ino: ino, ResultIno: result,
+		Name: name, Bytes: bytes, Errno: errno}
+}
+
+// TestCollectorBatchMatchesSync: feeding the same trace through Sink
+// entry-by-entry and through SinkBatch in batches must produce identical
+// snapshots and identical generated profiles.
+func TestCollectorBatchMatchesSync(t *testing.T) {
+	trace := []vfs.TraceEntry{
+		mkEntry(7, vfs.KindLookup, vfs.RootIno, 2, "srv", 0, vfs.OK),
+		mkEntry(7, vfs.KindMkdir, 2, 3, "data", 0, vfs.OK),
+		mkEntry(7, vfs.KindCreate, 3, 4, "f", 0, vfs.OK),
+		mkEntry(7, vfs.KindWrite, 4, 0, "", 4096, vfs.OK),
+		mkEntry(7, vfs.KindRead, 4, 0, "", 4096, vfs.OK),
+		mkEntry(8, vfs.KindLookup, vfs.RootIno, 2, "srv", 0, vfs.OK),
+		mkEntry(8, vfs.KindUnlink, 2, 0, "ghost", 0, vfs.ENOENT),
+		mkEntry(7, vfs.KindForget, 4, 0, "", 0, vfs.OK),
+		mkEntry(7, vfs.KindRead, 9, 0, "", 512, vfs.OK), // unknown ino → "?"
+	}
+
+	sync := NewCollector()
+	for _, e := range trace {
+		sync.Sink(e)
+	}
+	batched := NewCollector()
+	batched.SinkBatch(trace[:4])
+	batched.SinkBatch(trace[4:])
+
+	a, b := sync.Snapshot(), batched.Snapshot()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("snapshots diverge:\nsync:  %+v\nbatch: %+v", a, b)
+	}
+	pa, pb := sync.Profile(GenOptions{}), batched.Profile(GenOptions{})
+	if !reflect.DeepEqual(pa, pb) {
+		t.Fatalf("profiles diverge:\nsync:  %+v\nbatch: %+v", pa, pb)
+	}
+}
+
+// TestCollectorPrefixActivity: the trie rollup sums a subtree and only
+// that subtree.
+func TestCollectorPrefixActivity(t *testing.T) {
+	c := NewCollector()
+	c.SinkBatch([]vfs.TraceEntry{
+		mkEntry(7, vfs.KindLookup, vfs.RootIno, 2, "srv", 0, vfs.OK),
+		mkEntry(7, vfs.KindMkdir, 2, 3, "data", 0, vfs.OK),
+		mkEntry(7, vfs.KindCreate, 3, 4, "f", 0, vfs.OK),
+		mkEntry(7, vfs.KindWrite, 4, 0, "", 100, vfs.OK),
+		mkEntry(7, vfs.KindLookup, vfs.RootIno, 5, "etc", 0, vfs.OK),
+		mkEntry(7, vfs.KindGetattr, 5, 0, "", 0, vfs.OK),
+	})
+	srv := c.PrefixActivity(7, "/srv")
+	// Anchored beneath /srv: the mkdir (anchor /srv), create (anchor
+	// /srv/data) and write (anchor /srv/data/f).
+	if srv.Ops != 3 || srv.Bytes != 100 {
+		t.Fatalf("/srv rollup = %+v, want 3 ops / 100 bytes", srv)
+	}
+	wantKinds := []string{"create", "mkdir", "write"}
+	gotKinds := append([]string(nil), srv.Kinds...)
+	sort.Strings(gotKinds)
+	if !reflect.DeepEqual(gotKinds, wantKinds) {
+		t.Fatalf("/srv rollup kinds = %v, want %v", gotKinds, wantKinds)
+	}
+	// Unattributed activity (the "?" anchor) stays out of every subtree
+	// rollup, including "/": PrefixActivity must agree with Profile(),
+	// which routes unknown-path activity to the any-path kinds instead.
+	c.Sink(mkEntry(7, vfs.KindRead, 999, 0, "", 77, vfs.OK))
+	if all := c.PrefixActivity(7, "/"); all.Ops != 6 || all.Bytes != 100 {
+		t.Fatalf("/ rollup = %+v, want 6 ops / 100 bytes (unknown anchor excluded)", all)
+	}
+	if none := c.PrefixActivity(7, "/nope"); none.Ops != 0 {
+		t.Fatalf("/nope rollup = %+v, want empty", none)
+	}
+	if other := c.PrefixActivity(99, "/"); other.Ops != 0 {
+		t.Fatalf("unknown origin rollup = %+v, want empty", other)
+	}
+}

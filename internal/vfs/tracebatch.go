@@ -1,0 +1,194 @@
+package vfs
+
+import (
+	"sync"
+	"time"
+)
+
+// TraceBatchOptions tunes a tracer's batched sink mode (see
+// Tracer.StartBatchSink). Zero values select the defaults.
+type TraceBatchOptions struct {
+	// FlushSize is the entry count that triggers an immediate flush
+	// (default 256). Batches delivered to the sink are at most this
+	// large plus whatever accumulated while the flusher was busy.
+	FlushSize int
+	// FlushInterval bounds how long an entry may sit buffered before the
+	// timer flushes it (default 5ms) — the staleness ceiling for
+	// consumers polling collector state.
+	FlushInterval time.Duration
+	// Capacity bounds the buffered entries between flushes (default
+	// 16×FlushSize). When the consumer cannot keep up, further entries
+	// are counted as dropped instead of blocking the data path — unless
+	// Lossless is set.
+	Capacity int
+	// Lossless makes a full buffer apply backpressure: the traced
+	// operation waits for the flusher instead of shedding the entry.
+	// Use it when the consumer is a policy recorder — a shed entry
+	// there silently weakens the generated profile (a lost Lookup
+	// unlearns a path; lost Reads undercount the byte ceilings).
+	// Stopping the sink wakes blocked producers; entries they could not
+	// queue are counted as dropped.
+	Lossless bool
+}
+
+// withDefaults resolves zero fields.
+func (o TraceBatchOptions) withDefaults() TraceBatchOptions {
+	if o.FlushSize <= 0 {
+		o.FlushSize = 256
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 5 * time.Millisecond
+	}
+	if o.Capacity <= 0 {
+		o.Capacity = 16 * o.FlushSize
+	}
+	if o.Capacity < o.FlushSize {
+		o.Capacity = o.FlushSize
+	}
+	return o
+}
+
+// batchState is the tracer's batched-delivery machinery: a buffer the
+// data path appends to under the tracer's lock, and a flusher goroutine
+// that swaps the buffer out and hands batches to the sink. The data
+// path never invokes the sink and never blocks on it — when the buffer
+// is full the entry is dropped and counted.
+type batchState struct {
+	sink  func([]TraceEntry)
+	opts  TraceBatchOptions
+	kick  chan struct{}
+	stop  chan struct{}
+	done  chan struct{}
+	spare []TraceEntry // recycled buffer, owned by the flusher between swaps
+	// room (on the tracer's mutex) wakes lossless producers blocked on a
+	// full buffer when the flusher swaps it out or the sink stops.
+	room *sync.Cond
+}
+
+// StartBatchSink switches the tracer into batched delivery: every
+// traced operation appends its entry to a bounded buffer, and a flusher
+// goroutine delivers batches to sink whenever FlushSize entries
+// accumulate or FlushInterval elapses. While batch mode is active the
+// synchronous Sink callback is not invoked — the data path pays an
+// append instead of a callback per operation. The returned stop
+// function flushes whatever is buffered, stops the flusher, and
+// restores synchronous delivery; it is safe to call once.
+//
+// Backpressure is shed by default: when the buffer reaches Capacity
+// before the flusher drains it, new entries are discarded and counted
+// in DroppedEntries. With Lossless set the data path waits for the
+// flusher instead — the right trade when the batches feed policy
+// generation, where a shed entry silently weakens the profile. The
+// ring buffer behind Entries still records every operation regardless.
+func (t *Tracer) StartBatchSink(sink func([]TraceEntry), opts TraceBatchOptions) (stop func()) {
+	opts = opts.withDefaults()
+	b := &batchState{
+		sink: sink,
+		opts: opts,
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	b.room = sync.NewCond(&t.mu)
+	t.mu.Lock()
+	if t.batch != nil {
+		t.mu.Unlock()
+		panic("vfs: Tracer.StartBatchSink called while a batch sink is active")
+	}
+	t.batch = b
+	t.buf = make([]TraceEntry, 0, opts.FlushSize)
+	b.spare = make([]TraceEntry, 0, opts.FlushSize)
+	t.mu.Unlock()
+
+	go t.flushLoop(b)
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(b.stop)
+			<-b.done
+			// A producer may have appended between the flusher's final
+			// flush and this point; hand that tail to the sink rather than
+			// discarding it — stop() promises everything buffered is
+			// delivered.
+			t.mu.Lock()
+			t.batch = nil
+			tail := t.buf
+			t.buf = nil
+			b.room.Broadcast() // release lossless producers; they count as dropped
+			t.mu.Unlock()
+			if len(tail) > 0 {
+				b.sink(tail)
+			}
+		})
+	}
+}
+
+// flushLoop is the flusher goroutine: it drains the buffer on size
+// kicks, on the interval timer, and once more on stop.
+func (t *Tracer) flushLoop(b *batchState) {
+	defer close(b.done)
+	ticker := time.NewTicker(b.opts.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-b.stop:
+			t.flushBatch(b)
+			return
+		case <-b.kick:
+		case <-ticker.C:
+		}
+		t.flushBatch(b)
+	}
+}
+
+// flushBatch swaps the live buffer for the spare and delivers the
+// entries outside the tracer's lock, so the data path keeps appending
+// while the sink runs.
+func (t *Tracer) flushBatch(b *batchState) {
+	t.mu.Lock()
+	batch := t.buf
+	t.buf = b.spare[:0]
+	b.room.Broadcast() // the buffer has room again
+	t.mu.Unlock()
+	if len(batch) > 0 {
+		b.sink(batch)
+	}
+	b.spare = batch[:0]
+}
+
+// appendBatchLocked queues one entry for batched delivery; caller holds
+// t.mu and has checked t.batch != nil. A full buffer sheds the entry —
+// or, in lossless mode, waits for the flusher to make room.
+func (t *Tracer) appendBatchLocked(e TraceEntry) {
+	b := t.batch
+	if b.opts.Lossless {
+		for len(t.buf) >= b.opts.Capacity && t.batch == b {
+			b.room.Wait()
+		}
+		if t.batch != b {
+			// The sink stopped while we waited; the entry has nowhere to go.
+			t.dropped++
+			return
+		}
+	} else if len(t.buf) >= b.opts.Capacity {
+		t.dropped++
+		return
+	}
+	t.buf = append(t.buf, e)
+	if len(t.buf) >= b.opts.FlushSize {
+		select {
+		case b.kick <- struct{}{}:
+		default: // a kick is already pending
+		}
+	}
+}
+
+// DroppedEntries reports how many entries batched delivery discarded
+// because the buffer was full — nonzero means the sink is not keeping
+// up with the data path.
+func (t *Tracer) DroppedEntries() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}

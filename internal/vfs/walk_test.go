@@ -145,10 +145,26 @@ func TestCanceledOpAbortsBlockedRead(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h, err := fs.Open(cli.Op, r.Ino, vfs.ORdonly)
-	if err != nil {
+	// Open both ends concurrently: a blocking single-direction FIFO open
+	// parks until its peer arrives (fifo(7) open-until-peer). The writer
+	// stays open and idle, so the read below blocks in read, not open.
+	type openRes struct {
+		h   vfs.Handle
+		err error
+	}
+	rc := make(chan openRes, 1)
+	go func() {
+		h, oerr := fs.Open(vfs.RootOp(), r.Ino, vfs.ORdonly)
+		rc <- openRes{h, oerr}
+	}()
+	if _, err := fs.Open(cli.Op, r.Ino, vfs.OWronly); err != nil {
 		t.Fatal(err)
 	}
+	or := <-rc
+	if or.err != nil {
+		t.Fatal(or.err)
+	}
+	h := or.h
 	ctx, cancel := context.WithCancel(context.Background())
 	op := vfs.NewOp(ctx, vfs.Root())
 	done := make(chan error, 1)
