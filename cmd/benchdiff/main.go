@@ -1,0 +1,102 @@
+// Command benchdiff compares two BENCH_<n>.json files (as written by
+// cmd/benchjson) and exits non-zero when any benchmark they share
+// regressed past the threshold. It is the gate half of the repo's
+// benchmark workflow:
+//
+//	go test -run=NONE -bench=. . | go run ./cmd/benchjson > new.json
+//	go run ./cmd/benchdiff -threshold 1.25 BENCH_6.json new.json
+//
+// The default metric is ns/op; -metric compares a custom ReportMetric
+// unit instead (e.g. dedup-ratio), and -higher-better inverts the
+// regression direction for metrics where bigger is better. Benchmarks
+// present in only one file are reported but never gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"cntr/internal/benchfmt"
+)
+
+func value(r benchfmt.Result, metric string) (float64, bool) {
+	if metric == "ns/op" {
+		return r.NsPerOp, r.NsPerOp != 0
+	}
+	v, ok := r.Metrics[metric]
+	return v, ok
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 1.25,
+		"fail when new/old (or old/new with -higher-better) exceeds this ratio")
+	metric := flag.String("metric", "ns/op", "which metric to compare")
+	higherBetter := flag.Bool("higher-better", false,
+		"treat decreases of the metric as regressions instead of increases")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 1.25] [-metric ns/op] old.json new.json")
+		os.Exit(2)
+	}
+	old, err := benchfmt.Read(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	niu, err := benchfmt.Read(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(old.Benchmarks))
+	for name := range old.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-40s %14s %14s %8s\n", "benchmark ("+*metric+")", "old", "new", "ratio")
+	regressions := 0
+	compared := 0
+	for _, name := range names {
+		nr, ok := niu.Benchmarks[name]
+		if !ok {
+			fmt.Printf("%-40s %14s %14s %8s\n", name, "-", "-", "gone")
+			continue
+		}
+		ov, ook := value(old.Benchmarks[name], *metric)
+		nv, nok := value(nr, *metric)
+		if !ook || !nok || ov == 0 {
+			continue
+		}
+		compared++
+		ratio := nv / ov
+		worse := ratio
+		if *higherBetter {
+			worse = ov / nv
+		}
+		mark := ""
+		if worse > *threshold {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-40s %14.1f %14.1f %7.2fx%s\n", name, ov, nv, ratio, mark)
+	}
+	for name := range niu.Benchmarks {
+		if _, ok := old.Benchmarks[name]; !ok {
+			fmt.Printf("%-40s %14s %14s %8s\n", name, "-", "-", "new")
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no comparable benchmarks between the two files")
+		os.Exit(2)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed past %.2fx\n",
+			regressions, *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("ok: %d benchmark(s) within %.2fx\n", compared, *threshold)
+}

@@ -1,94 +1,23 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // JSON results file on stdout — the machine-readable form CI records as
-// BENCH_<n>.json artifacts so perf regressions are diffable across PRs.
+// BENCH_<n>.json artifacts so perf regressions are diffable across PRs
+// (see cmd/benchdiff for the comparison side).
 //
 //	go test -run=NONE -bench='ReqTablePop|TracerSink|EnforcerLookup' . |
 //	    go run ./cmd/benchjson > BENCH_5.json
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+
+	"cntr/internal/benchfmt"
 )
 
-// Result is one benchmark line.
-type Result struct {
-	Iterations int64 `json:"iterations"`
-	// NsPerOp is the wall-clock cost the benchmark framework reports.
-	NsPerOp float64 `json:"ns_per_op"`
-	// Metrics holds every further `value unit` pair (B/op, allocs/op,
-	// custom ReportMetric units).
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Output is the file layout.
-type Output struct {
-	// Context echoes the goos/goarch/pkg/cpu header lines.
-	Context map[string]string `json:"context,omitempty"`
-	// Benchmarks maps the benchmark name (Benchmark prefix and
-	// GOMAXPROCS suffix stripped) to its result.
-	Benchmarks map[string]Result `json:"benchmarks"`
-}
-
-// trimProcs strips the -<GOMAXPROCS> suffix go test appends.
-func trimProcs(name string) string {
-	i := strings.LastIndex(name, "-")
-	if i < 0 {
-		return name
-	}
-	if _, err := strconv.Atoi(name[i+1:]); err != nil {
-		return name
-	}
-	return name[:i]
-}
-
 func main() {
-	out := Output{
-		Context:    make(map[string]string),
-		Benchmarks: make(map[string]Result),
-	}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		if k, v, ok := strings.Cut(line, ": "); ok && !strings.HasPrefix(line, "Benchmark") {
-			switch k {
-			case "goos", "goarch", "pkg", "cpu":
-				out.Context[k] = v
-			}
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-			continue
-		}
-		iters, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			continue
-		}
-		r := Result{Iterations: iters, Metrics: make(map[string]float64)}
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				continue
-			}
-			if fields[i+1] == "ns/op" {
-				r.NsPerOp = v
-			} else {
-				r.Metrics[fields[i+1]] = v
-			}
-		}
-		if len(r.Metrics) == 0 {
-			r.Metrics = nil
-		}
-		name := trimProcs(strings.TrimPrefix(fields[0], "Benchmark"))
-		out.Benchmarks[name] = r
-	}
-	if err := sc.Err(); err != nil {
+	out, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

@@ -18,6 +18,10 @@
 // injector *and* the policy enforcer on one chain (plus errno-injecting
 // rules), demonstrating that injected faults surface as errnos in the
 // trace, never as policy denials.
+//
+// -chaos-blob injects faults one layer lower: the host filesystem's
+// content-addressed blob store occasionally loses or corrupts chunks,
+// which must surface as EIO through the whole stack.
 package main
 
 import (
@@ -33,6 +37,8 @@ import (
 func main() {
 	chaos := flag.Bool("chaos", false,
 		"run the suite under the fault/latency-injection profile and report degradation")
+	chaosBlob := flag.Bool("chaos-blob", false,
+		"run the suite over a fault-injecting content-addressed backend store")
 	traceOut := flag.String("trace-out", "",
 		"trace the suite and write the generated policy profile JSON to this file")
 	enforce := flag.String("enforce", "",
@@ -58,6 +64,13 @@ func main() {
 
 	if *chaos && *enforce != "" {
 		runChaosEnforced(*enforce, *audit)
+		return
+	}
+
+	if *chaosBlob {
+		results := phoronix.RunChaosBlobAll(nil)
+		fmt.Println("== Backend-store chaos: CntrFS over a faulty blob store ==")
+		fmt.Print(phoronix.FormatChaosBlobTable(results))
 		return
 	}
 

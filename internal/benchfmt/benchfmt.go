@@ -1,0 +1,103 @@
+// Package benchfmt holds the benchmark results format shared by
+// cmd/benchjson (which converts `go test -bench` text into it) and
+// cmd/benchdiff (which compares two such files and gates regressions).
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the wall-clock cost the benchmark framework reports.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every further `value unit` pair (B/op, allocs/op,
+	// custom ReportMetric units).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the BENCH_<n>.json layout.
+type File struct {
+	// Context echoes the goos/goarch/pkg/cpu header lines.
+	Context map[string]string `json:"context,omitempty"`
+	// Benchmarks maps the benchmark name (Benchmark prefix and
+	// GOMAXPROCS suffix stripped) to its result.
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// trimProcs strips the -<GOMAXPROCS> suffix go test appends.
+func trimProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Parse reads `go test -bench` text output into a File.
+func Parse(r io.Reader) (File, error) {
+	out := File{
+		Context:    make(map[string]string),
+		Benchmarks: make(map[string]Result),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if k, v, ok := strings.Cut(line, ": "); ok && !strings.HasPrefix(line, "Benchmark") {
+			switch k {
+			case "goos", "goarch", "pkg", "cpu":
+				out.Context[k] = v
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Iterations: iters, Metrics: make(map[string]float64)}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if fields[i+1] == "ns/op" {
+				res.NsPerOp = v
+			} else {
+				res.Metrics[fields[i+1]] = v
+			}
+		}
+		if len(res.Metrics) == 0 {
+			res.Metrics = nil
+		}
+		name := trimProcs(strings.TrimPrefix(fields[0], "Benchmark"))
+		out.Benchmarks[name] = res
+	}
+	return out, sc.Err()
+}
+
+// Read loads a BENCH_<n>.json file from disk.
+func Read(path string) (File, error) {
+	var f File
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(blob, &f); err != nil {
+		return f, err
+	}
+	return f, nil
+}

@@ -1,0 +1,57 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: cntr
+cpu: Imaginary CPU @ 3.00GHz
+BenchmarkReqTablePop-8   	 5000000	       231.5 ns/op	      48 B/op	       1 allocs/op
+BenchmarkFleetDedup-8    	      10	 120000000 ns/op	         3.010 dedup-ratio
+BenchmarkNoMetrics-8     	     100	     10000 ns/op
+PASS
+ok  	cntr	2.345s
+`
+
+func TestParse(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Context["goos"] != "linux" || f.Context["cpu"] != "Imaginary CPU @ 3.00GHz" {
+		t.Fatalf("context: %+v", f.Context)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks", len(f.Benchmarks))
+	}
+	r := f.Benchmarks["ReqTablePop"]
+	if r.Iterations != 5000000 || r.NsPerOp != 231.5 {
+		t.Fatalf("ReqTablePop: %+v", r)
+	}
+	if r.Metrics["B/op"] != 48 || r.Metrics["allocs/op"] != 1 {
+		t.Fatalf("metrics: %+v", r.Metrics)
+	}
+	if f.Benchmarks["FleetDedup"].Metrics["dedup-ratio"] != 3.010 {
+		t.Fatalf("custom metric lost: %+v", f.Benchmarks["FleetDedup"])
+	}
+	if f.Benchmarks["NoMetrics"].Metrics != nil {
+		t.Fatal("empty metrics map must be elided")
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"Foo-8":     "Foo",
+		"Foo-128":   "Foo",
+		"Foo-bar":   "Foo-bar",
+		"Foo/sub-4": "Foo/sub",
+		"Foo":       "Foo",
+	} {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

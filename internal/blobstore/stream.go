@@ -1,0 +1,152 @@
+package blobstore
+
+import "io"
+
+// storeChunkSize resolves the chunk size streaming helpers split at:
+// the store's preferred size when it advertises one, else 4096.
+func storeChunkSize(s Store) int {
+	if c, ok := s.(Chunker); ok && c.ChunkSize() > 0 {
+		return c.ChunkSize()
+	}
+	return 4096
+}
+
+// WriteChunks streams r into s in fixed-size chunks and returns the
+// chunk references in order plus the total byte count. Splitting at the
+// store's chunk size means two writers streaming identical content
+// produce identical chunk sequences — the alignment dedup depends on.
+func WriteChunks(s Store, r io.Reader) ([]Ref, int64, error) {
+	size := storeChunkSize(s)
+	buf := make([]byte, size)
+	var refs []Ref
+	var total int64
+	for {
+		n, err := io.ReadFull(r, buf)
+		if n > 0 {
+			ref, perr := s.Put(buf[:n])
+			if perr != nil {
+				unwindRefs(s, refs)
+				return nil, 0, perr
+			}
+			refs = append(refs, ref)
+			total += int64(n)
+		}
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return refs, total, nil
+		}
+		if err != nil {
+			unwindRefs(s, refs)
+			return nil, 0, err
+		}
+	}
+}
+
+// PutBytes chunks data (already in memory) into s; see WriteChunks.
+func PutBytes(s Store, data []byte) ([]Ref, error) {
+	size := storeChunkSize(s)
+	refs := make([]Ref, 0, (len(data)+size-1)/size)
+	for off := 0; off < len(data); off += size {
+		end := off + size
+		if end > len(data) {
+			end = len(data)
+		}
+		ref, err := s.Put(data[off:end])
+		if err != nil {
+			unwindRefs(s, refs)
+			return nil, err
+		}
+		refs = append(refs, ref)
+	}
+	return refs, nil
+}
+
+// DeleteAll drops one reference on every ref, returning the first
+// error; the release half of WriteChunks/PutBytes.
+func DeleteAll(s Store, refs []Ref) error {
+	var first error
+	for _, ref := range refs {
+		if err := s.Delete(ref); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func unwindRefs(s Store, refs []Ref) {
+	for _, ref := range refs {
+		s.Delete(ref)
+	}
+}
+
+// Reader streams the concatenation of fixed-size chunks back out of a
+// store, implementing io.Reader and io.ReaderAt over a chunk list
+// produced by WriteChunks/PutBytes with the same store.
+type Reader struct {
+	s     Store
+	refs  []Ref
+	chunk int
+	size  int64
+	off   int64
+}
+
+// NewReader returns a reader over refs whose chunks are chunkSize bytes
+// except possibly the last; size is the total content length. A
+// chunkSize <= 0 uses the store's preferred size.
+func NewReader(s Store, refs []Ref, chunkSize int, size int64) *Reader {
+	if chunkSize <= 0 {
+		chunkSize = storeChunkSize(s)
+	}
+	return &Reader{s: s, refs: refs, chunk: chunkSize, size: size}
+}
+
+// Size returns the total content length.
+func (r *Reader) Size() int64 { return r.size }
+
+// ReadAt implements io.ReaderAt.
+func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if off >= r.size {
+		return 0, io.EOF
+	}
+	want := int64(len(p))
+	if off+want > r.size {
+		want = r.size - off
+	}
+	var read int64
+	for read < want {
+		idx := (off + read) / int64(r.chunk)
+		bo := (off + read) % int64(r.chunk)
+		if idx >= int64(len(r.refs)) {
+			return int(read), io.ErrUnexpectedEOF
+		}
+		data, err := r.s.Get(r.refs[idx])
+		if err != nil {
+			return int(read), err
+		}
+		if bo >= int64(len(data)) {
+			return int(read), io.ErrUnexpectedEOF
+		}
+		n := copy(p[read:want], data[bo:])
+		read += int64(n)
+	}
+	var err error
+	if off+read >= r.size && read < int64(len(p)) {
+		err = io.EOF
+	}
+	return int(read), err
+}
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.off >= r.size {
+		return 0, io.EOF
+	}
+	n, err := r.ReadAt(p, r.off)
+	r.off += int64(n)
+	if err == io.EOF && n > 0 {
+		err = nil
+	}
+	return n, err
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	"cntr/internal/blobstore"
 	"cntr/internal/memfs"
 	"cntr/internal/unionfs"
 	"cntr/internal/vfs"
@@ -40,6 +41,33 @@ type Layer struct {
 	ID   string
 	FS   vfs.FS
 	Size int64 // total content bytes, the unit of registry transfer
+	// Store is the backend blob store the layer's content lives in, and
+	// Refs the block references backing it — the chunk-level identity a
+	// registry transfers and dedups by. Both are nil for layers built
+	// on a non-store filesystem.
+	Store blobstore.Store
+	Refs  []blobstore.Ref
+}
+
+// PhysicalSize is the layer's deduped storage footprint: unique chunk
+// bytes, so content repeated within the layer counts once. Layers
+// without chunk refs report their logical Size.
+func (l *Layer) PhysicalSize() int64 {
+	if l.Store == nil || l.Refs == nil {
+		return l.Size
+	}
+	seen := make(map[blobstore.Ref]bool, len(l.Refs))
+	var total int64
+	for _, ref := range l.Refs {
+		if seen[ref] {
+			continue
+		}
+		seen[ref] = true
+		if info, err := l.Store.Stat(ref); err == nil {
+			total += info.Size
+		}
+	}
+	return total
 }
 
 // ImageConfig is the runtime configuration baked into an image.
@@ -57,6 +85,11 @@ type Image struct {
 	Tag    string
 	Layers []*Layer // base first
 	Config ImageConfig
+	// Store is the backend blob store the image was built on (nil for
+	// images whose layers own private storage). Root filesystems
+	// instantiated from the image write through it, so copy-up dedups
+	// against the image's own chunks.
+	Store blobstore.Store
 }
 
 // Ref renders the canonical name:tag reference.
@@ -68,13 +101,58 @@ func (img *Image) Ref() string {
 	return img.Name + ":" + tag
 }
 
-// Size is the total transfer size of all layers.
+// Size is the total *logical* transfer size of all layers: bytes shared
+// between layers (or repeated within one) are counted every time they
+// appear, the way a registry bills uncompressed layer tarballs. For the
+// deduped storage footprint, use PhysicalSize.
 func (img *Image) Size() int64 {
 	var total int64
 	for _, l := range img.Layers {
 		total += l.Size
 	}
 	return total
+}
+
+// PhysicalSize is the image's deduped storage footprint: unique chunk
+// bytes across all layers, so content shared between layers — the
+// double-counting Size and UnionSize are subject to — is counted once.
+// Layers without chunk refs contribute their logical size.
+func (img *Image) PhysicalSize() int64 {
+	var total int64
+	// Unique refs are tracked per store: refs from different stores are
+	// different namespaces even when their hashes collide by content.
+	seen := make(map[blobstore.Store]map[blobstore.Ref]bool)
+	for _, l := range img.Layers {
+		if l.Store == nil || l.Refs == nil {
+			total += l.Size
+			continue
+		}
+		refs := seen[l.Store]
+		if refs == nil {
+			refs = make(map[blobstore.Ref]bool)
+			seen[l.Store] = refs
+		}
+		for _, ref := range l.Refs {
+			if refs[ref] {
+				continue
+			}
+			refs[ref] = true
+			if info, err := l.Store.Stat(ref); err == nil {
+				total += info.Size
+			}
+		}
+	}
+	return total
+}
+
+// DedupRatio is the image's logical size over its physical (deduped)
+// size: 1.0 means nothing shared.
+func (img *Image) DedupRatio() float64 {
+	phys := img.PhysicalSize()
+	if phys == 0 {
+		return 1.0
+	}
+	return float64(img.Size()) / float64(phys)
 }
 
 // FileCount counts files across layers (union count may be lower when
@@ -93,9 +171,18 @@ func (img *Image) FileCount() int {
 	return n
 }
 
-// BuildLayer materializes a LayerSpec into an immutable layer.
+// BuildLayer materializes a LayerSpec into an immutable layer with
+// private storage.
 func BuildLayer(spec LayerSpec) (*Layer, error) {
-	fs := memfs.New(memfs.Options{})
+	return BuildLayerOn(nil, spec)
+}
+
+// BuildLayerOn materializes a LayerSpec on the given backend store (nil
+// means a private map-backed store). Layers built on one shared
+// content-addressed store dedup their common content against each
+// other — the registry-scale sharing fat/slim image pairs rely on.
+func BuildLayerOn(store blobstore.Store, spec LayerSpec) (*Layer, error) {
+	fs := memfs.New(memfs.Options{Store: store})
 	cli := vfs.NewClient(fs, vfs.Root())
 	var total int64
 	for _, f := range spec.Files {
@@ -122,7 +209,7 @@ func BuildLayer(spec LayerSpec) (*Layer, error) {
 		}
 		total += int64(len(content))
 	}
-	return &Layer{ID: spec.ID, FS: fs, Size: total}, nil
+	return &Layer{ID: spec.ID, FS: fs, Size: total, Store: fs.Store(), Refs: fs.BlockRefs()}, nil
 }
 
 // padding produces deterministic filler content so layer sizes are exact
@@ -144,11 +231,19 @@ func padding(seed string, size int64) []byte {
 	return out
 }
 
-// BuildImage assembles an image from layer specs.
+// BuildImage assembles an image from layer specs with private storage.
 func BuildImage(name, tag string, cfg ImageConfig, layers ...LayerSpec) (*Image, error) {
-	img := &Image{Name: name, Tag: tag, Config: cfg}
+	return BuildImageOn(nil, name, tag, cfg, layers...)
+}
+
+// BuildImageOn assembles an image whose layers all live on the given
+// backend store (nil means private per-layer stores). Building a fleet
+// of images on one shared content-addressed store is what makes their
+// common tooling bytes dedup.
+func BuildImageOn(store blobstore.Store, name, tag string, cfg ImageConfig, layers ...LayerSpec) (*Image, error) {
+	img := &Image{Name: name, Tag: tag, Config: cfg, Store: store}
 	for _, spec := range layers {
-		l, err := BuildLayer(spec)
+		l, err := BuildLayerOn(store, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -158,14 +253,16 @@ func BuildImage(name, tag string, cfg ImageConfig, layers ...LayerSpec) (*Image,
 }
 
 // RootFS instantiates a fresh writable union filesystem over the image's
-// layers (the container's root).
+// layers (the container's root). The upper layer writes through the
+// image's backend store, so copy-up of unmodified content costs no
+// physical bytes on a content-addressed store.
 func (img *Image) RootFS() *unionfs.FS {
 	// unionfs wants top-most first; image layers are base-first.
 	lowers := make([]vfs.FS, 0, len(img.Layers))
 	for i := len(img.Layers) - 1; i >= 0; i-- {
 		lowers = append(lowers, img.Layers[i].FS)
 	}
-	return unionfs.New(lowers...)
+	return unionfs.NewWith(unionfs.Options{Store: img.Store}, lowers...)
 }
 
 // ListFiles returns the union view of all regular files in the image
@@ -184,7 +281,9 @@ func (img *Image) ListFiles() map[string]int64 {
 }
 
 // UnionSize sums the union view's file sizes (what a flattened image
-// would transfer).
+// would transfer). Like Size this is a logical measure: bytes the
+// surviving files share with each other are still counted per file —
+// PhysicalSize reports the deduped footprint.
 func (img *Image) UnionSize() int64 {
 	var total int64
 	for _, size := range img.ListFiles() {

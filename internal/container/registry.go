@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"cntr/internal/blobstore"
 	"cntr/internal/sim"
 	"cntr/internal/vfs"
 )
@@ -55,11 +56,20 @@ type PullStats struct {
 	LayersFetched int
 	LayersCached  int
 	BytesFetched  int64
-	Elapsed       time.Duration
+	// BytesDeduped counts chunk bytes a fetched layer shared with
+	// chunks the node already held (from any previously pulled layer of
+	// any image), which therefore never crossed the network. Only
+	// layers carrying chunk refs — built on a content-addressed store —
+	// participate; others transfer their full size.
+	BytesDeduped int64
+	Elapsed      time.Duration
 }
 
 // Pull fetches ref onto a node, advancing the clock by the simulated
-// transfer time. Layers present in the node's cache are skipped.
+// transfer time. Layers present in the node's cache are skipped
+// (Docker's base-image diff transfer); layers with chunk refs transfer
+// only the chunks the node doesn't hold yet — the finer-grained sharing
+// a content-addressed store unlocks.
 func (r *Registry) Pull(clock *sim.Clock, node *Node, ref string) (*Image, PullStats, error) {
 	r.mu.Lock()
 	img, ok := r.images[ref]
@@ -75,9 +85,25 @@ func (r *Registry) Pull(clock *sim.Clock, node *Node, ref string) (*Image, PullS
 			continue
 		}
 		st.LayersFetched++
-		st.BytesFetched += layer.Size
+		transfer := layer.Size
+		if layer.Store != nil && layer.Refs != nil {
+			transfer = 0
+			for _, cr := range layer.Refs {
+				info, err := layer.Store.Stat(cr)
+				if err != nil {
+					continue
+				}
+				if node.hasChunk(layer.Store, cr) {
+					st.BytesDeduped += info.Size
+					continue
+				}
+				transfer += info.Size
+				node.addChunk(layer.Store, cr)
+			}
+		}
+		st.BytesFetched += transfer
 		clock.Advance(r.PerLayerLatency)
-		clock.Advance(time.Duration(layer.Size * int64(time.Second) / r.BandwidthBytesPerSec))
+		clock.Advance(time.Duration(transfer * int64(time.Second) / r.BandwidthBytesPerSec))
 		node.addLayer(layer.ID)
 	}
 	node.addImage(img)
@@ -85,16 +111,41 @@ func (r *Registry) Pull(clock *sim.Clock, node *Node, ref string) (*Image, PullS
 	return img, st, nil
 }
 
-// Node is a machine's local image/layer cache.
+// Node is a machine's local image/layer/chunk cache.
 type Node struct {
 	mu     sync.Mutex
 	layers map[string]bool
+	// chunks is keyed per backing store: a chunk ref identifies content
+	// only within its store's namespace (opaque Mem refs from two
+	// private stores collide by string, not by content).
+	chunks map[blobstore.Store]map[blobstore.Ref]bool
 	images map[string]*Image
 }
 
 // NewNode returns an empty node cache.
 func NewNode() *Node {
-	return &Node{layers: make(map[string]bool), images: make(map[string]*Image)}
+	return &Node{
+		layers: make(map[string]bool),
+		chunks: make(map[blobstore.Store]map[blobstore.Ref]bool),
+		images: make(map[string]*Image),
+	}
+}
+
+func (n *Node) hasChunk(s blobstore.Store, ref blobstore.Ref) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.chunks[s][ref]
+}
+
+func (n *Node) addChunk(s blobstore.Store, ref blobstore.Ref) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	refs := n.chunks[s]
+	if refs == nil {
+		refs = make(map[blobstore.Ref]bool)
+		n.chunks[s] = refs
+	}
+	refs[ref] = true
 }
 
 func (n *Node) hasLayer(id string) bool {

@@ -11,6 +11,7 @@ package hubdata
 import (
 	"fmt"
 
+	"cntr/internal/blobstore"
 	"cntr/internal/container"
 )
 
@@ -106,8 +107,18 @@ func Top50() []Spec {
 }
 
 // Build materializes a spec as a two-layer container image: a base layer
-// with the tooling userland and an app layer with the application.
+// with the tooling userland and an app layer with the application. Each
+// layer owns private storage; see BuildOn for fleet-wide dedup.
 func Build(s Spec) (*container.Image, error) {
+	return BuildOn(nil, s)
+}
+
+// BuildOn materializes a spec on the given backend store. Building the
+// whole Top-50 fleet on one shared content-addressed store dedups the
+// distro tooling the images have in common: tool-file content depends
+// only on its path, and the same /bin, /usr/bin, ... paths recur across
+// every conventional image.
+func BuildOn(store blobstore.Store, s Spec) (*container.Image, error) {
 	base := container.LayerSpec{ID: s.Name + "-base"}
 	perTool := s.ToolBytes / int64(s.ToolFiles)
 	for i := 0; i < s.ToolFiles; i++ {
@@ -128,7 +139,7 @@ func Build(s Spec) (*container.Image, error) {
 			Size: perApp,
 		})
 	}
-	return container.BuildImage(s.Name, "latest", container.ImageConfig{
+	return container.BuildImageOn(store, s.Name, "latest", container.ImageConfig{
 		Cmd:        []string{s.Entrypoint},
 		Entrypoint: s.Entrypoint,
 	}, base, app)

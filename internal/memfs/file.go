@@ -1,6 +1,7 @@
 package memfs
 
 import (
+	"cntr/internal/blobstore"
 	"encoding/binary"
 	"sort"
 
@@ -145,13 +146,27 @@ func (fs *FS) Read(op *vfs.Op, h vfs.Handle, off int64, dest []byte) (int, error
 		if chunk > want-read {
 			chunk = want - read
 		}
-		if b, ok := n.data[idx]; ok {
-			copy(dest[read:read+chunk], b[bo:bo+chunk])
-		} else {
-			// Hole: zero fill.
-			for i := read; i < read+chunk; i++ {
-				dest[i] = 0
+		b, err := fs.readBlock(n, idx)
+		if err != nil {
+			// A lost or corrupted backend chunk: report what was read,
+			// or the error if nothing was.
+			if read > 0 {
+				break
 			}
+			return 0, err
+		}
+		// The blob holds the block's written extent; holes and bytes
+		// past the extent read as zeros.
+		var copied int64
+		if bo < int64(len(b)) {
+			avail := int64(len(b)) - bo
+			if avail > chunk {
+				avail = chunk
+			}
+			copied = int64(copy(dest[read:read+avail], b[bo:bo+avail]))
+		}
+		for i := read + copied; i < read+chunk; i++ {
+			dest[i] = 0
 		}
 		read += chunk
 	}
@@ -204,14 +219,12 @@ func (fs *FS) Write(op *vfs.Op, h vfs.Handle, off int64, data []byte) (int, erro
 		if chunk > int64(len(data))-written {
 			chunk = int64(len(data)) - written
 		}
-		b, err := fs.allocBlock(n, idx)
-		if err != nil {
+		if err := fs.writeBlock(n, idx, bo, data[written:written+chunk]); err != nil {
 			if written > 0 {
 				break
 			}
 			return 0, err
 		}
-		copy(b[bo:bo+chunk], data[written:written+chunk])
 		written += chunk
 	}
 	if off+written > n.attr.Size {
@@ -473,25 +486,49 @@ func (fs *FS) Fallocate(op *vfs.Op, h vfs.Handle, mode uint32, off, length int64
 			blockEnd := blockStart + blockSize
 			if blockStart >= off && blockEnd <= off+length {
 				fs.freeBlock(n, idx)
-			} else if b, ok := n.data[idx]; ok {
-				s := max64(off, blockStart)
-				e := min64(off+length, blockEnd)
+			} else if ref, ok := n.blocks[idx]; ok {
+				b, gerr := fs.getBlob(ref)
+				if gerr != nil {
+					return gerr
+				}
+				s := max64(off, blockStart) - blockStart
+				e := min64(off+length, blockEnd) - blockStart
+				if s >= int64(len(b)) {
+					continue // the punched range is past the written extent
+				}
+				if e > int64(len(b)) {
+					e = int64(len(b))
+				}
+				buf := append([]byte(nil), b...)
 				for i := s; i < e; i++ {
-					b[i-blockStart] = 0
+					buf[i] = 0
+				}
+				if rerr := fs.replaceBlock(n, idx, ref, buf); rerr != nil {
+					return rerr
 				}
 			}
 		}
 		return nil
 	}
-	// Preallocation: materialize blocks in the range.
+	// Preallocation: materialize zero blocks in the range (in a
+	// content-addressed store they all share the one zero chunk).
 	end := off + length
 	if c.FSizeLimit > 0 && mode&vfs.FallocKeepSize == 0 && end > c.FSizeLimit {
 		return vfs.EFBIG
 	}
+	var zero [blockSize]byte
 	for idx := off / blockSize; idx*blockSize < end; idx++ {
-		if _, err := fs.allocBlock(n, idx); err != nil {
-			return err
+		if _, ok := n.blocks[idx]; ok {
+			continue
 		}
+		if fs.used+blockSize > fs.cap {
+			return vfs.ENOSPC
+		}
+		ref, perr := fs.store.Put(zero[:])
+		if perr != nil {
+			return vfs.EIO
+		}
+		fs.materializeBlock(n, idx, ref)
 	}
 	if mode&vfs.FallocKeepSize == 0 && end > n.attr.Size {
 		n.attr.Size = end
@@ -499,11 +536,31 @@ func (fs *FS) Fallocate(op *vfs.Op, h vfs.Handle, mode uint32, off, length int64
 	return nil
 }
 
-// UsedBytes reports the allocated data bytes (for tests and tools).
+// UsedBytes reports the materialized data bytes — the logical view
+// (blockSize per block), independent of backend deduplication.
 func (fs *FS) UsedBytes() int64 {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	return fs.used
+}
+
+// Store returns the backend blob store file content lives in.
+func (fs *FS) Store() blobstore.Store { return fs.store }
+
+// BlockRefs returns every live block reference held by the
+// filesystem's inodes. Image tooling uses it for physical (deduped)
+// size accounting: unique refs across a set of filesystems sharing one
+// store are the bytes actually occupied.
+func (fs *FS) BlockRefs() []blobstore.Ref {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var out []blobstore.Ref
+	for _, n := range fs.inodes {
+		for _, ref := range n.blocks {
+			out = append(out, ref)
+		}
+	}
+	return out
 }
 
 // NameToHandle implements vfs.HandleExporter: memfs inodes are

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"cntr/internal/blobstore"
 	"cntr/internal/vfs"
 )
 
@@ -30,6 +31,12 @@ type Options struct {
 	Capacity int64
 	// Now supplies timestamps; nil uses a deterministic logical clock.
 	Now func() time.Time
+	// Store is the backend blob store file content lives in; nil uses a
+	// private map-backed store (blobstore.NewMem), the historical
+	// behaviour. A shared content-addressed store (blobstore.CAS) makes
+	// identical blocks written by any number of files — or any number
+	// of filesystems sharing the store — occupy storage once.
+	Store blobstore.Store
 }
 
 // FS is the in-memory filesystem. The zero value is not usable; call New.
@@ -39,16 +46,20 @@ type FS struct {
 	handles map[vfs.Handle]*openFile
 	nextIno vfs.Ino
 	nextH   vfs.Handle
-	used    int64 // allocated data bytes
+	used    int64 // materialized data bytes (logical: blockSize per block)
 	cap     int64
+	store   blobstore.Store
 	now     func() time.Time
 	logical time.Duration
 }
 
 type inode struct {
-	attr   vfs.Attr
-	data   map[int64][]byte // block index -> block (sparse)
-	target string           // symlink target
+	attr vfs.Attr
+	// blocks maps block index -> backend store reference (sparse). A
+	// block's blob holds the written extent within the block (≤
+	// blockSize); bytes past the blob's length read as zeros.
+	blocks map[int64]blobstore.Ref
+	target string // symlink target
 	xattrs map[string][]byte
 	// children and parent are set for directories.
 	children map[string]vfs.Ino
@@ -74,10 +85,14 @@ func New(opts Options) *FS {
 		nextIno: vfs.RootIno + 1,
 		nextH:   1,
 		cap:     opts.Capacity,
+		store:   opts.Store,
 		now:     opts.Now,
 	}
 	if fs.cap == 0 {
 		fs.cap = 1 << 40
+	}
+	if fs.store == nil {
+		fs.store = blobstore.NewMem()
 	}
 	if fs.now == nil {
 		fs.now = fs.logicalNow
@@ -280,18 +295,25 @@ func (fs *FS) truncate(n *inode, size int64) error {
 		return nil
 	}
 	if size < old {
-		// Drop whole blocks past the new end and zero the tail of the
-		// boundary block.
+		// Drop whole blocks past the new end and trim the boundary
+		// block's blob so the tail reads as zeros.
 		firstDead := (size + blockSize - 1) / blockSize
-		for idx := range n.data {
+		for idx := range n.blocks {
 			if idx >= firstDead {
 				fs.freeBlock(n, idx)
 			}
 		}
-		if size%blockSize != 0 {
-			if b, ok := n.data[size/blockSize]; ok {
-				for i := size % blockSize; i < blockSize; i++ {
-					b[i] = 0
+		if keep := size % blockSize; keep != 0 {
+			idx := size / blockSize
+			if ref, ok := n.blocks[idx]; ok {
+				b, err := fs.getBlob(ref)
+				if err != nil {
+					return err
+				}
+				if int64(len(b)) > keep {
+					if err := fs.replaceBlock(n, idx, ref, b[:keep]); err != nil {
+						return err
+					}
 				}
 			}
 		}
@@ -300,26 +322,97 @@ func (fs *FS) truncate(n *inode, size int64) error {
 	return nil
 }
 
-func (fs *FS) allocBlock(n *inode, idx int64) ([]byte, error) {
-	if b, ok := n.data[idx]; ok {
-		return b, nil
+// getBlob fetches a block's content from the backend store. Any store
+// failure — a lost or corrupted chunk — surfaces as EIO: the reference
+// is held by a live inode, so it must resolve.
+func (fs *FS) getBlob(ref blobstore.Ref) ([]byte, error) {
+	b, err := fs.store.Get(ref)
+	if err != nil {
+		return nil, vfs.EIO
 	}
-	if fs.used+blockSize > fs.cap {
-		return nil, vfs.ENOSPC
-	}
-	b := make([]byte, blockSize)
-	if n.data == nil {
-		n.data = make(map[int64][]byte)
-	}
-	n.data[idx] = b
-	n.attr.Blocks += blockSize / 512
-	fs.used += blockSize
 	return b, nil
 }
 
+// readBlock returns the stored content of block idx (nil for a hole).
+func (fs *FS) readBlock(n *inode, idx int64) ([]byte, error) {
+	ref, ok := n.blocks[idx]
+	if !ok {
+		return nil, nil
+	}
+	return fs.getBlob(ref)
+}
+
+// materializeBlock charges capacity for a block seen for the first time
+// and records its store reference. Capacity accounting is logical —
+// blockSize per materialized block regardless of backend dedup — so
+// ENOSPC behaviour is independent of which store backs the filesystem.
+func (fs *FS) materializeBlock(n *inode, idx int64, ref blobstore.Ref) {
+	if n.blocks == nil {
+		n.blocks = make(map[int64]blobstore.Ref)
+	}
+	n.blocks[idx] = ref
+	n.attr.Blocks += blockSize / 512
+	fs.used += blockSize
+}
+
+// replaceBlock swaps block idx's content for data: the new blob is
+// stored first, then the old reference is dropped (crash-ordering a real
+// CAS would use too).
+func (fs *FS) replaceBlock(n *inode, idx int64, oldRef blobstore.Ref, data []byte) error {
+	ref, err := fs.store.Put(data)
+	if err != nil {
+		return vfs.EIO
+	}
+	n.blocks[idx] = ref
+	fs.store.Delete(oldRef)
+	return nil
+}
+
+// writeBlock writes data into block idx at offset bo, read-modify-write
+// through the backend store. New blocks are charged against capacity.
+func (fs *FS) writeBlock(n *inode, idx, bo int64, data []byte) error {
+	oldRef, exists := n.blocks[idx]
+	if !exists && fs.used+blockSize > fs.cap {
+		return vfs.ENOSPC
+	}
+	// Fast path: a fresh block written from offset 0 needs no merge.
+	if !exists && bo == 0 {
+		ref, err := fs.store.Put(data)
+		if err != nil {
+			return vfs.EIO
+		}
+		fs.materializeBlock(n, idx, ref)
+		return nil
+	}
+	var old []byte
+	if exists {
+		var err error
+		if old, err = fs.getBlob(oldRef); err != nil {
+			return err
+		}
+	}
+	newLen := bo + int64(len(data))
+	if int64(len(old)) > newLen {
+		newLen = int64(len(old))
+	}
+	buf := make([]byte, newLen)
+	copy(buf, old)
+	copy(buf[bo:], data)
+	if exists {
+		return fs.replaceBlock(n, idx, oldRef, buf)
+	}
+	ref, err := fs.store.Put(buf)
+	if err != nil {
+		return vfs.EIO
+	}
+	fs.materializeBlock(n, idx, ref)
+	return nil
+}
+
 func (fs *FS) freeBlock(n *inode, idx int64) {
-	if _, ok := n.data[idx]; ok {
-		delete(n.data, idx)
+	if ref, ok := n.blocks[idx]; ok {
+		fs.store.Delete(ref)
+		delete(n.blocks, idx)
 		n.attr.Blocks -= blockSize / 512
 		fs.used -= blockSize
 	}
@@ -535,10 +628,11 @@ func (fs *FS) Rmdir(op *vfs.Op, parent vfs.Ino, name string) error {
 }
 
 // maybeReap frees an inode's storage once it has no links and no open
-// handles.
+// handles, dropping its store references so shared chunks lose one
+// count (and private ones are freed).
 func (fs *FS) maybeReap(ino vfs.Ino, n *inode) {
 	if n.attr.Nlink == 0 && n.openCount == 0 {
-		for idx := range n.data {
+		for idx := range n.blocks {
 			fs.freeBlock(n, idx)
 		}
 		delete(fs.inodes, ino)

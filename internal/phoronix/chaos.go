@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"cntr/internal/blobstore"
 	"cntr/internal/policy"
 	"cntr/internal/stack"
 	"cntr/internal/vfs"
@@ -155,6 +156,75 @@ func FormatChaosEnforceTable(results []ChaosEnforceResult) string {
 		}
 		fmt.Fprintf(&b, "%-28s %12v %9d %9d %s\n",
 			r.Name, r.Time.Round(time.Microsecond), r.Denials, r.Audited, status)
+	}
+	return b.String()
+}
+
+// ChaosBlobProfile is the default rule set for backend-store chaos: the
+// host filesystem's blob store occasionally loses a chunk or hands back
+// corrupted bytes. Unlike syscall-entry fault injection, these faults
+// originate *below* the filesystem — memfs must translate them into EIO
+// on the read path for the workload to see anything at all.
+func ChaosBlobProfile() []blobstore.FaultRule {
+	return []blobstore.FaultRule{
+		{Op: blobstore.FaultGet, Err: blobstore.ErrCorrupt, EveryN: 997},
+		{Op: blobstore.FaultGet, Err: blobstore.ErrNotFound, EveryN: 1499},
+	}
+}
+
+// ChaosBlobResult is one benchmark run over a fault-injecting blob
+// store backend.
+type ChaosBlobResult struct {
+	Name     string
+	Time     time.Duration
+	Injected int64 // store-level faults fired
+	// Err is the benchmark's outcome: injected store faults surface as
+	// EIO through the filesystem's read path (the workloads treat any
+	// errno as fatal), without aborting the sweep.
+	Err error
+}
+
+// RunChaosBlob replays one benchmark on a Cntr stack whose host
+// filesystem stores content in a content-addressed store wrapped with a
+// blobstore.FaultInjector. It exercises the backend fault path
+// end-to-end: a corrupt or missing chunk at the bottom of the stack must
+// come back as EIO at syscall level.
+func RunChaosBlob(b *Benchmark, rules []blobstore.FaultRule) ChaosBlobResult {
+	cas := blobstore.NewCAS(blobstore.CASOptions{})
+	inj := blobstore.NewFaultInjector(cas, rules...)
+	cfg := stackConfig()
+	cfg.Store = inj
+	c := stack.NewCntr(cfg)
+	defer c.Close()
+	t, _, err := RunOn(b, c.Top, c.Host, c.Clock, c.Model, c.Disk, 42)
+	return ChaosBlobResult{Name: b.Name, Time: t, Injected: inj.Injected(), Err: err}
+}
+
+// RunChaosBlobAll replays the whole suite over a fault-injecting blob
+// store (nil rules means ChaosBlobProfile). Each benchmark gets a fresh
+// store so injection counters restart.
+func RunChaosBlobAll(rules []blobstore.FaultRule) []ChaosBlobResult {
+	if rules == nil {
+		rules = ChaosBlobProfile()
+	}
+	out := make([]ChaosBlobResult, 0, len(Suite))
+	for i := range Suite {
+		out = append(out, RunChaosBlob(&Suite[i], rules))
+	}
+	return out
+}
+
+// FormatChaosBlobTable renders backend-store chaos results.
+func FormatChaosBlobTable(results []ChaosBlobResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %12s %9s %s\n", "Benchmark", "time", "injected", "status")
+	for _, r := range results {
+		status := "ok"
+		if r.Err != nil {
+			status = r.Err.Error()
+		}
+		fmt.Fprintf(&b, "%-28s %12v %9d %s\n",
+			r.Name, r.Time.Round(time.Microsecond), r.Injected, status)
 	}
 	return b.String()
 }

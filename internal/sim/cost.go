@@ -64,6 +64,11 @@ type CostModel struct {
 	// Compute is the cost per simulated "compute unit"; CPU-bound
 	// workloads such as gzip advance the clock with this.
 	Compute time.Duration
+
+	// HashPerKB is the cost of content-hashing one kibibyte (SHA-256 at
+	// ~2 GB/s on one core); content-addressed blob stores charge it on
+	// Put and on verified Get.
+	HashPerKB time.Duration
 }
 
 // DefaultCostModel returns the calibrated model used by all experiments.
@@ -81,7 +86,13 @@ func DefaultCostModel() *CostModel {
 		LockContention: 120 * time.Nanosecond,
 		XattrLookup:    5 * time.Microsecond,
 		Compute:        1 * time.Microsecond,
+		HashPerKB:      500 * time.Nanosecond,
 	}
+}
+
+// HashCost returns the cost of content-hashing n bytes.
+func (m *CostModel) HashCost(n int) time.Duration {
+	return time.Duration(int64(m.HashPerKB) * int64(n) / 1024)
 }
 
 // CopyCost returns the cost of copying n bytes between address spaces.

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 
+	"cntr/internal/blobstore"
 	"cntr/internal/container"
 	"cntr/internal/vfs"
 )
@@ -93,8 +94,17 @@ type Report struct {
 
 // Slim profiles an image by running accessFn against a recorded view of
 // its root filesystem, then builds the reduced image containing only the
-// accessed files (plus their directory chains).
+// accessed files (plus their directory chains). The slim image gets
+// private storage; see SlimOn.
 func Slim(img *container.Image, accessFn func(cli *vfs.Client) error) (*container.Image, Report, error) {
+	return SlimOn(nil, img, accessFn)
+}
+
+// SlimOn is Slim with the reduced image built on the given backend
+// store. Slimming onto the same content-addressed store as the fat image
+// costs almost no physical bytes: the slim layer copies exact file
+// content, so every chunk dedups against the fat image's.
+func SlimOn(store blobstore.Store, img *container.Image, accessFn func(cli *vfs.Client) error) (*container.Image, Report, error) {
 	root := img.RootFS()
 	rec := NewRecorder(root)
 	cli := vfs.NewClient(rec, vfs.Root())
@@ -126,7 +136,7 @@ func Slim(img *container.Image, accessFn func(cli *vfs.Client) error) (*containe
 		})
 		slimBytes += int64(len(data))
 	}
-	slimImg, err := container.BuildImage(img.Name+"-slim", "latest", img.Config, slimLayer)
+	slimImg, err := container.BuildImageOn(store, img.Name+"-slim", "latest", img.Config, slimLayer)
 	if err != nil {
 		return nil, Report{}, err
 	}

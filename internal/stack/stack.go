@@ -15,6 +15,7 @@
 package stack
 
 import (
+	"cntr/internal/blobstore"
 	"cntr/internal/cntrfs"
 	"cntr/internal/fuse"
 	"cntr/internal/memfs"
@@ -48,6 +49,10 @@ type Config struct {
 	// DedupHardlinks controls CntrFS's open+stat lookup path (default
 	// true; disabling it is an ablation).
 	NoDedupHardlinks bool
+	// Store, when non-nil, backs the stack's base filesystem content
+	// (host filesystem for the Cntr stack). Used to run workloads over a
+	// content-addressed or fault-injecting backend.
+	Store blobstore.Store
 }
 
 // Native is the baseline stack.
@@ -72,7 +77,7 @@ func NewNative(cfg Config) *Native {
 	clock := sim.NewClock()
 	model := sim.DefaultCostModel()
 	disk := sim.NewDisk(clock, model)
-	mem := memfs.New(memfs.Options{})
+	mem := memfs.New(memfs.Options{Store: cfg.Store})
 	budget := pagecache.NewMemBudget(cfg.RAM)
 	cache := pagecache.New(mem, clock, model, pagecache.Options{
 		KeepCache:    true, // native page caches always survive re-opens
@@ -115,7 +120,7 @@ func NewCntr(cfg Config) *Cntr {
 	clock := sim.NewClock()
 	model := sim.DefaultCostModel()
 	disk := sim.NewDisk(clock, model)
-	host := memfs.New(memfs.Options{})
+	host := memfs.New(memfs.Options{Store: cfg.Store})
 	budget := pagecache.NewMemBudget(cfg.RAM)
 
 	// Host-side cache: what the CntrFS server process sees when it does

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 
+	"cntr/internal/blobstore"
 	"cntr/internal/memfs"
 	"cntr/internal/vfs"
 )
@@ -54,11 +55,26 @@ type handleRef struct {
 	ents []vfs.Dirent
 }
 
+// Options configures a union filesystem.
+type Options struct {
+	// Store, when non-nil, backs the writable upper layer's file
+	// content. Sharing a content-addressed store with the lower layers
+	// makes copy-up nearly free in physical bytes: the copied-up blocks
+	// dedup against the lower layer's identical chunks.
+	Store blobstore.Store
+}
+
 // New builds a union of the given read-only lower layers (top-most
 // first) with a fresh writable upper layer.
 func New(lowers ...vfs.FS) *FS {
+	return NewWith(Options{}, lowers...)
+}
+
+// NewWith builds a union whose upper layer writes through the
+// configured backend store.
+func NewWith(opts Options, lowers ...vfs.FS) *FS {
 	fs := &FS{
-		upper:   memfs.New(memfs.Options{}),
+		upper:   memfs.New(memfs.Options{Store: opts.Store}),
 		lowers:  lowers,
 		nodes:   make(map[vfs.Ino]*unode),
 		byPath:  make(map[string]vfs.Ino),
