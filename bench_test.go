@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -221,6 +222,84 @@ func BenchmarkReqTablePop(b *testing.B) { benchReqTablePop(b, false) }
 // driven through the reference linear min-vstart scan, O(origins) per
 // pop. Kept so BENCH_5.json records the speedup the heap buys.
 func BenchmarkReqTablePopLinear(b *testing.B) { benchReqTablePop(b, true) }
+
+// BenchmarkReqTableDispatch measures dispatch throughput under worker
+// contention — the tentpole comparison of the per-worker run-queue
+// scheduler. W workers split b.N steady-state cycles (pop → done →
+// re-push, depth 2 so origins stay live) over a table configured either
+// as one global heap ("global": queues=1, every worker serialized on a
+// single lock) or as per-worker run queues ("perworker": queues=W, each
+// worker dispatching from its own heap and stealing only when idle).
+// The per-worker configuration must win at high worker counts — that
+// gap is what BENCH_7.json records.
+func BenchmarkReqTableDispatch(b *testing.B) {
+	for _, origins := range []int{256, 2048} {
+		for _, workers := range []int{1, 4, 8, 16} {
+			for _, mode := range []string{"global", "perworker"} {
+				queues := 1
+				if mode == "perworker" {
+					queues = workers
+				}
+				name := fmt.Sprintf("origins=%d/workers=%d/%s", origins, workers, mode)
+				b.Run(name, func(b *testing.B) {
+					sb := fuse.NewSchedBenchN(origins, queues, 2)
+					b.ResetTimer()
+					var wg sync.WaitGroup
+					for w := 0; w < workers; w++ {
+						n := b.N / workers
+						if w == 0 {
+							n += b.N % workers
+						}
+						wg.Add(1)
+						go func(w, n int) {
+							defer wg.Done()
+							for i := 0; i < n; i++ {
+								sb.CycleWorker(w)
+							}
+						}(w, n)
+					}
+					wg.Wait()
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkSchedSteal drives the deterministic steal scenario (every
+// origin homed to run queue 0, one request deep, workers cycled
+// round-robin by a single thread) and reports the migration rate and
+// service fairness as custom metrics. Both are deterministic at fixed
+// iteration counts — steals-per-kop is exactly 1000*(queues-1)/queues —
+// so CI gates them tightly, unlike wall-clock ns/op.
+func BenchmarkSchedSteal(b *testing.B) {
+	for _, queues := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("queues=%d", queues), func(b *testing.B) {
+			sb := fuse.NewStealBench(64, queues)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sb.CycleWorker(i % queues)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(sb.Steals())/float64(b.N)*1000, "steals-per-kop")
+			b.ReportMetric(sb.FairnessSpread(), "fairness-spread")
+		})
+	}
+}
+
+// BenchmarkMetaStorm runs the metadata-write storm on both stacks and
+// reports the CntrFS overhead — the contention workload of the BENCH_7
+// recording. The overhead is virtual-time and deterministic.
+func BenchmarkMetaStorm(b *testing.B) {
+	var overhead float64
+	for i := 0; i < b.N; i++ {
+		r, err := phoronix.RunBenchmark(&phoronix.MetaStorm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		overhead = r.Overhead
+	}
+	b.ReportMetric(overhead, "overhead-x")
+}
 
 // BenchmarkTracerSink compares what the traced *data path* pays per
 // operation. Synchronous delivery runs the collector's path-learning

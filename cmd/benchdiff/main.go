@@ -8,13 +8,17 @@
 //
 // The default metric is ns/op; -metric compares a custom ReportMetric
 // unit instead (e.g. dedup-ratio), and -higher-better inverts the
-// regression direction for metrics where bigger is better. Benchmarks
-// present in only one file are reported but never gate.
+// regression direction for metrics where bigger is better. A benchmark
+// present in the baseline but missing from the candidate is a gated
+// failure — a deleted or renamed benchmark silently un-gates its metric
+// otherwise — unless -allow-missing acknowledges the removal. Benchmarks
+// only in the candidate are reported but never gate.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -29,26 +33,35 @@ func value(r benchfmt.Result, metric string) (float64, bool) {
 	return v, ok
 }
 
-func main() {
-	threshold := flag.Float64("threshold", 1.25,
+// run executes the comparison and returns the process exit code:
+// 0 ok, 1 gated failure (regression or missing benchmark), 2 usage or
+// input error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 1.25,
 		"fail when new/old (or old/new with -higher-better) exceeds this ratio")
-	metric := flag.String("metric", "ns/op", "which metric to compare")
-	higherBetter := flag.Bool("higher-better", false,
+	metric := fs.String("metric", "ns/op", "which metric to compare")
+	higherBetter := fs.Bool("higher-better", false,
 		"treat decreases of the metric as regressions instead of increases")
-	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 1.25] [-metric ns/op] old.json new.json")
-		os.Exit(2)
+	allowMissing := fs.Bool("allow-missing", false,
+		"do not fail when a baseline benchmark is absent from the candidate")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	old, err := benchfmt.Read(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff [-threshold 1.25] [-metric ns/op] [-allow-missing] old.json new.json")
+		return 2
 	}
-	niu, err := benchfmt.Read(flag.Arg(1))
+	old, err := benchfmt.Read(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	niu, err := benchfmt.Read(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
 	}
 
 	names := make([]string, 0, len(old.Benchmarks))
@@ -57,13 +70,19 @@ func main() {
 	}
 	sort.Strings(names)
 
-	fmt.Printf("%-40s %14s %14s %8s\n", "benchmark ("+*metric+")", "old", "new", "ratio")
+	fmt.Fprintf(stdout, "%-40s %14s %14s %8s\n", "benchmark ("+*metric+")", "old", "new", "ratio")
 	regressions := 0
+	missing := 0
 	compared := 0
 	for _, name := range names {
 		nr, ok := niu.Benchmarks[name]
 		if !ok {
-			fmt.Printf("%-40s %14s %14s %8s\n", name, "-", "-", "gone")
+			mark := "gone"
+			if !*allowMissing {
+				mark = "gone  MISSING"
+				missing++
+			}
+			fmt.Fprintf(stdout, "%-40s %14s %14s %8s\n", name, "-", "-", mark)
 			continue
 		}
 		ov, ook := value(old.Benchmarks[name], *metric)
@@ -82,21 +101,35 @@ func main() {
 			mark = "  REGRESSION"
 			regressions++
 		}
-		fmt.Printf("%-40s %14.1f %14.1f %7.2fx%s\n", name, ov, nv, ratio, mark)
+		fmt.Fprintf(stdout, "%-40s %14.1f %14.1f %7.2fx%s\n", name, ov, nv, ratio, mark)
 	}
 	for name := range niu.Benchmarks {
 		if _, ok := old.Benchmarks[name]; !ok {
-			fmt.Printf("%-40s %14s %14s %8s\n", name, "-", "-", "new")
+			fmt.Fprintf(stdout, "%-40s %14s %14s %8s\n", name, "-", "-", "new")
 		}
 	}
 	if compared == 0 {
-		fmt.Fprintln(os.Stderr, "benchdiff: no comparable benchmarks between the two files")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchdiff: no comparable benchmarks between the two files")
+		return 2
+	}
+	failed := false
+	if missing > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d baseline benchmark(s) missing from the candidate "+
+			"(deleting a benchmark un-gates its metric; pass -allow-missing to accept)\n", missing)
+		failed = true
 	}
 	if regressions > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed past %.2fx\n",
+		fmt.Fprintf(stderr, "benchdiff: %d benchmark(s) regressed past %.2fx\n",
 			regressions, *threshold)
-		os.Exit(1)
+		failed = true
 	}
-	fmt.Printf("ok: %d benchmark(s) within %.2fx\n", compared, *threshold)
+	if failed {
+		return 1
+	}
+	fmt.Fprintf(stdout, "ok: %d benchmark(s) within %.2fx\n", compared, *threshold)
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

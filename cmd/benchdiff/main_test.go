@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cntr/internal/benchfmt"
+)
+
+// writeBench writes a benchfmt File fixture and returns its path.
+func writeBench(t *testing.T, name string, benches map[string]benchfmt.Result) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	data, err := json.Marshal(benchfmt.File{Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// diff runs the command and returns (exit code, stdout, stderr).
+func diff(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func res(ns float64, metrics map[string]float64) benchfmt.Result {
+	return benchfmt.Result{Iterations: 1, NsPerOp: ns, Metrics: metrics}
+}
+
+// TestWithinThresholdPasses: matching files within the ratio exit 0.
+func TestWithinThresholdPasses(t *testing.T) {
+	old := writeBench(t, "old.json", map[string]benchfmt.Result{
+		"A": res(100, nil), "B": res(200, nil),
+	})
+	niu := writeBench(t, "new.json", map[string]benchfmt.Result{
+		"A": res(110, nil), "B": res(190, nil),
+	})
+	code, out, _ := diff(t, "-threshold", "1.25", old, niu)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "ok: 2 benchmark(s)") {
+		t.Fatalf("missing ok summary:\n%s", out)
+	}
+}
+
+// TestRegressionGates: a past-threshold slowdown exits 1.
+func TestRegressionGates(t *testing.T) {
+	old := writeBench(t, "old.json", map[string]benchfmt.Result{"A": res(100, nil)})
+	niu := writeBench(t, "new.json", map[string]benchfmt.Result{"A": res(200, nil)})
+	code, out, errs := diff(t, "-threshold", "1.25", old, niu)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(errs, "regressed") {
+		t.Fatalf("regression not reported:\nstdout: %s\nstderr: %s", out, errs)
+	}
+}
+
+// TestMissingBenchmarkGates: a benchmark present in the baseline but
+// absent from the candidate must fail the gate — deleting a benchmark
+// would otherwise silently un-gate its metric.
+func TestMissingBenchmarkGates(t *testing.T) {
+	old := writeBench(t, "old.json", map[string]benchfmt.Result{
+		"Kept": res(100, nil), "Dropped": res(50, nil),
+	})
+	niu := writeBench(t, "new.json", map[string]benchfmt.Result{
+		"Kept": res(100, nil),
+	})
+	code, out, errs := diff(t, old, niu)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (missing benchmark must gate)\n%s", code, out)
+	}
+	if !strings.Contains(out, "MISSING") {
+		t.Fatalf("missing benchmark not marked:\n%s", out)
+	}
+	if !strings.Contains(errs, "missing from the candidate") {
+		t.Fatalf("stderr lacks the missing explanation: %s", errs)
+	}
+}
+
+// TestAllowMissingEscapeHatch: -allow-missing accepts the removal and
+// the remaining benchmarks still gate normally.
+func TestAllowMissingEscapeHatch(t *testing.T) {
+	old := writeBench(t, "old.json", map[string]benchfmt.Result{
+		"Kept": res(100, nil), "Dropped": res(50, nil),
+	})
+	niu := writeBench(t, "new.json", map[string]benchfmt.Result{
+		"Kept": res(100, nil),
+	})
+	code, out, _ := diff(t, "-allow-missing", old, niu)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 with -allow-missing\n%s", code, out)
+	}
+	if strings.Contains(out, "MISSING") {
+		t.Fatalf("-allow-missing still marked MISSING:\n%s", out)
+	}
+
+	// A regression is still a regression even with -allow-missing.
+	worse := writeBench(t, "worse.json", map[string]benchfmt.Result{
+		"Kept": res(1000, nil),
+	})
+	if code, _, _ := diff(t, "-allow-missing", old, worse); code != 1 {
+		t.Fatalf("regression exit = %d, want 1", code)
+	}
+}
+
+// TestMissingAndRegressionBothReported: both failure modes surface in
+// one run.
+func TestMissingAndRegressionBothReported(t *testing.T) {
+	old := writeBench(t, "old.json", map[string]benchfmt.Result{
+		"Slow": res(100, nil), "Gone": res(50, nil),
+	})
+	niu := writeBench(t, "new.json", map[string]benchfmt.Result{
+		"Slow": res(500, nil),
+	})
+	code, _, errs := diff(t, old, niu)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errs, "missing") || !strings.Contains(errs, "regressed") {
+		t.Fatalf("stderr must report both failures: %s", errs)
+	}
+}
+
+// TestCustomMetricHigherBetter: the -metric/-higher-better pair gates a
+// deterministic custom metric in the right direction, and missing gating
+// applies to custom-metric comparisons too.
+func TestCustomMetricHigherBetter(t *testing.T) {
+	old := writeBench(t, "old.json", map[string]benchfmt.Result{
+		"Steal": res(100, map[string]float64{"steals-per-kop": 750}),
+	})
+	same := writeBench(t, "same.json", map[string]benchfmt.Result{
+		"Steal": res(400, map[string]float64{"steals-per-kop": 750}),
+	})
+	if code, out, _ := diff(t, "-metric", "steals-per-kop", "-threshold", "1.05", old, same); code != 0 {
+		t.Fatalf("identical metric gated: exit %d\n%s", code, out)
+	}
+	drifted := writeBench(t, "drift.json", map[string]benchfmt.Result{
+		"Steal": res(100, map[string]float64{"steals-per-kop": 900}),
+	})
+	if code, _, _ := diff(t, "-metric", "steals-per-kop", "-threshold", "1.05", old, drifted); code != 1 {
+		t.Fatal("metric drift past threshold must gate")
+	}
+	lower := writeBench(t, "lower.json", map[string]benchfmt.Result{
+		"Steal": res(100, map[string]float64{"steals-per-kop": 600}),
+	})
+	if code, _, _ := diff(t, "-metric", "steals-per-kop", "-higher-better", "-threshold", "1.05", old, lower); code != 1 {
+		t.Fatal("-higher-better must gate decreases")
+	}
+}
+
+// TestNoComparableIsUsageError: disjoint files are a configuration
+// error (exit 2), not a pass.
+func TestNoComparableIsUsageError(t *testing.T) {
+	old := writeBench(t, "old.json", map[string]benchfmt.Result{"A": res(100, nil)})
+	niu := writeBench(t, "new.json", map[string]benchfmt.Result{"B": res(100, nil)})
+	// A is missing AND nothing compares; the input error wins.
+	if code, _, _ := diff(t, "-allow-missing", old, niu); code != 2 {
+		t.Fatal("disjoint files must exit 2")
+	}
+}
+
+// TestBadArgs: wrong arity and unreadable files exit 2.
+func TestBadArgs(t *testing.T) {
+	if code, _, _ := diff(t, "only-one.json"); code != 2 {
+		t.Fatal("one arg must exit 2")
+	}
+	old := writeBench(t, "old.json", map[string]benchfmt.Result{"A": res(100, nil)})
+	if code, _, _ := diff(t, old, filepath.Join(t.TempDir(), "absent.json")); code != 2 {
+		t.Fatal("unreadable candidate must exit 2")
+	}
+}

@@ -3,6 +3,7 @@ package fuse
 import (
 	"container/heap"
 	"sync"
+	"sync/atomic"
 )
 
 // reqShards is the number of origin-map shards in the request table; a
@@ -21,48 +22,97 @@ const reqShards = 16
 // completed, and how many payload bytes moved — the per-container view
 // BEACON-style policy generation needs.
 //
-// The table is built for mounts serving thousands of live origins:
+// The table is built for mounts serving thousands of live origins from
+// many worker threads:
 //
-//   - Dispatch order comes from an indexed min-heap of *eligible*
-//     origins (pending messages and spare in-flight budget), keyed by
-//     (vstart, origin), so pop picks the WFQ winner in O(log origins)
-//     instead of scanning every active queue.
+//   - Dispatch state is split into per-worker run queues (runQueue),
+//     each with its own lock, WFQ virtual clock and indexed min-heap of
+//     *eligible* origins (pending messages and spare in-flight budget).
+//     Origins are assigned to run queues by shard, so under balanced
+//     load each worker pops from its own heap and never crosses another
+//     worker's lock — the single global heap lock PR 5 left behind is
+//     gone.
+//   - An idle worker steals the most-backlogged eligible origin from a
+//     victim run queue (locking the pair in index order), so imbalance
+//     cannot strand work behind a busy worker. A stolen origin's WFQ
+//     lag (vstart − vclock) travels with it, so migration neither
+//     grants credit nor forfeits backlog standing.
 //   - The origin→queue and origin→stats maps are sharded reqShards
 //     ways, so push and done resolve and account an origin under one
-//     shard's lock; the global scheduler lock is held only for the
-//     O(log origins) heap fix-up, never for a map scan.
+//     shard's lock.
+//   - Global state is reduced to atomics (queued, closed, steals) plus
+//     two slow-path condition variables: space (pushers blocked at
+//     capacity) and idle (workers parked with no eligible work
+//     anywhere). Neither is touched on the saturated fast path.
 //
-// Lock order where both are held: shard lock, then scheduler lock.
-// Per-queue scheduling state (msgs, inflight, vstart, heapIdx, dead,
-// retireOnIdle) is guarded by the scheduler lock; the shard lock guards
-// only its maps and counters.
+// Lock order where multiple are held: shard lock → run-queue lock(s, in
+// index order) → the leaf spaceMu/idleMu. Per-origin scheduling state
+// (msgs, inflight, vstart, heapIdx, dead, retireOnIdle) is guarded by
+// the owning run queue's lock; the shard lock guards only its maps and
+// counters.
 type reqTable struct {
 	shards [reqShards]reqShard
 
-	mu    sync.Mutex // scheduler lock: heap, vclock, queued, closed
-	avail *sync.Cond // a message became poppable, or the table closed
-	space *sync.Cond // the queue drained below maxQueued
+	// rqs are the per-worker run queues. Length 1 reproduces the PR 5
+	// single-heap scheduler bit for bit — that configuration is retained
+	// as the differential reference for the fairness tests.
+	rqs []*runQueue
 
-	// eligible holds exactly the origins pop may dispatch from: queues
-	// with pending messages and (when a cap is set) spare in-flight
-	// budget. Idle origins are pruned in done() so the heap and the
-	// shard maps stay proportional to current load, not to every PID
-	// the mount has ever served; their accounting survives in the
-	// shard's stats.
-	eligible originHeap
-	queued   int
-	closed   bool
+	queued atomic.Int64 // total messages queued across all run queues
+	closed atomic.Bool
+	steals atomic.Int64 // origins migrated between run queues
 
-	// vclock is the WFQ virtual clock: the virtual start time of the most
-	// recently dispatched request. Origins whose queues were empty rejoin
-	// at the current virtual time, so they compete fairly from now on
-	// without collecting credit for their idle past.
-	vclock float64
+	// seq versions "new work may be visible": push, done and close bump
+	// it after publishing, and a worker about to park re-checks it under
+	// idleMu, so an enqueue between its (lock-free) scan and its sleep
+	// cannot be lost.
+	seq atomic.Uint64
+
+	// idleMu/idleCond park workers that found no eligible work in any
+	// run queue; idleWaiters lets the enqueue side skip the lock when
+	// nobody is parked (the common, saturated case).
+	idleMu      sync.Mutex
+	idleCond    *sync.Cond
+	idleWaiters atomic.Int32
+
+	// spaceMu/space park pushers while the table is at capacity;
+	// spaceWaiters lets the dispatch side skip the lock when nobody is
+	// blocked.
+	spaceMu      sync.Mutex
+	space        *sync.Cond
+	spaceWaiters atomic.Int32
 
 	maxQueued         int
 	maxOriginInflight int
 	weights           map[uint32]int
 	defaultWeight     int
+}
+
+// runQueue is one worker's slice of the scheduler: an independent WFQ
+// domain with its own lock, virtual clock and eligible-origin heap.
+// Origins are homed to a run queue by shard and migrate only by
+// stealing.
+type runQueue struct {
+	idx int
+
+	mu sync.Mutex
+
+	// eligible holds exactly the origins this queue may dispatch from:
+	// queues with pending messages and (when a cap is set) spare
+	// in-flight budget. Idle origins are pruned in done() so the heaps
+	// and the shard maps stay proportional to current load; their
+	// accounting survives in the shard's stats.
+	eligible originHeap
+
+	// vclock is this queue's WFQ virtual clock: the virtual start time
+	// of its most recently dispatched request. Origins whose queues were
+	// empty rejoin at the current virtual time, so they compete fairly
+	// from now on without collecting credit for their idle past.
+	vclock float64
+
+	// backlog counts the pending messages across origins owned by this
+	// queue — the steal heuristic's victim-ranking signal.
+	backlog int
 }
 
 // reqShard is one slice of the origin maps, with its own lock so pushes
@@ -78,15 +128,19 @@ type reqShard struct {
 }
 
 // originQueue is one origin's pending requests plus its scheduling and
-// accounting state. All fields except origin and weight (immutable after
-// creation) are guarded by the table's scheduler lock.
+// accounting state. origin and weight are immutable after creation;
+// owner names the run queue whose lock guards everything else, and is
+// itself only rewritten under the previous owner's lock (see steal), so
+// lock-then-recheck acquires the current owner race-free.
 type originQueue struct {
-	origin   uint32
-	weight   int
+	origin uint32
+	weight int
+	owner  atomic.Pointer[runQueue]
+
 	msgs     []*message
 	inflight int
-	// heapIdx is the queue's position in the eligible heap, -1 when the
-	// origin is not currently dispatchable.
+	// heapIdx is the queue's position in its owner's eligible heap, -1
+	// when the origin is not currently dispatchable.
 	heapIdx int
 	// dead marks a queue that went idle and was pruned from its shard's
 	// map; a pusher that raced the pruning re-creates the origin instead
@@ -161,7 +215,14 @@ func (s *OriginStats) Add(o OriginStats) {
 	s.WriteBytes += o.WriteBytes
 }
 
-func newReqTable(maxQueued, maxOriginInflight, defaultWeight int, weights map[uint32]int) *reqTable {
+// newReqTable builds a table with the given number of run queues.
+// queues == 1 is the single-heap reference scheduler (every worker pops
+// the same heap, exactly the PR 5 behaviour); queues == workers gives
+// each worker its own dispatch domain with stealing.
+func newReqTable(maxQueued, maxOriginInflight, defaultWeight int, weights map[uint32]int, queues int) *reqTable {
+	if queues < 1 {
+		queues = 1
+	}
 	t := &reqTable{
 		maxQueued:         maxQueued,
 		maxOriginInflight: maxOriginInflight,
@@ -172,14 +233,40 @@ func newReqTable(maxQueued, maxOriginInflight, defaultWeight int, weights map[ui
 		t.shards[i].queues = make(map[uint32]*originQueue)
 		t.shards[i].stats = make(map[uint32]OriginStats)
 	}
-	t.avail = sync.NewCond(&t.mu)
-	t.space = sync.NewCond(&t.mu)
+	t.rqs = make([]*runQueue, queues)
+	for i := range t.rqs {
+		t.rqs[i] = &runQueue{idx: i}
+	}
+	t.idleCond = sync.NewCond(&t.idleMu)
+	t.space = sync.NewCond(&t.spaceMu)
 	return t
 }
 
 // shard returns the shard owning an origin.
 func (t *reqTable) shard(origin uint32) *reqShard {
 	return &t.shards[origin&(reqShards-1)]
+}
+
+// home returns the run queue an origin is assigned to at creation:
+// shard index folded onto the queue count, so origins spread across
+// workers the same way they spread across shards.
+func (t *reqTable) home(origin uint32) *runQueue {
+	return t.rqs[int(origin&(reqShards-1))%len(t.rqs)]
+}
+
+// lockOwner acquires the lock of q's current owning run queue,
+// re-checking ownership after the acquire: a steal may have migrated q
+// between the load and the lock. Owner rewrites happen only under the
+// old owner's lock, so the recheck converges.
+func (t *reqTable) lockOwner(q *originQueue) *runQueue {
+	for {
+		rq := q.owner.Load()
+		rq.mu.Lock()
+		if q.owner.Load() == rq {
+			return rq
+		}
+		rq.mu.Unlock()
+	}
 }
 
 // weightFor resolves an origin's configured WFQ weight.
@@ -194,142 +281,286 @@ func (t *reqTable) weightFor(origin uint32) int {
 	return w
 }
 
-// eligibleLocked reports whether q may be dispatched from: it has work
-// and spare in-flight budget. Caller holds t.mu.
-func (t *reqTable) eligibleLocked(q *originQueue) bool {
+// eligibleQueue reports whether q may be dispatched from: it has work
+// and spare in-flight budget. Caller holds q's owner lock.
+func (t *reqTable) eligibleQueue(q *originQueue) bool {
 	if len(q.msgs) == 0 {
 		return false
 	}
 	return t.maxOriginInflight <= 0 || q.inflight < t.maxOriginInflight
 }
 
-// push enqueues msg for origin, blocking while the table is at capacity
-// (the congestion backpressure a real /dev/fuse queue applies). It
-// reports false when the table has been closed — the connection is gone
-// and the frame must be dropped (one-way) or failed (two-way). The
+// notify versions new-work visibility and wakes parked workers, if any.
+// On the saturated fast path (no parked workers) it is one atomic add
+// and one atomic load.
+func (t *reqTable) notify() {
+	t.seq.Add(1)
+	if t.idleWaiters.Load() > 0 {
+		t.idleMu.Lock()
+		t.idleCond.Broadcast()
+		t.idleMu.Unlock()
+	}
+}
+
+// reserve claims one slot of global queue capacity, blocking while the
+// table is full (the congestion backpressure a real /dev/fuse queue
+// applies). It reports false when the table has been closed.
+func (t *reqTable) reserve() bool {
+	for {
+		if t.closed.Load() {
+			return false
+		}
+		cur := t.queued.Load()
+		if cur < int64(t.maxQueued) {
+			if t.queued.CompareAndSwap(cur, cur+1) {
+				return true
+			}
+			continue
+		}
+		t.spaceMu.Lock()
+		t.spaceWaiters.Add(1)
+		if t.queued.Load() >= int64(t.maxQueued) && !t.closed.Load() {
+			t.space.Wait()
+		}
+		t.spaceWaiters.Add(-1)
+		t.spaceMu.Unlock()
+	}
+}
+
+// releaseSlot returns one slot of queue capacity, waking blocked
+// pushers, and — when a closed table just drained — parked workers, so
+// they can observe the drain and exit.
+func (t *reqTable) releaseSlot() {
+	n := t.queued.Add(-1)
+	if t.spaceWaiters.Load() > 0 {
+		t.spaceMu.Lock()
+		t.space.Broadcast()
+		t.spaceMu.Unlock()
+	}
+	if n == 0 && t.closed.Load() {
+		t.notify()
+	}
+}
+
+// push enqueues msg for origin, blocking while the table is at capacity.
+// It reports false when the table has been closed — the connection is
+// gone and the frame must be dropped (one-way) or failed (two-way). The
 // returned depth is the total queued count after the insert, for the
 // submitter's congestion accounting.
 func (t *reqTable) push(origin uint32, msg *message) (depth int, ok bool) {
+	if !t.reserve() {
+		return 0, false
+	}
 	sh := t.shard(origin)
 	for {
 		sh.mu.Lock()
 		q := sh.queues[origin]
 		if q == nil {
 			q = &originQueue{origin: origin, weight: t.weightFor(origin), heapIdx: -1}
+			q.owner.Store(t.home(origin))
 			sh.queues[origin] = q
 		}
 		sh.mu.Unlock()
 
-		t.mu.Lock()
-		for t.queued >= t.maxQueued && !t.closed && !q.dead {
-			t.space.Wait()
-		}
-		if t.closed {
-			t.mu.Unlock()
-			return 0, false
-		}
+		rq := t.lockOwner(q)
 		if q.dead {
 			// The origin went idle and done() pruned its queue between our
 			// shard lookup and here; retry against a fresh queue object.
-			t.mu.Unlock()
+			rq.mu.Unlock()
 			continue
 		}
 		// A request arriving after retire() marked the draining queue means
 		// the PID was recycled: the origin is live again, so its counters
 		// must not be folded away when the old stragglers finish.
 		q.retireOnIdle = false
-		if len(q.msgs) == 0 && q.vstart < t.vclock {
+		if len(q.msgs) == 0 && q.vstart < rq.vclock {
 			// Idle rejoin: compete from the current virtual time, with no
 			// credit for the idle past.
-			q.vstart = t.vclock
+			q.vstart = rq.vclock
 		}
 		q.msgs = append(q.msgs, msg)
-		t.queued++
-		if q.heapIdx < 0 && t.eligibleLocked(q) {
-			heap.Push(&t.eligible, q)
+		rq.backlog++
+		if q.heapIdx < 0 && t.eligibleQueue(q) {
+			heap.Push(&rq.eligible, q)
 		}
-		t.avail.Broadcast()
-		depth = t.queued
-		t.mu.Unlock()
+		depth = int(t.queued.Load())
+		rq.mu.Unlock()
+		t.notify()
 		return depth, true
 	}
 }
 
-// dispatchLocked dequeues q's head message and advances the WFQ state:
+// dispatchLocked dequeues q's head message and advances rq's WFQ state:
 // the virtual clock catches up to the dispatched request's virtual start
 // time, and q's vstart advances by 1/weight. The heap is fixed in
-// O(log origins). Caller holds t.mu and q must be in the heap.
-func (t *reqTable) dispatchLocked(q *originQueue) *message {
+// O(log origins). Caller holds rq's lock and q must be owned by rq and
+// in its heap.
+func (t *reqTable) dispatchLocked(rq *runQueue, q *originQueue) *message {
 	m := q.msgs[0]
 	q.msgs[0] = nil
 	q.msgs = q.msgs[1:]
-	t.queued--
+	rq.backlog--
 	q.inflight++
-	if q.vstart > t.vclock {
-		t.vclock = q.vstart
+	if q.vstart > rq.vclock {
+		rq.vclock = q.vstart
 	}
 	q.vstart += 1 / float64(q.weight)
-	if t.eligibleLocked(q) {
-		heap.Fix(&t.eligible, q.heapIdx)
+	if t.eligibleQueue(q) {
+		heap.Fix(&rq.eligible, q.heapIdx)
 	} else {
-		heap.Remove(&t.eligible, q.heapIdx)
+		heap.Remove(&rq.eligible, q.heapIdx)
 	}
-	t.space.Broadcast()
+	t.releaseSlot()
 	return m
 }
 
-// pop dequeues the next request under weighted fair queueing: among
-// origins with pending messages and spare in-flight budget, the one with
-// the smallest virtual start time wins (ties broken by origin id for
-// determinism) — the heap's root, found in O(1) and fixed in
-// O(log origins). It blocks until a message is available and returns
-// ok == false once the table is closed and fully drained.
-func (t *reqTable) pop() (msg *message, origin uint32, ok bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for {
-		if len(t.eligible) > 0 {
-			q := t.eligible[0]
-			return t.dispatchLocked(q), q.origin, true
+// tryDispatch pops the WFQ winner of one run queue, if it has one.
+func (t *reqTable) tryDispatch(rq *runQueue) (msg *message, origin uint32, ok bool) {
+	rq.mu.Lock()
+	if len(rq.eligible) > 0 {
+		q := rq.eligible[0]
+		m := t.dispatchLocked(rq, q)
+		rq.mu.Unlock()
+		return m, q.origin, true
+	}
+	rq.mu.Unlock()
+	return nil, 0, false
+}
+
+// steal migrates the most-backlogged eligible origin from another run
+// queue onto thief and dispatches from it. Victims are probed in index
+// order starting after the thief; the victim/thief pair is locked in
+// index order so concurrent steals cannot deadlock. The stolen origin's
+// WFQ lag relative to its old queue's clock is preserved relative to
+// the thief's (vstart − vclock travels), so migration neither grants
+// credit nor forfeits backlog standing; ties on backlog break on the
+// smaller origin id for determinism.
+func (t *reqTable) steal(thief *runQueue) (msg *message, origin uint32, ok bool) {
+	n := len(t.rqs)
+	for i := 1; i < n; i++ {
+		victim := t.rqs[(thief.idx+i)%n]
+		lo, hi := thief, victim
+		if victim.idx < thief.idx {
+			lo, hi = victim, thief
 		}
-		if t.closed && t.queued == 0 {
+		lo.mu.Lock()
+		hi.mu.Lock()
+		if len(thief.eligible) > 0 {
+			// Work arrived on our own queue while we were acquiring the
+			// pair; prefer it — no migration needed.
+			q := thief.eligible[0]
+			m := t.dispatchLocked(thief, q)
+			hi.mu.Unlock()
+			lo.mu.Unlock()
+			return m, q.origin, true
+		}
+		var best *originQueue
+		for _, q := range victim.eligible {
+			if best == nil || len(q.msgs) > len(best.msgs) ||
+				(len(q.msgs) == len(best.msgs) && q.origin < best.origin) {
+				best = q
+			}
+		}
+		if best == nil {
+			hi.mu.Unlock()
+			lo.mu.Unlock()
+			continue
+		}
+		heap.Remove(&victim.eligible, best.heapIdx)
+		victim.backlog -= len(best.msgs)
+		lag := best.vstart - victim.vclock
+		if lag < 0 {
+			lag = 0
+		}
+		best.vstart = thief.vclock + lag
+		best.owner.Store(thief)
+		thief.backlog += len(best.msgs)
+		heap.Push(&thief.eligible, best)
+		t.steals.Add(1)
+		m := t.dispatchLocked(thief, best)
+		hi.mu.Unlock()
+		lo.mu.Unlock()
+		return m, best.origin, true
+	}
+	return nil, 0, false
+}
+
+// pop dequeues the next request for worker wid under weighted fair
+// queueing. The worker first pops its own run queue's heap root — the
+// (vstart, origin) minimum of its domain, found in O(1) and fixed in
+// O(log origins) under a lock no other busy worker touches. If its own
+// queue is empty it steals from a victim, and if no queue has eligible
+// work anywhere it parks on the table's idle list. It blocks until a
+// message is available and returns ok == false once the table is closed
+// and fully drained.
+func (t *reqTable) pop(wid int) (msg *message, origin uint32, ok bool) {
+	rq := t.rqs[wid%len(t.rqs)]
+	for {
+		s0 := t.seq.Load()
+		if m, o, ok := t.tryDispatch(rq); ok {
+			return m, o, true
+		}
+		if len(t.rqs) > 1 {
+			if m, o, ok := t.steal(rq); ok {
+				return m, o, true
+			}
+		}
+		if t.closed.Load() && t.queued.Load() == 0 {
 			return nil, 0, false
 		}
-		t.avail.Wait()
+		t.idleMu.Lock()
+		t.idleWaiters.Add(1)
+		if t.seq.Load() == s0 && !(t.closed.Load() && t.queued.Load() == 0) {
+			t.idleCond.Wait()
+		}
+		t.idleWaiters.Add(-1)
+		t.idleMu.Unlock()
 	}
 }
 
-// popLinear is the pre-heap reference scheduler: it selects the same
-// (vstart, origin) minimum by scanning every eligible origin linearly,
-// exactly as pop did before the indexed heap. It is kept for the
-// differential fairness test (heap order must equal scan order) and as
-// the baseline side of BenchmarkReqTablePop.
+// popLinear is the retained reference scheduler: it selects the same
+// (vstart, origin) minimum by scanning run queue 0's eligible origins
+// linearly, exactly as pop did before the indexed heap. It is kept for
+// the differential fairness tests (heap order must equal scan order,
+// and the multi-queue scheduler must match a 1-queue reference) and as
+// the baseline side of BenchmarkReqTablePop. Meaningful only on tables
+// built with queues == 1.
 func (t *reqTable) popLinear() (msg *message, origin uint32, ok bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	rq := t.rqs[0]
 	for {
+		s0 := t.seq.Load()
+		rq.mu.Lock()
 		var best *originQueue
-		for _, q := range t.eligible {
+		for _, q := range rq.eligible {
 			if best == nil || q.vstart < best.vstart ||
 				(q.vstart == best.vstart && q.origin < best.origin) {
 				best = q
 			}
 		}
 		if best != nil {
-			return t.dispatchLocked(best), best.origin, true
+			m := t.dispatchLocked(rq, best)
+			rq.mu.Unlock()
+			return m, best.origin, true
 		}
-		if t.closed && t.queued == 0 {
+		rq.mu.Unlock()
+		if t.closed.Load() && t.queued.Load() == 0 {
 			return nil, 0, false
 		}
-		t.avail.Wait()
+		t.idleMu.Lock()
+		t.idleWaiters.Add(1)
+		if t.seq.Load() == s0 && !(t.closed.Load() && t.queued.Load() == 0) {
+			t.idleCond.Wait()
+		}
+		t.idleWaiters.Add(-1)
+		t.idleMu.Unlock()
 	}
 }
 
 // done records the completion of a request popped for origin, folding the
 // transferred byte counts into the origin's accounting and freeing its
 // in-flight slot (which may unblock a capped origin's next dispatch).
-// Stats land under the origin's shard lock; the scheduler lock is taken
-// only for the in-flight bookkeeping and heap fix-up.
+// Stats land under the origin's shard lock; the owner run queue's lock
+// is taken only for the in-flight bookkeeping and heap fix-up.
 func (t *reqTable) done(origin uint32, readBytes, writeBytes int64, isRead, isWrite bool) {
 	sh := t.shard(origin)
 	sh.mu.Lock()
@@ -345,48 +576,59 @@ func (t *reqTable) done(origin uint32, readBytes, writeBytes int64, isRead, isWr
 	}
 	sh.stats[origin] = s
 
-	t.mu.Lock()
+	requeued := false
 	if q, ok := sh.queues[origin]; ok {
+		rq := t.lockOwner(q)
 		q.inflight--
 		if q.inflight == 0 && len(q.msgs) == 0 {
 			// The origin went idle: drop its scheduler queue. It rejoins
 			// at the current virtual time on its next request, the same
-			// idle-rejoin rule push applies.
+			// idle-rejoin rule push applies (re-homed by shard, so a
+			// stolen origin returns to its home queue once idle).
 			if q.retireOnIdle {
 				sh.foldLocked(origin)
 			}
 			q.dead = true
 			if q.heapIdx >= 0 {
-				heap.Remove(&t.eligible, q.heapIdx)
+				heap.Remove(&rq.eligible, q.heapIdx)
 			}
 			delete(sh.queues, origin)
-		} else if q.heapIdx < 0 && t.eligibleLocked(q) {
+		} else if q.heapIdx < 0 && t.eligibleQueue(q) {
 			// A capped origin's freed slot makes it dispatchable again; it
 			// re-enters the heap with its existing vstart, so a backlog it
 			// accumulated while capped is not forgotten.
-			heap.Push(&t.eligible, q)
+			heap.Push(&rq.eligible, q)
+			requeued = true
 		}
+		rq.mu.Unlock()
 	}
-	t.avail.Broadcast()
-	t.mu.Unlock()
 	sh.mu.Unlock()
+	if requeued {
+		t.notify()
+	}
 }
 
 // close marks the table closed and wakes everyone: blocked pushers fail,
 // workers drain what is queued and exit.
 func (t *reqTable) close() {
-	t.mu.Lock()
-	t.closed = true
-	t.avail.Broadcast()
+	t.closed.Store(true)
+	t.spaceMu.Lock()
 	t.space.Broadcast()
-	t.mu.Unlock()
+	t.spaceMu.Unlock()
+	t.seq.Add(1)
+	t.idleMu.Lock()
+	t.idleCond.Broadcast()
+	t.idleMu.Unlock()
 }
 
 // depth reports the current queued count.
 func (t *reqTable) depth() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.queued
+	return int(t.queued.Load())
+}
+
+// stealCount reports how many origin migrations the table has performed.
+func (t *reqTable) stealCount() int64 {
+	return t.steals.Load()
 }
 
 // originStats snapshots the per-origin completion counters across all
@@ -414,13 +656,13 @@ func (t *reqTable) originStats() map[uint32]OriginStats {
 func (t *reqTable) retire(origin uint32) {
 	sh := t.shard(origin)
 	sh.mu.Lock()
-	t.mu.Lock()
 	if q, ok := sh.queues[origin]; ok {
+		rq := t.lockOwner(q)
 		q.retireOnIdle = true
+		rq.mu.Unlock()
 	} else {
 		sh.foldLocked(origin)
 	}
-	t.mu.Unlock()
 	sh.mu.Unlock()
 }
 

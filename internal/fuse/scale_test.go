@@ -19,7 +19,7 @@ func TestReqTableHeapMatchesLinearScan(t *testing.T) {
 	)
 	weights := map[uint32]int{3: 4, 7: 2, 11: 8}
 	mk := func() *reqTable {
-		return newReqTable(1<<20, cap, 1, weights)
+		return newReqTable(1<<20, cap, 1, weights, 1)
 	}
 	heapT, scanT := mk(), mk()
 
@@ -42,7 +42,7 @@ func TestReqTableHeapMatchesLinearScan(t *testing.T) {
 		// sides.
 		var heapInflight, scanInflight []uint32
 		for {
-			hm, ho, _ := tryPop(heapT, func() (*message, uint32, bool) { return heapT.pop() })
+			hm, ho, _ := tryPop(heapT, func() (*message, uint32, bool) { return heapT.pop(0) })
 			if hm == nil {
 				break
 			}
@@ -82,9 +82,10 @@ func TestReqTableHeapMatchesLinearScan(t *testing.T) {
 // tryPop runs a blocking pop variant but only when work is immediately
 // available, so the lockstep drain above never blocks.
 func tryPop(tab *reqTable, pop func() (*message, uint32, bool)) (*message, uint32, bool) {
-	tab.mu.Lock()
-	ready := len(tab.eligible) > 0
-	tab.mu.Unlock()
+	rq := tab.rqs[0]
+	rq.mu.Lock()
+	ready := len(rq.eligible) > 0
+	rq.mu.Unlock()
 	if !ready {
 		return nil, 0, false
 	}
@@ -108,7 +109,7 @@ func TestManyOriginFairness(t *testing.T) {
 		weights[uint32(i+1)] = w
 		sumW += w
 	}
-	tab := newReqTable(1<<22, 0, 1, weights)
+	tab := newReqTable(1<<22, 0, 1, weights, 1)
 	// Pre-load each origin with more messages than it can be granted, so
 	// every origin stays backlogged through the measured window.
 	for o := uint32(1); o <= origins; o++ {
@@ -120,7 +121,7 @@ func TestManyOriginFairness(t *testing.T) {
 
 	perOrigin := make(map[uint32]int, origins)
 	for i := 0; i < dispatches; i++ {
-		_, origin, ok := tab.pop()
+		_, origin, ok := tab.pop(0)
 		if !ok {
 			t.Fatalf("table drained at dispatch %d", i)
 		}
@@ -157,14 +158,14 @@ func TestManyOriginFairness(t *testing.T) {
 // matter how many rivals are queued behind their caps.
 func TestManyOriginCappedNotStarved(t *testing.T) {
 	const origins = 2048
-	tab := newReqTable(1<<20, 1, 1, nil)
+	tab := newReqTable(1<<20, 1, 1, nil, 1)
 	for o := uint32(1); o <= origins; o++ {
 		tab.push(o, &message{})
 		tab.push(o, &message{})
 	}
 	seen := make(map[uint32]bool, origins)
 	for i := 0; i < origins; i++ {
-		_, origin, ok := tab.pop()
+		_, origin, ok := tab.pop(0)
 		if !ok {
 			t.Fatal("table drained early")
 		}
@@ -177,7 +178,7 @@ func TestManyOriginCappedNotStarved(t *testing.T) {
 	// single completion must hand pop exactly that origin.
 	for _, victim := range []uint32{1234, 7, 2048} {
 		tab.done(victim, 0, 0, false, false)
-		_, origin, ok := tab.pop()
+		_, origin, ok := tab.pop(0)
 		if !ok || origin != victim {
 			t.Fatalf("after done(%d): pop returned origin %d ok=%v, want %d",
 				victim, origin, ok, victim)
@@ -196,7 +197,7 @@ func TestManyOriginStress(t *testing.T) {
 		workers   = 6
 		perPusher = 4000
 	)
-	tab := newReqTable(512, 2, 1, map[uint32]int{17: 8, 1999: 4})
+	tab := newReqTable(512, 2, 1, map[uint32]int{17: 8, 1999: 4}, 1)
 
 	var servedMu sync.Mutex
 	servedCount := make(map[uint32]int64)
@@ -207,7 +208,7 @@ func TestManyOriginStress(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for {
-				_, origin, ok := tab.pop()
+				_, origin, ok := tab.pop(0)
 				if !ok {
 					return
 				}

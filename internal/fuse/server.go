@@ -61,7 +61,7 @@ func newServer(fs vfs.FS, clock *sim.Clock, model *sim.CostModel, opts MountOpti
 	}
 	for i := 0; i < opts.ServerThreads; i++ {
 		s.wg.Add(1)
-		go s.worker()
+		go s.worker(i)
 	}
 	return s
 }
@@ -199,10 +199,16 @@ func (s *Server) RetiredOriginStats() OriginStats {
 	return s.table.retiredStats()
 }
 
-func (s *Server) worker() {
+// Steals reports how many times an idle worker migrated an origin from
+// another worker's run queue (see reqTable.steal).
+func (s *Server) Steals() int64 { return s.table.stealCount() }
+
+// worker is one server thread, identified by wid: it pops from its own
+// run queue in the request table, stealing from siblings when idle.
+func (s *Server) worker(wid int) {
 	defer s.wg.Done()
 	for {
-		msg, origin, ok := s.table.pop()
+		msg, origin, ok := s.table.pop(wid)
 		if !ok {
 			return
 		}

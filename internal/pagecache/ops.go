@@ -195,9 +195,9 @@ func (c *Cache) windowAt(f *fileCache, pos int64) *raWindow {
 	return nil
 }
 
-// submitWindow starts one asynchronous readahead window at start,
-// clamped to the file size. Caller holds c.mu.
-func (c *Cache) submitWindow(op *vfs.Op, h vfs.Handle, f *fileCache, start int64) {
+// windowSize returns the readahead window size at start, clamped to the
+// file size; <= 0 means no window fits there. Caller holds c.mu.
+func (c *Cache) windowSize(f *fileCache, start int64) int64 {
 	size := c.opts.ReadAhead
 	if size < PageSize {
 		size = PageSize
@@ -205,28 +205,73 @@ func (c *Cache) submitWindow(op *vfs.Op, h vfs.Handle, f *fileCache, start int64
 	if rem := f.size - start; size > rem {
 		size = rem
 	}
-	if size <= 0 {
+	return size
+}
+
+// submitWindows starts one asynchronous readahead window per start
+// offset, submitted as a single pipelined batch: a batch-capable
+// backing (an interceptor chain carrying the policy enforcer) admits
+// the whole window set with one gate decision instead of one per
+// window. Caller holds c.mu.
+func (c *Cache) submitWindows(op *vfs.Op, h vfs.Handle, f *fileCache, starts []int64) {
+	if len(starts) == 0 {
 		return
 	}
 	if f.ra == nil {
 		f.ra = make(map[int64]*raWindow)
 	}
-	buf := make([]byte, size)
-	f.ra[start] = &raWindow{start: start, buf: buf, pending: c.async.SubmitRead(op, h, start, buf)}
-	if start+size > f.raNext {
-		f.raNext = start + size
+	reqs := make([]vfs.ReadReq, 0, len(starts))
+	for _, start := range starts {
+		size := c.windowSize(f, start)
+		if size <= 0 {
+			continue
+		}
+		reqs = append(reqs, vfs.ReadReq{Off: start, Dest: make([]byte, size)})
+	}
+	if len(reqs) == 0 {
+		return
+	}
+	var pendings []vfs.PendingIO
+	if ba, ok := c.async.(vfs.BatchAsyncFS); ok {
+		pendings = ba.SubmitReadBatch(op, h, reqs)
+	} else {
+		pendings = make([]vfs.PendingIO, len(reqs))
+		for i, r := range reqs {
+			pendings[i] = c.async.SubmitRead(op, h, r.Off, r.Dest)
+		}
+	}
+	for i, r := range reqs {
+		f.ra[r.Off] = &raWindow{start: r.Off, buf: r.Dest, pending: pendings[i]}
+		if end := r.Off + int64(len(r.Dest)); end > f.raNext {
+			f.raNext = end
+		}
 	}
 }
 
+// submitWindow starts one asynchronous readahead window at start,
+// clamped to the file size. Caller holds c.mu.
+func (c *Cache) submitWindow(op *vfs.Op, h vfs.Handle, f *fileCache, start int64) {
+	c.submitWindows(op, h, f, []int64{start})
+}
+
 // topUpReadahead keeps AsyncDepth windows in flight beyond the furthest
-// submitted offset. Caller holds c.mu.
+// submitted offset, submitting the refill as one batch. Caller holds
+// c.mu.
 func (c *Cache) topUpReadahead(op *vfs.Op, h vfs.Handle, f *fileCache) {
-	for len(f.ra) < c.opts.AsyncDepth && f.raNext < f.size {
-		if c.windowAt(f, f.raNext) != nil {
-			return
+	var starts []int64
+	next := f.raNext
+	for len(f.ra)+len(starts) < c.opts.AsyncDepth && next < f.size {
+		if c.windowAt(f, next) != nil {
+			break
 		}
-		c.submitWindow(op, h, f, f.raNext)
+		size := c.windowSize(f, next)
+		if size <= 0 {
+			break
+		}
+		starts = append(starts, next)
+		next += size
 	}
+	c.submitWindows(op, h, f, starts)
 }
 
 // readAheadAsync serves a sequential miss through the pipelined backing:
@@ -567,9 +612,21 @@ func (c *Cache) flushFileLocked(ino vfs.Ino, f *fileCache) {
 		i = j + 1
 	}
 	if c.async != nil && len(extents) > 1 {
-		pendings := make([]vfs.PendingIO, len(extents))
-		for i, e := range extents {
-			pendings[i] = c.async.SubmitWrite(wbOp, f.wbHandle, e.start, e.buf)
+		// Batched writeback: submit every extent before awaiting any, so
+		// the round trips overlap; a batch-capable backing additionally
+		// admits the whole extent set in one policy decision.
+		var pendings []vfs.PendingIO
+		if ba, ok := c.async.(vfs.BatchAsyncFS); ok {
+			reqs := make([]vfs.WriteReq, len(extents))
+			for i, e := range extents {
+				reqs[i] = vfs.WriteReq{Off: e.start, Data: e.buf}
+			}
+			pendings = ba.SubmitWriteBatch(wbOp, f.wbHandle, reqs)
+		} else {
+			pendings = make([]vfs.PendingIO, len(extents))
+			for i, e := range extents {
+				pendings[i] = c.async.SubmitWrite(wbOp, f.wbHandle, e.start, e.buf)
+			}
 		}
 		for i, p := range pendings {
 			n, err := p.Await(wbOp)

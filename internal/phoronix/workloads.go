@@ -547,6 +547,60 @@ var Suite = []Benchmark{
 	},
 }
 
+// MetaStorm is the metadata-write storm workload: sustained create /
+// rename / unlink churn across many directories, with every file dying
+// before any sync reaches the disk. It concentrates the request mix on
+// the operations the request table's scheduler actually arbitrates
+// (metadata round trips, never absorbed by the page cache), which makes
+// it the contention workload of the BENCH_7 recording. It is NOT part
+// of Suite — Figure 2 is the paper's fixed twenty rows — so the stress
+// and chaos tests pick it up explicitly.
+var MetaStorm = Benchmark{
+	Name: "Meta-Storm", Workers: 4, PaperOverhead: 0,
+	Run: func(ctx *Ctx) (int64, error) {
+		const dirs, filesPer = 8, 4
+		for d := 0; d < dirs; d++ {
+			if err := ctx.Cli.MkdirAll(fmt.Sprintf("/storm/dir%02d", d), 0o755); err != nil {
+				return 0, err
+			}
+		}
+		payload := make([]byte, 512)
+		var ops int64
+		for round := 0; round < 30; round++ {
+			for d := 0; d < dirs; d++ {
+				dir := fmt.Sprintf("/storm/dir%02d", d)
+				for i := 0; i < filesPer; i++ {
+					if err := ctx.Cli.WriteFile(fmt.Sprintf("%s/t%02d", dir, i), payload, 0o644); err != nil {
+						return 0, err
+					}
+					ops++
+				}
+				// Half the files are renamed into place (a tmp-then-rename
+				// publish), half die immediately; the survivors die on the
+				// next pass. Nothing lives long enough to be flushed.
+				for i := 0; i < filesPer; i++ {
+					name := fmt.Sprintf("%s/t%02d", dir, i)
+					if i%2 == 0 {
+						if err := ctx.Cli.Rename(name, fmt.Sprintf("%s/pub%02d", dir, i)); err != nil {
+							return 0, err
+						}
+					} else if err := ctx.Cli.Remove(name); err != nil {
+						return 0, err
+					}
+					ops++
+				}
+				for i := 0; i < filesPer; i += 2 {
+					if err := ctx.Cli.Remove(fmt.Sprintf("%s/pub%02d", dir, i)); err != nil {
+						return 0, err
+					}
+					ops++
+				}
+			}
+		}
+		return ops, nil
+	},
+}
+
 // dbench builds one Dbench row with the given client count.
 func dbench(clients int, paper float64) Benchmark {
 	return Benchmark{

@@ -72,9 +72,19 @@ func exempt(k vfs.OpKind) bool {
 	return false
 }
 
-// gateLocked decides one operation against the profile, recording any
-// violation, and reports whether it must be denied. Caller holds e.mu.
-func (e *Enforcer) gateLocked(info *vfs.OpInfo, target string) (deny bool) {
+// gateNLocked decides a window of n same-kind, same-target operations
+// against the profile in one pass — one trie lookup, one ceiling check —
+// recording the outcome n times, and reports whether the window must be
+// denied. One decision is sound for the whole window because byte
+// ceilings only advance at completion (Intercept, after next()), never
+// at admission: every operation of a pipelined window observes the same
+// readBytes/writeBytes no matter whether it is gated individually or
+// batched, so the n outcomes are identical by construction. Caller
+// holds e.mu.
+func (e *Enforcer) gateNLocked(info *vfs.OpInfo, target string, n int) (deny bool) {
+	if n < 1 {
+		n = 1
+	}
 	var reason string
 	if !exempt(info.Kind) {
 		if !e.m.Allows(info.Kind, target) {
@@ -90,21 +100,27 @@ func (e *Enforcer) gateLocked(info *vfs.OpInfo, target string) (deny bool) {
 	}
 	denied := !e.audit
 	if denied {
-		e.denials++
+		e.denials += int64(n)
 	} else {
-		e.audited++
+		e.audited += int64(n)
 	}
-	if len(e.violations) < maxViolations {
-		var pid uint32
-		if info.Op != nil {
-			pid = info.Op.PID
-		}
+	var pid uint32
+	if info.Op != nil {
+		pid = info.Op.PID
+	}
+	for i := 0; i < n && len(e.violations) < maxViolations; i++ {
 		e.violations = append(e.violations, Violation{
 			Kind: info.Kind, Path: target, PID: pid,
 			Denied: denied, Reason: reason,
 		})
 	}
 	return denied
+}
+
+// gateLocked decides one operation against the profile, recording any
+// violation, and reports whether it must be denied. Caller holds e.mu.
+func (e *Enforcer) gateLocked(info *vfs.OpInfo, target string) (deny bool) {
+	return e.gateNLocked(info, target, 1)
 }
 
 // InterceptSubmit implements vfs.SubmitInterceptor: pipelined
@@ -115,6 +131,22 @@ func (e *Enforcer) InterceptSubmit(info *vfs.OpInfo) error {
 	defer e.mu.Unlock()
 	_, target := resolvePaths(e.paths, info.Ino, info.Name)
 	if e.gateLocked(info, target) {
+		return vfs.EACCES
+	}
+	return nil
+}
+
+// InterceptSubmitBatch implements vfs.BatchSubmitInterceptor: a whole
+// pipelined window (info.BatchOps same-kind operations on one inode) is
+// admitted with one path resolution, one trie lookup and one ceiling
+// check, with every counter advancing exactly as info.BatchOps per-op
+// InterceptSubmit calls would have (see gateNLocked for why the
+// outcomes cannot diverge).
+func (e *Enforcer) InterceptSubmitBatch(info *vfs.OpInfo) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, target := resolvePaths(e.paths, info.Ino, info.Name)
+	if e.gateNLocked(info, target, info.BatchOps) {
 		return vfs.EACCES
 	}
 	return nil

@@ -1,0 +1,112 @@
+package stack
+
+import (
+	"bytes"
+	"testing"
+
+	"cntr/internal/policy"
+	"cntr/internal/vfs"
+)
+
+// windowCounter is a batch-aware submit gate for tests: it records the
+// size of every pipelined window admitted below the kernel cache, plus
+// any per-op submissions that bypassed the batch path.
+type windowCounter struct {
+	windows []int
+	perOp   int
+}
+
+func (w *windowCounter) Intercept(info *vfs.OpInfo, next func() error) error { return next() }
+
+func (w *windowCounter) InterceptSubmit(info *vfs.OpInfo) error {
+	w.perOp++
+	return nil
+}
+
+func (w *windowCounter) InterceptSubmitBatch(info *vfs.OpInfo) error {
+	w.windows = append(w.windows, info.BatchOps)
+	return nil
+}
+
+// TestBelowCacheSeesBatchedWindows: with pipelining enabled, the kernel
+// cache's readahead and writeback windows must reach a below-cache gate
+// as whole batched submissions — one admission decision per window —
+// while the data still round-trips correctly through CntrFS.
+func TestBelowCacheSeesBatchedWindows(t *testing.T) {
+	wc := &windowCounter{}
+	cfg := Config{
+		AsyncDepth: 8,
+		BelowCache: []vfs.Interceptor{wc},
+	}
+	c := NewCntr(cfg)
+	defer c.Close()
+	cli := vfs.NewClient(c.Top, vfs.Root())
+
+	data := bytes.Repeat([]byte("window"), 1<<20/6) // ~1MB
+	if err := cli.WriteFile("/big", data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.ReadFile("/big")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read through batched admission: %d bytes, %v", len(got), err)
+	}
+
+	batched := 0
+	for _, n := range wc.windows {
+		if n < 2 {
+			t.Fatalf("batch path invoked for a %d-op window", n)
+		}
+		batched += n
+	}
+	if batched == 0 {
+		t.Fatalf("no pipelined window reached the below-cache gate (per-op=%d)", wc.perOp)
+	}
+}
+
+// TestBelowCacheEnforcerAdmitsPipelinedTraffic: a real policy.Enforcer
+// wired below the kernel cache gates the mount's actual FUSE traffic —
+// batched readahead included — and an allow-all profile must let the
+// workload through with zero denials.
+func TestBelowCacheEnforcerAdmitsPipelinedTraffic(t *testing.T) {
+	p := &policy.Profile{Rules: []policy.Rule{{
+		Prefix: "/",
+		Kinds: []string{"lookup", "getattr", "setattr", "create", "open",
+			"read", "write", "fsync", "access", "opendir", "readdir",
+			"getxattr", "setxattr"},
+	}}}
+	enf := policy.NewEnforcer(p, false)
+	c := NewCntr(Config{
+		AsyncDepth: 8,
+		BelowCache: []vfs.Interceptor{enf},
+	})
+	defer c.Close()
+	cli := vfs.NewClient(c.Top, vfs.Root())
+
+	data := bytes.Repeat([]byte("policy"), 1<<19/6)
+	if err := cli.WriteFile("/ok", data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.ReadFile("/ok")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("enforced read: %d bytes, %v", len(got), err)
+	}
+	if d := enf.Denials(); d != 0 {
+		t.Fatalf("allow-all profile denied %d operations: %+v", d, enf.Violations())
+	}
+}
+
+// TestBelowCacheEmptyIsIdentity: with no below-cache interceptors the
+// kernel cache must sit directly on the FUSE connection — no wrapper,
+// so the async fast path is exactly what it was before this knob.
+func TestBelowCacheEmptyIsIdentity(t *testing.T) {
+	c := NewCntr(Config{})
+	defer c.Close()
+	if got := vfs.Unwrap(vfs.FS(c.Conn)); got != vfs.FS(c.Conn) {
+		t.Fatal("Unwrap on the bare connection must be the identity")
+	}
+	// The stack's own wiring: nothing between cache and connection.
+	cli := vfs.NewClient(c.Top, vfs.Root())
+	if err := cli.WriteFile("/f", []byte("id"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

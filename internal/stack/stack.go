@@ -53,6 +53,13 @@ type Config struct {
 	// (host filesystem for the Cntr stack). Used to run workloads over a
 	// content-addressed or fault-injecting backend.
 	Store blobstore.Store
+	// BelowCache interceptors sit between the kernel-side page cache and
+	// the FUSE connection in the Cntr stack: every miss the cache turns
+	// into FUSE traffic — including pipelined readahead/writeback windows,
+	// which arrive as one batched submission — flows through them. This is
+	// where a policy.Enforcer belongs when it should gate what actually
+	// crosses into CntrFS rather than what the application asked for.
+	BelowCache []vfs.Interceptor
 }
 
 // Native is the baseline stack.
@@ -148,7 +155,12 @@ func NewCntr(cfg Config) *Cntr {
 	if !cfg.Mount.AsyncRead {
 		depth = 0 // pipelined readahead is what FUSE_ASYNC_READ permits
 	}
-	kernel := pagecache.New(conn, clock, model, pagecache.Options{
+	// Interceptors below the kernel cache see the mount's real FUSE
+	// traffic. Chain forwards the connection's async capability (batched
+	// submissions included) and IsAsync unwraps it, so pipelining
+	// survives the detour; with no interceptors Chain returns conn as-is.
+	kernelBacking := vfs.Chain(conn, cfg.BelowCache...)
+	kernel := pagecache.New(kernelBacking, clock, model, pagecache.Options{
 		KeepCache:    cfg.Mount.KeepCache,
 		Writeback:    cfg.Mount.WritebackCache,
 		DirtyWindow:  cfg.DirtyWindowFuse,

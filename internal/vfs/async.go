@@ -27,6 +27,38 @@ type AsyncFS interface {
 	SubmitWrite(op *Op, h Handle, off int64, data []byte) PendingIO
 }
 
+// ReadReq is one read of a pipelined batch: up to len(Dest) bytes at
+// Off, landing in Dest when the corresponding future succeeds.
+type ReadReq struct {
+	Off  int64
+	Dest []byte
+}
+
+// WriteReq is one write of a pipelined batch: Data at Off. Data must
+// not be modified until the corresponding future's Await returns.
+type WriteReq struct {
+	Off  int64
+	Data []byte
+}
+
+// BatchAsyncFS is the optional capability interface for layers that can
+// accept a whole pipelined window — a readahead window or a writeback
+// extent batch — in one call. Its value is at the admission boundary:
+// an interceptor chain implementing it decides the window with a single
+// submit-time gate pass (one policy trie lookup, one ceiling check)
+// instead of one per operation, then fans out to the transport.
+type BatchAsyncFS interface {
+	AsyncFS
+
+	// SubmitReadBatch starts every read in reqs, returning one future
+	// per request, index-aligned.
+	SubmitReadBatch(op *Op, h Handle, reqs []ReadReq) []PendingIO
+
+	// SubmitWriteBatch starts every write in reqs, returning one future
+	// per request, index-aligned.
+	SubmitWriteBatch(op *Op, h Handle, reqs []WriteReq) []PendingIO
+}
+
 // IsAsync reports whether fs has a genuinely asynchronous submit path.
 // It sees through interceptor chains (and any other wrapper exposing
 // Unwrap), because wrappers implement the AsyncFS methods
@@ -79,4 +111,33 @@ func SubmitWrite(fs FS, op *Op, h Handle, off int64, data []byte) PendingIO {
 	}
 	n, err := fs.Write(op, h, off, data)
 	return completedIO{n, err}
+}
+
+// SubmitReadBatch issues a pipelined read window through fs. A
+// BatchAsyncFS receives the whole window in one call (one admission
+// decision on an interceptor chain); anything else degrades to per-op
+// SubmitRead, which itself degrades to synchronous reads. The returned
+// futures are index-aligned with reqs.
+func SubmitReadBatch(fs FS, op *Op, h Handle, reqs []ReadReq) []PendingIO {
+	if ba, ok := fs.(BatchAsyncFS); ok {
+		return ba.SubmitReadBatch(op, h, reqs)
+	}
+	out := make([]PendingIO, len(reqs))
+	for i, r := range reqs {
+		out[i] = SubmitRead(fs, op, h, r.Off, r.Dest)
+	}
+	return out
+}
+
+// SubmitWriteBatch issues a pipelined write window through fs, with the
+// same capability ladder as SubmitReadBatch.
+func SubmitWriteBatch(fs FS, op *Op, h Handle, reqs []WriteReq) []PendingIO {
+	if ba, ok := fs.(BatchAsyncFS); ok {
+		return ba.SubmitWriteBatch(op, h, reqs)
+	}
+	out := make([]PendingIO, len(reqs))
+	for i, r := range reqs {
+		out[i] = SubmitWrite(fs, op, h, r.Off, r.Data)
+	}
+	return out
 }

@@ -1,0 +1,272 @@
+package vfs_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"cntr/internal/memfs"
+	"cntr/internal/vfs"
+)
+
+// asyncMem wraps memfs with an AsyncFS surface that counts submissions,
+// so chain-level batch tests can observe what actually reaches the
+// transport. Reads and writes run inline; the futures are pre-resolved.
+type asyncMem struct {
+	*memfs.FS
+	submits atomic.Int64
+}
+
+func (a *asyncMem) SubmitRead(op *vfs.Op, h vfs.Handle, off int64, dest []byte) vfs.PendingIO {
+	a.submits.Add(1)
+	n, err := a.Read(op, h, off, dest)
+	return vfs.CompletedIO(n, err)
+}
+
+func (a *asyncMem) SubmitWrite(op *vfs.Op, h vfs.Handle, off int64, data []byte) vfs.PendingIO {
+	a.submits.Add(1)
+	n, err := a.Write(op, h, off, data)
+	return vfs.CompletedIO(n, err)
+}
+
+// batchAsyncMem additionally accepts whole windows, recording the sizes
+// it was handed — the probe for nested batch propagation.
+type batchAsyncMem struct {
+	asyncMem
+	batches []int
+}
+
+func (b *batchAsyncMem) SubmitReadBatch(op *vfs.Op, h vfs.Handle, reqs []vfs.ReadReq) []vfs.PendingIO {
+	b.batches = append(b.batches, len(reqs))
+	out := make([]vfs.PendingIO, len(reqs))
+	for i, r := range reqs {
+		n, err := b.Read(op, h, r.Off, r.Dest)
+		out[i] = vfs.CompletedIO(n, err)
+	}
+	return out
+}
+
+func (b *batchAsyncMem) SubmitWriteBatch(op *vfs.Op, h vfs.Handle, reqs []vfs.WriteReq) []vfs.PendingIO {
+	b.batches = append(b.batches, len(reqs))
+	out := make([]vfs.PendingIO, len(reqs))
+	for i, r := range reqs {
+		n, err := b.Write(op, h, r.Off, r.Data)
+		out[i] = vfs.CompletedIO(n, err)
+	}
+	return out
+}
+
+// countingGate is a batch-unaware submit gate: each InterceptSubmit call
+// decides one operation. deny, when non-zero, fails every decision.
+type countingGate struct {
+	perOp     atomic.Int64
+	batchSeen atomic.Int64 // max BatchOps observed on per-op calls
+	deny      vfs.Errno
+}
+
+func (g *countingGate) Intercept(info *vfs.OpInfo, next func() error) error { return next() }
+
+func (g *countingGate) InterceptSubmit(info *vfs.OpInfo) error {
+	g.perOp.Add(1)
+	if int64(info.BatchOps) > g.batchSeen.Load() {
+		g.batchSeen.Store(int64(info.BatchOps))
+	}
+	if g.deny != vfs.OK {
+		return g.deny
+	}
+	return nil
+}
+
+// batchGate is a batch-aware gate: it records the BatchOps of every
+// window-level call and still counts per-op calls separately.
+type batchGate struct {
+	countingGate
+	windows []int
+}
+
+func (g *batchGate) InterceptSubmitBatch(info *vfs.OpInfo) error {
+	g.windows = append(g.windows, info.BatchOps)
+	if g.deny != vfs.OK {
+		return g.deny
+	}
+	return nil
+}
+
+func openBatchFile(t *testing.T, fs vfs.FS, size int) (*vfs.Client, vfs.Handle) {
+	t.Helper()
+	cli := vfs.NewClient(fs, vfs.Root())
+	if err := cli.WriteFile("/f", make([]byte, size), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h, err := fs.Open(cli.Op, mustResolve(t, cli, "/f"), vfs.ORdwr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cli, h
+}
+
+func mustResolve(t *testing.T, cli *vfs.Client, path string) vfs.Ino {
+	t.Helper()
+	r, err := cli.Resolve(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Ino
+}
+
+func readWindow(n, each int) []vfs.ReadReq {
+	reqs := make([]vfs.ReadReq, n)
+	for i := range reqs {
+		reqs[i] = vfs.ReadReq{Off: int64(i * each), Dest: make([]byte, each)}
+	}
+	return reqs
+}
+
+// TestChainBatchAwareGateOneDecision: a BatchSubmitInterceptor on the
+// chain admits an N-request window with exactly one call carrying
+// BatchOps=N, and every future still completes individually.
+func TestChainBatchAwareGateOneDecision(t *testing.T) {
+	back := &asyncMem{FS: memfs.New(memfs.Options{})}
+	gate := &batchGate{}
+	chained := vfs.Chain(back, gate)
+	cli, h := openBatchFile(t, chained, 64<<10)
+
+	reqs := readWindow(8, 4<<10)
+	pend := vfs.SubmitReadBatch(chained, cli.Op, h, reqs)
+	if len(pend) != 8 {
+		t.Fatalf("futures = %d, want 8", len(pend))
+	}
+	for i, p := range pend {
+		if n, err := p.Await(cli.Op); err != nil || n != 4<<10 {
+			t.Fatalf("future %d: n=%d err=%v", i, n, err)
+		}
+	}
+	if len(gate.windows) != 1 || gate.windows[0] != 8 {
+		t.Fatalf("window decisions = %v, want one decision covering 8 ops", gate.windows)
+	}
+	if got := gate.perOp.Load(); got != 0 {
+		t.Fatalf("batch-aware gate also received %d per-op calls", got)
+	}
+	if got := back.submits.Load(); got != 8 {
+		t.Fatalf("transport submissions = %d, want 8", got)
+	}
+}
+
+// TestChainBatchUnawareGatePerOpCalls: a plain SubmitInterceptor must
+// see the window as N individual decisions (BatchOps cleared), exactly
+// as per-op submission would have delivered them.
+func TestChainBatchUnawareGatePerOpCalls(t *testing.T) {
+	back := &asyncMem{FS: memfs.New(memfs.Options{})}
+	gate := &countingGate{}
+	chained := vfs.Chain(back, gate)
+	cli, h := openBatchFile(t, chained, 64<<10)
+
+	pend := vfs.SubmitReadBatch(chained, cli.Op, h, readWindow(6, 4<<10))
+	for _, p := range pend {
+		if _, err := p.Await(cli.Op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := gate.perOp.Load(); got != 6 {
+		t.Fatalf("batch-unaware gate calls = %d, want 6 (one per op)", got)
+	}
+	if got := gate.batchSeen.Load(); got != 0 {
+		t.Fatalf("per-op fallback leaked BatchOps=%d to the gate", got)
+	}
+}
+
+// TestChainBatchDenialFailsAllFutures: a denied window fails every
+// future with the gate's error and dispatches nothing to the transport.
+func TestChainBatchDenialFailsAllFutures(t *testing.T) {
+	back := &asyncMem{FS: memfs.New(memfs.Options{})}
+	gate := &batchGate{countingGate: countingGate{deny: vfs.EACCES}}
+	chained := vfs.Chain(back, gate)
+	cli, h := openBatchFile(t, chained, 64<<10)
+
+	pend := vfs.SubmitReadBatch(chained, cli.Op, h, readWindow(5, 4<<10))
+	for i, p := range pend {
+		if n, err := p.Await(cli.Op); vfs.ToErrno(err) != vfs.EACCES || n != 0 {
+			t.Fatalf("future %d: n=%d err=%v, want EACCES", i, n, err)
+		}
+	}
+	if got := back.submits.Load(); got != 0 {
+		t.Fatalf("denied window still dispatched %d submissions", got)
+	}
+	if len(gate.windows) != 1 || gate.windows[0] != 5 {
+		t.Fatalf("window decisions = %v, want [5]", gate.windows)
+	}
+}
+
+// TestChainBatchWriteDenialTraced: a window denial surfaces to outer
+// interceptors exactly once, with BatchOps preserved so observers know
+// the scope of what was refused.
+func TestChainBatchWriteDenialTraced(t *testing.T) {
+	back := &asyncMem{FS: memfs.New(memfs.Options{})}
+	gate := &batchGate{countingGate: countingGate{deny: vfs.EACCES}}
+	var denied []int
+	tracer := vfs.InterceptorFunc(func(info *vfs.OpInfo, next func() error) error {
+		err := next()
+		if info.Kind == vfs.KindWrite && vfs.ToErrno(err) == vfs.EACCES {
+			denied = append(denied, info.BatchOps)
+		}
+		return err
+	})
+	chained := vfs.Chain(back, tracer, gate)
+	cli, h := openBatchFile(t, chained, 64<<10)
+
+	reqs := []vfs.WriteReq{
+		{Off: 0, Data: make([]byte, 1024)},
+		{Off: 4096, Data: make([]byte, 1024)},
+		{Off: 8192, Data: make([]byte, 1024)},
+	}
+	for _, p := range vfs.SubmitWriteBatch(chained, cli.Op, h, reqs) {
+		if _, err := p.Await(cli.Op); vfs.ToErrno(err) != vfs.EACCES {
+			t.Fatalf("write future: %v, want EACCES", err)
+		}
+	}
+	if len(denied) != 1 || denied[0] != 3 {
+		t.Fatalf("traced denials = %v, want one entry with BatchOps=3", denied)
+	}
+}
+
+// TestChainBatchNestedPropagation: when the layer beneath the chain is
+// itself batch-capable, the window crosses it intact instead of being
+// split into per-op submissions.
+func TestChainBatchNestedPropagation(t *testing.T) {
+	back := &batchAsyncMem{asyncMem: asyncMem{FS: memfs.New(memfs.Options{})}}
+	gate := &batchGate{}
+	chained := vfs.Chain(back, gate)
+	cli, h := openBatchFile(t, chained, 64<<10)
+
+	pend := vfs.SubmitReadBatch(chained, cli.Op, h, readWindow(7, 4<<10))
+	for _, p := range pend {
+		if _, err := p.Await(cli.Op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(back.batches) != 1 || back.batches[0] != 7 {
+		t.Fatalf("inner batches = %v, want the window intact as [7]", back.batches)
+	}
+	if got := back.submits.Load(); got != 0 {
+		t.Fatalf("window split into %d per-op submissions below the chain", got)
+	}
+}
+
+// TestChainBatchSingletonDelegates: a one-request window takes the
+// ordinary per-op gate path — BatchOps never reaches a gate as 1.
+func TestChainBatchSingletonDelegates(t *testing.T) {
+	back := &asyncMem{FS: memfs.New(memfs.Options{})}
+	gate := &batchGate{}
+	chained := vfs.Chain(back, gate)
+	cli, h := openBatchFile(t, chained, 64<<10)
+
+	pend := vfs.SubmitReadBatch(chained, cli.Op, h, readWindow(1, 4<<10))
+	if _, err := pend[0].Await(cli.Op); err != nil {
+		t.Fatal(err)
+	}
+	if len(gate.windows) != 0 {
+		t.Fatalf("singleton window took the batch path: %v", gate.windows)
+	}
+	if got := gate.perOp.Load(); got != 1 {
+		t.Fatalf("per-op decisions = %d, want 1", got)
+	}
+}

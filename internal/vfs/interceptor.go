@@ -105,6 +105,14 @@ type OpInfo struct {
 	// operation was admitted by the SubmitInterceptor pass at submit
 	// time, so gate-style interceptors must not re-decide it here.
 	Async bool
+	// BatchOps is the number of same-kind, same-inode operations a
+	// single submit-time decision covers (a pipelined readahead window
+	// or writeback extent batch). Zero or one means a single operation.
+	// Batch-aware gates (BatchSubmitInterceptor) receive one call with
+	// BatchOps set and must apply the decision's accounting BatchOps
+	// times, so batched and per-op admission stay indistinguishable in
+	// their outcomes.
+	BatchOps int
 }
 
 // Interceptor wraps the invocation of one operation. Implementations may
@@ -132,6 +140,18 @@ func (f InterceptorFunc) Intercept(info *OpInfo, next func() error) error {
 // completion-side Intercept sees info.Async and skips re-deciding.
 type SubmitInterceptor interface {
 	InterceptSubmit(info *OpInfo) error
+}
+
+// BatchSubmitInterceptor is the optional capability for submit-time
+// gates that can admit a whole pipelined window (same kind, same inode,
+// info.BatchOps operations) in one decision — one path lookup and one
+// ceiling check instead of per-op repeats. Implementations must produce
+// exactly the outcomes BatchOps per-op calls would have produced
+// (counters advance BatchOps times); the chain falls back to per-op
+// InterceptSubmit calls for gates without this capability.
+type BatchSubmitInterceptor interface {
+	SubmitInterceptor
+	InterceptSubmitBatch(info *OpInfo) error
 }
 
 // Chain wraps fs so every operation passes through the given interceptors
@@ -550,6 +570,109 @@ func (c *chainFS) SubmitWrite(op *Op, h Handle, off int64, data []byte) PendingI
 		return completedIO{0, err}
 	}
 	return &chainPending{c: c, kind: KindWrite, ino: info.Ino, inner: a.SubmitWrite(op, h, off, data)}
+}
+
+// admitSubmitBatch runs the chain's submit-time gates over a whole
+// pipelined window (info.BatchOps same-kind operations on one inode).
+// Batch-aware gates decide the window in one call; batch-unaware gates
+// are called once per operation, exactly as per-op submission would
+// have. A denial is routed through the ordinary chain once, with
+// BatchOps preserved so observers know the scope of what was refused.
+func (c *chainFS) admitSubmitBatch(info *OpInfo) error {
+	if info.BatchOps <= 1 {
+		return c.admitSubmit(info)
+	}
+	for _, ic := range c.ics {
+		var err error
+		switch g := ic.(type) {
+		case BatchSubmitInterceptor:
+			err = g.InterceptSubmitBatch(info)
+		case SubmitInterceptor:
+			// Batch-unaware gate: decide each operation of the window
+			// individually so its accounting matches per-op submission.
+			per := *info
+			per.BatchOps = 0
+			for i := 0; i < info.BatchOps && err == nil; i++ {
+				err = g.InterceptSubmit(&per)
+			}
+		default:
+			continue
+		}
+		if err != nil {
+			info.Async = true
+			if rerr := c.run(info, func() error { return err }); rerr != nil {
+				return rerr
+			}
+			// An interceptor swallowed the error; the gate's denial
+			// still stands — nothing was dispatched.
+			return err
+		}
+	}
+	return nil
+}
+
+// SubmitReadBatch implements vfs.BatchAsyncFS: one submit-time gate
+// decision admits the whole readahead window, then each request is
+// pipelined individually. A denial fails every future in the window
+// without dispatching anything.
+func (c *chainFS) SubmitReadBatch(op *Op, h Handle, reqs []ReadReq) []PendingIO {
+	out := make([]PendingIO, len(reqs))
+	a, ok := c.fs.(AsyncFS)
+	if !ok {
+		for i, r := range reqs {
+			n, err := c.Read(op, h, r.Off, r.Dest)
+			out[i] = completedIO{n, err}
+		}
+		return out
+	}
+	info := &OpInfo{Kind: KindRead, Op: op, Ino: c.handleIno(h), BatchOps: len(reqs)}
+	if err := c.admitSubmitBatch(info); err != nil {
+		for i := range out {
+			out[i] = completedIO{0, err}
+		}
+		return out
+	}
+	if ba, ok := c.fs.(BatchAsyncFS); ok {
+		// A nested batch-capable layer keeps the window intact below us.
+		for i, p := range ba.SubmitReadBatch(op, h, reqs) {
+			out[i] = &chainPending{c: c, kind: KindRead, ino: info.Ino, inner: p}
+		}
+		return out
+	}
+	for i, r := range reqs {
+		out[i] = &chainPending{c: c, kind: KindRead, ino: info.Ino, inner: a.SubmitRead(op, h, r.Off, r.Dest)}
+	}
+	return out
+}
+
+// SubmitWriteBatch implements vfs.BatchAsyncFS (see SubmitReadBatch).
+func (c *chainFS) SubmitWriteBatch(op *Op, h Handle, reqs []WriteReq) []PendingIO {
+	out := make([]PendingIO, len(reqs))
+	a, ok := c.fs.(AsyncFS)
+	if !ok {
+		for i, r := range reqs {
+			n, err := c.Write(op, h, r.Off, r.Data)
+			out[i] = completedIO{n, err}
+		}
+		return out
+	}
+	info := &OpInfo{Kind: KindWrite, Op: op, Ino: c.handleIno(h), BatchOps: len(reqs)}
+	if err := c.admitSubmitBatch(info); err != nil {
+		for i := range out {
+			out[i] = completedIO{0, err}
+		}
+		return out
+	}
+	if ba, ok := c.fs.(BatchAsyncFS); ok {
+		for i, p := range ba.SubmitWriteBatch(op, h, reqs) {
+			out[i] = &chainPending{c: c, kind: KindWrite, ino: info.Ino, inner: p}
+		}
+		return out
+	}
+	for i, r := range reqs {
+		out[i] = &chainPending{c: c, kind: KindWrite, ino: info.Ino, inner: a.SubmitWrite(op, h, r.Off, r.Data)}
+	}
+	return out
 }
 
 // chainPending routes an asynchronous completion through the interceptor
