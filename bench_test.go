@@ -15,6 +15,8 @@ import (
 	"time"
 
 	"cntr/internal/blobstore"
+	"cntr/internal/cachecl"
+	"cntr/internal/cachesvc"
 	"cntr/internal/cntr"
 	"cntr/internal/container"
 	"cntr/internal/fuse"
@@ -22,6 +24,7 @@ import (
 	"cntr/internal/memfs"
 	"cntr/internal/phoronix"
 	"cntr/internal/policy"
+	"cntr/internal/sim"
 	"cntr/internal/slim"
 	"cntr/internal/stack"
 	"cntr/internal/vfs"
@@ -504,4 +507,120 @@ func BenchmarkFleetDedup(b *testing.B) {
 		}
 	}
 	b.ReportMetric(ratio, "dedup-ratio")
+}
+
+// benchCacheSvcClient builds an attached cache-tier client over a fresh
+// service for the per-RPC benchmarks.
+func benchCacheSvcClient(b *testing.B) (*cachecl.Client, *sim.Clock) {
+	b.Helper()
+	svc := cachesvc.New(cachesvc.Options{})
+	clock := sim.NewClock()
+	cl := cachecl.New(svc, "bench", clock, sim.DefaultCostModel())
+	if err := cl.Attach(); err != nil {
+		b.Fatal(err)
+	}
+	return cl, clock
+}
+
+// BenchmarkCacheSvcHit measures one tier hit: consistent-hash route,
+// shard LRU touch, payload back at intra-cluster cost. The virtual cost
+// per op is the cost model's NetCost(4KB), bit-deterministic.
+func BenchmarkCacheSvcHit(b *testing.B) {
+	cl, clock := benchCacheSvcClient(b)
+	if err := cl.PutChunk("hot", make([]byte, 4096)); err != nil {
+		b.Fatal(err)
+	}
+	start := clock.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := cl.GetChunk("hot"); !ok {
+			b.Fatal("hot chunk missed")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(clock.Now()-start)/float64(b.N)/1e3, "virt-us-per-op")
+}
+
+// BenchmarkCacheSvcMiss measures one tier miss: the probe round trip
+// with no payload (the caller then pays the origin). Virtual cost per op
+// is NetRTT.
+func BenchmarkCacheSvcMiss(b *testing.B) {
+	cl, clock := benchCacheSvcClient(b)
+	start := clock.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := cl.GetChunk("absent"); ok {
+			b.Fatal("absent chunk hit")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(clock.Now()-start)/float64(b.N)/1e3, "virt-us-per-op")
+}
+
+// BenchmarkMultiMountColdRead is the tentpole comparison: a 4-mount
+// fleet cold-reading one shared image tree without the tier (every
+// mount pays the origin volume) and with it (chunks cross the origin
+// once, then serve at intra-cluster cost). The fleet-wide virtual time
+// and the tier hit ratio are deterministic; BENCH_8.json gates both.
+func BenchmarkMultiMountColdRead(b *testing.B) {
+	for _, mode := range []string{"nosvc", "svc"} {
+		b.Run(mode, func(b *testing.B) {
+			var res phoronix.MultiMountResult
+			for i := 0; i < b.N; i++ {
+				r, err := phoronix.RunMultiMount(phoronix.MultiMountOptions{
+					Mounts: 4, Dirs: 16, FilesPerDir: 3, FileSize: 64 << 10,
+					UseService: mode == "svc",
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+			}
+			b.ReportMetric(float64(res.ColdReadTotal)/1e6, "cold-virt-ms")
+			if mode == "svc" {
+				b.ReportMetric(res.HitRatio, "hit-ratio")
+			}
+		})
+	}
+}
+
+// BenchmarkFencedWriteback drives the partition-mid-writeback scenario:
+// a mount accumulates a dirty FUSE writeback window, its leases expire
+// service-side, and the fsync-driven flush is fenced chunk by chunk.
+// The fenced count equals the window's chunk count (128KB / 4KB = 32),
+// deterministic and gated.
+func BenchmarkFencedWriteback(b *testing.B) {
+	payload := make([]byte, 128<<10)
+	for i := range payload {
+		payload[i] = byte(uint32(i) * 2654435761 >> 24)
+	}
+	var fenced float64
+	for i := 0; i < b.N; i++ {
+		svc := cachesvc.New(cachesvc.Options{LeaseTTL: time.Second})
+		c := stack.NewCntr(stack.Config{
+			Store:        blobstore.NewCAS(blobstore.CASOptions{}),
+			CacheService: svc,
+			CacheMountID: "wb-bench",
+			AsyncDepth:   4,
+		})
+		cli := vfs.NewClient(c.Top, vfs.Root())
+		f, err := cli.Open("/dirty.bin", vfs.OWronly|vfs.OCreat, 0o644)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.Write(payload); err != nil {
+			b.Fatal(err)
+		}
+		svc.Clock().Advance(2 * time.Second)
+		if err := f.Sync(); err != nil {
+			b.Fatal(err)
+		}
+		f.Close()
+		if st := svc.Stats(); st.Entries != 0 {
+			b.Fatalf("stale mount landed %d entries in the tier", st.Entries)
+		}
+		fenced = float64(c.CacheCl.Stats().Fenced)
+		c.Close()
+	}
+	b.ReportMetric(fenced, "fenced-writes")
 }

@@ -22,6 +22,12 @@
 // -chaos-blob injects faults one layer lower: the host filesystem's
 // content-addressed blob store occasionally loses or corrupts chunks,
 // which must surface as EIO through the whole stack.
+//
+// -cachesvc runs the distributed shared-cache demo instead of the
+// suite: a fleet of -mounts CntrFS mounts over one content-addressed
+// store cold-reads the same image tree twice — once with every mount
+// paying the origin volume, once attached to the shared cache tier —
+// and prints the per-fleet totals plus the tier's hit ratio.
 package main
 
 import (
@@ -47,7 +53,16 @@ func main() {
 		"with -enforce: record off-profile operations without denying them")
 	traceBatched := flag.Bool("trace-batched", false,
 		"with -trace-out: deliver trace entries to the collector in batches")
+	cacheSvc := flag.Bool("cachesvc", false,
+		"run the shared-cache-tier fleet demo instead of the suite")
+	mounts := flag.Int("mounts", 4,
+		"with -cachesvc: number of CntrFS mounts in the fleet (2-8)")
 	flag.Parse()
+
+	if *cacheSvc {
+		runCacheSvcDemo(*mounts)
+		return
+	}
 
 	if *audit && *enforce == "" {
 		fmt.Fprintln(os.Stderr, "phoronix: -audit requires -enforce")
@@ -122,6 +137,46 @@ func main() {
 		fmt.Printf("threads=%-3d time=%v\n", n, m[n])
 	}
 }
+
+// runCacheSvcDemo runs the multi-mount cold-read experiment with and
+// without the shared cache tier and prints the comparison.
+func runCacheSvcDemo(mounts int) {
+	if mounts < 2 {
+		mounts = 2
+	}
+	if mounts > 8 {
+		mounts = 8
+	}
+	opts := phoronix.MultiMountOptions{Mounts: mounts}
+
+	fmt.Printf("== Shared cache tier: %d mounts, one CAS, Top-50 image tree ==\n", mounts)
+	opts.UseService = false
+	base, err := phoronix.RunMultiMount(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opts.UseService = true
+	svc, err := phoronix.RunMultiMount(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-22s %14s %14s\n", "", "no service", "shared tier")
+	fmt.Printf("%-22s %14v %14v\n", "fleet cold-read total",
+		base.ColdReadTotal.Round(fmtRound), svc.ColdReadTotal.Round(fmtRound))
+	fmt.Printf("%-22s %14v %14v\n", "slowest mount",
+		base.ColdReadMax.Round(fmtRound), svc.ColdReadMax.Round(fmtRound))
+	fmt.Printf("%-22s %14d %14d\n", "bytes read", base.BytesRead, svc.BytesRead)
+	fmt.Printf("%-22s %14s %13.1f%%\n", "tier hit ratio", "-", svc.HitRatio*100)
+	fmt.Printf("%-22s %14s %14d\n", "tier entries", "-", svc.TierStats.Entries)
+	fmt.Printf("%-22s %14s %14d\n", "fenced writes", "-", svc.TierStats.FencedWrites)
+	fmt.Printf("\nspeedup with shared tier: %.2fx\n",
+		float64(base.ColdReadTotal)/float64(svc.ColdReadTotal))
+}
+
+const fmtRound = 100 * 1000 // 100us, in time.Duration units
 
 // runChaosEnforced composes the chaos and policy paths: the suite
 // replays with errno-injecting fault rules under the given enforced

@@ -376,11 +376,34 @@ func TestSumStable(t *testing.T) {
 	}
 }
 
-// TestDedupRatioEmpty pins the empty-store convention.
+// TestDedupRatioEmpty pins the empty-store convention: logical over
+// physical with zero physical bytes is defined as 1.0 ("no sharing"),
+// never a division by zero — on the zero Stats value, on every freshly
+// constructed store type, and on a store emptied back down by deletes.
 func TestDedupRatioEmpty(t *testing.T) {
 	var st Stats
 	if st.DedupRatio() != 1.0 {
 		t.Fatalf("empty stats ratio = %v", st.DedupRatio())
+	}
+	for name, s := range map[string]Store{
+		"mem": NewMem(),
+		"dir": NewDir(DirOptions{}),
+		"cas": NewCAS(CASOptions{}),
+	} {
+		if r := s.Stats().DedupRatio(); r != 1.0 {
+			t.Fatalf("fresh %s store ratio = %v, want 1.0", name, r)
+		}
+	}
+	cas := NewCAS(CASOptions{})
+	ref, err := cas.Put([]byte("transient"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cas.Delete(ref); err != nil {
+		t.Fatal(err)
+	}
+	if r := cas.Stats().DedupRatio(); r != 1.0 {
+		t.Fatalf("emptied CAS ratio = %v, want 1.0", r)
 	}
 }
 

@@ -1,0 +1,293 @@
+package cachecl
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"cntr/internal/blobstore"
+	"cntr/internal/cachesvc"
+	"cntr/internal/sim"
+)
+
+type env struct {
+	svc      *cachesvc.Service
+	svcClock *sim.Clock
+	clock    *sim.Clock
+	model    *sim.CostModel
+	cl       *Client
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	svcClock := sim.NewClock()
+	svc := cachesvc.New(cachesvc.Options{
+		Shards: 8, Groups: 2, LeaseTTL: time.Second, Clock: svcClock,
+	})
+	clock := sim.NewClock()
+	model := sim.DefaultCostModel()
+	cl := New(svc, "m1", clock, model)
+	if err := cl.Attach(); err != nil {
+		t.Fatal(err)
+	}
+	return &env{svc: svc, svcClock: svcClock, clock: clock, model: model, cl: cl}
+}
+
+// TestNetworkCharging: a hit costs RTT plus payload, a miss RTT only,
+// all on the mount's clock.
+func TestNetworkCharging(t *testing.T) {
+	e := newEnv(t)
+	data := make([]byte, 4096)
+	if err := e.cl.PutChunk("ref1", data); err != nil {
+		t.Fatal(err)
+	}
+
+	before := e.clock.Now()
+	if _, ok := e.cl.GetChunk("ref1"); !ok {
+		t.Fatal("published chunk missed")
+	}
+	hitCost := e.clock.Now() - before
+	if want := e.model.NetCost(4096); hitCost != want {
+		t.Fatalf("hit cost = %v, want %v", hitCost, want)
+	}
+
+	before = e.clock.Now()
+	if _, ok := e.cl.GetChunk("absent"); ok {
+		t.Fatal("absent chunk hit")
+	}
+	missCost := e.clock.Now() - before
+	if missCost != e.model.NetRTT {
+		t.Fatalf("miss cost = %v, want %v", missCost, e.model.NetRTT)
+	}
+
+	st := e.cl.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.NetBytes != 8192 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestPublishChunkUncharged: the write-behind publish advances no
+// virtual time but still lands (and still carries the epoch).
+func TestPublishChunkUncharged(t *testing.T) {
+	e := newEnv(t)
+	before := e.clock.Now()
+	if err := e.cl.PublishChunk("wb", make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if d := e.clock.Now() - before; d != 0 {
+		t.Fatalf("write-behind publish charged %v", d)
+	}
+	if !e.svc.Contains(cachesvc.ChunkKey("wb")) {
+		t.Fatal("write-behind publish did not land")
+	}
+}
+
+// TestFencedPublishDroppedNotReplayed: once the service fences a group,
+// the client drops the write, loses the lease, and keeps failing until
+// Reattach — after which the dropped write is NOT replayed.
+func TestFencedPublishDroppedNotReplayed(t *testing.T) {
+	e := newEnv(t)
+	e.svcClock.Advance(2 * time.Second) // expire every lease service-side
+
+	if err := e.cl.PutChunk("stale", []byte("stale")); !errors.Is(err, cachesvc.ErrFenced) {
+		t.Fatalf("expired-lease publish = %v, want ErrFenced", err)
+	}
+	// Second attempt fails locally (lease gone), still fenced.
+	if err := e.cl.PutChunk("stale", []byte("stale")); !errors.Is(err, cachesvc.ErrFenced) {
+		t.Fatalf("post-fence publish = %v, want ErrFenced", err)
+	}
+	if st := e.cl.Stats(); st.Fenced != 2 {
+		t.Fatalf("Fenced = %d, want 2", st.Fenced)
+	}
+	if err := e.cl.Reattach(); err != nil {
+		t.Fatal(err)
+	}
+	if e.svc.Contains(cachesvc.ChunkKey("stale")) {
+		t.Fatal("fenced write reappeared after reattach")
+	}
+	if err := e.cl.PutChunk("fresh", []byte("fresh")); err != nil {
+		t.Fatalf("post-reattach publish: %v", err)
+	}
+}
+
+// TestPartition: a partitioned client misses locally, fails mutations,
+// and charges nothing; healing restores traffic.
+func TestPartition(t *testing.T) {
+	e := newEnv(t)
+	if err := e.cl.PutChunk("r", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	e.cl.SetPartitioned(true)
+	before := e.clock.Now()
+	if _, ok := e.cl.GetChunk("r"); ok {
+		t.Fatal("partitioned client reached the service")
+	}
+	if err := e.cl.PutChunk("r2", []byte("y")); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("partitioned put = %v", err)
+	}
+	if err := e.cl.Attach(); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("partitioned attach = %v", err)
+	}
+	if d := e.clock.Now() - before; d != 0 {
+		t.Fatalf("partitioned ops charged %v", d)
+	}
+	e.cl.SetPartitioned(false)
+	if _, ok := e.cl.GetChunk("r"); !ok {
+		t.Fatal("healed client cannot read")
+	}
+	if st := e.cl.Stats(); st.Unreachable != 3 {
+		t.Fatalf("Unreachable = %d, want 3", st.Unreachable)
+	}
+}
+
+// TestAttrDentryRoundTrip: the path-keyed entry types flow through the
+// same charged, fenced path as chunks.
+func TestAttrDentryRoundTrip(t *testing.T) {
+	e := newEnv(t)
+	if err := e.cl.PutAttr("/a/b", []byte("attr-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := e.cl.GetAttr("/a/b"); !ok || string(v) != "attr-bytes" {
+		t.Fatalf("GetAttr = %q, %v", v, ok)
+	}
+	if err := e.cl.PutDentry("/a", []byte("b,c,d")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.cl.InvalidateAttr("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.cl.GetAttr("/a/b"); ok {
+		t.Fatal("attr survived invalidation")
+	}
+	if v, ok := e.cl.GetDentry("/a"); !ok || string(v) != "b,c,d" {
+		t.Fatalf("GetDentry = %q, %v", v, ok)
+	}
+}
+
+// TestRenewKeepsLeaseAlive: periodic renewal holds the same epoch past
+// the original deadline.
+func TestRenewKeepsLeaseAlive(t *testing.T) {
+	e := newEnv(t)
+	orig, _ := e.cl.Lease(0)
+	e.svcClock.Advance(700 * time.Millisecond)
+	if err := e.cl.RenewAll(); err != nil {
+		t.Fatal(err)
+	}
+	e.svcClock.Advance(700 * time.Millisecond) // past the original TTL
+	if err := e.cl.PutChunk("alive", []byte("x")); err != nil {
+		t.Fatalf("publish under renewed lease: %v", err)
+	}
+	now, _ := e.cl.Lease(0)
+	if now.Epoch != orig.Epoch {
+		t.Fatalf("renewal changed epoch %d → %d", orig.Epoch, now.Epoch)
+	}
+}
+
+// storeEnv builds a CAS-backed wrapped store with an origin disk.
+func storeEnv(t *testing.T) (*env, *Store, *blobstore.CAS, *sim.Disk) {
+	t.Helper()
+	e := newEnv(t)
+	cas := blobstore.NewCAS(blobstore.CASOptions{})
+	origin := sim.NewDisk(e.clock, e.model)
+	st := WrapStore(cas, e.cl, StoreOptions{Origin: origin})
+	return e, st, cas, origin
+}
+
+// TestStoreReadPopulate: the first Get pays the origin and populates
+// the tier; a sibling mount's Get is served by the tier alone.
+func TestStoreReadPopulate(t *testing.T) {
+	e, st, cas, origin := storeEnv(t)
+	data := make([]byte, 4096)
+	ref, err := cas.Put(data) // seeded directly: tier must not know it yet
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.svc.Contains(cachesvc.ChunkKey(ref)) {
+		t.Fatal("tier knew the chunk before any read")
+	}
+	if _, err := st.Get(ref); err != nil {
+		t.Fatal(err)
+	}
+	if origin.Stats().Reads != 1 {
+		t.Fatalf("origin reads = %d, want 1", origin.Stats().Reads)
+	}
+	if !e.svc.Contains(cachesvc.ChunkKey(ref)) {
+		t.Fatal("read did not populate the tier")
+	}
+
+	// A sibling mount (own clock, own client) reads the same ref: tier
+	// hit, no origin I/O, and cheaper than the origin fetch.
+	clock2 := sim.NewClock()
+	cl2 := New(e.svc, "m2", clock2, e.model)
+	if err := cl2.Attach(); err != nil {
+		t.Fatal(err)
+	}
+	origin2 := sim.NewDisk(clock2, e.model)
+	st2 := WrapStore(cas, cl2, StoreOptions{Origin: origin2})
+	before := clock2.Now()
+	got, err := st2.Get(ref)
+	if err != nil || len(got) != 4096 {
+		t.Fatalf("sibling Get = %d bytes, %v", len(got), err)
+	}
+	if origin2.Stats().Reads != 0 {
+		t.Fatal("sibling read went to the origin despite tier hit")
+	}
+	hitCost := clock2.Now() - before
+	if originCost := e.model.DiskCost(4096); hitCost >= originCost {
+		t.Fatalf("tier hit (%v) not cheaper than origin fetch (%v)", hitCost, originCost)
+	}
+}
+
+// TestStorePutWriteThrough: Put lands in the backend and the tier; a
+// fenced mount's Put still lands in the backend but not the tier.
+func TestStorePutWriteThrough(t *testing.T) {
+	e, st, cas, _ := storeEnv(t)
+	ref, err := st.Put([]byte("shared-bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cas.Get(ref); err != nil {
+		t.Fatalf("backend missing written chunk: %v", err)
+	}
+	if !e.svc.Contains(cachesvc.ChunkKey(ref)) {
+		t.Fatal("write-through publish missing from tier")
+	}
+
+	e.svcClock.Advance(2 * time.Second) // fence the mount
+	ref2, err := st.Put([]byte("stale-bytes"))
+	if err != nil {
+		t.Fatalf("fenced mount's local write must still succeed: %v", err)
+	}
+	if _, err := cas.Get(ref2); err != nil {
+		t.Fatalf("backend durability lost under fence: %v", err)
+	}
+	if e.svc.Contains(cachesvc.ChunkKey(ref2)) {
+		t.Fatal("fenced publish landed in tier")
+	}
+}
+
+// TestStoreDeleteInvalidates: only the last backend reference drops the
+// tier entry.
+func TestStoreDeleteInvalidates(t *testing.T) {
+	e, st, _, _ := storeEnv(t)
+	data := []byte("refcounted")
+	ref, err := st.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put(data); err != nil { // second reference
+		t.Fatal(err)
+	}
+	if err := st.Delete(ref); err != nil {
+		t.Fatal(err)
+	}
+	if !e.svc.Contains(cachesvc.ChunkKey(ref)) {
+		t.Fatal("tier entry dropped while backend references remain")
+	}
+	if err := st.Delete(ref); err != nil {
+		t.Fatal(err)
+	}
+	if e.svc.Contains(cachesvc.ChunkKey(ref)) {
+		t.Fatal("tier entry survived last backend delete")
+	}
+}

@@ -1,0 +1,376 @@
+// Package cachesvc is the shared cache tier: a sharded in-process
+// cache/metadata service that any number of CntrFS mounts attach to.
+// It is the step from "one mount, many origins" to "many mounts": a
+// fleet of mounts built on one content-addressed backend store shares
+// one Service, so a chunk any mount has already fetched from the origin
+// is served to every other mount at intra-cluster network cost instead
+// of another origin round trip, and path-keyed attr/dentry entries let
+// metadata survive mount boundaries the same way.
+//
+// The service is in-process but "network-shaped": all access goes
+// through internal/cachecl, whose calls charge the calling mount's
+// sim.Clock with the cost-model's NetRTT/NetPerKB, so cross-mount
+// behaviour is benchmarkable and bit-for-bit deterministic without real
+// sockets.
+//
+//	mount A ── cachecl ──┐
+//	mount B ── cachecl ──┼──► Service ── shards (consistent hash,
+//	mount C ── cachecl ──┘        │        per-shard lock + LRU)
+//	                              ▼
+//	                      backend store (CAS) / origin
+//
+// Correctness under partition comes from epoch leases (the
+// sigmaOS fenceclnt/epochclnt shape): a mount holds a lease per shard
+// group, every mutation carries its lease's epoch, and the service
+// fences writes whose lease has expired or been superseded — a
+// partitioned mount that reconnects acquires a fresh epoch and replays
+// nothing; whatever it still had in flight under the old epoch is
+// rejected, so stale data never lands in the shared tier.
+package cachesvc
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"cntr/internal/blobstore"
+	"cntr/internal/sim"
+)
+
+// Key names one cached entry. The constructors below define the three
+// key spaces the tier serves; a Service instance serves one backend
+// store domain (mounts sharing the same CAS), so chunk refs need no
+// further namespace.
+type Key string
+
+// ChunkKey keys a backend-store blob by its ref (for content-addressed
+// backends, the content hash — identical across every mount on the
+// shared store).
+func ChunkKey(ref blobstore.Ref) Key { return "c:" + Key(ref) }
+
+// AttrKey keys a path's encoded attributes.
+func AttrKey(path string) Key { return "a:" + Key(path) }
+
+// DentryKey keys a directory's encoded entry list.
+func DentryKey(dir string) Key { return "d:" + Key(dir) }
+
+// Stats aggregates service-wide counters. Per-shard counters are summed
+// on read.
+type Stats struct {
+	// Hits and Misses count Get outcomes; Contains probes count in
+	// neither (they are presence checks, not reads).
+	Hits, Misses int64
+	// Puts counts accepted mutations (lease-carrying Puts plus Seeds).
+	Puts int64
+	// Seeds counts administrative epoch-free Puts (registry backfill).
+	Seeds int64
+	// Invalidations counts accepted Invalidate calls.
+	Invalidations int64
+	// FencedWrites counts mutations rejected because their lease epoch
+	// was stale, expired, or released — the partition-safety counter.
+	FencedWrites int64
+	// Evictions counts LRU evictions across all shards.
+	Evictions int64
+	// Entries and Bytes are the live entry count and stored value bytes.
+	Entries, Bytes int64
+	// LeasesGranted counts Acquire calls (each grants a fresh epoch);
+	// LeasesActive is the number currently held; Expirations counts
+	// leases observed expired (on validate/renew).
+	LeasesGranted, LeasesActive, Expirations int64
+}
+
+// Options tunes a Service.
+type Options struct {
+	// Shards is the number of cache shards (default 16).
+	Shards int
+	// ShardCapacity is the LRU byte capacity per shard (default 64 MiB).
+	ShardCapacity int64
+	// Groups is the number of lease shard-groups; shards are striped
+	// across groups and a mount holds one lease per group (default 4,
+	// clamped to Shards).
+	Groups int
+	// LeaseTTL is the lease lifetime in virtual time on Clock
+	// (default 5s). A lease is expired at exactly its deadline: it is
+	// valid while now < expiry and fenced once now >= expiry.
+	LeaseTTL time.Duration
+	// Clock judges lease expiry. Nil builds a private service clock
+	// that nothing advances (leases then only expire when a test
+	// advances it — mounts' own clocks never age a lease by accident).
+	Clock *sim.Clock
+	// VirtualPoints is the number of consistent-hash ring points per
+	// shard (default 256; more points, more even arcs).
+	VirtualPoints int
+}
+
+// Service is the sharded cache service. All methods are safe for
+// concurrent use; tests aside, callers should go through cachecl so
+// network costs are charged.
+type Service struct {
+	opts  Options
+	clock *sim.Clock
+
+	ring   []ringPoint
+	shards []*shard
+
+	mu      sync.Mutex
+	leases  map[leaseID]*leaseState
+	epochs  map[leaseID]uint64
+	granted int64
+	expired int64
+	fenced  int64
+	seeds   int64
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[Key]*list.Element
+	lru     *list.List // front = most recently used
+	bytes   int64
+	cap     int64
+
+	hits, misses, puts, invals, evictions int64
+}
+
+type entry struct {
+	key Key
+	val []byte
+}
+
+// New builds a service with the given options.
+func New(opts Options) *Service {
+	if opts.Shards <= 0 {
+		opts.Shards = 16
+	}
+	if opts.ShardCapacity <= 0 {
+		opts.ShardCapacity = 64 << 20
+	}
+	if opts.Groups <= 0 {
+		opts.Groups = 4
+	}
+	if opts.Groups > opts.Shards {
+		opts.Groups = opts.Shards
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = defaultLeaseTTL
+	}
+	if opts.VirtualPoints <= 0 {
+		opts.VirtualPoints = 256
+	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = sim.NewClock()
+	}
+	s := &Service{
+		opts:   opts,
+		clock:  clock,
+		shards: make([]*shard, opts.Shards),
+		leases: make(map[leaseID]*leaseState),
+		epochs: make(map[leaseID]uint64),
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			entries: make(map[Key]*list.Element),
+			lru:     list.New(),
+			cap:     opts.ShardCapacity,
+		}
+	}
+	s.buildRing()
+	return s
+}
+
+// buildRing places VirtualPoints points per shard on a hash ring so a
+// key maps to the shard owning the first point at or after its hash.
+// Consistent hashing keeps the key→shard mapping mostly stable if the
+// shard count changes between service generations.
+func (s *Service) buildRing() {
+	pts := make([]ringPoint, 0, s.opts.Shards*s.opts.VirtualPoints)
+	for sh := 0; sh < s.opts.Shards; sh++ {
+		for v := 0; v < s.opts.VirtualPoints; v++ {
+			pts = append(pts, ringPoint{
+				hash:  hash64(fmt.Sprintf("shard-%d-point-%d", sh, v)),
+				shard: sh,
+			})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].hash != pts[j].hash {
+			return pts[i].hash < pts[j].hash
+		}
+		return pts[i].shard < pts[j].shard
+	})
+	s.ring = pts
+}
+
+func hash64(k string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(k))
+	return h.Sum64()
+}
+
+// ShardOf returns the shard index a key lives on.
+func (s *Service) ShardOf(key Key) int {
+	h := hash64(string(key))
+	i := sort.Search(len(s.ring), func(i int) bool { return s.ring[i].hash >= h })
+	if i == len(s.ring) {
+		i = 0 // wrap: the ring is a circle
+	}
+	return s.ring[i].shard
+}
+
+// GroupOf returns the lease shard-group guarding mutations of key:
+// shards are striped across groups.
+func (s *Service) GroupOf(key Key) int { return s.ShardOf(key) % s.opts.Groups }
+
+// NumGroups returns the number of lease shard-groups.
+func (s *Service) NumGroups() int { return s.opts.Groups }
+
+// Clock returns the clock leases expire against (tests advance it to
+// simulate time passing on the service side of a partition).
+func (s *Service) Clock() *sim.Clock { return s.clock }
+
+// Get returns the cached value for key. The returned slice is owned by
+// the service and must not be modified.
+func (s *Service) Get(key Key) ([]byte, bool) {
+	sh := s.shards[s.ShardOf(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.entries[key]
+	if !ok {
+		sh.misses++
+		return nil, false
+	}
+	sh.hits++
+	sh.lru.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Contains reports presence without touching LRU order or hit/miss
+// counters — the probe Registry.Pull uses to skip transfers.
+func (s *Service) Contains(key Key) bool {
+	sh := s.shards[s.ShardOf(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.entries[key]
+	return ok
+}
+
+// Put stores val under key on behalf of the lease holder. The write is
+// fenced — rejected with ErrFenced and counted — when the lease's epoch
+// is stale, expired, or released. val is copied.
+func (s *Service) Put(l Lease, key Key, val []byte) error {
+	if err := s.validate(l, key); err != nil {
+		return err
+	}
+	s.put(key, val)
+	return nil
+}
+
+// Seed stores val under key without a lease: the administrative
+// backfill path used when a registry pull materializes chunks the tier
+// should serve. Chunk content is immutable (content-addressed), so the
+// epoch machinery guarding mutable metadata is not needed here.
+func (s *Service) Seed(key Key, val []byte) {
+	s.mu.Lock()
+	s.seeds++
+	s.mu.Unlock()
+	s.put(key, val)
+}
+
+func (s *Service) put(key Key, val []byte) {
+	sh := s.shards[s.ShardOf(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.puts++
+	if el, ok := sh.entries[key]; ok {
+		e := el.Value.(*entry)
+		sh.bytes += int64(len(val)) - int64(len(e.val))
+		e.val = append([]byte(nil), val...)
+		sh.lru.MoveToFront(el)
+	} else {
+		e := &entry{key: key, val: append([]byte(nil), val...)}
+		sh.entries[key] = sh.lru.PushFront(e)
+		sh.bytes += int64(len(val)) + int64(len(key))
+	}
+	for sh.bytes > sh.cap && sh.lru.Len() > 1 {
+		oldest := sh.lru.Back()
+		e := oldest.Value.(*entry)
+		sh.lru.Remove(oldest)
+		delete(sh.entries, e.key)
+		sh.bytes -= int64(len(e.val)) + int64(len(e.key))
+		sh.evictions++
+	}
+}
+
+// Invalidate drops key on behalf of the lease holder, with the same
+// fencing rule as Put. Dropping an absent key is not an error.
+func (s *Service) Invalidate(l Lease, key Key) error {
+	if err := s.validate(l, key); err != nil {
+		return err
+	}
+	sh := s.shards[s.ShardOf(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.invals++
+	if el, ok := sh.entries[key]; ok {
+		e := el.Value.(*entry)
+		sh.lru.Remove(el)
+		delete(sh.entries, key)
+		sh.bytes -= int64(len(e.val)) + int64(len(e.key))
+	}
+	return nil
+}
+
+// Reset drops every cached entry (leases, epochs and counters are
+// kept). Experiments call it between a seeding phase and a measured
+// cold-read phase.
+func (s *Service) Reset() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.entries = make(map[Key]*list.Element)
+		sh.lru = list.New()
+		sh.bytes = 0
+		sh.mu.Unlock()
+	}
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	var st Stats
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st.Hits += sh.hits
+		st.Misses += sh.misses
+		st.Puts += sh.puts
+		st.Invalidations += sh.invals
+		st.Evictions += sh.evictions
+		st.Entries += int64(len(sh.entries))
+		st.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	s.mu.Lock()
+	st.FencedWrites = s.fenced
+	st.LeasesGranted = s.granted
+	st.LeasesActive = int64(len(s.leases))
+	st.Expirations = s.expired
+	st.Seeds = s.seeds
+	s.mu.Unlock()
+	return st
+}
+
+// HitRatio is hits over lookups; a service that has seen no lookups
+// reports 0.
+func (st Stats) HitRatio() float64 {
+	total := st.Hits + st.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(total)
+}

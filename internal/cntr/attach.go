@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 
+	"cntr/internal/cachecl"
+	"cntr/internal/cachesvc"
 	"cntr/internal/caps"
 	"cntr/internal/cntrfs"
 	"cntr/internal/container"
@@ -60,6 +62,15 @@ type Options struct {
 	// with EnforceAudit, are recorded as violations and let through).
 	Enforce      *policy.Profile
 	EnforceAudit bool
+	// CacheService, when set, attaches the session to a shared cache
+	// tier: epoch leases are acquired at attach time (one per shard
+	// group) and released on Close. The session exposes the client as
+	// Session.CacheCl; a lease that expires mid-session fences that
+	// mount's tier publishes until CacheCl.Reattach.
+	CacheService *cachesvc.Service
+	// CacheMountID names this session to the cache service; defaults to
+	// the container reference.
+	CacheMountID string
 }
 
 // Context is the container execution context gathered in step #1 from
@@ -93,6 +104,9 @@ type Session struct {
 	// Enforcer is the live policy enforcer when Options.Enforce was
 	// set; its Denials/Violations expose what the policy blocked.
 	Enforcer *policy.Enforcer
+	// CacheCl is the session's cache-tier client when
+	// Options.CacheService was set; nil otherwise.
+	CacheCl *cachecl.Client
 
 	Master *pty.Master
 	slave  *pty.Slave
@@ -167,6 +181,17 @@ func Attach(h *Host, opts Options) (*Session, error) {
 	if opts.Enforce != nil {
 		enforcer = policy.NewEnforcer(opts.Enforce, opts.EnforceAudit)
 		ics = append(ics, enforcer)
+	}
+	// Attach to the shared cache tier before serving: the session's
+	// lease epochs exist for the mount's whole lifetime.
+	var cacheCl *cachecl.Client
+	if opts.CacheService != nil {
+		mountID := opts.CacheMountID
+		if mountID == "" {
+			mountID = opts.Container
+		}
+		cacheCl = cachecl.New(opts.CacheService, mountID, h.Clock, h.Model)
+		cacheCl.Attach()
 	}
 	served := vfs.Chain(cfs, ics...)
 	// Any failure below must stop the trace flusher it no longer owns;
@@ -305,8 +330,8 @@ func Attach(h *Host, opts Options) (*Session, error) {
 		Host: h, Target: target, Context: ctx,
 		Proc: child, Nested: nested, Client: chrooted,
 		CntrFS: cfs, Conn: conn, Server: server, Kernel: kernel,
-		Enforcer: enforcer,
-		Master:   master, slave: slave,
+		Enforcer: enforcer, CacheCl: cacheCl,
+		Master: master, slave: slave,
 		removeIOSource:   removeIOSource,
 		removeExitHook:   removeExitHook,
 		removePolicyView: removePolicyView,
@@ -454,6 +479,11 @@ func (s *Session) Close() {
 	s.Host.Procs.Exit(s.Proc.PID)
 	s.Conn.Unmount()
 	s.Server.Wait()
+	if s.CacheCl != nil {
+		// Surrender the lease epochs: a released lease can never fence a
+		// later holder, and the next session mints fresh epochs anyway.
+		s.CacheCl.Release()
+	}
 	if s.stopTrace != nil {
 		// The mount is quiesced: flush the tail of the trace so the
 		// collector (and any profile generated from it) sees every

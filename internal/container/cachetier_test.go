@@ -1,0 +1,90 @@
+package container
+
+import (
+	"testing"
+
+	"cntr/internal/blobstore"
+	"cntr/internal/cachesvc"
+	"cntr/internal/sim"
+)
+
+// TestPullConsultsSharedCacheTier: when two nodes share a cache tier,
+// the first node's pull seeds every chunk it paid the registry network
+// for, and the second node's pull of the same content is served from
+// the tier — zero registry bytes, faster, and counted separately from
+// local chunk dedup.
+func TestPullConsultsSharedCacheTier(t *testing.T) {
+	cas := blobstore.NewCAS(blobstore.CASOptions{})
+	img, err := BuildImageOn(cas, "app", "v1", ImageConfig{}, sharedBase(),
+		LayerSpec{ID: "app", Files: []FileSpec{{Path: "/bin/app", Size: 1 << 20, Executable: true}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	reg.Push(img)
+	tier := cachesvc.New(cachesvc.Options{Shards: 8})
+
+	node1 := NewNode()
+	node1.Shared = tier
+	clock1 := sim.NewClock()
+	_, st1, err := reg.Pull(clock1, node1, "app:v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.BytesFetched != 4<<20 || st1.BytesFromCache != 0 {
+		t.Fatalf("cold pull on empty tier: %+v", st1)
+	}
+	if tier.Stats().Seeds == 0 {
+		t.Fatal("pull did not seed the tier with fetched chunks")
+	}
+
+	node2 := NewNode()
+	node2.Shared = tier
+	clock2 := sim.NewClock()
+	_, st2, err := reg.Pull(clock2, node2, "app:v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.BytesFetched != 0 {
+		t.Fatalf("tier-warm pull still fetched %d bytes from the registry", st2.BytesFetched)
+	}
+	if st2.BytesFromCache != 4<<20 {
+		t.Fatalf("BytesFromCache = %d, want full image", st2.BytesFromCache)
+	}
+	if st2.BytesDeduped != 0 {
+		t.Fatalf("tier bytes misattributed to local dedup: %+v", st2)
+	}
+	if st2.Elapsed >= st1.Elapsed {
+		t.Fatalf("tier-warm pull (%v) not faster than cold pull (%v)", st2.Elapsed, st1.Elapsed)
+	}
+
+	// The second node holds the chunks now: a re-pull is layer-cached.
+	_, st3, err := reg.Pull(clock2, node2, "app:v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.LayersCached != 2 || st3.BytesFetched != 0 || st3.BytesFromCache != 0 {
+		t.Fatalf("re-pull: %+v", st3)
+	}
+}
+
+// TestPullWithoutTierUnchanged: a node with no shared tier behaves as
+// before (pin against regressions in the tier-aware pull path).
+func TestPullWithoutTierUnchanged(t *testing.T) {
+	cas := blobstore.NewCAS(blobstore.CASOptions{})
+	img, err := BuildImageOn(cas, "app", "v1", ImageConfig{},
+		LayerSpec{ID: "l", Files: []FileSpec{{Path: "/f", Size: 1 << 20}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	reg.Push(img)
+	node := NewNode()
+	_, st, err := reg.Pull(sim.NewClock(), node, "app:v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BytesFetched != 1<<20 || st.BytesFromCache != 0 {
+		t.Fatalf("tierless pull: %+v", st)
+	}
+}

@@ -407,3 +407,14 @@ func TestPropertyCacheCoherence(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHitRatioConvention pins the ratio helper: 0 with no traffic (not
+// NaN), hits over lookups otherwise.
+func TestHitRatioConvention(t *testing.T) {
+	if r := (Stats{}).HitRatio(); r != 0 {
+		t.Fatalf("no-traffic ratio = %v, want 0", r)
+	}
+	if r := (Stats{Hits: 3, Misses: 1}).HitRatio(); r != 0.75 {
+		t.Fatalf("ratio = %v, want 0.75", r)
+	}
+}

@@ -1,0 +1,65 @@
+package phoronix
+
+import (
+	"fmt"
+
+	"cntr/internal/vfs"
+)
+
+// dirStormEntries is the paper-scale million-entry directory divided by
+// Scale: 15625 entries in one flat directory. Directories this size are
+// where FUSE metadata costs compound — every readdir batch is a round
+// trip, and every cold lookup another.
+const dirStormEntries = 1_000_000 / Scale
+
+// dirStormName names entry i. A fixed-width name keeps readdir batch
+// sizes uniform.
+func dirStormName(i int) string {
+	return fmt.Sprintf("/bigdir/e%08d", i)
+}
+
+// DirStorm is the million-entry-directory stress workload: full readdir
+// passes over a directory of dirStormEntries files interleaved with
+// random lookups. It is not a Figure 2 row (the paper's suite has no
+// such benchmark); like MetaStorm it rides the stress/chaos pipeline
+// and the bench gates.
+var DirStorm = Benchmark{
+	Name: "Dir-Storm", Workers: 1, PaperOverhead: 0,
+	Prepare: func(cli *vfs.Client) error {
+		if err := cli.MkdirAll("/bigdir", 0o755); err != nil {
+			return err
+		}
+		for i := 0; i < dirStormEntries; i++ {
+			if err := cli.WriteFile(dirStormName(i), nil, 0o644); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	Run: func(ctx *Ctx) (int64, error) {
+		var ops int64
+		// Three full listing passes: the first is cold, later ones hit
+		// whatever dentry state the stack keeps.
+		for pass := 0; pass < 3; pass++ {
+			ents, err := ctx.Cli.ReadDir("/bigdir")
+			if err != nil {
+				return 0, err
+			}
+			if len(ents) != dirStormEntries {
+				return 0, fmt.Errorf("readdir pass %d saw %d entries, want %d",
+					pass, len(ents), dirStormEntries)
+			}
+			ops += int64(len(ents))
+		}
+		// Random lookups across the namespace: each resolves a path in
+		// the huge directory and stats it.
+		for i := 0; i < 2000; i++ {
+			j := int(ctx.Rand.Intn(dirStormEntries))
+			if _, err := ctx.Cli.Stat(dirStormName(j)); err != nil {
+				return 0, err
+			}
+			ops++
+		}
+		return ops, nil
+	},
+}

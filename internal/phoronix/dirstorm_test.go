@@ -1,0 +1,70 @@
+package phoronix
+
+import (
+	"testing"
+	"time"
+
+	"cntr/internal/policy"
+	"cntr/internal/stack"
+	"cntr/internal/vfs"
+)
+
+// TestDirStormWorkload: listing and resolving a million-entry (scaled)
+// directory must complete on both stacks and must cost CntrFS more than
+// native — directory iteration is pure metadata round trips.
+func TestDirStormWorkload(t *testing.T) {
+	r, err := RunBenchmark(&DirStorm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Work < 3*dirStormEntries {
+		t.Fatalf("dir-storm performed %d ops, want at least the three readdir passes (%d)",
+			r.Work, 3*dirStormEntries)
+	}
+	if r.Overhead <= 1.0 {
+		t.Fatalf("dir-storm overhead = %.2fx; directory churn should cost CntrFS more than native", r.Overhead)
+	}
+}
+
+// TestDirStormNotInSuite: Figure 2 is the paper's fixed twenty rows.
+func TestDirStormNotInSuite(t *testing.T) {
+	for i := range Suite {
+		if Suite[i].Name == DirStorm.Name {
+			t.Fatalf("DirStorm leaked into the Figure 2 suite at index %d", i)
+		}
+	}
+}
+
+// TestDirStormChaosEnforced replays the storm under latency chaos with
+// its own recorded profile enforced: injected faults must not register
+// as policy denials even at million-entry directory scale.
+func TestDirStormChaosEnforced(t *testing.T) {
+	col := policy.NewCollector()
+	rec := stack.NewCntr(stackConfig())
+	run := col.NewRun()
+	tr := vfs.NewTracer(1)
+	tr.Sink = run.Sink
+	if _, _, err := RunOn(&DirStorm, vfs.Chain(rec.Top, tr), rec.Host, rec.Clock, rec.Model, rec.Disk, 42); err != nil {
+		rec.Close()
+		t.Fatalf("clean recording: %v", err)
+	}
+	rec.Close()
+	prof := col.Profile(policy.GenOptions{})
+	if len(prof.Rules) == 0 {
+		t.Fatal("clean trace generated no rules")
+	}
+
+	c := stack.NewCntr(stackConfig())
+	enf := policy.NewEnforcer(prof, false)
+	inj := vfs.NewFaultInjector(ChaosProfile()...)
+	inj.Sleep = func(d time.Duration) { c.Clock.Advance(d) }
+	top := vfs.Chain(c.Top, enf, inj)
+	_, _, err := RunOn(&DirStorm, top, c.Host, c.Clock, c.Model, c.Disk, 42)
+	c.Close()
+	if err != nil {
+		t.Fatalf("dir-storm under chaos+enforce: %v", err)
+	}
+	if d := enf.Denials(); d != 0 {
+		t.Fatalf("%d denials under the storm's own profile: %+v", d, enf.Violations())
+	}
+}

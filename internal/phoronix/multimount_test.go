@@ -1,0 +1,158 @@
+package phoronix
+
+import (
+	"testing"
+	"time"
+
+	"cntr/internal/blobstore"
+	"cntr/internal/cachesvc"
+	"cntr/internal/stack"
+	"cntr/internal/vfs"
+)
+
+// TestMultiMountSharedCacheBeatsNoService is the experiment the tier
+// exists for: from two mounts up, a fleet cold-reading a shared image
+// tree finishes sooner with the shared cache than without it, because
+// every chunk crosses the origin volume once instead of once per mount.
+func TestMultiMountSharedCacheBeatsNoService(t *testing.T) {
+	opts := MultiMountOptions{Mounts: 3, Dirs: 12, FilesPerDir: 3, FileSize: 64 << 10}
+
+	opts.UseService = false
+	base, err := RunMultiMount(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.UseService = true
+	svc, err := RunMultiMount(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if svc.BytesRead != base.BytesRead {
+		t.Fatalf("fleets read different volumes: %d vs %d", svc.BytesRead, base.BytesRead)
+	}
+	if svc.ColdReadTotal >= base.ColdReadTotal {
+		t.Fatalf("shared cache did not pay: svc %v >= nosvc %v",
+			svc.ColdReadTotal, base.ColdReadTotal)
+	}
+	// 2 of 3 mounts are served by the tier: the bulk of lookups hit.
+	if svc.HitRatio < 0.5 {
+		t.Fatalf("tier hit ratio %.2f, want > 0.5 with 3 mounts", svc.HitRatio)
+	}
+	if svc.TierStats.FencedWrites != 0 {
+		t.Fatalf("healthy fleet saw %d fenced writes", svc.TierStats.FencedWrites)
+	}
+}
+
+// TestMultiMountScalesWithFleet: adding mounts increases the tier's
+// advantage — per-mount average cost falls as the fleet grows, while the
+// serviceless fleet's per-mount cost is flat.
+func TestMultiMountScalesWithFleet(t *testing.T) {
+	per := func(mounts int, useSvc bool) time.Duration {
+		r, err := RunMultiMount(MultiMountOptions{
+			Mounts: mounts, UseService: useSvc,
+			Dirs: 8, FilesPerDir: 2, FileSize: 64 << 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.ColdReadTotal / time.Duration(mounts)
+	}
+	if s2, s4 := per(2, true), per(4, true); s4 >= s2 {
+		t.Fatalf("per-mount cost grew with fleet size under the tier: 2 mounts %v, 4 mounts %v", s2, s4)
+	}
+	n2, n4 := per(2, false), per(4, false)
+	diff := n4 - n2
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > n2/20 {
+		t.Fatalf("serviceless per-mount cost should be flat: 2 mounts %v, 4 mounts %v", n2, n4)
+	}
+}
+
+// TestBatchedWritebackFenced partitions a mount mid-write-back: dirty
+// data sits in the FUSE writeback window while the mount's leases expire
+// on the service side; the fsync-driven flush then reaches the store
+// with a stale epoch. The tier must fence every publish from that
+// window — and the mount's own durability must be unharmed.
+func TestBatchedWritebackFenced(t *testing.T) {
+	cas := blobstore.NewCAS(blobstore.CASOptions{})
+	svcClock := cachesvc.New(cachesvc.Options{LeaseTTL: time.Second})
+	cfg := stackConfig()
+	cfg.Store = cas
+	cfg.CacheService = svcClock
+	cfg.CacheMountID = "wb-mount"
+	cfg.AsyncDepth = 4 // batched writeback windows through the connection
+	c := stack.NewCntr(cfg)
+	defer c.Close()
+
+	cli := vfs.NewClient(c.Top, vfs.Root())
+	f, err := cli.Open("/dirty.bin", vfs.OWronly|vfs.OCreat, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below the FUSE dirty window so it stays dirty until fsync; distinct
+	// content per block so the CAS cannot fold the window into one chunk.
+	payload := multiMountContent(99, 99, 128<<10)
+	if _, err := f.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	physBefore := cas.Stats().PhysicalBytes
+	if physBefore != 0 {
+		t.Fatalf("writeback window leaked early: %d bytes at the store", physBefore)
+	}
+
+	// The partition: the service ages past the lease TTL while the dirty
+	// window is still in flight. The mount's own clock is untouched — it
+	// has no idea.
+	svcClock.Clock().Advance(2 * time.Second)
+
+	if err := f.Sync(); err != nil { // drives the batched flush down the stack
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st := svcClock.Stats()
+	if st.FencedWrites == 0 {
+		t.Fatal("stale-epoch writeback window was not fenced")
+	}
+	if st.Entries != 0 {
+		t.Fatalf("stale mount landed %d entries in the tier", st.Entries)
+	}
+	// Durability is local: the backend holds every chunk of the window.
+	if phys := cas.Stats().PhysicalBytes; phys < int64(len(payload)) {
+		t.Fatalf("backend holds %d bytes, want >= %d — fencing must not drop local writes",
+			phys, len(payload))
+	}
+	// The data reads back intact through the mount.
+	got, err := cli.ReadFile("/dirty.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payload) || got[1234] != payload[1234] {
+		t.Fatalf("read back %d bytes, corrupted or truncated", len(got))
+	}
+
+	// Recovery: reattach mints fresh epochs and publishes flow again.
+	if err := c.CacheCl.Reattach(); err != nil {
+		t.Fatal(err)
+	}
+	lease, ok := c.CacheCl.Lease(0)
+	if !ok || lease.Epoch < 2 {
+		t.Fatalf("reattach lease = %+v, want fresh epoch >= 2", lease)
+	}
+	if err := cli.WriteFile("/fresh.bin", make([]byte, 8<<10), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := cli.Open("/fresh.bin", vfs.ORdonly, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2.Sync()
+	f2.Close()
+	after := svcClock.Stats()
+	if after.Puts == 0 {
+		t.Fatal("no publishes accepted after reattach")
+	}
+}

@@ -69,6 +69,16 @@ type CostModel struct {
 	// ~2 GB/s on one core); content-addressed blob stores charge it on
 	// Put and on verified Get.
 	HashPerKB time.Duration
+
+	// NetRTT is the round-trip latency of one request to the shared
+	// cache tier over the intra-cluster network — same rack or AZ, an
+	// order of magnitude below the EBS volume's DiskSeek. The cache
+	// client charges it once per RPC.
+	NetRTT time.Duration
+
+	// NetPerKB is the intra-cluster transfer cost per KB (the inverse
+	// of the cluster link bandwidth).
+	NetPerKB time.Duration
 }
 
 // DefaultCostModel returns the calibrated model used by all experiments.
@@ -87,6 +97,8 @@ func DefaultCostModel() *CostModel {
 		XattrLookup:    5 * time.Microsecond,
 		Compute:        1 * time.Microsecond,
 		HashPerKB:      500 * time.Nanosecond,
+		NetRTT:         10 * time.Microsecond,
+		NetPerKB:       600 * time.Nanosecond, // ~1.6 GB/s cluster link
 	}
 }
 
@@ -108,6 +120,12 @@ func (m *CostModel) SpliceCost(n int) time.Duration {
 // DiskCost returns the cost of one disk request transferring n bytes.
 func (m *CostModel) DiskCost(n int) time.Duration {
 	return m.DiskSeek + time.Duration(int64(m.DiskPerKB)*int64(n)/1024)
+}
+
+// NetCost returns the cost of one cache-tier RPC transferring n bytes:
+// a round trip plus the payload at cluster-link bandwidth.
+func (m *CostModel) NetCost(n int) time.Duration {
+	return m.NetRTT + time.Duration(int64(m.NetPerKB)*int64(n)/1024)
 }
 
 // FuseRoundTrip returns the fixed cost of one FUSE request/response pair,

@@ -16,6 +16,8 @@ package stack
 
 import (
 	"cntr/internal/blobstore"
+	"cntr/internal/cachecl"
+	"cntr/internal/cachesvc"
 	"cntr/internal/cntrfs"
 	"cntr/internal/fuse"
 	"cntr/internal/memfs"
@@ -53,6 +55,18 @@ type Config struct {
 	// (host filesystem for the Cntr stack). Used to run workloads over a
 	// content-addressed or fault-injecting backend.
 	Store blobstore.Store
+	// CacheService, when non-nil, attaches the Cntr stack to a shared
+	// cache tier: the mount acquires epoch leases through a cachecl
+	// client, the host filesystem's backend store is wrapped so reads
+	// consult the tier before the origin (and populate it after), and
+	// disk charging moves from the host page cache to the store
+	// boundary — misses pay an origin volume I/O, hits pay one
+	// intra-cluster RPC. Several NewCntr stacks sharing one Store and one
+	// CacheService model a fleet of mounts on a common CAS.
+	CacheService *cachesvc.Service
+	// CacheMountID names this mount to the cache service (lease
+	// identity); defaults to "mount-0".
+	CacheMountID string
 	// BelowCache interceptors sit between the kernel-side page cache and
 	// the FUSE connection in the Cntr stack: every miss the cache turns
 	// into FUSE traffic — including pipelined readahead/writeback windows,
@@ -114,6 +128,12 @@ type Cntr struct {
 	Server *fuse.Server
 	Kernel *pagecache.Cache
 	Budget *pagecache.MemBudget
+	// CacheCl is this mount's client on the shared cache tier (nil when
+	// Config.CacheService is unset); Tier is the wrapped store it reads
+	// through, and Origin the disk that charges tier misses.
+	CacheCl *cachecl.Client
+	Tier    *cachecl.Store
+	Origin  *sim.Disk
 	// Stats counts every operation entering the stack (see Native.Stats).
 	Stats *vfs.Stats
 	// Top is the filesystem workloads should use: the syscall-entry
@@ -127,7 +147,40 @@ func NewCntr(cfg Config) *Cntr {
 	clock := sim.NewClock()
 	model := sim.DefaultCostModel()
 	disk := sim.NewDisk(clock, model)
-	host := memfs.New(memfs.Options{Store: cfg.Store})
+
+	// With a shared cache tier configured, the backend store is wrapped
+	// in the tier client's store layer and disk charging moves from the
+	// host page cache to the store boundary: every miss the tier cannot
+	// serve pays an origin-volume I/O on a dedicated origin disk whose
+	// queue depth matches the readahead window in chunks (pipelined
+	// per-chunk fetches amortize the seek like one extent-sized request
+	// would), and every hit pays one intra-cluster RPC instead. Charging
+	// the same traffic through the host page cache too would double-count.
+	var (
+		cacheCl   *cachecl.Client
+		tier      *cachecl.Store
+		origin    *sim.Disk
+		hostStore = cfg.Store
+		chargePC  = disk
+	)
+	if cfg.CacheService != nil {
+		mountID := cfg.CacheMountID
+		if mountID == "" {
+			mountID = "mount-0"
+		}
+		cacheCl = cachecl.New(cfg.CacheService, mountID, clock, model)
+		cacheCl.Attach()
+		origin = sim.NewDisk(clock, model)
+		origin.SetQueueDepth(int(cfg.ReadAhead / 4096))
+		backend := cfg.Store
+		if backend == nil {
+			backend = blobstore.NewCAS(blobstore.CASOptions{})
+		}
+		tier = cachecl.WrapStore(backend, cacheCl, cachecl.StoreOptions{Origin: origin})
+		hostStore = tier
+		chargePC = nil
+	}
+	host := memfs.New(memfs.Options{Store: hostStore})
 	budget := pagecache.NewMemBudget(cfg.RAM)
 
 	// Host-side cache: what the CntrFS server process sees when it does
@@ -138,7 +191,7 @@ func NewCntr(cfg Config) *Cntr {
 		DirtyWindow:  cfg.DirtyWindowNative,
 		MaxWriteSize: 1 << 20,
 		ReadAhead:    cfg.ReadAhead,
-		ChargeDisk:   disk,
+		ChargeDisk:   chargePC,
 		Budget:       budget,
 	})
 
@@ -174,13 +227,18 @@ func NewCntr(cfg Config) *Cntr {
 	return &Cntr{
 		Clock: clock, Model: model, Disk: disk, Host: host, HostPC: hostPC,
 		FS: cfs, Conn: conn, Server: srv, Kernel: kernel, Budget: budget,
+		CacheCl: cacheCl, Tier: tier, Origin: origin,
 		Stats: stats, Top: vfs.Chain(kernel, stats),
 	}
 }
 
-// Close unmounts the FUSE connection and waits for the server.
+// Close unmounts the FUSE connection, releases any cache-tier leases,
+// and waits for the server.
 func (c *Cntr) Close() {
 	c.Conn.Unmount()
+	if c.CacheCl != nil {
+		c.CacheCl.Release()
+	}
 	c.Server.Wait()
 }
 
