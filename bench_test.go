@@ -624,3 +624,52 @@ func BenchmarkFencedWriteback(b *testing.B) {
 	}
 	b.ReportMetric(fenced, "fenced-writes")
 }
+
+// BenchmarkStreamingWriteback streams a 256MB file sequentially through
+// the Cntr stack's pipelined writeback path (AsyncDepth 8) and reads it
+// back cold. The below-cache window counters — pipelined windows, the
+// operations they batched, and the per-op submissions that bypassed
+// batching — are submission-side and deterministic, so BENCH_9.json
+// gates them tightly; the virtual durations jitter with server-worker
+// completion order under AsyncDepth and get only the loose gate.
+func BenchmarkStreamingWriteback(b *testing.B) {
+	var res phoronix.StreamingResult
+	for i := 0; i < b.N; i++ {
+		r, err := phoronix.RunStreaming(256<<20, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(float64(res.WriteTime)/1e6, "write-virt-ms")
+	b.ReportMetric(float64(res.ReadTime)/1e6, "read-virt-ms")
+	b.ReportMetric(float64(res.Windows), "windows")
+	b.ReportMetric(float64(res.BatchedOps), "batched-ops")
+	b.ReportMetric(float64(res.PerOpSubmits), "per-op-submits")
+}
+
+// BenchmarkConsolidation runs the 3-container consolidation scenario:
+// per-container recordings merge into a fleet profile that is enforced
+// while chaos injects latency and errnos into every replayed workload
+// over one shared store. Everything here is virtual-time or counter
+// arithmetic on unpipelined stacks — bit-reproducible — so the summed
+// virtual time, the injected-errno histogram buckets, and the zero
+// denial count all gate tightly.
+func BenchmarkConsolidation(b *testing.B) {
+	var rep *phoronix.ConsolidationReport
+	for i := 0; i < b.N; i++ {
+		r, err := phoronix.RunConsolidation(3, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep = r
+	}
+	if rep.Denials != 0 || rep.Audited != 0 {
+		b.Fatalf("policy violations under consolidation: denials=%d audited=%d",
+			rep.Denials, rep.Audited)
+	}
+	b.ReportMetric(float64(rep.VirtTotal)/1e6, "virt-total-ms")
+	b.ReportMetric(float64(rep.EIO), "injected-eio")
+	b.ReportMetric(float64(rep.ENOSPC), "injected-enospc")
+	b.ReportMetric(float64(rep.Denials), "denials")
+}

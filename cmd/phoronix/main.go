@@ -28,6 +28,13 @@
 // store cold-reads the same image tree twice — once with every mount
 // paying the origin volume, once attached to the shared cache tier —
 // and prints the per-fleet totals plus the tier's hit ratio.
+//
+// -merge-replay runs the policy lifecycle end to end: the suite is
+// recorded twice under independent workload seeds, the two versioned
+// profiles are merged (rule union, ceiling max plus headroom), and the
+// suite replays under enforcement of the merge — exiting non-zero on
+// any denial. Use cmd/policyctl to merge/diff/tighten profile files
+// recorded in separate invocations.
 package main
 
 import (
@@ -57,10 +64,16 @@ func main() {
 		"run the shared-cache-tier fleet demo instead of the suite")
 	mounts := flag.Int("mounts", 4,
 		"with -cachesvc: number of CntrFS mounts in the fleet (2-8)")
+	mergeReplay := flag.Bool("merge-replay", false,
+		"record the suite twice (independent seeds), merge the two profiles, and replay under the merge")
 	flag.Parse()
 
 	if *cacheSvc {
 		runCacheSvcDemo(*mounts)
+		return
+	}
+	if *mergeReplay {
+		runMergedReplay()
 		return
 	}
 
@@ -135,6 +148,31 @@ func main() {
 	}
 	for _, n := range []int{1, 2, 4, 8, 16} {
 		fmt.Printf("threads=%-3d time=%v\n", n, m[n])
+	}
+}
+
+// runMergedReplay runs the full policy lifecycle: two independent
+// recordings of the suite, one merged profile, one enforcement replay.
+// The merge must admit its own recordings with zero denials.
+func runMergedReplay() {
+	fmt.Println("== Policy lifecycle: record x2 -> merge -> enforce ==")
+	rep, err := phoronix.RunMergedReplay(true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m := rep.Merged
+	fmt.Printf("profile A: generation %d, %d rules (%s)\n",
+		rep.ProfileA.Generation, len(rep.ProfileA.Rules), rep.ProfileA.SourceRuns)
+	fmt.Printf("profile B: generation %d, %d rules (%s)\n",
+		rep.ProfileB.Generation, len(rep.ProfileB.Rules), rep.ProfileB.SourceRuns)
+	fmt.Printf("merged:    generation %d, %d rules, %d runs, window %d ops (read %d B, write %d B)\n",
+		m.Generation, len(m.Rules), m.Runs, m.WindowOps, m.ReadBytesPerWindow, m.WriteBytesPerWindow)
+	fmt.Printf("diff A -> merged: %s\n\n", rep.Diff.Summary())
+	fmt.Print(phoronix.FormatEnforceTable(rep.Results))
+	fmt.Printf("\ntotal denials=%d (a merged profile must admit its own recordings)\n", rep.Denials)
+	if rep.Denials != 0 {
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cntr/internal/policy"
+)
+
+// writeTemp marshals a profile into the test's temp dir.
+func writeTemp(t *testing.T, dir, name string, p *policy.Profile) string {
+	t.Helper()
+	blob, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMergeDiffTightenShow(t *testing.T) {
+	dir := t.TempDir()
+	a := &policy.Profile{
+		Version: policy.FormatVersion, Generation: 1, Runs: 1,
+		SourceRuns: []string{"run-a"},
+		Rules:      []policy.Rule{{Prefix: "/data/a", Kinds: []string{"read"}}},
+		WindowOps:  512, ReadBytesPerWindow: 1000, WriteBytesPerWindow: 500,
+	}
+	b := &policy.Profile{
+		Version: policy.FormatVersion, Generation: 1, Runs: 1,
+		SourceRuns:   []string{"run-b"},
+		Rules:        []policy.Rule{{Prefix: "/data/b", Kinds: []string{"read", "write"}}},
+		AnyPathKinds: []string{"read"},
+		WindowOps:    512, ReadBytesPerWindow: 400, WriteBytesPerWindow: 2000,
+	}
+	aPath := writeTemp(t, dir, "a.json", a)
+	bPath := writeTemp(t, dir, "b.json", b)
+	mergedPath := filepath.Join(dir, "merged.json")
+
+	var out, errw bytes.Buffer
+	if code := run([]string{"merge", "-headroom", "1", "-o", mergedPath, aPath, bPath}, &out, &errw); code != 0 {
+		t.Fatalf("merge exit %d: %s", code, errw.String())
+	}
+	blob, err := os.ReadFile(mergedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := policy.Load(blob)
+	if err != nil {
+		t.Fatalf("merge wrote an unloadable profile: %v", err)
+	}
+	if merged.Runs != 2 || len(merged.SourceRuns) != 2 {
+		t.Fatalf("merge provenance: %+v", merged)
+	}
+	if len(merged.Rules) != 2 || merged.ReadBytesPerWindow != 1000 || merged.WriteBytesPerWindow != 2000 {
+		t.Fatalf("merge content: %+v", merged)
+	}
+
+	// diff between an input and the merge is a non-empty structured
+	// delta and exits 1, like diff(1).
+	out.Reset()
+	if code := run([]string{"diff", aPath, mergedPath}, &out, &errw); code != 1 {
+		t.Fatalf("diff of differing profiles exited %d:\n%s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "/data/b") {
+		t.Fatalf("diff output misses the added rule:\n%s", out.String())
+	}
+	// Self-diff is empty and exits 0.
+	out.Reset()
+	if code := run([]string{"diff", aPath, aPath}, &out, &errw); code != 0 {
+		t.Fatalf("self-diff exited %d", code)
+	}
+	// JSON mode emits the structured report.
+	out.Reset()
+	if code := run([]string{"diff", "-json", aPath, mergedPath}, &out, &errw); code != 1 {
+		t.Fatalf("json diff exited %d", code)
+	}
+	if !strings.Contains(out.String(), "\"rules_added\"") && !strings.Contains(out.String(), "RulesAdded") {
+		t.Fatalf("json diff output:\n%s", out.String())
+	}
+
+	// tighten anchors the merged profile's any-path "read" (evidence:
+	// /data/a and /data/b) at /data.
+	tightPath := filepath.Join(dir, "tight.json")
+	errw.Reset()
+	if code := run([]string{"tighten", "-o", tightPath, mergedPath}, &out, &errw); code != 0 {
+		t.Fatalf("tighten exit %d: %s", code, errw.String())
+	}
+	tblob, err := os.ReadFile(tightPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := policy.Load(tblob)
+	if err != nil {
+		t.Fatalf("tighten wrote an unloadable profile: %v", err)
+	}
+	if len(tight.AnyPathKinds) != 0 {
+		t.Fatalf("tighten left any-path kinds: %+v", tight.AnyPathKinds)
+	}
+	if !strings.Contains(errw.String(), "/data") {
+		t.Fatalf("tighten report:\n%s", errw.String())
+	}
+
+	// show prints the lifecycle header.
+	out.Reset()
+	if code := run([]string{"show", mergedPath}, &out, &errw); code != 0 {
+		t.Fatalf("show exit %d", code)
+	}
+	for _, want := range []string{"generation", "runs 2", "run-a, run-b", "window: 512 ops"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("show output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestUsageAndErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(nil, &out, &errw); code != 2 {
+		t.Fatalf("no args exited %d", code)
+	}
+	if code := run([]string{"bogus"}, &out, &errw); code != 2 {
+		t.Fatalf("unknown command exited %d", code)
+	}
+	if code := run([]string{"merge"}, &out, &errw); code != 2 {
+		t.Fatalf("merge without inputs exited %d", code)
+	}
+	if code := run([]string{"diff", "/nonexistent-a", "/nonexistent-b"}, &out, &errw); code != 2 {
+		t.Fatalf("diff with missing files exited %d", code)
+	}
+}

@@ -1,6 +1,7 @@
 package cntr
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -62,6 +63,11 @@ type Options struct {
 	// with EnforceAudit, are recorded as violations and let through).
 	Enforce      *policy.Profile
 	EnforceAudit bool
+	// EnforceBaseline, when set alongside Enforce, is the profile the
+	// enforced one was derived from (the previous generation); the
+	// policy view then reports the structured diff between them as its
+	// last_diff summary.
+	EnforceBaseline *policy.Profile
 	// CacheService, when set, attaches the session to a shared cache
 	// tier: epoch leases are acquired at attach time (one per shard
 	// group) and released on Close. The session exposes the client as
@@ -104,6 +110,9 @@ type Session struct {
 	// Enforcer is the live policy enforcer when Options.Enforce was
 	// set; its Denials/Violations expose what the policy blocked.
 	Enforcer *policy.Enforcer
+	// Tracer is the mount's trace source when Options.Trace was set;
+	// TraceStats exposes its batched-delivery health (drops, spills).
+	Tracer *vfs.Tracer
 	// CacheCl is the session's cache-tier client when
 	// Options.CacheService was set; nil otherwise.
 	CacheCl *cachecl.Client
@@ -157,11 +166,12 @@ func Attach(h *Host, opts Options) (*Session, error) {
 	// which is what makes denials auditable through the activity view.
 	var ics []vfs.Interceptor
 	var stopTrace func()
+	var tracer *vfs.Tracer
 	if opts.Trace != nil {
 		// Each mount gets its own path-learning scope: inode numbers are
 		// only meaningful within one mount, and a shared collector may be
 		// tracing several attached containers at once.
-		tracer := vfs.NewTracer(0)
+		tracer = vfs.NewTracer(0)
 		run := opts.Trace.NewRun()
 		if opts.TraceBatched {
 			flush := opts.TraceFlush
@@ -323,14 +333,14 @@ func Attach(h *Host, opts Options) (*Session, error) {
 		server.RetireOrigin(uint32(pid))
 	})
 	var removePolicyView func()
-	if opts.Trace != nil {
-		removePolicyView = h.Procs.AddPolicyView(opts.Container, opts.Trace.RenderJSON)
+	if opts.Trace != nil || opts.Enforce != nil {
+		removePolicyView = h.Procs.AddPolicyView(opts.Container, policyView(opts, tracer))
 	}
 	sess := &Session{
 		Host: h, Target: target, Context: ctx,
 		Proc: child, Nested: nested, Client: chrooted,
 		CntrFS: cfs, Conn: conn, Server: server, Kernel: kernel,
-		Enforcer: enforcer, CacheCl: cacheCl,
+		Enforcer: enforcer, Tracer: tracer, CacheCl: cacheCl,
 		Master: master, slave: slave,
 		removeIOSource:   removeIOSource,
 		removeExitHook:   removeExitHook,
@@ -340,6 +350,55 @@ func Attach(h *Host, opts Options) (*Session, error) {
 	attached = true
 	sess.shell = NewShell(sess)
 	return sess, nil
+}
+
+// policyView builds the /proc/policy/<container> renderer. The view
+// carries the enforced profile's lifecycle header (version, generation,
+// merge provenance) and the structured-diff summary against
+// EnforceBaseline when one was given, the collector's live activity
+// snapshot when recording, and the tracer's batched-delivery health —
+// so one file answers "what policy is this container under, where did
+// it come from, and is the recording trustworthy".
+func policyView(opts Options, tracer *vfs.Tracer) func() []byte {
+	var lastDiff string
+	if opts.Enforce != nil && opts.EnforceBaseline != nil {
+		lastDiff = policy.Diff(opts.EnforceBaseline, opts.Enforce).Summary()
+	}
+	return func() []byte {
+		view := make(map[string]any)
+		if p := opts.Enforce; p != nil {
+			view["profile"] = map[string]any{
+				"version":     p.Version,
+				"generation":  p.Generation,
+				"runs":        p.Runs,
+				"source_runs": p.SourceRuns,
+			}
+			if lastDiff != "" {
+				view["last_diff"] = lastDiff
+			}
+		}
+		if tracer != nil {
+			view["trace"] = tracer.Stats()
+		}
+		if opts.Trace != nil {
+			view["activity"] = json.RawMessage(opts.Trace.RenderJSON())
+		}
+		b, err := json.MarshalIndent(view, "", "  ")
+		if err != nil {
+			return []byte("{}\n")
+		}
+		return append(b, '\n')
+	}
+}
+
+// TraceStats snapshots the session tracer's delivery counters — drops,
+// spill-journal traffic, journal footprint. Zero-valued when the
+// session was attached without tracing.
+func (s *Session) TraceStats() vfs.TraceStats {
+	if s.Tracer == nil {
+		return vfs.TraceStats{}
+	}
+	return s.Tracer.Stats()
 }
 
 // resolveContext is step #1: name → pid → full container context.

@@ -139,6 +139,49 @@ func TestAttachAuditMode(t *testing.T) {
 	}
 }
 
+// TestAttachPolicyViewLifecycle: enforcing a merged profile with a
+// baseline exposes the lifecycle header and the last-diff summary in
+// /proc/policy/<container>, alongside the live activity and the
+// tracer's delivery health — and Session.TraceStats mirrors the latter.
+func TestAttachPolicyViewLifecycle(t *testing.T) {
+	h, _, _ := testWorld(t)
+	base := tracedProfile(t, h)
+	merged := policy.Merge(policy.MergeOptions{}, base)
+
+	col := policy.NewCollector()
+	sess, err := Attach(h, Options{
+		Container: "db", Fat: "tools",
+		Trace:   col,
+		Enforce: merged, EnforceBaseline: base,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.Client.ReadDir("/usr/bin"); err != nil {
+		t.Fatalf("on-profile readdir denied: %v", err)
+	}
+
+	snap := h.Procs.Snapshot()
+	cli := vfs.NewClient(snap, vfs.Root())
+	blob, err := cli.ReadFile("/policy/db")
+	if err != nil {
+		t.Fatalf("reading /policy/db: %v", err)
+	}
+	view := string(blob)
+	for _, want := range []string{`"profile"`, `"generation"`, `"last_diff"`, `"trace"`, `"activity"`} {
+		if !strings.Contains(view, want) {
+			t.Fatalf("policy view missing %s:\n%s", want, view)
+		}
+	}
+	if st := sess.TraceStats(); st.Dropped != 0 {
+		t.Fatalf("session trace dropped entries: %+v", st)
+	}
+	if sess.Enforcer.Denials() != 0 {
+		t.Fatalf("merged profile denied its own recording: %+v", sess.Enforcer.Violations())
+	}
+}
+
 // TestAttachRetiresOriginsOnExit: when the injected process exits, the
 // mount's per-origin accounting for it is folded into the aggregate
 // bucket via the process table's exit hooks.

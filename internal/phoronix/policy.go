@@ -16,6 +16,12 @@ type TraceResult struct {
 	Time time.Duration
 	// Ops is the number of operations the tracer recorded for the run.
 	Ops int64
+	// Dropped/Spilled surface the tracer's delivery health for the run:
+	// entries shed (nonzero taints the recording for profile generation)
+	// and entries diverted through the spill journal (delivered late,
+	// not lost).
+	Dropped int64
+	Spilled int64
 }
 
 // RunTracedAll runs the whole suite on fresh Cntr stacks with a
@@ -33,9 +39,28 @@ func RunTracedAll(col *policy.Collector) ([]TraceResult, error) {
 // synchronous callback per operation, with a final flush before each
 // benchmark's stack is torn down.
 func RunTracedAllOpts(col *policy.Collector, batched bool) ([]TraceResult, error) {
-	out := make([]TraceResult, 0, len(Suite))
+	return RunTracedAllSeeded(col, batched, 42)
+}
+
+// RunTracedAllSeeded is RunTracedAllOpts with the workload seed exposed,
+// so two independent recordings of the same suite (different seeds →
+// different file sizes and access orders) can be merged into one fleet
+// profile.
+func RunTracedAllSeeded(col *policy.Collector, batched bool, seed uint64) ([]TraceResult, error) {
+	benches := make([]*Benchmark, 0, len(Suite))
 	for i := range Suite {
-		b := &Suite[i]
+		benches = append(benches, &Suite[i])
+	}
+	return RunTracedSubset(col, benches, batched, seed)
+}
+
+// RunTracedSubset records an arbitrary workload mix — the per-container
+// recording primitive for consolidation experiments, where each
+// container runs its own subset of the suite and contributes one
+// profile to the fleet merge.
+func RunTracedSubset(col *policy.Collector, benches []*Benchmark, batched bool, seed uint64) ([]TraceResult, error) {
+	out := make([]TraceResult, 0, len(benches))
+	for _, b := range benches {
 		c := stack.NewCntr(stackConfig())
 		// Fresh stack, fresh inode numbering: a new path-learning scope
 		// per benchmark (aggregation is shared across the suite).
@@ -57,7 +82,7 @@ func RunTracedAllOpts(col *policy.Collector, batched bool) ([]TraceResult, error
 			}
 		}
 		top := vfs.Chain(c.Top, tr)
-		t, _, err := RunOn(b, top, c.Host, c.Clock, c.Model, c.Disk, 42)
+		t, _, err := RunOn(b, top, c.Host, c.Clock, c.Model, c.Disk, seed)
 		if stop != nil {
 			stop() // final flush; ops is stable after this
 		}
@@ -68,7 +93,11 @@ func RunTracedAllOpts(col *policy.Collector, batched bool) ([]TraceResult, error
 		if err != nil {
 			return out, err
 		}
-		out = append(out, TraceResult{Name: b.Name, Time: t, Ops: ops})
+		st := tr.Stats()
+		out = append(out, TraceResult{
+			Name: b.Name, Time: t, Ops: ops,
+			Dropped: st.Dropped, Spilled: st.SpilledEntries,
+		})
 	}
 	return out, nil
 }
@@ -109,13 +138,61 @@ func RunEnforcedAll(p *policy.Profile, audit bool) []EnforceResult {
 	return out
 }
 
+// MergedReplayReport is the output of RunMergedReplay: the two
+// independently recorded profiles, their merge, the structured delta
+// the merge introduced over the first recording, and the enforcement
+// replay under the merged profile.
+type MergedReplayReport struct {
+	ProfileA *policy.Profile
+	ProfileB *policy.Profile
+	Merged   *policy.Profile
+	// Diff is Diff(ProfileA, Merged): what recording B (plus merge
+	// headroom) contributed beyond recording A.
+	Diff    *policy.DiffReport
+	Results []EnforceResult
+	// Denials totals the replay's denials (must be zero: a merged
+	// profile that denies the workloads it was recorded from is broken).
+	Denials int64
+}
+
+// RunMergedReplay exercises the full policy lifecycle over the suite:
+// record two independent runs (different workload seeds), generate a
+// versioned profile from each, merge them, then replay the suite under
+// enforcement of the merged profile. The fleet workflow in one call —
+// profiles from different machines or days union into one profile that
+// must still admit each contributing workload.
+func RunMergedReplay(batched bool) (*MergedReplayReport, error) {
+	colA := policy.NewCollector()
+	if _, err := RunTracedAllSeeded(colA, batched, 42); err != nil {
+		return nil, fmt.Errorf("recording run A: %w", err)
+	}
+	pA := colA.Profile(policy.GenOptions{RunID: "suite-seed-42"})
+
+	colB := policy.NewCollector()
+	if _, err := RunTracedAllSeeded(colB, batched, 43); err != nil {
+		return nil, fmt.Errorf("recording run B: %w", err)
+	}
+	pB := colB.Profile(policy.GenOptions{RunID: "suite-seed-43"})
+
+	merged := policy.Merge(policy.MergeOptions{}, pA, pB)
+	results := RunEnforcedAll(merged, false)
+	rep := &MergedReplayReport{
+		ProfileA: pA, ProfileB: pB, Merged: merged,
+		Diff: policy.Diff(pA, merged), Results: results,
+	}
+	for _, r := range results {
+		rep.Denials += r.Denials
+	}
+	return rep, nil
+}
+
 // FormatTraceTable renders trace-run results.
 func FormatTraceTable(results []TraceResult) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-28s %12s %12s\n", "Benchmark", "time", "traced ops")
+	fmt.Fprintf(&b, "%-28s %12s %12s %9s %9s\n", "Benchmark", "time", "traced ops", "dropped", "spilled")
 	for _, r := range results {
-		fmt.Fprintf(&b, "%-28s %12v %12d\n",
-			r.Name, r.Time.Round(time.Microsecond), r.Ops)
+		fmt.Fprintf(&b, "%-28s %12v %12d %9d %9d\n",
+			r.Name, r.Time.Round(time.Microsecond), r.Ops, r.Dropped, r.Spilled)
 	}
 	return b.String()
 }

@@ -137,6 +137,108 @@ func TestBatchAdmissionMatchesPerOp(t *testing.T) {
 	})
 }
 
+// TestBatchAdmissionMatchesPerOpWindowed: the sliding-window rate
+// ceilings must keep the same batched/per-op equivalence as the
+// lifetime ceilings — the window sums advance only at completion, so
+// every op of a pipelined window observes identical window state.
+func TestBatchAdmissionMatchesPerOpWindowed(t *testing.T) {
+	op := vfs.RootOp()
+	op.PID = 11
+	read := vfs.OpInfo{Kind: vfs.KindRead, Op: op, Ino: vfs.RootIno}
+	write := vfs.OpInfo{Kind: vfs.KindWrite, Op: op, Ino: vfs.RootIno}
+	// burn completes one data op of the given kind and size through an
+	// enforcer, advancing its window sums.
+	burn := func(kind vfs.OpKind, bytes int) func(e *Enforcer) {
+		return func(e *Enforcer) {
+			info := vfs.OpInfo{Kind: kind, Op: op, Ino: vfs.RootIno}
+			if err := e.Intercept(&info, func() error { info.Bytes = bytes; return nil }); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	t.Run("write-rate", func(t *testing.T) {
+		p := &Profile{
+			Rules:               []Rule{{Prefix: "/", Kinds: []string{"read", "write"}}},
+			WindowOps:           8,
+			WriteBytesPerWindow: 10,
+		}
+		perOp, batched, pe, be := drivePair(t, p, false, write, 4, burn(vfs.KindWrite, 16))
+		assertSameOutcome(t, "write-rate", perOp, batched, pe, be)
+		if vfs.ToErrno(pe) != vfs.EACCES {
+			t.Fatalf("saturated window admitted: %v, want EACCES", pe)
+		}
+		for _, v := range batched.Violations() {
+			if v.Reason != "write rate" {
+				t.Fatalf("violation reason = %q, want \"write rate\"", v.Reason)
+			}
+		}
+	})
+
+	t.Run("read-rate", func(t *testing.T) {
+		p := &Profile{
+			Rules:              []Rule{{Prefix: "/", Kinds: []string{"read", "write"}}},
+			WindowOps:          8,
+			ReadBytesPerWindow: 10,
+		}
+		perOp, batched, pe, be := drivePair(t, p, false, read, 4, burn(vfs.KindRead, 16))
+		assertSameOutcome(t, "read-rate", perOp, batched, pe, be)
+		if vfs.ToErrno(pe) != vfs.EACCES {
+			t.Fatalf("saturated window admitted: %v, want EACCES", pe)
+		}
+	})
+
+	t.Run("under-rate", func(t *testing.T) {
+		p := &Profile{
+			Rules:               []Rule{{Prefix: "/", Kinds: []string{"read", "write"}}},
+			WindowOps:           8,
+			WriteBytesPerWindow: 1 << 20,
+		}
+		perOp, batched, pe, be := drivePair(t, p, false, write, 6, burn(vfs.KindWrite, 16))
+		assertSameOutcome(t, "under-rate", perOp, batched, pe, be)
+		if pe != nil {
+			t.Fatalf("under-rate window denied: %v", pe)
+		}
+	})
+
+	t.Run("slid-window-recovers", func(t *testing.T) {
+		// Saturate a 2-op window with writes, then complete two reads
+		// through both enforcers: the write volume slides out and the
+		// next write window must be admitted identically on both paths.
+		p := &Profile{
+			Rules:               []Rule{{Prefix: "/", Kinds: []string{"read", "write"}}},
+			WindowOps:           2,
+			WriteBytesPerWindow: 10,
+		}
+		setup := func(e *Enforcer) {
+			burn(vfs.KindWrite, 16)(e)
+			burn(vfs.KindRead, 1)(e)
+			burn(vfs.KindRead, 1)(e)
+		}
+		perOp, batched, pe, be := drivePair(t, p, false, write, 3, setup)
+		assertSameOutcome(t, "slid-window", perOp, batched, pe, be)
+		if pe != nil {
+			t.Fatalf("slid window still denied: %v", pe)
+		}
+	})
+
+	t.Run("audit-write-rate", func(t *testing.T) {
+		p := &Profile{
+			Rules:               []Rule{{Prefix: "/", Kinds: []string{"read", "write"}}},
+			WindowOps:           8,
+			WriteBytesPerWindow: 10,
+		}
+		perOp, batched, pe, be := drivePair(t, p, true, write, 5, burn(vfs.KindWrite, 16))
+		assertSameOutcome(t, "audit-write-rate", perOp, batched, pe, be)
+		if pe != nil {
+			t.Fatalf("audit mode denied the window: %v", pe)
+		}
+		if batched.Audited() != 5 {
+			t.Fatalf("batched audited = %d, want 5", batched.Audited())
+		}
+	})
+}
+
 // TestBatchViolationLogBounded: a huge denied window advances the denial
 // counter in full but the violation log stays at its cap, exactly as the
 // same ops denied one by one would have left it.

@@ -35,6 +35,54 @@ import (
 // (the operation addressed an inode the trace never saw resolved).
 const unknownAnchor = "?"
 
+// CeilingWindowOps is the sliding-window length, in completed data
+// operations (reads and writes), over which the collector tracks peak
+// byte volumes during recording and the Enforcer meters the generated
+// rate ceilings. Clocking the window off the op stream instead of wall
+// time keeps recording and enforcement deterministic under replay.
+const CeilingWindowOps = 1024
+
+// windowTracker maintains a sliding sum of per-direction payload bytes
+// over the last n data operations (CeilingWindowOps when n is unset),
+// and the peak each sum ever reached — the recorded basis for the
+// profile's windowed rate ceilings, and the Enforcer's live meter.
+type windowTracker struct {
+	n            int
+	ring         []winEntry
+	next, count  int
+	sumR, sumW   int64
+	peakR, peakW int64
+}
+
+type winEntry struct{ r, w int64 }
+
+// push advances the window by one completed data operation.
+func (t *windowTracker) push(r, w int64) {
+	if t.ring == nil {
+		if t.n <= 0 {
+			t.n = CeilingWindowOps
+		}
+		t.ring = make([]winEntry, t.n)
+	}
+	e := &t.ring[t.next]
+	if t.count == len(t.ring) {
+		t.sumR -= e.r
+		t.sumW -= e.w
+	} else {
+		t.count++
+	}
+	e.r, e.w = r, w
+	t.sumR += r
+	t.sumW += w
+	t.next = (t.next + 1) % len(t.ring)
+	if t.sumR > t.peakR {
+		t.peakR = t.sumR
+	}
+	if t.sumW > t.peakW {
+		t.peakW = t.sumW
+	}
+}
+
 // Collector aggregates trace entries into per-origin activity profiles.
 // Point a vfs.Tracer's Sink at Collector.Sink for a single traced
 // mount, or at a per-mount Run's Sink (NewRun) when several mounts feed
@@ -46,6 +94,11 @@ type Collector struct {
 	// BeginRun.
 	run     *Run
 	origins map[uint32]*activity
+	// win tracks the mount-global sliding byte window over the data-op
+	// stream; its peaks become the profile's windowed rate ceilings.
+	// Collector-global rather than per-origin: the data path whose rate
+	// the ceilings bound is shared by every origin on the mount.
+	win windowTracker
 }
 
 // Run scopes the learned ino→path table to one traced mount; its Sink
@@ -238,8 +291,10 @@ func (c *Collector) recordLocked(e vfs.TraceEntry, anchor string) {
 	switch e.Kind {
 	case vfs.KindRead:
 		a.readBytes += int64(e.Bytes)
+		c.win.push(int64(e.Bytes), 0)
 	case vfs.KindWrite:
 		a.writeBytes += int64(e.Bytes)
+		c.win.push(0, int64(e.Bytes))
 	}
 	key := anchor
 	if key == "" {
@@ -382,13 +437,16 @@ func (c *Collector) RenderJSON() []byte {
 
 // GenOptions tunes profile generation.
 type GenOptions struct {
-	// Headroom multiplies the recorded byte totals into the profile's
-	// ceilings, so a replay of the same workload stays under them while
-	// a runaway writer does not. Values <= 1 leave the ceilings at the
-	// recorded totals; zero (the default) means 2x.
+	// Headroom multiplies the recorded peak window volumes into the
+	// profile's rate ceilings, so a replay of the same workload stays
+	// under them while a runaway writer does not. Values <= 1 leave the
+	// ceilings at the recorded peaks; zero (the default) means 2x.
 	Headroom float64
-	// NoCeilings omits the byte ceilings entirely.
+	// NoCeilings omits the rate ceilings entirely.
 	NoCeilings bool
+	// RunID names this recording in the profile's lifecycle header
+	// (SourceRuns); empty leaves the header's run list empty.
+	RunID string
 }
 
 // Profile derives an allowlist profile from the recorded activity of
@@ -396,6 +454,15 @@ type GenOptions struct {
 // contributes its kind to the rule for its anchor directory; operations
 // whose path was never learned contribute to the any-path kind list, so
 // enforcement of the generated profile never denies a faithful replay.
+//
+// Ceilings are windowed rates, not lifetime totals: the peak payload
+// volume observed in any CeilingWindowOps-operation window of the
+// recording, times the headroom. A faithful replay repeats the recorded
+// op stream, so every window it produces stays at or below the recorded
+// peak — strictly below the ceiling once headroom is applied, and below
+// it even at headroom 1 because admission checks the window *before*
+// the op completing it lands. The window is tracked mount-globally, so
+// per-origin selection narrows rules but not ceilings.
 func (c *Collector) Profile(opts GenOptions, origins ...uint32) *Profile {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -405,15 +472,12 @@ func (c *Collector) Profile(opts GenOptions, origins ...uint32) *Profile {
 	}
 	rules := make(map[string]map[vfs.OpKind]bool)
 	anyKinds := make(map[vfs.OpKind]bool)
-	var readBytes, writeBytes int64
 	var outOrigins []uint32
 	for pid, a := range c.origins {
 		if len(origins) > 0 && !selected[pid] {
 			continue
 		}
 		outOrigins = append(outOrigins, pid)
-		readBytes += a.readBytes
-		writeBytes += a.writeBytes
 		a.anchors.walk(func(anchor string, an *anchorAgg) {
 			if anchor == unknownAnchor {
 				for kind := range an.kinds {
@@ -431,7 +495,10 @@ func (c *Collector) Profile(opts GenOptions, origins ...uint32) *Profile {
 			}
 		})
 	}
-	p := &Profile{}
+	p := &Profile{Version: FormatVersion, Generation: 1, Runs: 1}
+	if opts.RunID != "" {
+		p.SourceRuns = []string{opts.RunID}
+	}
 	sort.Slice(outOrigins, func(i, j int) bool { return outOrigins[i] < outOrigins[j] })
 	p.Origins = outOrigins
 	for prefix, kinds := range rules {
@@ -439,7 +506,7 @@ func (c *Collector) Profile(opts GenOptions, origins ...uint32) *Profile {
 	}
 	sort.Slice(p.Rules, func(i, j int) bool { return p.Rules[i].Prefix < p.Rules[j].Prefix })
 	p.AnyPathKinds = kindNamesOf(anyKinds)
-	if !opts.NoCeilings {
+	if !opts.NoCeilings && (c.win.peakR > 0 || c.win.peakW > 0) {
 		h := opts.Headroom
 		if h == 0 {
 			h = 2
@@ -447,8 +514,9 @@ func (c *Collector) Profile(opts GenOptions, origins ...uint32) *Profile {
 		if h < 1 {
 			h = 1
 		}
-		p.MaxReadBytes = int64(float64(readBytes) * h)
-		p.MaxWriteBytes = int64(float64(writeBytes) * h)
+		p.WindowOps = CeilingWindowOps
+		p.ReadBytesPerWindow = int64(float64(c.win.peakR) * h)
+		p.WriteBytesPerWindow = int64(float64(c.win.peakW) * h)
 	}
 	return p
 }

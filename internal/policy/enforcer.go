@@ -42,10 +42,20 @@ type Enforcer struct {
 	maxRead  int64
 	maxWrite int64
 
+	// winReadMax/winWriteMax are the profile's windowed rate ceilings:
+	// payload bytes per direction within any window of the last winOps
+	// completed data operations. The window is clocked off the op
+	// stream (see Profile.WindowOps), so enforcement is deterministic
+	// under replay.
+	winOps      int
+	winReadMax  int64
+	winWriteMax int64
+
 	mu         sync.Mutex
 	paths      map[vfs.Ino]string
 	readBytes  int64
 	writeBytes int64
+	win        windowTracker
 	denials    int64
 	audited    int64
 	violations []Violation
@@ -55,11 +65,15 @@ type Enforcer struct {
 // are recorded but never denied.
 func NewEnforcer(p *Profile, audit bool) *Enforcer {
 	return &Enforcer{
-		m:        p.Compile(),
-		audit:    audit,
-		maxRead:  p.MaxReadBytes,
-		maxWrite: p.MaxWriteBytes,
-		paths:    map[vfs.Ino]string{vfs.RootIno: "/"},
+		m:           p.Compile(),
+		audit:       audit,
+		maxRead:     p.MaxReadBytes,
+		maxWrite:    p.MaxWriteBytes,
+		winOps:      int(p.WindowOps),
+		winReadMax:  p.ReadBytesPerWindow,
+		winWriteMax: p.WriteBytesPerWindow,
+		win:         windowTracker{n: int(p.WindowOps)},
+		paths:       map[vfs.Ino]string{vfs.RootIno: "/"},
 	}
 }
 
@@ -76,11 +90,12 @@ func exempt(k vfs.OpKind) bool {
 // against the profile in one pass — one trie lookup, one ceiling check —
 // recording the outcome n times, and reports whether the window must be
 // denied. One decision is sound for the whole window because byte
-// ceilings only advance at completion (Intercept, after next()), never
-// at admission: every operation of a pipelined window observes the same
-// readBytes/writeBytes no matter whether it is gated individually or
-// batched, so the n outcomes are identical by construction. Caller
-// holds e.mu.
+// ceilings — lifetime totals and the sliding op-stream window alike —
+// only advance at completion (Intercept, after next()), never at
+// admission: every operation of a pipelined window observes the same
+// readBytes/writeBytes and the same window sums no matter whether it is
+// gated individually or batched, so the n outcomes are identical by
+// construction. Caller holds e.mu.
 func (e *Enforcer) gateNLocked(info *vfs.OpInfo, target string, n int) (deny bool) {
 	if n < 1 {
 		n = 1
@@ -93,6 +108,10 @@ func (e *Enforcer) gateNLocked(info *vfs.OpInfo, target string, n int) (deny boo
 			reason = "read ceiling"
 		} else if info.Kind == vfs.KindWrite && e.maxWrite > 0 && e.writeBytes >= e.maxWrite {
 			reason = "write ceiling"
+		} else if info.Kind == vfs.KindRead && e.winReadMax > 0 && e.win.sumR >= e.winReadMax {
+			reason = "read rate"
+		} else if info.Kind == vfs.KindWrite && e.winWriteMax > 0 && e.win.sumW >= e.winWriteMax {
+			reason = "write rate"
 		}
 	}
 	if reason == "" {
@@ -183,8 +202,14 @@ func (e *Enforcer) Intercept(info *vfs.OpInfo, next func() error) error {
 	switch info.Kind {
 	case vfs.KindRead:
 		e.readBytes += int64(info.Bytes)
+		if e.winOps > 0 {
+			e.win.push(int64(info.Bytes), 0)
+		}
 	case vfs.KindWrite:
 		e.writeBytes += int64(info.Bytes)
+		if e.winOps > 0 {
+			e.win.push(0, int64(info.Bytes))
+		}
 	}
 	e.mu.Unlock()
 	return err

@@ -16,11 +16,34 @@ type Rule struct {
 	Kinds  []string `json:"kinds"`
 }
 
+// FormatVersion is the profile format version this package writes.
+// Version 1 profiles (lifetime byte ceilings, no lifecycle header) are
+// still loaded and enforced; generation, Merge and Tighten always emit
+// the current version.
+const FormatVersion = 2
+
 // Profile is a generated per-container allowlist: the operation kinds
 // permitted per path subtree, kinds permitted regardless of path, and
-// byte ceilings for the data path. The zero profile denies everything
+// rate ceilings for the data path. The zero profile denies everything
 // except housekeeping operations (see Enforcer).
+//
+// Version, Generation, Runs and SourceRuns form the lifecycle header: a
+// fleet merges many recorded runs into one profile and diffs profiles
+// across releases, so a profile must carry where it came from.
 type Profile struct {
+	// Version is the serialization format version (FormatVersion when
+	// written by this package; absent in pre-lifecycle profiles).
+	Version int `json:"version,omitempty"`
+	// Generation counts lifecycle operations: a freshly generated
+	// profile is generation 1, and every Merge or Tighten that changes
+	// the profile bumps it past the inputs' maximum.
+	Generation int `json:"generation,omitempty"`
+	// Runs is how many recorded runs were merged into this profile (1
+	// for a fresh recording).
+	Runs int `json:"runs,omitempty"`
+	// SourceRuns names the recorded runs this profile was derived from
+	// (GenOptions.RunID), deduplicated across merges.
+	SourceRuns []string `json:"source_runs,omitempty"`
 	// Origins lists the Op.PIDs whose activity the profile was derived
 	// from (informational).
 	Origins []uint32 `json:"origins,omitempty"`
@@ -31,9 +54,24 @@ type Profile struct {
 	// target could not be attributed to a path during recording.
 	AnyPathKinds []string `json:"any_path_kinds,omitempty"`
 	// MaxReadBytes / MaxWriteBytes cap the total payload bytes moved
-	// through the mount per direction; zero means unlimited.
+	// through the mount per direction; zero means unlimited. These are
+	// the version-1 lifetime ceilings: still enforced when set, but
+	// generation now emits the windowed rate ceilings below instead — a
+	// lifetime cap either over-tightens a long-lived mount or goes
+	// stale, a rate cap does neither.
 	MaxReadBytes  int64 `json:"max_read_bytes,omitempty"`
 	MaxWriteBytes int64 `json:"max_write_bytes,omitempty"`
+	// WindowOps is the sliding window length for the rate ceilings,
+	// measured in completed data operations (reads and writes), so the
+	// window is clocked off the op stream and stays deterministic under
+	// replay — wall-clock windows would not be. Zero means no windowed
+	// ceilings.
+	WindowOps int64 `json:"window_ops,omitempty"`
+	// ReadBytesPerWindow / WriteBytesPerWindow cap the payload bytes
+	// moved per direction within any WindowOps-operation window; zero
+	// means unlimited.
+	ReadBytesPerWindow  int64 `json:"read_bytes_per_window,omitempty"`
+	WriteBytesPerWindow int64 `json:"write_bytes_per_window,omitempty"`
 }
 
 // Marshal serializes the profile as indented JSON.
@@ -71,6 +109,18 @@ func Load(data []byte) (*Profile, error) {
 		if _, ok := vfs.KindFromString(k); !ok {
 			return nil, fmt.Errorf("policy: unknown any-path kind %q", k)
 		}
+	}
+	if p.Version > FormatVersion {
+		return nil, fmt.Errorf("policy: profile version %d is newer than supported %d", p.Version, FormatVersion)
+	}
+	if p.WindowOps < 0 {
+		return nil, fmt.Errorf("policy: negative window_ops %d", p.WindowOps)
+	}
+	if p.WindowOps == 0 && (p.ReadBytesPerWindow != 0 || p.WriteBytesPerWindow != 0) {
+		return nil, fmt.Errorf("policy: windowed byte ceilings without window_ops")
+	}
+	if p.ReadBytesPerWindow < 0 || p.WriteBytesPerWindow < 0 {
+		return nil, fmt.Errorf("policy: negative windowed byte ceiling")
 	}
 	return &p, nil
 }

@@ -95,6 +95,45 @@ func TestBelowCacheEnforcerAdmitsPipelinedTraffic(t *testing.T) {
 	}
 }
 
+// TestRecordFeedsCollectorBelowCache: Config.Record wires a below-cache
+// tracer whose batched sink feeds the callback — here a policy
+// collector run — and Close flushes the tail, so a profile generated
+// from the recording covers everything the mount actually served.
+func TestRecordFeedsCollectorBelowCache(t *testing.T) {
+	col := policy.NewCollector()
+	run := col.NewRun()
+	c := NewCntr(Config{Record: run.SinkBatch})
+	cli := vfs.NewClient(c.Top, vfs.Root())
+	data := bytes.Repeat([]byte("record"), 1<<18/6)
+	if err := cli.WriteFile("/logged", data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.ReadFile("/logged"); err != nil {
+		t.Fatal(err)
+	}
+	if c.RecordTracer == nil {
+		t.Fatal("RecordTracer not exposed")
+	}
+	c.Close() // quiesce + tail flush
+
+	if st := c.RecordTracer.Stats(); st.Dropped != 0 {
+		t.Fatalf("lossless recording dropped entries: %+v", st)
+	}
+	p := col.Profile(policy.GenOptions{})
+	if len(p.Rules) == 0 {
+		t.Fatal("below-cache recording produced an empty profile")
+	}
+	// The write crossed the FUSE boundary; the read-back was served from
+	// the kernel page cache and rightly never reached the recorder —
+	// below-cache profiles describe real mount traffic, not syscalls.
+	if !p.Allows(vfs.KindWrite, "/logged") {
+		t.Fatalf("recording missed the write: %+v", p.Rules)
+	}
+	if !p.Allows(vfs.KindLookup, "/logged") {
+		t.Fatalf("recording missed the lookup: %+v", p.Rules)
+	}
+}
+
 // TestBelowCacheEmptyIsIdentity: with no below-cache interceptors the
 // kernel cache must sit directly on the FUSE connection — no wrapper,
 // so the async fast path is exactly what it was before this knob.

@@ -74,6 +74,16 @@ type Config struct {
 	// where a policy.Enforcer belongs when it should gate what actually
 	// crosses into CntrFS rather than what the application asked for.
 	BelowCache []vfs.Interceptor
+	// Record, when set, receives batches of trace entries for every
+	// operation crossing the FUSE boundary: a below-cache tracer feeds a
+	// batched sink (vfs.Tracer.StartBatchSink) wired to this callback,
+	// and Close flushes the tail. RecordFlush tunes the batching; its
+	// zero value defaults to lossless with the spill journal left to the
+	// caller (set SpillDir to bound recording stalls). The callback type
+	// keeps this package policy-agnostic — point it at a
+	// policy.Run.SinkBatch to record an enforcement profile.
+	Record      func([]vfs.TraceEntry)
+	RecordFlush vfs.TraceBatchOptions
 }
 
 // Native is the baseline stack.
@@ -136,9 +146,15 @@ type Cntr struct {
 	Origin  *sim.Disk
 	// Stats counts every operation entering the stack (see Native.Stats).
 	Stats *vfs.Stats
+	// RecordTracer is the below-cache tracer feeding Config.Record (nil
+	// when recording is off); its Stats expose drop/spill health.
+	RecordTracer *vfs.Tracer
 	// Top is the filesystem workloads should use: the syscall-entry
 	// interceptor chain above the kernel-side cache over the FUSE mount.
 	Top vfs.FS
+
+	// stopRecord flushes and stops the recording sink on Close.
+	stopRecord func()
 }
 
 // NewCntr builds the CntrFS stack over a fresh host filesystem.
@@ -212,7 +228,21 @@ func NewCntr(cfg Config) *Cntr {
 	// traffic. Chain forwards the connection's async capability (batched
 	// submissions included) and IsAsync unwraps it, so pipelining
 	// survives the detour; with no interceptors Chain returns conn as-is.
-	kernelBacking := vfs.Chain(conn, cfg.BelowCache...)
+	// The recording tracer goes outermost so it also sees what any
+	// caller-supplied BelowCache interceptor (e.g. an enforcer) denies.
+	below := cfg.BelowCache
+	var recTracer *vfs.Tracer
+	var stopRecord func()
+	if cfg.Record != nil {
+		recTracer = vfs.NewTracer(0)
+		flush := cfg.RecordFlush
+		if flush == (vfs.TraceBatchOptions{}) {
+			flush.Lossless = true
+		}
+		stopRecord = recTracer.StartBatchSink(cfg.Record, flush)
+		below = append([]vfs.Interceptor{recTracer}, below...)
+	}
+	kernelBacking := vfs.Chain(conn, below...)
 	kernel := pagecache.New(kernelBacking, clock, model, pagecache.Options{
 		KeepCache:    cfg.Mount.KeepCache,
 		Writeback:    cfg.Mount.WritebackCache,
@@ -228,18 +258,24 @@ func NewCntr(cfg Config) *Cntr {
 		Clock: clock, Model: model, Disk: disk, Host: host, HostPC: hostPC,
 		FS: cfs, Conn: conn, Server: srv, Kernel: kernel, Budget: budget,
 		CacheCl: cacheCl, Tier: tier, Origin: origin,
-		Stats: stats, Top: vfs.Chain(kernel, stats),
+		Stats: stats, RecordTracer: recTracer, Top: vfs.Chain(kernel, stats),
+		stopRecord: stopRecord,
 	}
 }
 
 // Close unmounts the FUSE connection, releases any cache-tier leases,
-// and waits for the server.
+// and waits for the server; an active recording sink is flushed and
+// stopped once the mount is quiesced, so the consumer sees every
+// operation the stack served.
 func (c *Cntr) Close() {
 	c.Conn.Unmount()
 	if c.CacheCl != nil {
 		c.CacheCl.Release()
 	}
 	c.Server.Wait()
+	if c.stopRecord != nil {
+		c.stopRecord()
+	}
 }
 
 func applyDefaults(cfg *Config) {

@@ -1,6 +1,11 @@
 package vfs
 
 import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 )
@@ -29,6 +34,19 @@ type TraceBatchOptions struct {
 	// Stopping the sink wakes blocked producers; entries they could not
 	// queue are counted as dropped.
 	Lossless bool
+	// SpillDir, when set, enables the bounded on-disk spill journal: a
+	// full buffer is written out as a journal segment and cleared
+	// instead of stalling the data path (Lossless) or shedding entries.
+	// The flusher replays pending segments to the sink, oldest first and
+	// always before newer in-memory entries, so delivery order is
+	// preserved. The data path pays one bounded segment write when the
+	// consumer falls a full buffer behind — instead of an unbounded wait.
+	SpillDir string
+	// SpillMaxBytes caps the journal's on-disk footprint (pending
+	// segments; default 16 MiB). At the cap, further entries are shed
+	// with an explicit overflow count (TraceStats.SpillOverflow) rather
+	// than growing the journal without bound.
+	SpillMaxBytes int64
 }
 
 // withDefaults resolves zero fields.
@@ -44,6 +62,9 @@ func (o TraceBatchOptions) withDefaults() TraceBatchOptions {
 	}
 	if o.Capacity < o.FlushSize {
 		o.Capacity = o.FlushSize
+	}
+	if o.SpillDir != "" && o.SpillMaxBytes <= 0 {
+		o.SpillMaxBytes = 16 << 20
 	}
 	return o
 }
@@ -63,6 +84,19 @@ type batchState struct {
 	// room (on the tracer's mutex) wakes lossless producers blocked on a
 	// full buffer when the flusher swaps it out or the sink stops.
 	room *sync.Cond
+
+	// Spill journal state, guarded by the tracer's mutex: segments the
+	// data path wrote but the flusher has not replayed yet, in order.
+	spillSeq     int
+	pending      []spillSegment
+	journalBytes int64
+}
+
+// spillSegment is one on-disk journal segment awaiting replay.
+type spillSegment struct {
+	path  string
+	size  int64
+	count int
 }
 
 // StartBatchSink switches the tracer into batched delivery: every
@@ -107,16 +141,21 @@ func (t *Tracer) StartBatchSink(sink func([]TraceEntry), opts TraceBatchOptions)
 		once.Do(func() {
 			close(b.stop)
 			<-b.done
-			// A producer may have appended between the flusher's final
-			// flush and this point; hand that tail to the sink rather than
-			// discarding it — stop() promises everything buffered is
-			// delivered.
+			// A producer may have appended — or spilled — between the
+			// flusher's final flush and this point; replay those segments
+			// and hand the tail to the sink rather than discarding them —
+			// stop() promises everything buffered is delivered.
 			t.mu.Lock()
 			t.batch = nil
 			tail := t.buf
 			t.buf = nil
+			segs := b.pending
+			b.pending, b.journalBytes = nil, 0
 			b.room.Broadcast() // release lossless producers; they count as dropped
 			t.mu.Unlock()
+			for _, seg := range segs {
+				t.replaySegment(b, seg)
+			}
 			if len(tail) > 0 {
 				b.sink(tail)
 			}
@@ -142,26 +181,107 @@ func (t *Tracer) flushLoop(b *batchState) {
 	}
 }
 
-// flushBatch swaps the live buffer for the spare and delivers the
-// entries outside the tracer's lock, so the data path keeps appending
-// while the sink runs.
+// flushBatch replays any pending spill segments (oldest first), then
+// swaps the live buffer for the spare and delivers the entries outside
+// the tracer's lock, so the data path keeps appending while the sink
+// runs. The pending-check and buffer swap happen under one lock
+// acquisition, so the swapped batch is strictly newer than every
+// replayed segment — delivery order is preserved across spills.
 func (t *Tracer) flushBatch(b *batchState) {
-	t.mu.Lock()
-	batch := t.buf
-	t.buf = b.spare[:0]
-	b.room.Broadcast() // the buffer has room again
-	t.mu.Unlock()
-	if len(batch) > 0 {
-		b.sink(batch)
+	for {
+		t.mu.Lock()
+		if len(b.pending) > 0 {
+			seg := b.pending[0]
+			b.pending = b.pending[1:]
+			b.journalBytes -= seg.size
+			t.mu.Unlock()
+			t.replaySegment(b, seg)
+			continue
+		}
+		batch := t.buf
+		t.buf = b.spare[:0]
+		b.room.Broadcast() // the buffer has room again
+		t.mu.Unlock()
+		if len(batch) > 0 {
+			b.sink(batch)
+		}
+		b.spare = batch[:0]
+		return
 	}
-	b.spare = batch[:0]
+}
+
+// replaySegment reads one journal segment, removes it from disk, and
+// hands its entries to the sink. An unreadable segment counts its
+// entries as dropped — the journal never loses data silently.
+func (t *Tracer) replaySegment(b *batchState, seg spillSegment) {
+	data, err := os.ReadFile(seg.path)
+	os.Remove(seg.path)
+	var entries []TraceEntry
+	if err == nil {
+		err = gob.NewDecoder(bytes.NewReader(data)).Decode(&entries)
+	}
+	if err != nil {
+		t.mu.Lock()
+		t.dropped += int64(seg.count)
+		t.mu.Unlock()
+		return
+	}
+	if len(entries) > 0 {
+		b.sink(entries)
+	}
+}
+
+// spillLocked writes the full buffer out as a journal segment and
+// clears it, kicking the flusher to replay the segment. It reports
+// false — leaving the buffer untouched — when the journal is at its
+// byte cap or the segment cannot be written. Caller holds t.mu; the
+// encode+write is a bounded stall on the data path, the trade for never
+// waiting on the consumer.
+func (t *Tracer) spillLocked(b *batchState) bool {
+	if len(t.buf) == 0 {
+		return true
+	}
+	var enc bytes.Buffer
+	if err := gob.NewEncoder(&enc).Encode(t.buf); err != nil {
+		return false
+	}
+	size := int64(enc.Len())
+	if b.journalBytes+size > b.opts.SpillMaxBytes {
+		return false
+	}
+	path := filepath.Join(b.opts.SpillDir, fmt.Sprintf("trace-%08d.spill", b.spillSeq))
+	if err := os.WriteFile(path, enc.Bytes(), 0o600); err != nil {
+		return false
+	}
+	b.spillSeq++
+	b.pending = append(b.pending, spillSegment{path: path, size: size, count: len(t.buf)})
+	b.journalBytes += size
+	t.spilledEntries += int64(len(t.buf))
+	t.spilledBytes += size
+	t.spillSegments++
+	t.buf = t.buf[:0]
+	select {
+	case b.kick <- struct{}{}:
+	default: // a kick is already pending
+	}
+	return true
 }
 
 // appendBatchLocked queues one entry for batched delivery; caller holds
 // t.mu and has checked t.batch != nil. A full buffer sheds the entry —
-// or, in lossless mode, waits for the flusher to make room.
+// or, in lossless mode, waits for the flusher to make room — unless a
+// spill journal is configured, in which case the buffer is spilled to
+// disk and the append proceeds. A journal at its byte cap sheds with an
+// explicit overflow count.
 func (t *Tracer) appendBatchLocked(e TraceEntry) {
 	b := t.batch
+	if b.opts.SpillDir != "" && len(t.buf) >= b.opts.Capacity {
+		if !t.spillLocked(b) {
+			t.spillOverflow++
+			t.dropped++
+			return
+		}
+	}
 	if b.opts.Lossless {
 		for len(t.buf) >= b.opts.Capacity && t.batch == b {
 			b.room.Wait()
@@ -191,4 +311,44 @@ func (t *Tracer) DroppedEntries() int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.dropped
+}
+
+// TraceStats is a tracer's batched-delivery health snapshot: shed and
+// spilled volumes, cumulative across sinks. A recording is trustworthy
+// for policy generation only when Dropped and SpillOverflow are zero.
+type TraceStats struct {
+	// Dropped counts entries that never reached the sink (full buffer
+	// without a journal, journal overflow, unreadable segment, or a stop
+	// racing a lossless producer).
+	Dropped int64
+	// SpilledEntries/SpilledBytes/SpillSegments count journal traffic:
+	// entries diverted through the on-disk spill journal and later
+	// replayed to the sink. Spilled entries are NOT lost — nonzero here
+	// means only that the consumer fell a full buffer behind.
+	SpilledEntries int64
+	SpilledBytes   int64
+	SpillSegments  int64
+	// SpillOverflow counts entries shed because the journal hit
+	// SpillMaxBytes (each also counted in Dropped).
+	SpillOverflow int64
+	// JournalBytes is the journal's current on-disk footprint (pending
+	// segments not yet replayed); zero once the flusher has caught up.
+	JournalBytes int64
+}
+
+// Stats snapshots the tracer's batched-delivery counters.
+func (t *Tracer) Stats() TraceStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := TraceStats{
+		Dropped:        t.dropped,
+		SpilledEntries: t.spilledEntries,
+		SpilledBytes:   t.spilledBytes,
+		SpillSegments:  t.spillSegments,
+		SpillOverflow:  t.spillOverflow,
+	}
+	if t.batch != nil {
+		s.JournalBytes = t.batch.journalBytes
+	}
+	return s
 }

@@ -1,6 +1,7 @@
 package vfs_test
 
 import (
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -140,6 +141,123 @@ func TestTracerBatchSinkSheds(t *testing.T) {
 	// The ring buffer still saw everything.
 	if n := len(tr.Entries()); n < 100 {
 		t.Fatalf("ring recorded %d entries, want >= 100", n)
+	}
+	close(release)
+	stop()
+}
+
+// TestTracerBatchSpillJournal: with a spill journal configured, a
+// lossless recording never stalls the data path on a slow consumer —
+// full buffers spill to disk, the flusher replays them to the sink in
+// order, and nothing is lost.
+func TestTracerBatchSpillJournal(t *testing.T) {
+	tr := vfs.NewTracer(0)
+	dir := t.TempDir()
+	release := make(chan struct{})
+	wedged := make(chan struct{}, 1)
+	var mu sync.Mutex
+	var got []uint64
+	stop := tr.StartBatchSink(func(batch []vfs.TraceEntry) {
+		select {
+		case wedged <- struct{}{}:
+			<-release // wedge the consumer on its first batch
+		default:
+		}
+		mu.Lock()
+		for _, e := range batch {
+			got = append(got, e.ID)
+		}
+		mu.Unlock()
+	}, vfs.TraceBatchOptions{
+		FlushSize: 4, Capacity: 8, FlushInterval: time.Hour,
+		Lossless: true, SpillDir: dir,
+	})
+
+	// Fill until the flusher is wedged inside the sink, then overrun the
+	// buffer far past Capacity. With the journal, every call must return
+	// promptly even though the mode is lossless.
+	const ops = 400
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < ops; i++ {
+			traceOp(tr, uint64(i+1))
+		}
+	}()
+	<-wedged
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("producer stalled despite the spill journal")
+	}
+	st := tr.Stats()
+	if st.SpilledEntries == 0 || st.SpillSegments == 0 || st.SpilledBytes == 0 {
+		t.Fatalf("overrunning a wedged sink spilled nothing: %+v", st)
+	}
+	close(release)
+	stop()
+
+	st = tr.Stats()
+	if st.Dropped != 0 || st.SpillOverflow != 0 {
+		t.Fatalf("spill journal lost entries: %+v", st)
+	}
+	if st.JournalBytes != 0 {
+		t.Fatalf("journal not drained after stop: %+v", st)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("%d segment files left on disk after stop", len(entries))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != ops {
+		t.Fatalf("sink received %d entries, want %d", len(got), ops)
+	}
+	for i, id := range got {
+		if id != uint64(i+1) {
+			t.Fatalf("entry %d: id=%d, want %d (order lost across spill)", i, id, i+1)
+		}
+	}
+}
+
+// TestTracerBatchSpillOverflow: the journal is size-capped — once
+// SpillMaxBytes is reached, entries are shed with an explicit overflow
+// count instead of growing the journal without bound.
+func TestTracerBatchSpillOverflow(t *testing.T) {
+	tr := vfs.NewTracer(0)
+	dir := t.TempDir()
+	release := make(chan struct{})
+	wedged := make(chan struct{}, 1)
+	stop := tr.StartBatchSink(func(batch []vfs.TraceEntry) {
+		select {
+		case wedged <- struct{}{}:
+			<-release
+		default:
+		}
+	}, vfs.TraceBatchOptions{
+		FlushSize: 4, Capacity: 8, FlushInterval: time.Hour,
+		SpillDir: dir, SpillMaxBytes: 1, // one byte: the first spill attempt overflows
+	})
+
+	for i := 0; i < 4; i++ {
+		traceOp(tr, uint64(i+1))
+	}
+	<-wedged
+	for i := 0; i < 100; i++ {
+		traceOp(tr, uint64(100+i))
+	}
+	st := tr.Stats()
+	if st.SpillOverflow == 0 {
+		t.Fatalf("capped journal recorded no overflow: %+v", st)
+	}
+	if st.Dropped < st.SpillOverflow {
+		t.Fatalf("overflow not reflected in Dropped: %+v", st)
+	}
+	if st.SpilledEntries != 0 {
+		t.Fatalf("1-byte cap admitted a segment: %+v", st)
 	}
 	close(release)
 	stop()
