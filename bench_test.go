@@ -584,6 +584,79 @@ func BenchmarkMultiMountColdRead(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiNodeColdRead scales the tier's node set under the
+// 4-mount fleet cold read. nodes=1 is the single-node reference;
+// nodes=2 and nodes=4 place every shard on a primary plus one replica
+// and kill the highest-id node once half the fleet has read — the
+// surviving copies must keep serving, so the hit ratio holds and the
+// fleet never re-pays the origin for data the dead node held. Virtual
+// totals and hit ratios are deterministic; BENCH_10.json gates them.
+func BenchmarkMultiNodeColdRead(b *testing.B) {
+	for _, tc := range []struct {
+		nodes, replicas int
+		kill            bool
+	}{{1, 0, false}, {2, 1, true}, {4, 1, true}} {
+		b.Run(fmt.Sprintf("nodes=%d", tc.nodes), func(b *testing.B) {
+			var res phoronix.MultiMountResult
+			for i := 0; i < b.N; i++ {
+				r, err := phoronix.RunMultiMount(phoronix.MultiMountOptions{
+					Mounts: 4, Dirs: 16, FilesPerDir: 3, FileSize: 64 << 10,
+					UseService: true,
+					Nodes:      tc.nodes, Replicas: tc.replicas, KillNodeMid: tc.kill,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+			}
+			if res.Migration.LostShards != 0 {
+				b.Fatalf("replicated tier lost %d shards to the node kill",
+					res.Migration.LostShards)
+			}
+			b.ReportMetric(float64(res.ColdReadTotal)/1e6, "cold-virt-ms")
+			b.ReportMetric(res.HitRatio, "hit-ratio")
+		})
+	}
+}
+
+// BenchmarkShardMigration measures one live handoff: a 3-node R=1 tier
+// holding a seeded working set takes a fourth node while reads keep
+// flowing against the migrating shards — incomplete new copies fall
+// through to the old complete copies, so every read still hits — and
+// the handoff is driven to completion in fixed-size steps. The moved
+// shard count, copied entry count and fallthrough hits are placement
+// and counter arithmetic at a fixed seed — bit-deterministic — and
+// BENCH_10.json gates all three.
+func BenchmarkShardMigration(b *testing.B) {
+	var ms cachesvc.MigrationStats
+	for i := 0; i < b.N; i++ {
+		svc := cachesvc.New(cachesvc.Options{Nodes: 3, Replicas: 1, ShardCapacity: 1 << 30})
+		r := sim.NewRand(1)
+		keys := make([]cachesvc.Key, 512)
+		for j := range keys {
+			keys[j] = cachesvc.Key(fmt.Sprintf("c:bench-%016x", r.Uint64()))
+			svc.Seed(keys[j], make([]byte, 512))
+		}
+		svc.AddNode()
+		for j, k := range keys {
+			if _, ok := svc.Get(k); !ok {
+				b.Fatal("seeded key missed during migration — fallthrough failed")
+			}
+			if j%8 == 0 {
+				svc.MigrateStep(4)
+			}
+		}
+		svc.MigrateAll()
+		if err := svc.CheckConsistency(); err != nil {
+			b.Fatal(err)
+		}
+		ms = svc.MigrationStats()
+	}
+	b.ReportMetric(float64(ms.ShardsMoved), "shards-moved")
+	b.ReportMetric(float64(ms.EntriesCopied), "entries-copied")
+	b.ReportMetric(float64(ms.FallthroughHits), "fallthrough-hits")
+}
+
 // BenchmarkFencedWriteback drives the partition-mid-writeback scenario:
 // a mount accumulates a dirty FUSE writeback window, its leases expire
 // service-side, and the fsync-driven flush is fenced chunk by chunk.

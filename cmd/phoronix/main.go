@@ -28,6 +28,12 @@
 // store cold-reads the same image tree twice — once with every mount
 // paying the origin volume, once attached to the shared cache tier —
 // and prints the per-fleet totals plus the tier's hit ratio.
+// -cache-nodes and -cache-replicas size the tier's node set (shards
+// are placed on a primary plus R replicas via rendezvous hashing);
+// -cache-kill-node fails the highest-id node once half the fleet has
+// read, and -cache-drain-node drains node 0 mid-workload with live
+// shard migration — both print the per-node counter split and the
+// migration counters so the replicas' contribution is visible.
 //
 // -merge-replay runs the policy lifecycle end to end: the suite is
 // recorded twice under independent workload seeds, the two versioned
@@ -64,12 +70,24 @@ func main() {
 		"run the shared-cache-tier fleet demo instead of the suite")
 	mounts := flag.Int("mounts", 4,
 		"with -cachesvc: number of CntrFS mounts in the fleet (2-8)")
+	cacheNodes := flag.Int("cache-nodes", 1,
+		"with -cachesvc: number of cache nodes the shards are placed across")
+	cacheReplicas := flag.Int("cache-replicas", 0,
+		"with -cachesvc: replica copies per shard beyond the primary")
+	cacheKill := flag.Bool("cache-kill-node", false,
+		"with -cachesvc: kill the highest-id node once half the fleet has read")
+	cacheDrain := flag.Bool("cache-drain-node", false,
+		"with -cachesvc: drain node 0 mid-workload and migrate its shards away")
 	mergeReplay := flag.Bool("merge-replay", false,
 		"record the suite twice (independent seeds), merge the two profiles, and replay under the merge")
 	flag.Parse()
 
 	if *cacheSvc {
-		runCacheSvcDemo(*mounts)
+		if (*cacheKill || *cacheDrain) && *cacheNodes < 2 {
+			fmt.Fprintln(os.Stderr, "phoronix: -cache-kill-node/-cache-drain-node need -cache-nodes >= 2")
+			os.Exit(2)
+		}
+		runCacheSvcDemo(*mounts, *cacheNodes, *cacheReplicas, *cacheKill, *cacheDrain)
 		return
 	}
 	if *mergeReplay {
@@ -177,17 +195,31 @@ func runMergedReplay() {
 }
 
 // runCacheSvcDemo runs the multi-mount cold-read experiment with and
-// without the shared cache tier and prints the comparison.
-func runCacheSvcDemo(mounts int) {
+// without the shared cache tier and prints the comparison, plus the
+// per-node split and migration counters when the tier is multi-node.
+func runCacheSvcDemo(mounts, nodes, replicas int, kill, drain bool) {
 	if mounts < 2 {
 		mounts = 2
 	}
 	if mounts > 8 {
 		mounts = 8
 	}
-	opts := phoronix.MultiMountOptions{Mounts: mounts}
+	opts := phoronix.MultiMountOptions{
+		Mounts: mounts, Nodes: nodes, Replicas: replicas,
+		KillNodeMid: kill, DrainNodeMid: drain,
+	}
 
 	fmt.Printf("== Shared cache tier: %d mounts, one CAS, Top-50 image tree ==\n", mounts)
+	if nodes > 1 {
+		fmt.Printf("   tier: %d nodes, %d replica(s) per shard", nodes, replicas)
+		if kill {
+			fmt.Printf(", node %d killed mid-fleet", nodes-1)
+		}
+		if drain {
+			fmt.Printf(", node 0 drained mid-fleet")
+		}
+		fmt.Println()
+	}
 	opts.UseService = false
 	base, err := phoronix.RunMultiMount(opts)
 	if err != nil {
@@ -212,6 +244,18 @@ func runCacheSvcDemo(mounts int) {
 	fmt.Printf("%-22s %14s %14d\n", "fenced writes", "-", svc.TierStats.FencedWrites)
 	fmt.Printf("\nspeedup with shared tier: %.2fx\n",
 		float64(base.ColdReadTotal)/float64(svc.ColdReadTotal))
+
+	if nodes > 1 {
+		fmt.Printf("\n%-6s %-6s %-9s %8s %10s %10s %8s\n",
+			"node", "live", "draining", "shards", "hits", "puts", "fenced")
+		for _, ns := range svc.NodeStats {
+			fmt.Printf("%-6d %-6t %-9t %8d %10d %10d %8d\n",
+				ns.ID, ns.Live, ns.Draining, ns.Shards, ns.Hits, ns.Puts, ns.FencedWrites)
+		}
+		m := svc.Migration
+		fmt.Printf("\nplacement v%d: %d shards moved, %d entries copied, %d fallthrough hits, %d lost\n",
+			m.PlacementVersion, m.ShardsMoved, m.EntriesCopied, m.FallthroughHits, m.LostShards)
+	}
 }
 
 const fmtRound = 100 * 1000 // 100us, in time.Duration units

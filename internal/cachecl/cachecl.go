@@ -19,6 +19,7 @@ package cachecl
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"cntr/internal/blobstore"
 	"cntr/internal/cachesvc"
@@ -42,6 +43,10 @@ type Stats struct {
 	Unreachable int64
 	// NetBytes is the payload volume charged to this mount's clock.
 	NetBytes int64
+	// Moves counts placement refreshes forced by ErrMoved — the
+	// service's topology changed under this client's cached routing
+	// table and an operation had to re-route.
+	Moves int64
 }
 
 // Client attaches one mount to a cache service.
@@ -56,6 +61,11 @@ type Client struct {
 	lost        map[int]bool // groups fenced since the last attach
 	partitioned bool
 	stats       Stats
+	// place is the cached routing table: which nodes own each shard, at
+	// which placement version. Node-addressed calls echo the version;
+	// the service answers ErrMoved when it is stale and the client
+	// refreshes (one RTT) and retries.
+	place cachesvc.PlacementInfo
 }
 
 // New builds a client for the given mount identity. Call Attach to
@@ -90,6 +100,8 @@ func (c *Client) Attach() error {
 		c.leases[g] = l
 		delete(c.lost, g)
 	}
+	// The routing table rides along on the attach round trip.
+	c.place = c.svc.Placement()
 	return nil
 }
 
@@ -164,8 +176,48 @@ func (c *Client) Stats() Stats {
 	return c.stats
 }
 
+// routeLocked picks the node a lookup of shard sh goes to: the
+// cheapest live owner by the cached routing table (distance, then
+// placement order, so the primary under a uniform cost model). The
+// second result is the node's distance multiplier. Returns -1 when the
+// cached table lists no live owner (forcing a refresh).
+func (c *Client) routeLocked(sh int) (int, float64) {
+	if sh >= len(c.place.Owners) {
+		return -1, 1
+	}
+	best, bestDist := -1, 0.0
+	for _, id := range c.place.Owners[sh] {
+		if id >= len(c.place.Live) || !c.place.Live[id] {
+			continue
+		}
+		if d := c.place.Distance[id]; best == -1 || d < bestDist {
+			best, bestDist = id, d
+		}
+	}
+	return best, bestDist
+}
+
+// refreshPlacementLocked re-fetches the routing table after an
+// ErrMoved, charging the extra round trip the re-route cost.
+func (c *Client) refreshPlacementLocked() {
+	c.place = c.svc.Placement()
+	c.stats.Moves++
+	c.clock.Advance(c.model.NetRTT)
+}
+
+// scale stretches a network cost by a node's distance multiplier
+// (1.0 = one intra-cluster hop, the single-node behaviour).
+func scale(d float64, cost time.Duration) time.Duration {
+	if d == 1 {
+		return cost
+	}
+	return time.Duration(float64(cost) * d)
+}
+
 // get is the shared lookup path: one RTT for the probe, payload bytes
-// only on a hit.
+// only on a hit, both scaled by the routed node's distance. A lookup
+// served by handoff fallthrough charges its extra cross-node hops; a
+// stale routing table costs one refresh RTT and a retry.
 func (c *Client) get(key cachesvc.Key) ([]byte, bool) {
 	c.mu.Lock()
 	if c.partitioned {
@@ -175,23 +227,64 @@ func (c *Client) get(key cachesvc.Key) ([]byte, bool) {
 		return nil, false
 	}
 	c.mu.Unlock()
-	val, ok := c.svc.Get(key)
-	c.mu.Lock()
-	if ok {
-		c.stats.Hits++
-		c.stats.NetBytes += int64(len(val))
-		c.clock.Advance(c.model.NetCost(len(val)))
-	} else {
+	sh := c.svc.ShardOf(key)
+	for attempt := 0; ; attempt++ {
+		c.mu.Lock()
+		target, dist := c.routeLocked(sh)
+		ver := c.place.Version
+		if target == -1 {
+			c.refreshPlacementLocked()
+			target, dist = c.routeLocked(sh)
+			ver = c.place.Version
+		}
+		c.mu.Unlock()
+		if target == -1 {
+			break // no live owner at all: count the probe as a miss
+		}
+		val, ok, hops, err := c.svc.NodeGet(target, ver, key)
+		if err != nil {
+			if attempt < 3 {
+				c.mu.Lock()
+				c.refreshPlacementLocked()
+				c.mu.Unlock()
+				continue
+			}
+			break
+		}
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if ok {
+			c.stats.Hits++
+			c.stats.NetBytes += int64(len(val))
+			c.clock.Advance(scale(dist, c.model.NetCost(len(val))))
+			if hops > 0 {
+				// The fallthrough transfer between service nodes is on the
+				// lookup's critical path.
+				c.clock.Advance(time.Duration(hops) * c.model.NetCost(len(val)))
+			}
+			return val, true
+		}
 		c.stats.Misses++
-		c.clock.Advance(c.model.NetRTT)
+		c.clock.Advance(scale(dist, c.model.NetRTT))
+		if hops > 0 {
+			c.clock.Advance(time.Duration(hops) * c.model.NetRTT)
+		}
+		return nil, false
 	}
+	c.mu.Lock()
+	c.stats.Misses++
+	c.clock.Advance(c.model.NetRTT)
 	c.mu.Unlock()
-	return val, ok
+	return nil, false
 }
 
-// put is the shared mutation path. charged=false models a write-behind
-// publish that does not block the caller (read-populate after an origin
-// fetch); the fencing decision is identical either way.
+// put is the shared mutation path: the write goes to the key's primary
+// and fans out to the replicas under the group lease. charged=false
+// models a write-behind publish that does not block the caller
+// (read-populate after an origin fetch); the fencing decision is
+// identical either way. A charged write pays one send to the primary
+// up front — fenced or not, the bytes travelled — plus the replication
+// fan-out once the copies are confirmed.
 func (c *Client) put(key cachesvc.Key, val []byte, charged bool) error {
 	c.mu.Lock()
 	if c.partitioned {
@@ -214,7 +307,31 @@ func (c *Client) put(key cachesvc.Key, val []byte, charged bool) error {
 		c.clock.Advance(c.model.NetCost(len(val)))
 	}
 	c.mu.Unlock()
-	err := c.svc.Put(l, key, val)
+	sh := c.svc.ShardOf(key)
+	var copies int
+	var err error
+	for attempt := 0; ; attempt++ {
+		c.mu.Lock()
+		var primary int
+		if sh < len(c.place.Owners) && len(c.place.Owners[sh]) > 0 {
+			primary = c.place.Owners[sh][0]
+		} else {
+			c.refreshPlacementLocked()
+			if sh < len(c.place.Owners) && len(c.place.Owners[sh]) > 0 {
+				primary = c.place.Owners[sh][0]
+			}
+		}
+		ver := c.place.Version
+		c.mu.Unlock()
+		copies, err = c.svc.NodePut(primary, ver, l, key, val)
+		if errors.Is(err, cachesvc.ErrMoved) && attempt < 3 {
+			c.mu.Lock()
+			c.refreshPlacementLocked()
+			c.mu.Unlock()
+			continue
+		}
+		break
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if errors.Is(err, cachesvc.ErrFenced) {
@@ -225,6 +342,11 @@ func (c *Client) put(key cachesvc.Key, val []byte, charged bool) error {
 	}
 	if err == nil {
 		c.stats.Puts++
+		if charged && copies > 1 {
+			// Primary-then-replicas: the extra copies are on the write's
+			// critical path.
+			c.clock.Advance(time.Duration(copies-1) * c.model.NetCost(len(val)))
+		}
 	}
 	return err
 }

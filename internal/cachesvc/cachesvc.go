@@ -1,11 +1,12 @@
-// Package cachesvc is the shared cache tier: a sharded in-process
-// cache/metadata service that any number of CntrFS mounts attach to.
-// It is the step from "one mount, many origins" to "many mounts": a
-// fleet of mounts built on one content-addressed backend store shares
-// one Service, so a chunk any mount has already fetched from the origin
-// is served to every other mount at intra-cluster network cost instead
-// of another origin round trip, and path-keyed attr/dentry entries let
-// metadata survive mount boundaries the same way.
+// Package cachesvc is the shared cache tier: a sharded, replicated
+// in-process cache/metadata service that any number of CntrFS mounts
+// attach to. It is the step from "one mount, many origins" to "many
+// mounts": a fleet of mounts built on one content-addressed backend
+// store shares one Service, so a chunk any mount has already fetched
+// from the origin is served to every other mount at intra-cluster
+// network cost instead of another origin round trip, and path-keyed
+// attr/dentry entries let metadata survive mount boundaries the same
+// way.
 //
 // The service is in-process but "network-shaped": all access goes
 // through internal/cachecl, whose calls charge the calling mount's
@@ -13,11 +14,24 @@
 // behaviour is benchmarkable and bit-for-bit deterministic without real
 // sockets.
 //
-//	mount A ── cachecl ──┐
-//	mount B ── cachecl ──┼──► Service ── shards (consistent hash,
-//	mount C ── cachecl ──┘        │        per-shard lock + LRU)
-//	                              ▼
-//	                      backend store (CAS) / origin
+//	mount A ── cachecl ──┐        placement (rendezvous hash)
+//	mount B ── cachecl ──┼──► Service ── node 0 ── shard LRUs
+//	mount C ── cachecl ──┘        ├───── node 1 ── shard LRUs
+//	                              └───── node 2 ── shard LRUs
+//	                                        ▼
+//	                              backend store (CAS) / origin
+//
+// The key space is consistent-hashed into shards; a Placement assigns
+// each shard a primary plus Options.Replicas replicas across an
+// explicit set of Nodes. Writes apply to every copy, reads are served
+// by the cheapest live replica, and AddNode/DrainNode/KillNode trigger
+// live shard migration: ownership flips immediately (placement version
+// bump), lookups during the handoff fall through from the new copy to
+// a still-complete old copy so there is no miss storm, and entries are
+// copied over with version counters so a late copy can never clobber a
+// write that landed after the flip. With the default Options (one
+// node, zero replicas) the service is the single-node reference the
+// dualtest differential harness pins the replicated tier against.
 //
 // Correctness under partition comes from epoch leases (the
 // sigmaOS fenceclnt/epochclnt shape): a mount holds a lease per shard
@@ -25,7 +39,11 @@
 // fences writes whose lease has expired or been superseded — a
 // partitioned mount that reconnects acquires a fresh epoch and replays
 // nothing; whatever it still had in flight under the old epoch is
-// rejected, so stale data never lands in the shared tier.
+// rejected, so stale data never lands in the shared tier. The fence
+// holds per replica: a stale-epoch write is dropped at every copy and
+// counted on every node, never applied to some copies and not others.
+// Leases are service-global control-plane state, so in-flight epochs
+// survive shard migration and node failure untouched.
 package cachesvc
 
 import (
@@ -34,6 +52,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cntr/internal/blobstore"
@@ -57,24 +76,31 @@ func AttrKey(path string) Key { return "a:" + Key(path) }
 // DentryKey keys a directory's encoded entry list.
 func DentryKey(dir string) Key { return "d:" + Key(dir) }
 
-// Stats aggregates service-wide counters. Per-shard counters are summed
-// on read.
+// Stats aggregates service-wide counters. Per-node counters are summed
+// on read; NodeStats attributes them to individual nodes.
 type Stats struct {
 	// Hits and Misses count Get outcomes; Contains probes count in
-	// neither (they are presence checks, not reads).
+	// neither (they are presence checks, not reads). A lookup served by
+	// handoff fallthrough counts one hit, on the node that held the data.
 	Hits, Misses int64
-	// Puts counts accepted mutations (lease-carrying Puts plus Seeds).
+	// Puts counts applied copies: one per node hosting the key's shard
+	// (primary plus replicas plus any handoff source still holding the
+	// shard), so a single-node service counts one per mutation.
 	Puts int64
-	// Seeds counts administrative epoch-free Puts (registry backfill).
+	// Seeds counts administrative epoch-free Put calls (registry
+	// backfill), one per call regardless of copy count.
 	Seeds int64
-	// Invalidations counts accepted Invalidate calls.
+	// Invalidations counts applied invalidation copies (like Puts).
 	Invalidations int64
 	// FencedWrites counts mutations rejected because their lease epoch
 	// was stale, expired, or released — the partition-safety counter.
+	// One per rejected mutation; NodeStats.FencedWrites counts the drop
+	// at every copy.
 	FencedWrites int64
-	// Evictions counts LRU evictions across all shards.
+	// Evictions counts LRU evictions across all nodes and shards.
 	Evictions int64
-	// Entries and Bytes are the live entry count and stored value bytes.
+	// Entries and Bytes are the live entry count and stored value bytes,
+	// replica copies included.
 	Entries, Bytes int64
 	// LeasesGranted counts Acquire calls (each grants a fresh epoch);
 	// LeasesActive is the number currently held; Expirations counts
@@ -86,7 +112,8 @@ type Stats struct {
 type Options struct {
 	// Shards is the number of cache shards (default 16).
 	Shards int
-	// ShardCapacity is the LRU byte capacity per shard (default 64 MiB).
+	// ShardCapacity is the LRU byte capacity per shard copy (default
+	// 64 MiB). Every replica of a shard has its own capacity.
 	ShardCapacity int64
 	// Groups is the number of lease shard-groups; shards are striped
 	// across groups and a mount holds one lease per group (default 4,
@@ -103,17 +130,40 @@ type Options struct {
 	// VirtualPoints is the number of consistent-hash ring points per
 	// shard (default 256; more points, more even arcs).
 	VirtualPoints int
+	// Nodes is the number of cache nodes the shards are placed across
+	// (default 1 — the single-node reference configuration).
+	Nodes int
+	// Replicas is the number of replica copies each shard keeps beyond
+	// its primary (default 0, clamped to Nodes-1).
+	Replicas int
 }
 
-// Service is the sharded cache service. All methods are safe for
-// concurrent use; tests aside, callers should go through cachecl so
-// network costs are charged.
+// Service is the sharded, replicated cache service. All methods are
+// safe for concurrent use; tests aside, callers should go through
+// cachecl so network costs are charged.
 type Service struct {
 	opts  Options
 	clock *sim.Clock
+	ring  []ringPoint
 
-	ring   []ringPoint
-	shards []*shard
+	// ver stamps every accepted mutation; migration copies carry their
+	// source's stamp and never overwrite a newer one.
+	ver atomic.Uint64
+
+	// topo guards the node set, placement, and migration tasks. Data
+	// ops hold it for read while routing and touching stores; topology
+	// changes and migration steps hold it for write.
+	topo           sync.RWMutex
+	nodes          []*node
+	placement      [][]int
+	placeVersion   uint64
+	tasks          []*copyTask
+	pendingHandoff map[int]bool
+
+	shardsMoved     atomic.Int64
+	entriesCopied   atomic.Int64
+	fallthroughHits atomic.Int64
+	lostShards      atomic.Int64
 
 	mu      sync.Mutex
 	leases  map[leaseID]*leaseState
@@ -129,19 +179,154 @@ type ringPoint struct {
 	shard int
 }
 
-type shard struct {
-	mu      sync.Mutex
-	entries map[Key]*list.Element
-	lru     *list.List // front = most recently used
-	bytes   int64
-	cap     int64
-
-	hits, misses, puts, invals, evictions int64
+// store is one node's copy of one shard: a lock+LRU over versioned
+// entries. complete marks a copy holding every entry the shard has (an
+// incomplete copy is mid-handoff and falls through on a miss).
+type store struct {
+	mu       sync.Mutex
+	entries  map[Key]*list.Element
+	lru      *list.List // front = most recently used
+	bytes    int64
+	cap      int64
+	complete bool
 }
 
 type entry struct {
 	key Key
 	val []byte
+	ver uint64
+}
+
+func newStore(cap int64, complete bool) *store {
+	return &store{
+		entries:  make(map[Key]*list.Element),
+		lru:      list.New(),
+		cap:      cap,
+		complete: complete,
+	}
+}
+
+// get returns the value under key, touching LRU order.
+func (st *store) get(key Key) ([]byte, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	el, ok := st.entries[key]
+	if !ok {
+		return nil, false
+	}
+	st.lru.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// peek returns the value and version without touching LRU order.
+func (st *store) peek(key Key) ([]byte, uint64, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	el, ok := st.entries[key]
+	if !ok {
+		return nil, 0, false
+	}
+	e := el.Value.(*entry)
+	return e.val, e.ver, true
+}
+
+// contains probes presence without counters or LRU effects.
+func (st *store) contains(key Key) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, ok := st.entries[key]
+	return ok
+}
+
+// put stores a fresh mutation (val is copied) and returns evictions.
+func (st *store) put(key Key, val []byte, ver uint64) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if el, ok := st.entries[key]; ok {
+		e := el.Value.(*entry)
+		st.bytes += int64(len(val)) - int64(len(e.val))
+		e.val = append([]byte(nil), val...)
+		e.ver = ver
+		st.lru.MoveToFront(el)
+	} else {
+		e := &entry{key: key, val: append([]byte(nil), val...), ver: ver}
+		st.entries[key] = st.lru.PushFront(e)
+		st.bytes += int64(len(val)) + int64(len(key))
+	}
+	return st.evictLocked()
+}
+
+// install lands a migrated copy: it only takes effect when the store
+// has no entry for key, or a strictly older one — a write accepted
+// after the placement flip always wins over a late copy from the old
+// owner. val is shared, not copied: both slices are service-owned and
+// never mutated in place.
+func (st *store) install(key Key, val []byte, ver uint64) (installed bool, evictions int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if el, ok := st.entries[key]; ok {
+		e := el.Value.(*entry)
+		if e.ver >= ver {
+			return false, 0
+		}
+		st.bytes += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		e.ver = ver
+		return true, st.evictLocked()
+	}
+	e := &entry{key: key, val: val, ver: ver}
+	st.entries[key] = st.lru.PushBack(e) // migrated copies join cold
+	st.bytes += int64(len(val)) + int64(len(key))
+	return true, st.evictLocked()
+}
+
+// remove drops key, reporting whether it was present.
+func (st *store) remove(key Key) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	el, ok := st.entries[key]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*entry)
+	st.lru.Remove(el)
+	delete(st.entries, key)
+	st.bytes -= int64(len(e.val)) + int64(len(e.key))
+	return true
+}
+
+func (st *store) evictLocked() int {
+	n := 0
+	for st.bytes > st.cap && st.lru.Len() > 1 {
+		oldest := st.lru.Back()
+		e := oldest.Value.(*entry)
+		st.lru.Remove(oldest)
+		delete(st.entries, e.key)
+		st.bytes -= int64(len(e.val)) + int64(len(e.key))
+		n++
+	}
+	return n
+}
+
+// keys returns the store's keys, sorted (the deterministic snapshot a
+// migration task copies from).
+func (st *store) keys() []Key {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]Key, 0, len(st.entries))
+	for k := range st.entries {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (st *store) clear() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.entries = make(map[Key]*list.Element)
+	st.lru = list.New()
+	st.bytes = 0
 }
 
 // New builds a service with the given options.
@@ -164,25 +349,44 @@ func New(opts Options) *Service {
 	if opts.VirtualPoints <= 0 {
 		opts.VirtualPoints = 256
 	}
+	if opts.Nodes <= 0 {
+		opts.Nodes = 1
+	}
+	if opts.Replicas < 0 {
+		opts.Replicas = 0
+	}
+	if opts.Replicas > opts.Nodes-1 {
+		opts.Replicas = opts.Nodes - 1
+	}
 	clock := opts.Clock
 	if clock == nil {
 		clock = sim.NewClock()
 	}
 	s := &Service{
-		opts:   opts,
-		clock:  clock,
-		shards: make([]*shard, opts.Shards),
-		leases: make(map[leaseID]*leaseState),
-		epochs: make(map[leaseID]uint64),
+		opts:           opts,
+		clock:          clock,
+		leases:         make(map[leaseID]*leaseState),
+		epochs:         make(map[leaseID]uint64),
+		placement:      make([][]int, opts.Shards),
+		pendingHandoff: make(map[int]bool),
 	}
-	for i := range s.shards {
-		s.shards[i] = &shard{
-			entries: make(map[Key]*list.Element),
-			lru:     list.New(),
-			cap:     opts.ShardCapacity,
-		}
+	for i := 0; i < opts.Nodes; i++ {
+		s.nodes = append(s.nodes, newNode(i))
 	}
 	s.buildRing()
+	s.topo.Lock()
+	s.recomputeLocked()
+	// The initial placement is not a handoff: every owner store starts
+	// complete and empty, with nothing to migrate from.
+	for _, nd := range s.nodes {
+		for _, st := range nd.stores {
+			st.complete = true
+		}
+	}
+	s.tasks = nil
+	s.pendingHandoff = make(map[int]bool)
+	s.placeVersion = 1
+	s.topo.Unlock()
 	return s
 }
 
@@ -226,50 +430,171 @@ func (s *Service) ShardOf(key Key) int {
 }
 
 // GroupOf returns the lease shard-group guarding mutations of key:
-// shards are striped across groups.
+// shards are striped across groups. Groups partition the key space,
+// not the node set, so a lease's epoch is untouched by migration.
 func (s *Service) GroupOf(key Key) int { return s.ShardOf(key) % s.opts.Groups }
 
 // NumGroups returns the number of lease shard-groups.
 func (s *Service) NumGroups() int { return s.opts.Groups }
 
+// NumShards returns the number of cache shards.
+func (s *Service) NumShards() int { return s.opts.Shards }
+
 // Clock returns the clock leases expire against (tests advance it to
 // simulate time passing on the service side of a partition).
 func (s *Service) Clock() *sim.Clock { return s.clock }
 
-// Get returns the cached value for key. The returned slice is owned by
-// the service and must not be modified.
-func (s *Service) Get(key Key) ([]byte, bool) {
-	sh := s.shards[s.ShardOf(key)]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	el, ok := sh.entries[key]
+// hostingLocked returns the live nodes holding a copy of shard sh:
+// current owners first in placement order, then any handoff sources
+// still holding the shard, in node-id order. Callers hold topo.
+func (s *Service) hostingLocked(sh int) []*node {
+	owners := s.placement[sh]
+	out := make([]*node, 0, len(owners)+1)
+	isOwner := make(map[int]bool, len(owners))
+	for _, id := range owners {
+		isOwner[id] = true
+		if nd := s.nodes[id]; nd.live && nd.stores[sh] != nil {
+			out = append(out, nd)
+		}
+	}
+	for _, nd := range s.nodes {
+		if !isOwner[nd.id] && nd.live && nd.stores[sh] != nil {
+			out = append(out, nd)
+		}
+	}
+	return out
+}
+
+// completeHostLocked returns the cheapest live node other than skip
+// holding a complete copy of shard sh, or nil.
+func (s *Service) completeHostLocked(sh, skip int) *node {
+	var best *node
+	for _, nd := range s.hostingLocked(sh) {
+		if nd.id == skip || !nd.stores[sh].complete {
+			continue
+		}
+		if best == nil || nd.distance < best.distance ||
+			(nd.distance == best.distance && nd.id < best.id) {
+			best = nd
+		}
+	}
+	return best
+}
+
+// readTargetLocked picks the node a placement-unaware read routes to:
+// the cheapest live owner (lowest distance, placement order breaking
+// ties — so with a uniform cost model, the primary).
+func (s *Service) readTargetLocked(sh int) *node {
+	var best *node
+	for _, id := range s.placement[sh] {
+		nd := s.nodes[id]
+		if !nd.live {
+			continue
+		}
+		if best == nil || nd.distance < best.distance {
+			best = nd
+		}
+	}
+	return best
+}
+
+// getFromLocked serves a lookup at node nd, falling through to a
+// complete copy when nd's copy is mid-handoff. hops counts extra
+// cross-node transfers the lookup cost. Callers hold topo for read.
+func (s *Service) getFromLocked(nd *node, sh int, key Key) ([]byte, bool, int) {
+	st := nd.stores[sh]
+	if st != nil {
+		if val, ok := st.get(key); ok {
+			nd.hits.Add(1)
+			return val, true, 0
+		}
+		if st.complete {
+			nd.misses.Add(1)
+			return nil, false, 0
+		}
+	}
+	// The copy here is absent or incomplete: fall through to a complete
+	// copy so a handoff in progress never manufactures a miss storm.
+	src := s.completeHostLocked(sh, nd.id)
+	if src == nil {
+		nd.misses.Add(1)
+		return nil, false, 0
+	}
+	val, ver, ok := src.stores[sh].peek(key)
 	if !ok {
-		sh.misses++
+		nd.misses.Add(1)
+		return nil, false, 1
+	}
+	src.hits.Add(1)
+	s.fallthroughHits.Add(1)
+	if st != nil {
+		// Pull-copy: the served entry also lands in the queried copy so
+		// the handoff converges with the read traffic.
+		if installed, ev := st.install(key, val, ver); installed {
+			s.entriesCopied.Add(1)
+			nd.evictions.Add(int64(ev))
+		}
+	}
+	return val, true, 1
+}
+
+// Get returns the cached value for key, served by the cheapest live
+// replica (internal routing — cachecl routes explicitly and pays the
+// network). The returned slice is owned by the service and must not be
+// modified.
+func (s *Service) Get(key Key) ([]byte, bool) {
+	s.topo.RLock()
+	defer s.topo.RUnlock()
+	sh := s.ShardOf(key)
+	nd := s.readTargetLocked(sh)
+	if nd == nil {
 		return nil, false
 	}
-	sh.hits++
-	sh.lru.MoveToFront(el)
-	return el.Value.(*entry).val, true
+	val, ok, _ := s.getFromLocked(nd, sh, key)
+	return val, ok
 }
 
-// Contains reports presence without touching LRU order or hit/miss
-// counters — the probe Registry.Pull uses to skip transfers.
+// Contains reports presence on any live copy without touching LRU
+// order or hit/miss counters — the probe Registry.Pull uses to skip
+// transfers.
 func (s *Service) Contains(key Key) bool {
-	sh := s.shards[s.ShardOf(key)]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	_, ok := sh.entries[key]
-	return ok
+	s.topo.RLock()
+	defer s.topo.RUnlock()
+	sh := s.ShardOf(key)
+	for _, nd := range s.hostingLocked(sh) {
+		if nd.stores[sh].contains(key) {
+			return true
+		}
+	}
+	return false
 }
 
-// Put stores val under key on behalf of the lease holder. The write is
-// fenced — rejected with ErrFenced and counted — when the lease's epoch
-// is stale, expired, or released. val is copied.
+// applyLocked lands a mutation on every live copy of the shard —
+// owners and any handoff sources alike, so a fallthrough can never
+// serve a value a later write replaced. Returns the copy count.
+// Callers hold topo for read.
+func (s *Service) applyLocked(sh int, key Key, val []byte) int {
+	ver := s.ver.Add(1)
+	hosting := s.hostingLocked(sh)
+	for _, nd := range hosting {
+		ev := nd.stores[sh].put(key, val, ver)
+		nd.puts.Add(1)
+		nd.evictions.Add(int64(ev))
+	}
+	return len(hosting)
+}
+
+// Put stores val under key on behalf of the lease holder, on the
+// primary and every replica. The write is fenced — rejected with
+// ErrFenced and counted at every copy — when the lease's epoch is
+// stale, expired, or released. val is copied.
 func (s *Service) Put(l Lease, key Key, val []byte) error {
-	if err := s.validate(l, key); err != nil {
+	if err := s.admit(l, key); err != nil {
 		return err
 	}
-	s.put(key, val)
+	s.topo.RLock()
+	defer s.topo.RUnlock()
+	s.applyLocked(s.ShardOf(key), key, val)
 	return nil
 }
 
@@ -281,88 +606,69 @@ func (s *Service) Seed(key Key, val []byte) {
 	s.mu.Lock()
 	s.seeds++
 	s.mu.Unlock()
-	s.put(key, val)
-}
-
-func (s *Service) put(key Key, val []byte) {
-	sh := s.shards[s.ShardOf(key)]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	sh.puts++
-	if el, ok := sh.entries[key]; ok {
-		e := el.Value.(*entry)
-		sh.bytes += int64(len(val)) - int64(len(e.val))
-		e.val = append([]byte(nil), val...)
-		sh.lru.MoveToFront(el)
-	} else {
-		e := &entry{key: key, val: append([]byte(nil), val...)}
-		sh.entries[key] = sh.lru.PushFront(e)
-		sh.bytes += int64(len(val)) + int64(len(key))
-	}
-	for sh.bytes > sh.cap && sh.lru.Len() > 1 {
-		oldest := sh.lru.Back()
-		e := oldest.Value.(*entry)
-		sh.lru.Remove(oldest)
-		delete(sh.entries, e.key)
-		sh.bytes -= int64(len(e.val)) + int64(len(e.key))
-		sh.evictions++
-	}
+	s.topo.RLock()
+	defer s.topo.RUnlock()
+	s.applyLocked(s.ShardOf(key), key, val)
 }
 
 // Invalidate drops key on behalf of the lease holder, with the same
-// fencing rule as Put. Dropping an absent key is not an error.
+// fencing rule as Put. The drop lands on every copy — a handoff source
+// included, so a fallthrough can never resurrect an invalidated entry.
+// Dropping an absent key is not an error.
 func (s *Service) Invalidate(l Lease, key Key) error {
-	if err := s.validate(l, key); err != nil {
+	if err := s.admit(l, key); err != nil {
 		return err
 	}
-	sh := s.shards[s.ShardOf(key)]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	sh.invals++
-	if el, ok := sh.entries[key]; ok {
-		e := el.Value.(*entry)
-		sh.lru.Remove(el)
-		delete(sh.entries, key)
-		sh.bytes -= int64(len(e.val)) + int64(len(e.key))
+	s.topo.RLock()
+	defer s.topo.RUnlock()
+	sh := s.ShardOf(key)
+	for _, nd := range s.hostingLocked(sh) {
+		nd.stores[sh].remove(key)
+		nd.invals.Add(1)
 	}
 	return nil
 }
 
-// Reset drops every cached entry (leases, epochs and counters are
-// kept). Experiments call it between a seeding phase and a measured
-// cold-read phase.
+// Reset drops every cached entry on every node (leases, epochs,
+// placement, migration progress and counters are kept). Experiments
+// call it between a seeding phase and a measured cold-read phase.
 func (s *Service) Reset() {
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-		sh.entries = make(map[Key]*list.Element)
-		sh.lru = list.New()
-		sh.bytes = 0
-		sh.mu.Unlock()
+	s.topo.RLock()
+	defer s.topo.RUnlock()
+	for _, nd := range s.nodes {
+		for _, st := range nd.stores {
+			st.clear()
+		}
 	}
 }
 
-// Stats returns a snapshot of the service counters.
+// Stats returns a snapshot of the service counters, summed across
+// nodes. See NodeStats for the per-node split.
 func (s *Service) Stats() Stats {
-	var st Stats
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-		st.Hits += sh.hits
-		st.Misses += sh.misses
-		st.Puts += sh.puts
-		st.Invalidations += sh.invals
-		st.Evictions += sh.evictions
-		st.Entries += int64(len(sh.entries))
-		st.Bytes += sh.bytes
-		sh.mu.Unlock()
+	var agg Stats
+	s.topo.RLock()
+	for _, nd := range s.nodes {
+		agg.Hits += nd.hits.Load()
+		agg.Misses += nd.misses.Load()
+		agg.Puts += nd.puts.Load()
+		agg.Invalidations += nd.invals.Load()
+		agg.Evictions += nd.evictions.Load()
+		for _, st := range nd.stores {
+			st.mu.Lock()
+			agg.Entries += int64(len(st.entries))
+			agg.Bytes += st.bytes
+			st.mu.Unlock()
+		}
 	}
+	s.topo.RUnlock()
 	s.mu.Lock()
-	st.FencedWrites = s.fenced
-	st.LeasesGranted = s.granted
-	st.LeasesActive = int64(len(s.leases))
-	st.Expirations = s.expired
-	st.Seeds = s.seeds
+	agg.FencedWrites = s.fenced
+	agg.LeasesGranted = s.granted
+	agg.LeasesActive = int64(len(s.leases))
+	agg.Expirations = s.expired
+	agg.Seeds = s.seeds
 	s.mu.Unlock()
-	return st
+	return agg
 }
 
 // HitRatio is hits over lookups; a service that has seen no lookups

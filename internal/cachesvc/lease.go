@@ -100,28 +100,45 @@ func (s *Service) Release(l Lease) error {
 	return nil
 }
 
-// validate is the fence: a mutation of key under lease l is admitted
+// admit is the fence: a mutation of key under lease l is admitted
 // only if l covers key's shard group, is the current grant for
 // (mount, group), and has not reached its deadline. Expiry is judged on
 // the service clock — the holder's opinion does not matter, which is
 // exactly what makes a partitioned mount safe.
-func (s *Service) validate(l Lease, key Key) error {
+//
+// The fence holds per replica: one rejected mutation counts once at
+// the service level (Stats.FencedWrites stays mutation-granular across
+// any node count) and once on every node currently holding a copy of
+// the key's shard (NodeStats.FencedWrites — the drop happened at every
+// copy, applied to none).
+func (s *Service) admit(l Lease, key Key) error {
 	if s.GroupOf(key) != l.Group {
 		return ErrWrongGroup
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	id := leaseID{l.Mount, l.Group}
 	st, ok := s.leases[id]
-	if !ok || st.epoch != l.Epoch {
+	fenced := false
+	switch {
+	case !ok || st.epoch != l.Epoch:
 		s.fenced++
-		return ErrFenced
-	}
-	if s.clock.Now() >= st.expires {
+		fenced = true
+	case s.clock.Now() >= st.expires:
 		s.expired++
 		s.fenced++
 		delete(s.leases, id)
-		return ErrFenced
+		fenced = true
 	}
-	return nil
+	s.mu.Unlock()
+	if !fenced {
+		return nil
+	}
+	// s.mu is released before taking topo: lease state and topology are
+	// independent lock domains and must never nest.
+	s.topo.RLock()
+	for _, nd := range s.hostingLocked(s.ShardOf(key)) {
+		nd.fenced.Add(1)
+	}
+	s.topo.RUnlock()
+	return ErrFenced
 }

@@ -1,0 +1,176 @@
+package cachesvc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cntr/internal/sim"
+)
+
+// TestMigrationRaceUnderLoad drives Get/Put/Acquire/Seed traffic from
+// several goroutines while the main goroutine churns topology (add,
+// kill) and steps migration concurrently. Run under -race in CI; the
+// assertions here are liveness (ops completed), legality (only the
+// documented error classes), and the replica-agreement invariant once
+// the dust settles.
+func TestMigrationRaceUnderLoad(t *testing.T) {
+	svc := New(Options{Nodes: 3, Replicas: 1, ShardCapacity: 1 << 30})
+	keys := testKeys("race", 128)
+	for _, k := range keys {
+		svc.Seed(k, []byte("seed"))
+	}
+
+	const workers = 8
+	var stop atomic.Bool
+	var opsDone atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := sim.NewRand(uint64(w + 1))
+			mount := fmt.Sprintf("racer-%d", w)
+			leases := make(map[int]Lease)
+			for g := 0; g < svc.NumGroups(); g++ {
+				l, err := svc.Acquire(mount, g)
+				if err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				leases[g] = l
+			}
+			for !stop.Load() {
+				k := keys[r.Intn(len(keys))]
+				switch r.Intn(10) {
+				case 0, 1, 2, 3:
+					svc.Get(k)
+				case 4, 5, 6:
+					l := leases[svc.GroupOf(k)]
+					if err := svc.Put(l, k, []byte(mount)); err != nil && err != ErrFenced {
+						t.Errorf("put: unexpected error %v", err)
+						return
+					}
+				case 7:
+					svc.Seed(k, []byte("reseed"))
+				case 8:
+					g := r.Intn(svc.NumGroups())
+					l, err := svc.Acquire(mount, g)
+					if err != nil {
+						t.Errorf("re-acquire: %v", err)
+						return
+					}
+					leases[g] = l
+				default:
+					svc.Contains(k)
+				}
+				opsDone.Add(1)
+			}
+		}(w)
+	}
+
+	// Topology churn on the main goroutine, concurrent with the load:
+	// keep cycling add → migrate → kill until the workers have pushed a
+	// meaningful number of ops through the churning service.
+	for round := 0; opsDone.Load() < 20000 || round < 6; round++ {
+		id := svc.AddNode()
+		for i := 0; i < 50; i++ {
+			svc.MigrateStep(8)
+		}
+		svc.MigrateAll()
+		// The first rounds grow the fleet; after that each added node is
+		// killed again so the set stays bounded however long the load
+		// takes to hit its op target.
+		if round >= 3 {
+			if err := svc.KillNode(id); err != nil {
+				t.Fatalf("kill %d: %v", id, err)
+			}
+			svc.MigrateAll()
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	svc.MigrateAll()
+	if err := svc.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if opsDone.Load() == 0 {
+		t.Fatal("workers made no progress under migration churn")
+	}
+	if ms := svc.MigrationStats(); ms.ShardsMoved == 0 {
+		t.Fatal("churn moved no shards")
+	}
+}
+
+// TestDrainRaceUnderLoad races DrainNode + incremental migration
+// against concurrent reads and lease-guarded writes, then verifies the
+// drained node ends empty with no entry lost.
+func TestDrainRaceUnderLoad(t *testing.T) {
+	svc := New(Options{Nodes: 4, Replicas: 1, ShardCapacity: 1 << 30})
+	keys := testKeys("drain-race", 128)
+	for _, k := range keys {
+		svc.Seed(k, []byte("seed"))
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := sim.NewRand(uint64(100 + w))
+			mount := fmt.Sprintf("drainer-%d", w)
+			leases := make(map[int]Lease)
+			for g := 0; g < svc.NumGroups(); g++ {
+				l, err := svc.Acquire(mount, g)
+				if err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				leases[g] = l
+			}
+			for !stop.Load() {
+				k := keys[r.Intn(len(keys))]
+				if r.Intn(2) == 0 {
+					if _, ok := svc.Get(k); !ok {
+						t.Errorf("key %q missed during drain — fallthrough failed", k)
+						return
+					}
+				} else {
+					l := leases[svc.GroupOf(k)]
+					if err := svc.Put(l, k, []byte(mount)); err != nil && err != ErrFenced {
+						t.Errorf("put: unexpected error %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	for _, id := range []int{1, 3} {
+		if err := svc.DrainNode(id); err != nil {
+			t.Fatalf("drain %d: %v", id, err)
+		}
+		for svc.MigrateStep(4) {
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	svc.MigrateAll()
+	if err := svc.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{1, 3} {
+		if ns := svc.NodeStats()[id]; ns.Shards != 0 {
+			t.Fatalf("drained node %d still holds %d shards", id, ns.Shards)
+		}
+	}
+	for _, k := range keys {
+		if _, ok := svc.Get(k); !ok {
+			t.Fatalf("key %q lost across the drain", k)
+		}
+	}
+}

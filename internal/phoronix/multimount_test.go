@@ -75,10 +75,26 @@ func TestMultiMountScalesWithFleet(t *testing.T) {
 // data sits in the FUSE writeback window while the mount's leases expire
 // on the service side; the fsync-driven flush then reaches the store
 // with a stale epoch. The tier must fence every publish from that
-// window — and the mount's own durability must be unharmed.
+// window — and the mount's own durability must be unharmed. The same
+// scenario runs against the single-node reference tier and a 3-node
+// R=2 tier, where every stale publish must be dropped on the primary
+// AND both replicas: the per-node fenced counters (one per copy) must
+// sum to exactly FencedWrites x copies, with every node counting its
+// own share.
 func TestBatchedWritebackFenced(t *testing.T) {
+	t.Run("single-node", func(t *testing.T) {
+		runBatchedWritebackFenced(t, 1, 0)
+	})
+	t.Run("replicated-r2", func(t *testing.T) {
+		runBatchedWritebackFenced(t, 3, 2)
+	})
+}
+
+func runBatchedWritebackFenced(t *testing.T, nodes, replicas int) {
 	cas := blobstore.NewCAS(blobstore.CASOptions{})
-	svcClock := cachesvc.New(cachesvc.Options{LeaseTTL: time.Second})
+	svcClock := cachesvc.New(cachesvc.Options{
+		LeaseTTL: time.Second, Nodes: nodes, Replicas: replicas,
+	})
 	cfg := stackConfig()
 	cfg.Store = cas
 	cfg.CacheService = svcClock
@@ -119,6 +135,23 @@ func TestBatchedWritebackFenced(t *testing.T) {
 	}
 	if st.Entries != 0 {
 		t.Fatalf("stale mount landed %d entries in the tier", st.Entries)
+	}
+	// The fence holds per replica: with R replicas every stale mutation
+	// is dropped (and counted) at the primary and each replica copy.
+	// With nodes == replicas+1 every node hosts every shard, so each
+	// node's counter equals the service-level mutation count exactly.
+	copies := int64(replicas + 1)
+	var perNodeSum int64
+	for _, ns := range svcClock.NodeStats() {
+		perNodeSum += ns.FencedWrites
+		if nodes == replicas+1 && ns.FencedWrites != st.FencedWrites {
+			t.Fatalf("node %d fenced %d writes, want %d (one drop per copy)",
+				ns.ID, ns.FencedWrites, st.FencedWrites)
+		}
+	}
+	if perNodeSum != st.FencedWrites*copies {
+		t.Fatalf("per-node fenced sum = %d, want FencedWrites(%d) x copies(%d) = %d",
+			perNodeSum, st.FencedWrites, copies, st.FencedWrites*copies)
 	}
 	// Durability is local: the backend holds every chunk of the window.
 	if phys := cas.Stats().PhysicalBytes; phys < int64(len(payload)) {
